@@ -1,0 +1,384 @@
+// Package main_test holds the benchmark harness: one testing.B
+// benchmark per table and figure of the paper's evaluation (run the
+// drivers and validate/print their shape), plus microbenchmarks of the
+// real implementation's hot paths (MQTT codec, store ingest, collect
+// agent pipeline, virtual sensor evaluation) that ground the
+// calibrated models in measurements on this machine.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package main_test
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"dcdb/internal/bench"
+	"dcdb/internal/collectagent"
+	"dcdb/internal/config"
+	"dcdb/internal/core"
+	"dcdb/internal/libdcdb"
+	"dcdb/internal/mqtt"
+	"dcdb/internal/plugins/tester"
+	"dcdb/internal/pusher"
+	"dcdb/internal/sim/arch"
+	"dcdb/internal/store"
+	"dcdb/internal/vsensor"
+)
+
+// BenchmarkTable1 regenerates Table 1 (production configurations and
+// HPL overhead per system).
+func BenchmarkTable1(b *testing.B) {
+	var rows []bench.Table1Row
+	for i := 0; i < b.N; i++ {
+		rows = bench.Table1()
+	}
+	b.StopTimer()
+	bench.RenderTable1(io.Discard, rows)
+	if len(rows) != 3 {
+		b.Fatal("table 1 incomplete")
+	}
+	b.ReportMetric(rows[0].OverheadPct, "sng-overhead-%")
+	b.ReportMetric(rows[2].OverheadPct, "knl-overhead-%")
+}
+
+// BenchmarkFig4 regenerates Figure 4 (CORAL-2 overhead, weak scaling).
+func BenchmarkFig4(b *testing.B) {
+	var pts []bench.Fig4Point
+	for i := 0; i < b.N; i++ {
+		pts = bench.Fig4()
+	}
+	b.StopTimer()
+	var amg1024 float64
+	for _, p := range pts {
+		if p.App == "amg" && p.Nodes == 1024 && !p.Core {
+			amg1024 = p.OverheadPct
+		}
+	}
+	b.ReportMetric(amg1024, "amg@1024-%")
+}
+
+// BenchmarkFig5 regenerates the three overhead heatmaps of Figure 5.
+func BenchmarkFig5(b *testing.B) {
+	for _, m := range arch.All {
+		m := m
+		b.Run(m.Name, func(b *testing.B) {
+			var cells []bench.Fig5Cell
+			for i := 0; i < b.N; i++ {
+				cells = bench.Fig5(m)
+			}
+			b.StopTimer()
+			var worst float64
+			for _, c := range cells {
+				if c.OverheadPct > worst {
+					worst = c.OverheadPct
+				}
+			}
+			b.ReportMetric(worst, "worst-cell-%")
+		})
+	}
+}
+
+// BenchmarkFig6 regenerates Figure 6 (Pusher CPU load and memory).
+func BenchmarkFig6(b *testing.B) {
+	var cells []bench.Fig6Cell
+	for i := 0; i < b.N; i++ {
+		cells = bench.Fig6()
+	}
+	b.StopTimer()
+	var peakMem float64
+	for _, c := range cells {
+		if c.MemoryMB > peakMem {
+			peakMem = c.MemoryMB
+		}
+	}
+	b.ReportMetric(peakMem, "peak-mem-MB")
+}
+
+// BenchmarkFig7 regenerates Figure 7 (CPU load scaling + Equation 1).
+func BenchmarkFig7(b *testing.B) {
+	var series []bench.Fig7Series
+	for i := 0; i < b.N; i++ {
+		series = bench.Fig7()
+	}
+	b.StopTimer()
+	for _, s := range series {
+		if s.Fit.R2 < 0.999 {
+			b.Fatalf("%s: scaling not linear (R2=%v)", s.Arch, s.Fit.R2)
+		}
+	}
+	b.ReportMetric(series[0].PeakAt, "skylake-peak-%")
+}
+
+// BenchmarkFig8 regenerates Figure 8 (Collect Agent CPU load model).
+func BenchmarkFig8(b *testing.B) {
+	var cells []bench.Fig8Cell
+	for i := 0; i < b.N; i++ {
+		cells = bench.Fig8()
+	}
+	b.StopTimer()
+	var worst float64
+	for _, c := range cells {
+		if c.CPULoadPct > worst {
+			worst = c.CPULoadPct
+		}
+	}
+	b.ReportMetric(worst, "worst-load-%")
+}
+
+// BenchmarkFig8Measured measures the real Collect Agent ingest path on
+// this machine (decode → SID translation → store → cache), the
+// measured counterpart of Figure 8's model.
+func BenchmarkFig8Measured(b *testing.B) {
+	backend := store.NewNode(0)
+	agent := collectagent.New(backend, nil, collectagent.Options{Quiet: true})
+	payload := core.EncodeReadings([]core.Reading{{Timestamp: 1, Value: 1}})
+	topics := make([]string, 64)
+	for i := range topics {
+		topics[i] = fmt.Sprintf("/bench/h%02d/s%02d/v", i/8, i%8)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent.Handle(topics[i%len(topics)], payload)
+	}
+}
+
+// BenchmarkFig9 regenerates the heat-removal case study (Figure 9).
+func BenchmarkFig9(b *testing.B) {
+	var res *bench.Fig9Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = bench.Fig9(24, 5*time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(res.MeanEfficiency*100, "efficiency-%")
+}
+
+// BenchmarkFig10 regenerates the application characterization
+// (Figure 10).
+func BenchmarkFig10(b *testing.B) {
+	var results []bench.Fig10Result
+	for i := 0; i < b.N; i++ {
+		results = bench.Fig10(120)
+	}
+	b.StopTimer()
+	for _, r := range results {
+		if r.App == "kripke" {
+			b.ReportMetric(r.Mean, "kripke-mean-1e5ipw")
+		}
+	}
+}
+
+// BenchmarkAblationBurst compares burst vs continuous forwarding
+// (DESIGN.md ablation; paper §6.2.1 discussion around AMG).
+func BenchmarkAblationBurst(b *testing.B) {
+	var a bench.BurstAblation
+	for i := 0; i < b.N; i++ {
+		a = bench.RunBurstAblation(1000, 30)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(a.ContinuousMessages)/float64(a.BurstMessages), "msg-reduction-x")
+}
+
+// BenchmarkAblationPartitioner compares hierarchical vs hash
+// partitioning on subtree queries (paper §4.3).
+func BenchmarkAblationPartitioner(b *testing.B) {
+	var a bench.PartitionerAblation
+	var err error
+	for i := 0; i < b.N; i++ {
+		a, err = bench.RunPartitionerAblation(4, 8, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(a.HashNodesPerQuery/a.HierNodesPerQuery, "fanout-reduction-x")
+}
+
+// BenchmarkAblationGrouping compares grouped vs per-sensor sampling.
+func BenchmarkAblationGrouping(b *testing.B) {
+	var a bench.GroupingAblation
+	for i := 0; i < b.N; i++ {
+		a = bench.RunGroupingAblation(1000, 50, 10)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(a.PerSensorReads)/float64(a.GroupedReads), "read-reduction-x")
+}
+
+// --- Microbenchmarks of the real implementation's hot paths ---
+
+// BenchmarkMQTTEncodeDecode measures the wire codec roundtrip for a
+// single-reading PUBLISH.
+func BenchmarkMQTTEncodeDecode(b *testing.B) {
+	p := &mqtt.Packet{Type: mqtt.PUBLISH, Topic: "/lrz/sys/rack/node/cpu/metric",
+		Payload: core.EncodeReadings([]core.Reading{{Timestamp: 1, Value: 2}})}
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := mqtt.WritePacket(&buf, p); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mqtt.ReadPacket(bufio.NewReader(&buf)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreInsert measures raw wide-column store ingest.
+func BenchmarkStoreInsert(b *testing.B) {
+	n := store.NewNode(0)
+	id := core.SensorID{Hi: 42, Lo: 7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n.Insert(id, core.Reading{Timestamp: int64(i), Value: 1}, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreInsertBatch measures batched ingest (burst payloads).
+func BenchmarkStoreInsertBatch(b *testing.B) {
+	n := store.NewNode(0)
+	id := core.SensorID{Hi: 42, Lo: 7}
+	batch := make([]core.Reading, 64)
+	for i := range batch {
+		batch[i] = core.Reading{Timestamp: int64(i), Value: 1}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n.InsertBatch(id, batch, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(batch) * 16))
+}
+
+// BenchmarkStoreQuery measures range reads across memtable + SSTables.
+func BenchmarkStoreQuery(b *testing.B) {
+	n := store.NewNode(1 << 12)
+	id := core.SensorID{Hi: 1, Lo: 1}
+	for i := int64(0); i < 100000; i++ {
+		n.Insert(id, core.Reading{Timestamp: i, Value: float64(i)}, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := n.Query(id, 50000, 51000)
+		if err != nil || len(rs) != 1001 {
+			b.Fatalf("query: %d, %v", len(rs), err)
+		}
+	}
+}
+
+// BenchmarkTopicMapping measures topic→SID translation, the Collect
+// Agent's per-message bookkeeping (paper §4.2).
+func BenchmarkTopicMapping(b *testing.B) {
+	m := core.NewTopicMapper()
+	topics := make([]string, 512)
+	for i := range topics {
+		topics[i] = fmt.Sprintf("/lrz/sys/r%02d/c%d/n%02d/cpu%02d/instr", i%16, i%4, i%32, i%48)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Map(topics[i%len(topics)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVirtualSensor measures lazy evaluation of a virtual sensor
+// over 1000-point operands with interpolation.
+func BenchmarkVirtualSensor(b *testing.B) {
+	conn := libdcdb.Connect(store.NewNode(0), nil)
+	for _, tp := range []string{"/b/p1", "/b/p2"} {
+		var rs []core.Reading
+		for i := int64(0); i < 1000; i++ {
+			rs = append(rs, core.Reading{Timestamp: i * 1000, Value: float64(i)})
+		}
+		if err := conn.InsertBatch(tp, rs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	expr, err := vsensor.Parse("(</b/p1> + </b/p2>) / 2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := connAdapter{conn}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := vsensor.Evaluate(expr, src, 0, 1000*1000)
+		if err != nil || len(rs) != 1000 {
+			b.Fatalf("eval: %d, %v", len(rs), err)
+		}
+	}
+}
+
+type connAdapter struct{ c *libdcdb.Connection }
+
+func (a connAdapter) Readings(topic string, from, to int64) ([]core.Reading, string, error) {
+	rs, err := a.c.Query(topic, from, to)
+	return rs, "", err
+}
+
+func (a connAdapter) Expand(prefix string) ([]string, error) {
+	return a.c.ListSensors(prefix), nil
+}
+
+// BenchmarkPusherSampling measures the full in-process Pusher sampling
+// path with the tester plugin: 100 sensors in one group, cache stores
+// and dispatch included.
+func BenchmarkPusherSampling(b *testing.B) {
+	plug := tester.New()
+	cfg, _ := config.ParseString("group g { interval 1000 sensors 100 }")
+	if err := plug.Configure(cfg); err != nil {
+		b.Fatal(err)
+	}
+	g := plug.Groups()[0]
+	h := pusher.NewHost(nil, pusher.Options{Threads: 1})
+	defer h.Close()
+	cacheBench := h.Cache()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := time.Now()
+		vals, err := g.Reader.ReadGroup(now)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := now.UnixNano()
+		for j, s := range g.Sensors {
+			cacheBench.Store(s.Topic, core.Reading{Timestamp: ts, Value: vals[j]})
+		}
+	}
+	b.SetBytes(int64(len(g.Sensors) * 16))
+}
+
+// BenchmarkEndToEndMQTT measures a full QoS-1 publish→broker→store
+// round trip over loopback TCP.
+func BenchmarkEndToEndMQTT(b *testing.B) {
+	backend := store.NewNode(0)
+	agent := collectagent.New(backend, nil, collectagent.Options{Quiet: true})
+	if err := agent.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	defer agent.Close()
+	client, err := mqtt.Dial(agent.Addr(), mqtt.DialOptions{ClientID: "bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	payload := core.EncodeReadings([]core.Reading{{Timestamp: 1, Value: 2}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.Publish("/bench/e2e/sensor", payload, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

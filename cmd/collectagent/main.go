@@ -1,0 +1,135 @@
+// Command collectagent runs a DCDB Collect Agent: an MQTT broker that
+// receives sensor readings from Pushers, translates topics into SIDs
+// and writes them to a Storage Backend (paper §4.2). The backend is an
+// in-process wide-column store cluster; its contents and the topic
+// mapper are persisted as snapshot files on shutdown and on a periodic
+// timer, so the query tools can operate on them.
+//
+// Usage:
+//
+//	collectagent -listen :1883 -rest :8080 -nodes 2 -replication 1 \
+//	             -snapshot /var/lib/dcdb/agent
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dcdb/internal/collectagent"
+	"dcdb/internal/rest"
+	"dcdb/internal/store"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:1883", "MQTT listen address")
+	restAddr := flag.String("rest", "", "RESTful API listen address (empty = disabled)")
+	nodes := flag.Int("nodes", 1, "storage backend nodes in the cluster")
+	replication := flag.Int("replication", 1, "copies of each row")
+	partitioner := flag.String("partitioner", "hierarchical", "hierarchical or hash")
+	depth := flag.Int("depth", 4, "hierarchy depth of the partition key")
+	snapshot := flag.String("snapshot", "", "snapshot file prefix (empty = no persistence)")
+	snapEvery := flag.Duration("snapshot-interval", 5*time.Minute, "periodic snapshot interval")
+	flag.Parse()
+
+	ns := make([]*store.Node, *nodes)
+	for i := range ns {
+		ns[i] = store.NewNode(0)
+	}
+	var part store.Partitioner
+	switch *partitioner {
+	case "hierarchical":
+		part = store.HierarchicalPartitioner{Depth: *depth}
+	case "hash":
+		part = store.HashPartitioner{}
+	default:
+		log.Fatalf("unknown partitioner %q", *partitioner)
+	}
+	cluster, err := store.NewCluster(ns, part, *replication)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agent := collectagent.New(cluster, nil, collectagent.Options{})
+	if *snapshot != "" {
+		loadSnapshots(ns, agent, *snapshot)
+	}
+	if err := agent.Listen(*listen); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("collectagent: MQTT broker on %s, %d storage node(s), %s partitioner",
+		agent.Addr(), *nodes, part.Name())
+
+	if *restAddr != "" {
+		api := rest.NewAgentAPI(agent)
+		if err := api.Listen(*restAddr); err != nil {
+			log.Fatal(err)
+		}
+		defer api.Close()
+		log.Printf("collectagent: REST API on %s", api.Addr())
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(*snapEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			if *snapshot != "" {
+				saveSnapshots(ns, agent, *snapshot)
+			}
+		case <-stop:
+			if *snapshot != "" {
+				saveSnapshots(ns, agent, *snapshot)
+			}
+			st := agent.Stats()
+			log.Printf("collectagent: shutting down (%d messages, %d readings, %d errors)",
+				st.Messages, st.Readings, st.Errors)
+			agent.Close()
+			return
+		}
+	}
+}
+
+func saveSnapshots(ns []*store.Node, agent *collectagent.Agent, prefix string) {
+	for i, n := range ns {
+		if err := n.SaveFile(fmt.Sprintf("%s.node%d.snap", prefix, i)); err != nil {
+			log.Printf("collectagent: snapshot node %d: %v", i, err)
+		}
+	}
+	lines := agent.Mapper().Export()
+	if err := os.WriteFile(prefix+".topics", []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		log.Printf("collectagent: topic map: %v", err)
+	}
+}
+
+func loadSnapshots(ns []*store.Node, agent *collectagent.Agent, prefix string) {
+	for i, n := range ns {
+		path := fmt.Sprintf("%s.node%d.snap", prefix, i)
+		if err := n.LoadFile(path); err != nil {
+			if !os.IsNotExist(err) {
+				log.Printf("collectagent: loading %s: %v", path, err)
+			}
+			continue
+		}
+		log.Printf("collectagent: restored %s", path)
+	}
+	data, err := os.ReadFile(prefix + ".topics")
+	if err != nil {
+		return
+	}
+	var lines []string
+	for _, ln := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(ln) != "" {
+			lines = append(lines, ln)
+		}
+	}
+	if err := agent.Mapper().Import(lines); err != nil {
+		log.Printf("collectagent: topic map import: %v", err)
+	}
+}

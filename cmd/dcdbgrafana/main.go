@@ -1,0 +1,107 @@
+// Command dcdbgrafana is the DCDB data-source server for Grafana-style
+// dashboards (paper §5.4): it exposes the sensor hierarchy for
+// level-by-level navigation through drop-down menus and serves
+// range queries as JSON time series. The API follows the SimpleJSON
+// data-source conventions:
+//
+//	GET  /                → 200 (health check)
+//	POST /search          → {"target": "/lrz/cm3"} → child components
+//	POST /query           → {"targets":[{"target": "/topic"}],
+//	                          "range":{"from":RFC3339,"to":RFC3339},
+//	                          "maxDataPoints":500} → datapoint series
+//
+// Usage:
+//
+//	dcdbgrafana -db /var/lib/dcdb/agent -listen :3001
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"dcdb/internal/libdcdb"
+	"dcdb/internal/tooldb"
+)
+
+type searchRequest struct {
+	Target string `json:"target"`
+}
+
+type queryRequest struct {
+	Range struct {
+		From time.Time `json:"from"`
+		To   time.Time `json:"to"`
+	} `json:"range"`
+	Targets []struct {
+		Target string `json:"target"`
+	} `json:"targets"`
+	MaxDataPoints int `json:"maxDataPoints"`
+}
+
+type series struct {
+	Target     string       `json:"target"`
+	Datapoints [][2]float64 `json:"datapoints"` // [value, unix ms]
+}
+
+func main() {
+	db := flag.String("db", "dcdb", "snapshot file prefix")
+	listen := flag.String("listen", "127.0.0.1:3001", "HTTP listen address")
+	flag.Parse()
+	conn, _, err := tooldb.Open(*db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "dcdb grafana data source")
+	})
+	mux.HandleFunc("POST /search", func(w http.ResponseWriter, r *http.Request) {
+		var req searchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		// Hierarchical navigation: children of the requested level,
+		// with full sensors below it listed too.
+		out := struct {
+			Children []string `json:"children"`
+			Sensors  []string `json:"sensors"`
+		}{conn.Children(req.Target), conn.ListSensors(req.Target)}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
+		var req queryRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var out []series
+		for _, tgt := range req.Targets {
+			rs, err := conn.Query(tgt.Target, req.Range.From.UnixNano(), req.Range.To.UnixNano())
+			if err != nil {
+				http.Error(w, fmt.Sprintf("query %q: %v", tgt.Target, err), http.StatusBadRequest)
+				return
+			}
+			if req.MaxDataPoints > 0 {
+				rs = libdcdb.Downsample(rs, req.MaxDataPoints)
+			}
+			s := series{Target: tgt.Target}
+			for _, rd := range rs {
+				s.Datapoints = append(s.Datapoints, [2]float64{rd.Value, float64(rd.Timestamp / 1e6)})
+			}
+			out = append(out, s)
+		}
+		writeJSON(w, out)
+	})
+	log.Printf("dcdbgrafana: serving %s on %s", *db, *listen)
+	log.Fatal(http.ListenAndServe(*listen, mux))
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,104 @@
+// Command dcdbquery retrieves sensor data for a specified time period
+// in CSV format, optionally applying analysis operations such as
+// integrals and derivatives (paper §5.2). It operates on the snapshot
+// files persisted by a Collect Agent.
+//
+// Usage:
+//
+//	dcdbquery -db /var/lib/dcdb/agent -from 2019-06-01T00:00:00Z \
+//	          -to 2019-06-02T00:00:00Z [-op integral|derivative|summary] \
+//	          /topic/one /topic/two
+//	dcdbquery -db ... -list [/subtree]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"dcdb/internal/libdcdb"
+	"dcdb/internal/tooldb"
+)
+
+func main() {
+	db := flag.String("db", "dcdb", "snapshot file prefix")
+	fromStr := flag.String("from", "", "period start (RFC3339; empty = beginning)")
+	toStr := flag.String("to", "", "period end (RFC3339; empty = now)")
+	op := flag.String("op", "", "analysis operation: integral, derivative or summary")
+	list := flag.Bool("list", false, "list sensors below the given path instead of querying")
+	flag.Parse()
+
+	conn, _, err := tooldb.Open(*db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *list {
+		path := ""
+		if flag.NArg() > 0 {
+			path = flag.Arg(0)
+		}
+		for _, s := range conn.ListSensors(path) {
+			fmt.Println(s)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		log.Fatal("dcdbquery: no sensor topics given")
+	}
+	from := int64(0)
+	to := time.Now().UnixNano()
+	if *fromStr != "" {
+		t, err := time.Parse(time.RFC3339, *fromStr)
+		if err != nil {
+			log.Fatalf("dcdbquery: bad -from: %v", err)
+		}
+		from = t.UnixNano()
+	}
+	if *toStr != "" {
+		t, err := time.Parse(time.RFC3339, *toStr)
+		if err != nil {
+			log.Fatalf("dcdbquery: bad -to: %v", err)
+		}
+		to = t.UnixNano()
+	}
+	switch *op {
+	case "":
+		if err := conn.ExportCSV(os.Stdout, flag.Args(), from, to); err != nil {
+			log.Fatal(err)
+		}
+	case "integral":
+		for _, topic := range flag.Args() {
+			rs, err := conn.Query(topic, from, to)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%s,integral,%g\n", topic, libdcdb.Integral(rs))
+		}
+	case "derivative":
+		for _, topic := range flag.Args() {
+			rs, err := conn.Query(topic, from, to)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, d := range libdcdb.Derivative(rs) {
+				fmt.Printf("%s,%s\n", topic, d)
+			}
+		}
+	case "summary":
+		for _, topic := range flag.Args() {
+			rs, err := conn.Query(topic, from, to)
+			if err != nil {
+				log.Fatal(err)
+			}
+			a, err := libdcdb.Summarize(rs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%s,count=%d,min=%g,max=%g,mean=%g\n", topic, a.Count, a.Min, a.Max, a.Mean)
+		}
+	default:
+		log.Fatalf("dcdbquery: unknown operation %q", *op)
+	}
+}

@@ -1,0 +1,260 @@
+// Package analytics implements the streaming data-analytics layer the
+// paper describes as future work (§9): it fetches live sensor data by
+// subscribing to a Collect Agent's MQTT broker — the "additional
+// subscribers" the architecture anticipates in §3.1 — and runs online
+// operators over the stream, enabling energy-efficiency optimisation
+// and anomaly detection without touching the Storage Backend.
+//
+// Operators are composable per-sensor state machines:
+//
+//   - MovingAverage smooths a sensor over a sliding window.
+//   - Threshold raises events when a sensor leaves a band, the
+//     power-band enforcement use case of §1.
+//   - ZScore flags readings far from the sensor's running mean, a
+//     simple online anomaly detector.
+//   - Rate turns monotonic counters into per-second rates.
+package analytics
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"dcdb/internal/core"
+	"dcdb/internal/mqtt"
+)
+
+// Event is an operator's verdict about one reading.
+type Event struct {
+	Topic    string
+	Reading  core.Reading
+	Operator string
+	// Value is the operator's derived value (average, z-score, rate…).
+	Value float64
+	// Alert marks events that demand attention (threshold crossings,
+	// anomalies).
+	Alert bool
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+// Operator processes one sensor's readings and optionally emits an
+// event. Implementations keep per-sensor state and are called from a
+// single goroutine per Stream.
+type Operator interface {
+	Name() string
+	Process(topic string, r core.Reading) (Event, bool)
+}
+
+// MovingAverage emits the mean of the last Window readings per sensor.
+type MovingAverage struct {
+	Window int
+	state  map[string][]float64
+}
+
+// Name implements Operator.
+func (m *MovingAverage) Name() string { return fmt.Sprintf("movingavg(%d)", m.Window) }
+
+// Process implements Operator.
+func (m *MovingAverage) Process(topic string, r core.Reading) (Event, bool) {
+	if m.Window <= 0 {
+		m.Window = 10
+	}
+	if m.state == nil {
+		m.state = make(map[string][]float64)
+	}
+	buf := append(m.state[topic], r.Value)
+	if len(buf) > m.Window {
+		buf = buf[len(buf)-m.Window:]
+	}
+	m.state[topic] = buf
+	var sum float64
+	for _, v := range buf {
+		sum += v
+	}
+	return Event{
+		Topic: topic, Reading: r, Operator: m.Name(),
+		Value:  sum / float64(len(buf)),
+		Detail: fmt.Sprintf("mean of last %d readings", len(buf)),
+	}, true
+}
+
+// Threshold emits alert events when a sensor leaves [Low, High].
+type Threshold struct {
+	Low, High float64
+}
+
+// Name implements Operator.
+func (t *Threshold) Name() string { return fmt.Sprintf("threshold[%g,%g]", t.Low, t.High) }
+
+// Process implements Operator.
+func (t *Threshold) Process(topic string, r core.Reading) (Event, bool) {
+	if r.Value >= t.Low && r.Value <= t.High {
+		return Event{}, false
+	}
+	side := "above"
+	bound := t.High
+	if r.Value < t.Low {
+		side = "below"
+		bound = t.Low
+	}
+	return Event{
+		Topic: topic, Reading: r, Operator: t.Name(), Value: r.Value, Alert: true,
+		Detail: fmt.Sprintf("value %g %s bound %g", r.Value, side, bound),
+	}, true
+}
+
+// ZScore flags readings more than Sigmas standard deviations from the
+// sensor's running mean (Welford's online algorithm). The first MinN
+// readings only train the estimator.
+type ZScore struct {
+	Sigmas float64
+	MinN   int
+	state  map[string]*welford
+}
+
+type welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Name implements Operator.
+func (z *ZScore) Name() string { return fmt.Sprintf("zscore(%.1f)", z.Sigmas) }
+
+// Process implements Operator.
+func (z *ZScore) Process(topic string, r core.Reading) (Event, bool) {
+	if z.Sigmas <= 0 {
+		z.Sigmas = 3
+	}
+	if z.MinN <= 0 {
+		z.MinN = 10
+	}
+	if z.state == nil {
+		z.state = make(map[string]*welford)
+	}
+	w, ok := z.state[topic]
+	if !ok {
+		w = &welford{}
+		z.state[topic] = w
+	}
+	var score float64
+	trained := w.n >= z.MinN
+	if trained {
+		sd := math.Sqrt(w.m2 / float64(w.n-1))
+		if sd > 0 {
+			score = (r.Value - w.mean) / sd
+		}
+	}
+	// Update after scoring so the outlier does not mask itself.
+	w.n++
+	d := r.Value - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (r.Value - w.mean)
+	if !trained || math.Abs(score) < z.Sigmas {
+		return Event{}, false
+	}
+	return Event{
+		Topic: topic, Reading: r, Operator: z.Name(), Value: score, Alert: true,
+		Detail: fmt.Sprintf("reading %g is %.1f sigma from running mean %.4g", r.Value, score, w.mean),
+	}, true
+}
+
+// Rate converts monotonic counters into per-second rates.
+type Rate struct {
+	state map[string]core.Reading
+}
+
+// Name implements Operator.
+func (ra *Rate) Name() string { return "rate" }
+
+// Process implements Operator.
+func (ra *Rate) Process(topic string, r core.Reading) (Event, bool) {
+	if ra.state == nil {
+		ra.state = make(map[string]core.Reading)
+	}
+	prev, ok := ra.state[topic]
+	ra.state[topic] = r
+	if !ok || r.Timestamp <= prev.Timestamp {
+		return Event{}, false
+	}
+	dt := float64(r.Timestamp-prev.Timestamp) / 1e9
+	return Event{
+		Topic: topic, Reading: r, Operator: "rate",
+		Value:  (r.Value - prev.Value) / dt,
+		Detail: fmt.Sprintf("delta %g over %.3fs", r.Value-prev.Value, dt),
+	}, true
+}
+
+// Stream attaches operators to a live sensor feed. Feed it directly
+// with Process (in-process deployment at the Collect Agent) or let it
+// subscribe to a broker with Subscribe (the loosely-coupled MQTT
+// deployment).
+type Stream struct {
+	mu        sync.Mutex
+	operators []Operator
+	events    chan Event
+	dropped   int
+}
+
+// NewStream creates a stream buffering up to buffer events; events
+// beyond the buffer are dropped (analytics must never stall ingest).
+func NewStream(buffer int, ops ...Operator) *Stream {
+	if buffer <= 0 {
+		buffer = 1024
+	}
+	return &Stream{operators: ops, events: make(chan Event, buffer)}
+}
+
+// Events is the stream's output channel.
+func (s *Stream) Events() <-chan Event { return s.events }
+
+// Dropped reports how many events were discarded on overflow.
+func (s *Stream) Dropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Process runs one reading through every operator.
+func (s *Stream) Process(topic string, r core.Reading) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, op := range s.operators {
+		ev, ok := op.Process(topic, r)
+		if !ok {
+			continue
+		}
+		select {
+		case s.events <- ev:
+		default:
+			s.dropped++
+		}
+	}
+}
+
+// HandlePayload decodes an MQTT reading payload and processes it; it
+// matches the mqtt subscription handler signature.
+func (s *Stream) HandlePayload(topic string, payload []byte) {
+	rs, err := core.DecodeReadings(payload)
+	if err != nil {
+		return
+	}
+	for _, r := range rs {
+		s.Process(topic, r)
+	}
+}
+
+// Subscribe attaches the stream to a broker as a live MQTT subscriber
+// for the given topic filter.
+func (s *Stream) Subscribe(brokerAddr, filter string) (*mqtt.Client, error) {
+	client, err := mqtt.Dial(brokerAddr, mqtt.DialOptions{ClientID: "dcdb-analytics"})
+	if err != nil {
+		return nil, err
+	}
+	if err := client.Subscribe(filter, 0, s.HandlePayload); err != nil {
+		client.Close()
+		return nil, err
+	}
+	return client, nil
+}

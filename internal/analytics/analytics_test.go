@@ -1,0 +1,158 @@
+package analytics
+
+import (
+	"testing"
+	"time"
+
+	"dcdb/internal/collectagent"
+	"dcdb/internal/core"
+	"dcdb/internal/mqtt"
+	"dcdb/internal/store"
+)
+
+func rd(ts int64, v float64) core.Reading { return core.Reading{Timestamp: ts, Value: v} }
+
+func TestMovingAverage(t *testing.T) {
+	op := &MovingAverage{Window: 3}
+	vals := []float64{1, 2, 3, 4, 5}
+	var last Event
+	for i, v := range vals {
+		ev, ok := op.Process("/a", rd(int64(i), v))
+		if !ok {
+			t.Fatal("moving average must always emit")
+		}
+		last = ev
+	}
+	if last.Value != 4 { // mean of 3,4,5
+		t.Fatalf("avg = %v", last.Value)
+	}
+	// Per-sensor state is independent.
+	ev, _ := op.Process("/b", rd(0, 100))
+	if ev.Value != 100 {
+		t.Fatalf("fresh sensor avg = %v", ev.Value)
+	}
+	if op.Name() == "" {
+		t.Error("name")
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	op := &Threshold{Low: 10, High: 20}
+	if _, ok := op.Process("/p", rd(0, 15)); ok {
+		t.Error("in-band value emitted")
+	}
+	ev, ok := op.Process("/p", rd(1, 25))
+	if !ok || !ev.Alert || ev.Value != 25 {
+		t.Fatalf("above: %+v, %v", ev, ok)
+	}
+	ev, ok = op.Process("/p", rd(2, 5))
+	if !ok || !ev.Alert {
+		t.Fatalf("below: %+v, %v", ev, ok)
+	}
+}
+
+func TestZScore(t *testing.T) {
+	op := &ZScore{Sigmas: 3, MinN: 5}
+	// Train with a stable signal.
+	for i := int64(0); i < 50; i++ {
+		v := 100 + float64(i%3) // 100,101,102 repeating
+		if ev, ok := op.Process("/z", rd(i, v)); ok {
+			t.Fatalf("false positive on stable signal: %+v", ev)
+		}
+	}
+	// A spike trips the detector.
+	ev, ok := op.Process("/z", rd(100, 500))
+	if !ok || !ev.Alert || ev.Value < 3 {
+		t.Fatalf("spike not detected: %+v, %v", ev, ok)
+	}
+	// Too-few samples never alert.
+	op2 := &ZScore{}
+	if _, ok := op2.Process("/q", rd(0, 1e9)); ok {
+		t.Error("alert before training")
+	}
+}
+
+func TestRate(t *testing.T) {
+	op := &Rate{}
+	if _, ok := op.Process("/c", rd(0, 100)); ok {
+		t.Error("rate emitted without baseline")
+	}
+	ev, ok := op.Process("/c", rd(2e9, 300)) // +200 over 2s
+	if !ok || ev.Value != 100 {
+		t.Fatalf("rate = %+v, %v", ev, ok)
+	}
+	// Non-advancing timestamps are skipped.
+	if _, ok := op.Process("/c", rd(2e9, 400)); ok {
+		t.Error("rate with dt=0 emitted")
+	}
+}
+
+func TestStreamProcessAndOverflow(t *testing.T) {
+	s := NewStream(2, &MovingAverage{Window: 2})
+	for i := int64(0); i < 5; i++ {
+		s.Process("/s", rd(i, float64(i)))
+	}
+	if s.Dropped() != 3 {
+		t.Fatalf("dropped = %d", s.Dropped())
+	}
+	if len(s.Events()) != 2 {
+		t.Fatalf("buffered = %d", len(s.Events()))
+	}
+}
+
+func TestStreamHandlePayload(t *testing.T) {
+	s := NewStream(10, &Threshold{Low: 0, High: 10})
+	payload := core.EncodeReadings([]core.Reading{rd(1, 5), rd(2, 50)})
+	s.HandlePayload("/t", payload)
+	select {
+	case ev := <-s.Events():
+		if ev.Reading.Value != 50 {
+			t.Fatalf("event = %+v", ev)
+		}
+	default:
+		t.Fatal("no event emitted")
+	}
+	// Garbage payloads are ignored.
+	s.HandlePayload("/t", []byte{1, 2, 3})
+}
+
+func TestStreamLiveSubscription(t *testing.T) {
+	// Full loop: pusher-side publish -> collect agent broker ->
+	// analytics subscriber raises a power-band alert (§1's use case).
+	agent := collectagent.New(store.NewNode(0), nil, collectagent.Options{Quiet: true})
+	if err := agent.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+
+	stream := NewStream(16, &Threshold{Low: 0, High: 300})
+	sub, err := stream.Subscribe(agent.Addr(), "/power/#")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	pub, err := mqtt.Dial(agent.Addr(), mqtt.DialOptions{ClientID: "pub"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Publish("/power/node1", core.EncodeReadings([]core.Reading{rd(1, 250)}), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish("/power/node1", core.EncodeReadings([]core.Reading{rd(2, 450)}), 1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-stream.Events():
+		if !ev.Alert || ev.Reading.Value != 450 {
+			t.Fatalf("event = %+v", ev)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no alert received via live subscription")
+	}
+	// The storage path was unaffected: agent stored both readings.
+	if agent.Stats().Readings != 2 {
+		t.Fatalf("agent stored %d readings", agent.Stats().Readings)
+	}
+}

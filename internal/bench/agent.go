@@ -1,0 +1,12 @@
+package bench
+
+import (
+	"dcdb/internal/collectagent"
+	"dcdb/internal/store"
+)
+
+// newQuietAgent builds an in-process Collect Agent for measurement
+// loops.
+func newQuietAgent(backend store.Backend) *collectagent.Agent {
+	return collectagent.New(backend, nil, collectagent.Options{Quiet: true})
+}

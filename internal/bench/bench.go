@@ -1,0 +1,78 @@
+// Package bench contains the experiment drivers that regenerate every
+// table and figure of the paper's evaluation (§6) and case studies
+// (§7). Each driver returns structured results and renders a
+// paper-style text table; cmd/dcdbbench exposes them on the command
+// line and bench_test.go wraps them in testing.B benchmarks.
+//
+// Absolute numbers come from the architecture and workload models
+// calibrated against the paper (see DESIGN.md); what the drivers verify
+// is the shape of each result — orderings, scaling trends, crossovers —
+// plus real measured microbenchmarks of this Go implementation's
+// components where the hardware permits.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Intervals and sensor counts of the 25-configuration sweep used by
+// Figures 5–7 (paper §6.2.2).
+var (
+	SweepIntervals = []time.Duration{
+		100 * time.Millisecond,
+		250 * time.Millisecond,
+		500 * time.Millisecond,
+		1000 * time.Millisecond,
+		10000 * time.Millisecond,
+	}
+	SweepSensors = []int{10, 100, 1000, 5000, 10000}
+)
+
+// NodeCounts is the weak-scaling sweep of Figure 4.
+var NodeCounts = []int{128, 256, 512, 1024}
+
+// HostCounts is the concurrent-Pusher sweep of Figure 8.
+var HostCounts = []int{1, 2, 5, 10, 20, 50}
+
+// writeTable renders rows with aligned columns.
+func writeTable(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func fmtF(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dcdb/internal/sim/workload"
+	"dcdb/internal/stats"
+)
+
+// Fig10Result is one application's instructions-per-Watt
+// characterisation (Figure 10).
+type Fig10Result struct {
+	App     string
+	Samples int
+	// Mean and Std of the per-core instructions-per-Watt series, in
+	// units of 1e5 instructions/W (the figure's x-axis scale).
+	Mean, Std float64
+	// Modes of the KDE-estimated PDF (multi-modality indicates the
+	// dynamic, phase-changing behaviour of LAMMPS and AMG).
+	Modes []float64
+	// Density sampled over [0, 4.5]e5 like the figure's x-axis.
+	X, PDF []float64
+}
+
+// Fig10 reproduces use case 2 (§7.2): several runs of the CORAL-2
+// applications on a CooLMUC-3 node, monitored at a 100 ms sampling
+// interval, characterised by the ratio of per-core retired instructions
+// to node power. For each application the fitted probability density is
+// computed with Gaussian KDE over simSeconds of workload execution.
+func Fig10(simSeconds int) []Fig10Result {
+	if simSeconds <= 0 {
+		simSeconds = 240
+	}
+	const sampling = 100 * time.Millisecond
+	const clock = 1.3e9 // KNL nominal clock, matching the profiles
+	var out []Fig10Result
+	for _, app := range workload.CORAL2 {
+		profile := app.Profile()
+		n := int(time.Duration(simSeconds) * time.Second / sampling)
+		sample := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			ipc, w := profile(time.Duration(i) * sampling)
+			instrPerSec := ipc * clock
+			sample = append(sample, instrPerSec/w/1e5) // x-axis: 1e5 instr/W
+		}
+		res := Fig10Result{App: app.Name, Samples: len(sample)}
+		res.Mean = stats.Mean(sample)
+		res.Std = stats.StdDev(sample)
+		if kde, err := stats.NewKDE(sample, 0); err == nil {
+			res.Modes = kde.Modes(0, 4.5, 200)
+			res.X, res.PDF = kde.Curve(0, 4.5, 90)
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// RenderFig10 writes the per-application summaries and a coarse ASCII
+// rendition of each density.
+func RenderFig10(w io.Writer, results []Fig10Result) {
+	header := []string{"Application", "Samples", "Mean[1e5 instr/W]", "Std", "Modes"}
+	var body [][]string
+	for _, r := range results {
+		modes := ""
+		for i, m := range r.Modes {
+			if i > 0 {
+				modes += " "
+			}
+			modes += fmtF(m, 2)
+		}
+		body = append(body, []string{r.App, fmt.Sprint(r.Samples), fmtF(r.Mean, 2), fmtF(r.Std, 2), modes})
+	}
+	writeTable(w, header, body)
+	for _, r := range results {
+		fmt.Fprintf(w, "\n%s PDF (x in 1e5 instructions/W):\n", r.App)
+		renderSpark(w, r.X, r.PDF)
+	}
+}
+
+// renderSpark draws a one-line density profile.
+func renderSpark(w io.Writer, xs, ys []float64) {
+	if len(ys) == 0 {
+		return
+	}
+	marks := []rune(" .:-=+*#%@")
+	var max float64
+	for _, y := range ys {
+		if y > max {
+			max = y
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	line := make([]rune, len(ys))
+	for i, y := range ys {
+		idx := int(y / max * float64(len(marks)-1))
+		line[i] = marks[idx]
+	}
+	fmt.Fprintf(w, "  [%.1f..%.1f] |%s|\n", xs[0], xs[len(xs)-1], string(line))
+}

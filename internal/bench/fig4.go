@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"dcdb/internal/sim/arch"
+	"dcdb/internal/sim/workload"
+)
+
+// Fig4Point is one bar of Figure 4: an application at a node count in
+// either the production ("total") or tester-only ("core")
+// configuration.
+type Fig4Point struct {
+	App         string
+	Nodes       int
+	Core        bool
+	OverheadPct float64
+}
+
+// Fig4 reproduces Figure 4: Pusher overhead on the CORAL-2 MPI
+// benchmarks under weak scaling on SuperMUC-NG, with the production
+// plugin set ("total") and a tester-plugin configuration of equal
+// sensor count ("core"). AMG's fine-grained communication makes its
+// overhead grow with node count; the other applications stay flat.
+func Fig4() []Fig4Point {
+	var out []Fig4Point
+	for _, app := range workload.CORAL2 {
+		for _, nodes := range NodeCounts {
+			for _, core := range []bool{false, true} {
+				coord := 0
+				if core {
+					coord = 1
+				}
+				j := arch.Jitter(int(app.Name[0]), nodes, coord)
+				out = append(out, Fig4Point{
+					App:         app.Name,
+					Nodes:       nodes,
+					Core:        core,
+					OverheadPct: arch.Round2(app.Overhead(nodes, core, j)),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// RenderFig4 writes the figure's data series.
+func RenderFig4(w io.Writer, pts []Fig4Point) {
+	header := []string{"Benchmark", "Nodes", "Config", "Overhead[%]"}
+	var body [][]string
+	for _, p := range pts {
+		cfg := "total"
+		if p.Core {
+			cfg = "core"
+		}
+		body = append(body, []string{p.App, fmt.Sprint(p.Nodes), cfg, fmtF(p.OverheadPct, 2)})
+	}
+	writeTable(w, header, body)
+}

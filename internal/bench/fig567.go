@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dcdb/internal/sim/arch"
+	"dcdb/internal/stats"
+)
+
+// Fig5Cell is one heatmap cell of Figure 5: overhead at a (sampling
+// interval, sensor count) configuration on one architecture.
+type Fig5Cell struct {
+	Arch        string
+	Interval    time.Duration
+	Sensors     int
+	OverheadPct float64
+}
+
+// Fig5 reproduces the three overhead heatmaps of Figure 5 for the given
+// architecture: 5 sampling intervals × 5 sensor counts against
+// single-node HPL. Values below ~1 % are measurement noise, as in the
+// paper; the gradient towards high rates is what matters, and Knights
+// Landing shows the steepest one.
+func Fig5(m arch.Model) []Fig5Cell {
+	var out []Fig5Cell
+	for ii, interval := range SweepIntervals {
+		for si, sensors := range SweepSensors {
+			rate := arch.SensorRate(sensors, interval)
+			j := arch.Jitter(int(m.Name[0]), ii, si)
+			out = append(out, Fig5Cell{
+				Arch:        m.Name,
+				Interval:    interval,
+				Sensors:     sensors,
+				OverheadPct: arch.Round2(m.HPLOverhead(rate, j)),
+			})
+		}
+	}
+	return out
+}
+
+// RenderFig5 writes one heatmap in the paper's row/column layout.
+func RenderFig5(w io.Writer, cells []Fig5Cell) {
+	if len(cells) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "Overhead [%%] on the %s architecture (rows: sampling interval, cols: sensors)\n", cells[0].Arch)
+	header := []string{"Interval[ms]"}
+	for _, s := range SweepSensors {
+		header = append(header, fmt.Sprint(s))
+	}
+	var body [][]string
+	for i, interval := range SweepIntervals {
+		row := []string{fmt.Sprint(interval.Milliseconds())}
+		for j := range SweepSensors {
+			row = append(row, fmtF(cells[i*len(SweepSensors)+j].OverheadPct, 2))
+		}
+		_ = interval
+		body = append(body, row)
+	}
+	writeTable(w, header, body)
+}
+
+// Fig6Cell is one configuration of Figure 6: the Pusher's CPU load and
+// memory usage on a SuperMUC-NG (Skylake) node.
+type Fig6Cell struct {
+	Interval    time.Duration
+	Sensors     int
+	CPULoadPct  float64
+	MemoryMB    float64
+	CacheWindow time.Duration
+}
+
+// Fig6 reproduces Figure 6: average per-core CPU load (a) and memory
+// usage (b) across the 25 sweep configurations on Skylake nodes, with
+// the production two-minute sensor cache. Memory peaks around 350 MB
+// in the most intensive configuration and stays below 50 MB for
+// production-scale setups.
+func Fig6() []Fig6Cell {
+	const window = 2 * time.Minute
+	m := arch.Skylake
+	var out []Fig6Cell
+	for _, interval := range SweepIntervals {
+		for _, sensors := range SweepSensors {
+			rate := arch.SensorRate(sensors, interval)
+			out = append(out, Fig6Cell{
+				Interval:    interval,
+				Sensors:     sensors,
+				CPULoadPct:  arch.Round2(m.PusherCPULoad(rate)),
+				MemoryMB:    arch.Round2(m.PusherMemoryMB(sensors, interval, window)),
+				CacheWindow: window,
+			})
+		}
+	}
+	return out
+}
+
+// RenderFig6 writes both panels.
+func RenderFig6(w io.Writer, cells []Fig6Cell) {
+	fmt.Fprintln(w, "Pusher average per-core CPU load [%] (Skylake)")
+	renderSweep(w, cells, func(c Fig6Cell) float64 { return c.CPULoadPct })
+	fmt.Fprintln(w, "\nPusher memory usage [MB] (Skylake, 2 min sensor cache)")
+	renderSweep(w, cells, func(c Fig6Cell) float64 { return c.MemoryMB })
+}
+
+func renderSweep(w io.Writer, cells []Fig6Cell, val func(Fig6Cell) float64) {
+	header := []string{"Interval[ms]"}
+	for _, s := range SweepSensors {
+		header = append(header, fmt.Sprint(s))
+	}
+	var body [][]string
+	for i := range SweepIntervals {
+		row := []string{fmt.Sprint(SweepIntervals[i].Milliseconds())}
+		for j := range SweepSensors {
+			row = append(row, fmtF(val(cells[i*len(SweepSensors)+j]), 2))
+		}
+		body = append(body, row)
+	}
+	writeTable(w, header, body)
+}
+
+// Fig7Series is one architecture's CPU-load scaling curve with its
+// linear fit (Equation 1's basis).
+type Fig7Series struct {
+	Arch   string
+	Rates  []float64
+	Loads  []float64
+	Fit    stats.LinearFit
+	EqErr  float64 // max abs error of Eq.1 interpolation vs the model
+	PeakAt float64 // load at the highest rate
+}
+
+// Fig7 reproduces Figure 7: average per-core CPU load versus sensor
+// rate for the three architectures, with least-squares fits. The
+// distinctly linear scaling is what lets administrators size
+// deployments via Equation 1; EqErr quantifies how well two reference
+// measurements predict the rest of the curve.
+func Fig7() []Fig7Series {
+	var out []Fig7Series
+	for _, m := range arch.All {
+		var s Fig7Series
+		s.Arch = m.Name
+		for _, interval := range SweepIntervals {
+			for _, sensors := range SweepSensors {
+				rate := arch.SensorRate(sensors, interval)
+				s.Rates = append(s.Rates, rate)
+				s.Loads = append(s.Loads, m.PusherCPULoad(rate))
+			}
+		}
+		fit, err := stats.FitLinear(s.Rates, s.Loads)
+		if err == nil {
+			s.Fit = fit
+		}
+		// Equation 1 check: interpolate every point from two
+		// references (rates 1e3 and 5e4).
+		la := m.PusherCPULoad(1e3)
+		lb := m.PusherCPULoad(5e4)
+		for i, r := range s.Rates {
+			pred := arch.InterpolateCPULoad(r, 1e3, la, 5e4, lb)
+			if d := abs(pred - s.Loads[i]); d > s.EqErr {
+				s.EqErr = d
+			}
+		}
+		s.PeakAt = m.PusherCPULoad(1e5)
+		out = append(out, s)
+	}
+	return out
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// RenderFig7 writes the scaling summary.
+func RenderFig7(w io.Writer, series []Fig7Series) {
+	header := []string{"Architecture", "Slope[%/(r/s)]", "Intercept[%]", "R2", "Peak@100k[%]", "Eq1 max err[%]"}
+	var body [][]string
+	for _, s := range series {
+		body = append(body, []string{
+			s.Arch,
+			fmt.Sprintf("%.3g", s.Fit.Slope),
+			fmtF(s.Fit.Intercept, 3),
+			fmtF(s.Fit.R2, 4),
+			fmtF(s.PeakAt, 2),
+			fmtF(s.EqErr, 4),
+		})
+	}
+	writeTable(w, header, body)
+}

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dcdb/internal/collectagent"
+	"dcdb/internal/core"
+	"dcdb/internal/sim/arch"
+	"dcdb/internal/store"
+)
+
+// Fig8Cell is one configuration of Figure 8: concurrent Pusher hosts ×
+// sensors per host, at a 1-second sampling interval.
+type Fig8Cell struct {
+	Hosts      int
+	Sensors    int
+	RatePerSec float64
+	CPULoadPct float64 // 100 % = one saturated core
+}
+
+// Fig8 reproduces Figure 8: the Collect Agent's aggregate CPU load as
+// the total insert rate grows. The paper saturates one core at 50
+// hosts × 1000 sensors and reaches ~900 % (nine cores) at the 500 000
+// readings/s worst case.
+func Fig8() []Fig8Cell {
+	var out []Fig8Cell
+	for _, hosts := range HostCounts {
+		for _, sensors := range SweepSensors {
+			rate := float64(hosts) * arch.SensorRate(sensors, time.Second)
+			out = append(out, Fig8Cell{
+				Hosts:      hosts,
+				Sensors:    sensors,
+				RatePerSec: rate,
+				CPULoadPct: arch.Round2(arch.CollectAgentCPULoad(rate)),
+			})
+		}
+	}
+	return out
+}
+
+// RenderFig8 writes the grid.
+func RenderFig8(w io.Writer, cells []Fig8Cell) {
+	fmt.Fprintln(w, "Collect Agent CPU load [%] (rows: hosts, cols: sensors per host, 1 s interval)")
+	header := []string{"Hosts"}
+	for _, s := range SweepSensors {
+		header = append(header, fmt.Sprint(s))
+	}
+	var body [][]string
+	i := 0
+	for _, hosts := range HostCounts {
+		row := []string{fmt.Sprint(hosts)}
+		for range SweepSensors {
+			row = append(row, fmtF(cells[i].CPULoadPct, 1))
+			i++
+		}
+		body = append(body, row)
+	}
+	writeTable(w, header, body)
+}
+
+// MeasuredAgentThroughput measures this implementation's real Collect
+// Agent ingest path (decode → SID translation → store write → cache)
+// in-process for the given duration and returns readings/s and the
+// implied CPU cost per reading. It grounds the Figure 8 model in an
+// actual measurement on the current machine.
+func MeasuredAgentThroughput(d time.Duration) (perSec float64, nsPerReading float64) {
+	backend := store.NewNode(0)
+	agent := collectagent.New(backend, nil, collectagent.Options{Quiet: true})
+	payload := core.EncodeReadings([]core.Reading{{Timestamp: 1, Value: 1}})
+	topics := make([]string, 64)
+	for i := range topics {
+		topics[i] = fmt.Sprintf("/bench/h%02d/s%02d/v", i/8, i%8)
+	}
+	start := time.Now()
+	var n int64
+	for time.Since(start) < d {
+		for _, tp := range topics {
+			agent.Handle(tp, payload)
+		}
+		n += int64(len(topics))
+	}
+	elapsed := time.Since(start)
+	perSec = float64(n) / elapsed.Seconds()
+	nsPerReading = float64(elapsed.Nanoseconds()) / float64(n)
+	return perSec, nsPerReading
+}

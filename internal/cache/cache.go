@@ -1,0 +1,185 @@
+// Package cache implements the sensor cache embedded in Pushers and
+// Collect Agents (paper §5.3): a per-sensor ring buffer that keeps the
+// most recent readings within a configurable time window (two minutes in
+// the paper's production setup). The RESTful APIs expose it so that other
+// processes can read all kinds of sensors via a common interface from
+// user space without touching the Storage Backend.
+package cache
+
+import (
+	"sync"
+	"time"
+
+	"dcdb/internal/core"
+)
+
+// Cache is a concurrency-safe sensor cache. The zero value is not usable;
+// call New.
+type Cache struct {
+	window time.Duration
+	mu     sync.RWMutex
+	rings  map[string]*ring
+}
+
+// ring is a growable circular buffer of readings ordered by insertion.
+type ring struct {
+	buf   []core.Reading
+	head  int // index of oldest element
+	count int
+}
+
+// DefaultWindow is the cache retention used when New is given a
+// non-positive window, matching the paper's two-minute production
+// configuration.
+const DefaultWindow = 2 * time.Minute
+
+// New creates a cache retaining readings no older than window relative
+// to the newest reading of each sensor.
+func New(window time.Duration) *Cache {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return &Cache{window: window, rings: make(map[string]*ring)}
+}
+
+// Window returns the configured retention window.
+func (c *Cache) Window() time.Duration { return c.window }
+
+// Store inserts a reading for the sensor with the given topic, evicting
+// readings that fall out of the window.
+func (c *Cache) Store(topic string, r core.Reading) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rg, ok := c.rings[topic]
+	if !ok {
+		rg = &ring{buf: make([]core.Reading, 8)}
+		c.rings[topic] = rg
+	}
+	rg.push(r)
+	rg.evict(r.Timestamp - c.window.Nanoseconds())
+}
+
+func (r *ring) push(v core.Reading) {
+	if r.count == len(r.buf) {
+		// Grow: copy out in order, double.
+		nb := make([]core.Reading, len(r.buf)*2)
+		for i := 0; i < r.count; i++ {
+			nb[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf = nb
+		r.head = 0
+	}
+	r.buf[(r.head+r.count)%len(r.buf)] = v
+	r.count++
+}
+
+func (r *ring) evict(cutoff int64) {
+	for r.count > 1 && r.buf[r.head].Timestamp < cutoff {
+		r.head = (r.head + 1) % len(r.buf)
+		r.count--
+	}
+}
+
+// Latest returns the most recent reading of the sensor.
+func (c *Cache) Latest(topic string) (core.Reading, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	rg, ok := c.rings[topic]
+	if !ok || rg.count == 0 {
+		return core.Reading{}, false
+	}
+	return rg.buf[(rg.head+rg.count-1)%len(rg.buf)], true
+}
+
+// Range returns the cached readings of the sensor with timestamps in
+// [from, to], oldest first.
+func (c *Cache) Range(topic string, from, to int64) []core.Reading {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	rg, ok := c.rings[topic]
+	if !ok {
+		return nil
+	}
+	var out []core.Reading
+	for i := 0; i < rg.count; i++ {
+		r := rg.buf[(rg.head+i)%len(rg.buf)]
+		if r.Timestamp >= from && r.Timestamp <= to {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Average returns the mean value of the cached readings within the last
+// d of the sensor's newest reading. The boolean is false when the sensor
+// has no cached readings.
+func (c *Cache) Average(topic string, d time.Duration) (float64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	rg, ok := c.rings[topic]
+	if !ok || rg.count == 0 {
+		return 0, false
+	}
+	newest := rg.buf[(rg.head+rg.count-1)%len(rg.buf)].Timestamp
+	cutoff := newest - d.Nanoseconds()
+	var sum float64
+	var n int
+	for i := 0; i < rg.count; i++ {
+		r := rg.buf[(rg.head+i)%len(rg.buf)]
+		if r.Timestamp >= cutoff {
+			sum += r.Value
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// Topics lists the sensors currently present in the cache.
+func (c *Cache) Topics() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.rings))
+	for t := range c.rings {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Snapshot returns the latest reading of every cached sensor.
+func (c *Cache) Snapshot() map[string]core.Reading {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]core.Reading, len(c.rings))
+	for t, rg := range c.rings {
+		if rg.count > 0 {
+			out[t] = rg.buf[(rg.head+rg.count-1)%len(rg.buf)]
+		}
+	}
+	return out
+}
+
+// Len returns the total number of cached readings across all sensors.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var n int
+	for _, rg := range c.rings {
+		n += rg.count
+	}
+	return n
+}
+
+// SizeBytes estimates the memory held by cached readings, used by the
+// footprint experiments (Figure 6b).
+func (c *Cache) SizeBytes() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var n int
+	for _, rg := range c.rings {
+		n += len(rg.buf) * 16 // 8 bytes timestamp + 8 bytes value
+	}
+	return n
+}

@@ -1,0 +1,133 @@
+// Package collectagent implements DCDB's Collect Agent (paper §3.1,
+// §4.2): the data broker between Pushers and Storage Backends. The
+// agent embeds the custom MQTT broker (publish path only, §4.2 — the
+// Storage Backend is the one subscriber to everything, so general topic
+// filtering is skipped), translates each message's topic into its
+// 128-bit SID, and writes readings to the Storage Backend. A sensor
+// cache holds the most recent readings of every connected Pusher and is
+// exposed via the RESTful API so legacy frameworks can consume all
+// sensors through one interface (§5.3).
+package collectagent
+
+import (
+	"log"
+	"sync/atomic"
+	"time"
+
+	"dcdb/internal/cache"
+	"dcdb/internal/core"
+	"dcdb/internal/mqtt"
+	"dcdb/internal/store"
+)
+
+// Options configure an Agent.
+type Options struct {
+	// CacheWindow sizes the sensor cache (default two minutes).
+	CacheWindow time.Duration
+	// Quiet suppresses per-message warnings (benchmarks).
+	Quiet bool
+}
+
+// Stats are cumulative Agent counters.
+type Stats struct {
+	Messages int64 // MQTT PUBLISH packets processed
+	Readings int64 // sensor readings written
+	Errors   int64 // undecodable messages or failed writes
+}
+
+// Agent is a running Collect Agent.
+type Agent struct {
+	backend store.Backend
+	mapper  *core.TopicMapper
+	broker  *mqtt.Broker
+	cache   *cache.Cache
+	hier    *core.Hierarchy
+	opts    Options
+
+	messages atomic.Int64
+	readings atomic.Int64
+	errors   atomic.Int64
+}
+
+// New creates an agent writing to backend. The mapper may be shared
+// with libDCDB connections; nil creates a fresh one.
+func New(backend store.Backend, mapper *core.TopicMapper, opts Options) *Agent {
+	if mapper == nil {
+		mapper = core.NewTopicMapper()
+	}
+	a := &Agent{
+		backend: backend,
+		mapper:  mapper,
+		cache:   cache.New(opts.CacheWindow),
+		hier:    core.NewHierarchy(),
+		opts:    opts,
+	}
+	a.broker = mqtt.NewBroker(a.handle)
+	return a
+}
+
+// Listen starts the agent's MQTT broker on addr.
+func (a *Agent) Listen(addr string) error { return a.broker.Listen(addr) }
+
+// Addr returns the broker's bound address.
+func (a *Agent) Addr() string { return a.broker.Addr() }
+
+// Mapper returns the shared topic mapper.
+func (a *Agent) Mapper() *core.TopicMapper { return a.mapper }
+
+// Cache exposes the agent-side sensor cache.
+func (a *Agent) Cache() *cache.Cache { return a.cache }
+
+// Hierarchy exposes the sensor hierarchy assembled from observed
+// topics.
+func (a *Agent) Hierarchy() *core.Hierarchy { return a.hier }
+
+// Stats returns a snapshot of the counters.
+func (a *Agent) Stats() Stats {
+	return Stats{
+		Messages: a.messages.Load(),
+		Readings: a.readings.Load(),
+		Errors:   a.errors.Load(),
+	}
+}
+
+// Close stops the broker.
+func (a *Agent) Close() error { return a.broker.Close() }
+
+// Handle processes one PUBLISH message (exported for in-process
+// pipelines and benchmarks that bypass TCP).
+func (a *Agent) Handle(topic string, payload []byte) { a.handle(topic, payload) }
+
+func (a *Agent) handle(topic string, payload []byte) {
+	a.messages.Add(1)
+	rs, err := core.DecodeReadings(payload)
+	if err != nil {
+		a.errors.Add(1)
+		if !a.opts.Quiet {
+			log.Printf("collectagent: dropping message on %q: %v", topic, err)
+		}
+		return
+	}
+	if len(rs) == 0 {
+		return
+	}
+	// Topic -> SID translation (paper §4.2): 1:1, hierarchical.
+	id, err := a.mapper.Map(topic)
+	if err != nil {
+		a.errors.Add(1)
+		if !a.opts.Quiet {
+			log.Printf("collectagent: unmappable topic %q: %v", topic, err)
+		}
+		return
+	}
+	if err := a.backend.InsertBatch(id, rs, 0); err != nil {
+		a.errors.Add(1)
+		if !a.opts.Quiet {
+			log.Printf("collectagent: store write for %q failed: %v", topic, err)
+		}
+		return
+	}
+	a.readings.Add(int64(len(rs)))
+	a.cache.Store(topic, rs[len(rs)-1])
+	a.hier.Add(topic)
+}

@@ -1,0 +1,177 @@
+package collectagent
+
+import (
+	"testing"
+	"time"
+
+	"dcdb/internal/config"
+	"dcdb/internal/core"
+	"dcdb/internal/libdcdb"
+	"dcdb/internal/mqtt"
+	"dcdb/internal/plugins/tester"
+	"dcdb/internal/pusher"
+	"dcdb/internal/store"
+)
+
+func TestHandleStoresReadings(t *testing.T) {
+	backend := store.NewNode(0)
+	a := New(backend, nil, Options{Quiet: true})
+	rs := []core.Reading{{Timestamp: 100, Value: 1}, {Timestamp: 200, Value: 2}}
+	a.Handle("/s/n1/power", core.EncodeReadings(rs))
+	id, ok := a.Mapper().Lookup("/s/n1/power")
+	if !ok {
+		t.Fatal("topic not mapped")
+	}
+	got, err := backend.Query(id, 0, 300)
+	if err != nil || len(got) != 2 || got[1].Value != 2 {
+		t.Fatalf("stored = %v, %v", got, err)
+	}
+	// Cache holds the latest reading.
+	latest, ok := a.Cache().Latest("/s/n1/power")
+	if !ok || latest.Value != 2 {
+		t.Fatalf("cache = %+v, %v", latest, ok)
+	}
+	// Hierarchy observed the topic.
+	if !a.Hierarchy().IsSensor("/s/n1/power") {
+		t.Error("hierarchy missed the topic")
+	}
+	st := a.Stats()
+	if st.Messages != 1 || st.Readings != 2 || st.Errors != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestHandleErrors(t *testing.T) {
+	a := New(store.NewNode(0), nil, Options{Quiet: true})
+	a.Handle("/t", []byte{1, 2, 3}) // not a multiple of 16
+	a.Handle("bad//topic", core.EncodeReadings([]core.Reading{{Timestamp: 1, Value: 1}}))
+	a.Handle("/empty", nil) // zero readings: ignored, not an error
+	st := a.Stats()
+	if st.Errors != 2 {
+		t.Errorf("errors = %d", st.Errors)
+	}
+	if st.Readings != 0 {
+		t.Errorf("readings = %d", st.Readings)
+	}
+	// Store failure path.
+	down := store.NewNode(0)
+	down.SetDown(true)
+	a2 := New(down, nil, Options{Quiet: true})
+	a2.Handle("/x", core.EncodeReadings([]core.Reading{{Timestamp: 1, Value: 1}}))
+	if a2.Stats().Errors != 1 {
+		t.Error("store failure not counted")
+	}
+}
+
+func TestEndToEndOverMQTT(t *testing.T) {
+	backend := store.NewNode(0)
+	a := New(backend, nil, Options{Quiet: true})
+	if err := a.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	client, err := mqtt.Dial(a.Addr(), mqtt.DialOptions{ClientID: "test-pusher"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	rs := []core.Reading{{Timestamp: 1000, Value: 3.5}}
+	if err := client.Publish("/lrz/cm3/n1/power", core.EncodeReadings(rs), 1); err != nil {
+		t.Fatal(err)
+	}
+	// QoS 1: by PUBACK the broker handler has run.
+	id, ok := a.Mapper().Lookup("/lrz/cm3/n1/power")
+	if !ok {
+		t.Fatal("topic not mapped after publish")
+	}
+	got, err := backend.Query(id, 0, 2000)
+	if err != nil || len(got) != 1 || got[0].Value != 3.5 {
+		t.Fatalf("end-to-end readings = %v, %v", got, err)
+	}
+}
+
+func TestFullPipelinePusherToQuery(t *testing.T) {
+	// Pusher (tester plugin) -> MQTT -> Collect Agent -> Store ->
+	// libDCDB query: the complete data path of Figure 2.
+	backend := store.NewNode(0)
+	a := New(backend, nil, Options{Quiet: true})
+	if err := a.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	client, err := mqtt.Dial(a.Addr(), mqtt.DialOptions{ClientID: "p1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	plug := tester.New()
+	cfg, err := config.ParseString("mqttPrefix /pipe\ngroup g { interval 10 sensors 3 }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plug.Configure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	h := pusher.NewHost(client, pusher.Options{Threads: 2, QoS: 1})
+	defer h.Close()
+	if err := h.StartPlugin(plug); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for a.Stats().Readings < 9 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if a.Stats().Readings < 9 {
+		t.Fatalf("agent saw %d readings", a.Stats().Readings)
+	}
+	// Query through libDCDB with the agent's mapper.
+	conn := libdcdb.Connect(backend, a.Mapper())
+	rs, err := conn.Query("/pipe/g/s00000", 0, time.Now().UnixNano())
+	if err != nil || len(rs) < 3 {
+		t.Fatalf("query through libdcdb: %d readings, %v", len(rs), err)
+	}
+}
+
+func TestBurstPipeline(t *testing.T) {
+	backend := store.NewNode(0)
+	a := New(backend, nil, Options{Quiet: true})
+	if err := a.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	client, err := mqtt.Dial(a.Addr(), mqtt.DialOptions{ClientID: "pb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	plug := tester.New()
+	cfg, _ := config.ParseString("mqttPrefix /burst\ngroup g { interval 10 sensors 2 }")
+	if err := plug.Configure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	h := pusher.NewHost(client, pusher.Options{Threads: 1, QoS: 1, Mode: pusher.Burst, FlushInterval: time.Hour})
+	defer h.Close()
+	if err := h.StartPlugin(plug); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for h.Stats().Readings < 6 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	h.Flush()
+	deadline = time.Now().Add(2 * time.Second)
+	for a.Stats().Readings < 6 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	// One batched message per sensor, several readings inside.
+	st := a.Stats()
+	if st.Messages > 4 {
+		t.Errorf("burst produced %d messages for %d readings", st.Messages, st.Readings)
+	}
+	if st.Readings < 6 {
+		t.Fatalf("agent saw %d readings", st.Readings)
+	}
+}

@@ -1,0 +1,316 @@
+// Package config implements the property-tree configuration format used
+// by every DCDB component. The syntax mirrors the intuitive format of the
+// original framework's configuration files (paper §4.1): nested blocks of
+// "key value" pairs,
+//
+//	global {
+//	    mqttBroker   127.0.0.1:1883
+//	    threads      2
+//	}
+//	group cache {
+//	    interval     1000ms
+//	    sensor misses {
+//	        mqtt     /l1-misses
+//	    }
+//	}
+//
+// Keys and values are whitespace-separated; values may be double-quoted
+// to embed spaces. Lines starting with '#' or ';' are comments. A block
+// header is "key [name] {"; the optional name lets several blocks share
+// the same key (e.g. multiple "group" blocks).
+package config
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Node is one element of the parsed property tree. Leaf nodes carry a
+// Value; inner nodes carry Children. A block "group cache { … }" parses
+// to Node{Key: "group", Value: "cache", Children: …}.
+type Node struct {
+	Key      string
+	Value    string
+	Children []*Node
+}
+
+// Parse reads a property tree from r.
+func Parse(r io.Reader) (*Node, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	p := &parser{src: string(data), line: 1}
+	root := &Node{Key: ""}
+	if err := p.parseBlock(root, true); err != nil {
+		return nil, err
+	}
+	return root, nil
+}
+
+// ParseString parses a property tree from a string.
+func ParseString(s string) (*Node, error) { return Parse(strings.NewReader(s)) }
+
+// ParseFile parses the property tree stored in the named file.
+func ParseFile(path string) (*Node, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	defer f.Close()
+	n, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("config: %s: %w", path, err)
+	}
+	return n, nil
+}
+
+type parser struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (p *parser) parseBlock(parent *Node, top bool) error {
+	for {
+		tok, ok := p.next()
+		if !ok {
+			if top {
+				return nil
+			}
+			return fmt.Errorf("config: line %d: unexpected end of input, missing '}'", p.line)
+		}
+		if tok == "}" {
+			if top {
+				return fmt.Errorf("config: line %d: unexpected '}'", p.line)
+			}
+			return nil
+		}
+		if tok == "{" {
+			return fmt.Errorf("config: line %d: unexpected '{'", p.line)
+		}
+		node := &Node{Key: tok}
+		// A key may be followed by a value, a block, or both
+		// ("key name { … }").
+		nxt, ok := p.peek()
+		if ok && nxt != "{" && nxt != "}" {
+			v, _ := p.next()
+			node.Value = v
+			nxt, ok = p.peek()
+		}
+		if ok && nxt == "{" {
+			p.next()
+			if err := p.parseBlock(node, false); err != nil {
+				return err
+			}
+		}
+		parent.Children = append(parent.Children, node)
+	}
+}
+
+// next returns the next token: "{", "}", or a (possibly quoted) word.
+func (p *parser) next() (string, bool) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return "", false
+	}
+	c := p.src[p.pos]
+	switch c {
+	case '{', '}':
+		p.pos++
+		return string(c), true
+	case '"':
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != '"' {
+			if p.src[p.pos] == '\n' {
+				p.line++
+			}
+			p.pos++
+		}
+		tok := p.src[start:p.pos]
+		if p.pos < len(p.src) {
+			p.pos++ // closing quote
+		}
+		return tok, true
+	default:
+		start := p.pos
+		for p.pos < len(p.src) && !isDelim(p.src[p.pos]) {
+			p.pos++
+		}
+		return p.src[start:p.pos], true
+	}
+}
+
+func (p *parser) peek() (string, bool) {
+	save, line := p.pos, p.line
+	tok, ok := p.next()
+	p.pos, p.line = save, line
+	return tok, ok
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c == '\n':
+			p.line++
+			p.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			p.pos++
+		case c == '#' || c == ';':
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isDelim(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '{' || c == '}' || c == '#' || c == ';' || c == '"'
+}
+
+// Child returns the first child with the given key, or nil.
+func (n *Node) Child(key string) *Node {
+	for _, c := range n.Children {
+		if c.Key == key {
+			return c
+		}
+	}
+	return nil
+}
+
+// ChildrenNamed returns every child with the given key, in order.
+func (n *Node) ChildrenNamed(key string) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Key == key {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Get returns the value at a slash-separated path ("global/mqttBroker").
+// The boolean is false when any path element is missing.
+func (n *Node) Get(path string) (string, bool) {
+	cur := n
+	for _, part := range strings.Split(path, "/") {
+		cur = cur.Child(part)
+		if cur == nil {
+			return "", false
+		}
+	}
+	return cur.Value, true
+}
+
+// String returns the value at path, or def when absent.
+func (n *Node) String(path, def string) string {
+	if v, ok := n.Get(path); ok {
+		return v
+	}
+	return def
+}
+
+// Int returns the integer value at path, or def when absent or invalid.
+func (n *Node) Int(path string, def int) int {
+	v, ok := n.Get(path)
+	if !ok {
+		return def
+	}
+	i, err := strconv.Atoi(v)
+	if err != nil {
+		return def
+	}
+	return i
+}
+
+// Float returns the float value at path, or def when absent or invalid.
+func (n *Node) Float(path string, def float64) float64 {
+	v, ok := n.Get(path)
+	if !ok {
+		return def
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return def
+	}
+	return f
+}
+
+// Bool returns the boolean value at path ("true"/"false"/"on"/"off"/
+// "1"/"0"), or def when absent or invalid.
+func (n *Node) Bool(path string, def bool) bool {
+	v, ok := n.Get(path)
+	if !ok {
+		return def
+	}
+	switch strings.ToLower(v) {
+	case "true", "on", "1", "yes":
+		return true
+	case "false", "off", "0", "no":
+		return false
+	}
+	return def
+}
+
+// Duration returns the duration value at path. Bare numbers are read as
+// milliseconds, matching DCDB's interval convention; otherwise Go
+// duration syntax ("2s", "100ms") applies. def is returned when absent
+// or invalid.
+func (n *Node) Duration(path string, def time.Duration) time.Duration {
+	v, ok := n.Get(path)
+	if !ok {
+		return def
+	}
+	if ms, err := strconv.Atoi(v); err == nil {
+		return time.Duration(ms) * time.Millisecond
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return def
+	}
+	return d
+}
+
+// Dump renders the tree back to its textual form, mainly for the REST
+// configuration endpoints.
+func (n *Node) Dump() string {
+	var b strings.Builder
+	for _, c := range n.Children {
+		dump(&b, c, 0)
+	}
+	return b.String()
+}
+
+func dump(b *strings.Builder, n *Node, depth int) {
+	indent := strings.Repeat("    ", depth)
+	b.WriteString(indent)
+	b.WriteString(quoteIfNeeded(n.Key))
+	if n.Value != "" {
+		b.WriteString(" ")
+		b.WriteString(quoteIfNeeded(n.Value))
+	}
+	if len(n.Children) > 0 {
+		b.WriteString(" {\n")
+		for _, c := range n.Children {
+			dump(b, c, depth+1)
+		}
+		b.WriteString(indent)
+		b.WriteString("}")
+	}
+	b.WriteString("\n")
+}
+
+func quoteIfNeeded(s string) string {
+	if strings.ContainsAny(s, " \t{}#;\"") || s == "" {
+		return `"` + s + `"`
+	}
+	return s
+}

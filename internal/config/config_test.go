@@ -1,0 +1,193 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sample = `
+# pusher configuration
+global {
+    mqttBroker 127.0.0.1:1883
+    threads    2
+    verbose    on
+    qosLevel   1
+    cacheInterval 120000
+    ratio      0.5
+}
+; two sensor groups
+group cache {
+    interval 1000
+    sensor misses {
+        mqtt /l1-misses
+    }
+    sensor hits {
+        mqtt /l1-hits
+    }
+}
+group power {
+    interval 2s
+    sensor watts { mqtt "/node power" }
+}
+`
+
+func TestParseBasic(t *testing.T) {
+	n, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := n.String("global/mqttBroker", ""); v != "127.0.0.1:1883" {
+		t.Errorf("mqttBroker = %q", v)
+	}
+	if v := n.Int("global/threads", 0); v != 2 {
+		t.Errorf("threads = %d", v)
+	}
+	if !n.Bool("global/verbose", false) {
+		t.Error("verbose should be true")
+	}
+	if v := n.Float("global/ratio", 0); v != 0.5 {
+		t.Errorf("ratio = %v", v)
+	}
+	if d := n.Duration("global/cacheInterval", 0); d != 2*time.Minute {
+		t.Errorf("cacheInterval = %v", d)
+	}
+	groups := n.ChildrenNamed("group")
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	if groups[0].Value != "cache" || groups[1].Value != "power" {
+		t.Errorf("group names = %q, %q", groups[0].Value, groups[1].Value)
+	}
+	if d := groups[0].Duration("interval", 0); d != time.Second {
+		t.Errorf("cache interval = %v", d)
+	}
+	if d := groups[1].Duration("interval", 0); d != 2*time.Second {
+		t.Errorf("power interval = %v", d)
+	}
+	sensors := groups[0].ChildrenNamed("sensor")
+	if len(sensors) != 2 || sensors[0].Value != "misses" {
+		t.Fatalf("sensors = %+v", sensors)
+	}
+	if v, ok := sensors[0].Get("mqtt"); !ok || v != "/l1-misses" {
+		t.Errorf("mqtt = %q, %v", v, ok)
+	}
+	// Quoted value with a space.
+	if v, _ := n.ChildrenNamed("group")[1].Child("sensor").Get("mqtt"); v != "/node power" {
+		t.Errorf("quoted mqtt = %q", v)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	n, _ := ParseString("a 1")
+	if n.String("missing", "dflt") != "dflt" {
+		t.Error("String default")
+	}
+	if n.Int("a", 9) != 1 || n.Int("missing", 9) != 9 {
+		t.Error("Int")
+	}
+	n2, _ := ParseString("a notanumber\nb notabool")
+	if n2.Int("a", 7) != 7 {
+		t.Error("invalid int should yield default")
+	}
+	if n2.Float("a", 1.5) != 1.5 {
+		t.Error("invalid float should yield default")
+	}
+	if n2.Bool("b", true) != true {
+		t.Error("invalid bool should yield default")
+	}
+	if n2.Duration("a", time.Second) != time.Second {
+		t.Error("invalid duration should yield default")
+	}
+	if n2.Duration("missing", 5*time.Second) != 5*time.Second {
+		t.Error("missing duration default")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParseString("a {"); err == nil {
+		t.Error("unclosed block accepted")
+	}
+	if _, err := ParseString("}"); err == nil {
+		t.Error("stray '}' accepted")
+	}
+	if _, err := ParseString("{"); err == nil {
+		t.Error("stray '{' accepted")
+	}
+}
+
+func TestParseEmptyAndComments(t *testing.T) {
+	n, err := ParseString("# only a comment\n; another\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Children) != 0 {
+		t.Errorf("children = %d", len(n.Children))
+	}
+}
+
+func TestDumpRoundtrip(t *testing.T) {
+	n, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := n.Dump()
+	n2, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if n2.String("global/mqttBroker", "") != "127.0.0.1:1883" {
+		t.Error("roundtrip lost mqttBroker")
+	}
+	if len(n2.ChildrenNamed("group")) != 2 {
+		t.Error("roundtrip lost groups")
+	}
+	if v, _ := n2.ChildrenNamed("group")[1].Child("sensor").Get("mqtt"); v != "/node power" {
+		t.Errorf("roundtrip lost quoted value: %q", v)
+	}
+}
+
+func TestParseFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pusher.conf")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ParseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Int("global/threads", 0) != 2 {
+		t.Error("file parse lost threads")
+	}
+	if _, err := ParseFile(filepath.Join(dir, "missing.conf")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestChildHelpers(t *testing.T) {
+	n, _ := ParseString("a 1\nb { c 2 }")
+	if n.Child("zz") != nil {
+		t.Error("Child of missing key not nil")
+	}
+	if _, ok := n.Get("b/zz"); ok {
+		t.Error("Get of missing nested key")
+	}
+	if got := n.ChildrenNamed("zz"); got != nil {
+		t.Error("ChildrenNamed of missing key not nil")
+	}
+}
+
+func TestQuoteIfNeeded(t *testing.T) {
+	if quoteIfNeeded("plain") != "plain" {
+		t.Error("plain quoted")
+	}
+	if !strings.HasPrefix(quoteIfNeeded("has space"), `"`) {
+		t.Error("spacey not quoted")
+	}
+	if quoteIfNeeded("") != `""` {
+		t.Error("empty not quoted")
+	}
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Pushers publish sensor readings as compact binary MQTT payloads: a
+// sequence of 16-byte records, each an 8-byte big-endian timestamp
+// (nanoseconds since the Unix epoch) followed by an 8-byte IEEE-754
+// value. Batching several readings into one message is how the burst
+// forwarding mode (paper §6.2.1) reduces network interference.
+
+const readingWireSize = 16
+
+// EncodeReadings serialises a batch of readings into an MQTT payload.
+func EncodeReadings(rs []Reading) []byte {
+	buf := make([]byte, len(rs)*readingWireSize)
+	for i, r := range rs {
+		off := i * readingWireSize
+		binary.BigEndian.PutUint64(buf[off:], uint64(r.Timestamp))
+		binary.BigEndian.PutUint64(buf[off+8:], math.Float64bits(r.Value))
+	}
+	return buf
+}
+
+// DecodeReadings parses an MQTT payload produced by EncodeReadings.
+func DecodeReadings(payload []byte) ([]Reading, error) {
+	if len(payload)%readingWireSize != 0 {
+		return nil, fmt.Errorf("core: reading payload length %d not a multiple of %d", len(payload), readingWireSize)
+	}
+	rs := make([]Reading, len(payload)/readingWireSize)
+	for i := range rs {
+		off := i * readingWireSize
+		rs[i].Timestamp = int64(binary.BigEndian.Uint64(payload[off:]))
+		rs[i].Value = math.Float64frombits(binary.BigEndian.Uint64(payload[off+8:]))
+	}
+	return rs, nil
+}

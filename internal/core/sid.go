@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// SensorID is the 128-bit numerical key under which a sensor's readings
+// are stored in a Storage Backend. Collect Agents translate each MQTT
+// topic into a unique SID (paper §4.2): the topic is split into its
+// hierarchical components and each component is mapped to a numeric code
+// stored in a 16-bit field of the SID, most significant field first.
+// The hierarchical layout makes SID prefixes meaningful: all sensors
+// below one subtree share a numeric prefix, which the Storage Backend
+// exploits as partition key (paper §4.3).
+type SensorID struct {
+	Hi, Lo uint64
+}
+
+// Level extracts the 16-bit code of hierarchy level i (0 = root).
+func (s SensorID) Level(i int) uint16 {
+	switch {
+	case i < 0 || i >= MaxTopicLevels:
+		return 0
+	case i < 4:
+		return uint16(s.Hi >> (48 - 16*uint(i)))
+	default:
+		return uint16(s.Lo >> (48 - 16*uint(i-4)))
+	}
+}
+
+// WithLevel returns a copy of the SID with hierarchy level i set to code.
+func (s SensorID) WithLevel(i int, code uint16) SensorID {
+	if i < 0 || i >= MaxTopicLevels {
+		return s
+	}
+	if i < 4 {
+		shift := 48 - 16*uint(i)
+		s.Hi = s.Hi&^(0xffff<<shift) | uint64(code)<<shift
+	} else {
+		shift := 48 - 16*uint(i-4)
+		s.Lo = s.Lo&^(0xffff<<shift) | uint64(code)<<shift
+	}
+	return s
+}
+
+// Prefix zeroes all levels at depth >= n, yielding the partition prefix
+// of the sensor's subtree at depth n.
+func (s SensorID) Prefix(n int) SensorID {
+	switch {
+	case n <= 0:
+		return SensorID{}
+	case n >= MaxTopicLevels:
+		return s
+	case n <= 4:
+		shift := uint(64 - 16*n)
+		if shift == 64 {
+			return SensorID{Hi: s.Hi}
+		}
+		return SensorID{Hi: s.Hi >> shift << shift}
+	default:
+		shift := uint(64 - 16*(n-4))
+		return SensorID{Hi: s.Hi, Lo: s.Lo >> shift << shift}
+	}
+}
+
+// Compare orders SIDs lexicographically (Hi first). It returns -1, 0 or 1.
+func (s SensorID) Compare(o SensorID) int {
+	switch {
+	case s.Hi < o.Hi:
+		return -1
+	case s.Hi > o.Hi:
+		return 1
+	case s.Lo < o.Lo:
+		return -1
+	case s.Lo > o.Lo:
+		return 1
+	}
+	return 0
+}
+
+// String renders the SID as 32 hex digits.
+func (s SensorID) String() string { return fmt.Sprintf("%016x%016x", s.Hi, s.Lo) }
+
+// ParseSensorID parses the 32-hex-digit form produced by String.
+func ParseSensorID(s string) (SensorID, error) {
+	if len(s) != 32 {
+		return SensorID{}, fmt.Errorf("core: SID %q must be 32 hex digits", s)
+	}
+	var id SensorID
+	if _, err := fmt.Sscanf(s[:16], "%016x", &id.Hi); err != nil {
+		return SensorID{}, fmt.Errorf("core: bad SID %q: %w", s, err)
+	}
+	if _, err := fmt.Sscanf(s[16:], "%016x", &id.Lo); err != nil {
+		return SensorID{}, fmt.Errorf("core: bad SID %q: %w", s, err)
+	}
+	return id, nil
+}
+
+// TopicMapper maintains the 1:1 mapping between MQTT topics and SIDs.
+// Each hierarchy level owns a dictionary assigning dense 16-bit codes to
+// the component strings observed at that level, so the mapping is
+// collision-free and reversible. Collect Agents share one mapper; its
+// state can be exported/imported so that SIDs stay stable across
+// restarts.
+type TopicMapper struct {
+	mu     sync.RWMutex
+	levels [MaxTopicLevels]levelDict
+}
+
+type levelDict struct {
+	codes map[string]uint16
+	names []string // code-1 -> component (code 0 is reserved for "absent")
+}
+
+// NewTopicMapper returns an empty mapper.
+func NewTopicMapper() *TopicMapper {
+	m := &TopicMapper{}
+	for i := range m.levels {
+		m.levels[i].codes = make(map[string]uint16)
+	}
+	return m
+}
+
+// Map translates a topic to its SID, assigning new level codes on first
+// sight. It fails if a level dictionary is exhausted (65535 distinct
+// components) or the topic is malformed.
+func (m *TopicMapper) Map(topic string) (SensorID, error) {
+	parts, err := ParseTopic(topic)
+	if err != nil {
+		return SensorID{}, err
+	}
+	var id SensorID
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, p := range parts {
+		d := &m.levels[i]
+		code, ok := d.codes[p]
+		if !ok {
+			if len(d.names) >= 0xffff {
+				return SensorID{}, fmt.Errorf("core: level %d dictionary exhausted", i)
+			}
+			d.names = append(d.names, p)
+			code = uint16(len(d.names)) // codes start at 1
+			d.codes[p] = code
+		}
+		id = id.WithLevel(i, code)
+	}
+	return id, nil
+}
+
+// Lookup translates a topic without assigning new codes. The boolean is
+// false when any component is unknown.
+func (m *TopicMapper) Lookup(topic string) (SensorID, bool) {
+	parts, err := ParseTopic(topic)
+	if err != nil {
+		return SensorID{}, false
+	}
+	var id SensorID
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for i, p := range parts {
+		code, ok := m.levels[i].codes[p]
+		if !ok {
+			return SensorID{}, false
+		}
+		id = id.WithLevel(i, code)
+	}
+	return id, true
+}
+
+// Reverse reconstructs the topic of a SID. The boolean is false when the
+// SID contains codes the mapper never assigned.
+func (m *TopicMapper) Reverse(id SensorID) (string, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var parts []string
+	for i := 0; i < MaxTopicLevels; i++ {
+		code := id.Level(i)
+		if code == 0 {
+			break
+		}
+		d := &m.levels[i]
+		if int(code) > len(d.names) {
+			return "", false
+		}
+		parts = append(parts, d.names[code-1])
+	}
+	if len(parts) == 0 {
+		return "", false
+	}
+	return JoinTopic(parts), true
+}
+
+// PrefixOf maps the first n components of a topic to a partition prefix
+// SID, assigning codes as needed.
+func (m *TopicMapper) PrefixOf(topic string, n int) (SensorID, error) {
+	id, err := m.Map(topic)
+	if err != nil {
+		return SensorID{}, err
+	}
+	return id.Prefix(n), nil
+}
+
+// Export returns a stable snapshot of the dictionaries as
+// "level/component code" lines, sorted for reproducibility.
+func (m *TopicMapper) Export() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []string
+	for i := range m.levels {
+		for name, code := range m.levels[i].codes {
+			out = append(out, fmt.Sprintf("%d/%s %d", i, name, code))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Import loads dictionary entries produced by Export. Entries must not
+// conflict with codes already assigned.
+func (m *TopicMapper) Import(lines []string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, ln := range lines {
+		slash := strings.IndexByte(ln, '/')
+		sp := strings.LastIndexByte(ln, ' ')
+		if slash < 0 || sp < slash+1 {
+			return fmt.Errorf("core: bad mapper line %q", ln)
+		}
+		var lvl int
+		if _, err := fmt.Sscanf(ln[:slash], "%d", &lvl); err != nil {
+			return fmt.Errorf("core: bad mapper line %q: %w", ln, err)
+		}
+		rest := ln[slash+1:]
+		sp = strings.LastIndexByte(rest, ' ')
+		if sp <= 0 {
+			return fmt.Errorf("core: bad mapper line %q", ln)
+		}
+		name := rest[:sp]
+		var code uint16
+		if _, err := fmt.Sscanf(rest[sp+1:], "%d", &code); err != nil || code == 0 {
+			return fmt.Errorf("core: bad code in mapper line %q", ln)
+		}
+		if lvl < 0 || lvl >= MaxTopicLevels {
+			return fmt.Errorf("core: bad level in mapper line %q", ln)
+		}
+		d := &m.levels[lvl]
+		if have, ok := d.codes[name]; ok && have != code {
+			return fmt.Errorf("core: conflicting code for %d/%s", lvl, name)
+		}
+		for int(code) > len(d.names) {
+			d.names = append(d.names, "")
+		}
+		if cur := d.names[code-1]; cur != "" && cur != name {
+			return fmt.Errorf("core: code %d at level %d already bound to %q", code, lvl, cur)
+		}
+		d.names[code-1] = name
+		d.codes[name] = code
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package libdcdb
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"dcdb/internal/core"
+)
+
+// CSV export/import in the format of the dcdbquery and dcdbcsvimport
+// tools (paper §5.2): one row per reading, "sensor,timestamp,value",
+// with RFC3339Nano timestamps.
+
+// ExportCSV writes the readings of the given sensors over [from, to].
+func (c *Connection) ExportCSV(w io.Writer, topics []string, from, to int64) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"sensor", "timestamp", "value"}); err != nil {
+		return err
+	}
+	for _, topic := range topics {
+		rs, err := c.Query(topic, from, to)
+		if err != nil {
+			return fmt.Errorf("libdcdb: exporting %q: %w", topic, err)
+		}
+		t, _ := core.CanonicalTopic(topic)
+		for _, r := range rs {
+			rec := []string{
+				t,
+				r.Time().UTC().Format(time.RFC3339Nano),
+				strconv.FormatFloat(r.Value, 'g', -1, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ImportCSV bulk-loads readings written by ExportCSV (or hand-made
+// files with the same header). It returns the number of readings
+// imported.
+func (c *Connection) ImportCSV(r io.Reader) (int, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	header, err := cr.Read()
+	if err != nil {
+		return 0, fmt.Errorf("libdcdb: reading CSV header: %w", err)
+	}
+	if header[0] != "sensor" || header[1] != "timestamp" || header[2] != "value" {
+		return 0, fmt.Errorf("libdcdb: unexpected CSV header %v", header)
+	}
+	count := 0
+	batchTopic := ""
+	var batch []core.Reading
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := c.InsertBatch(batchTopic, batch); err != nil {
+			return err
+		}
+		count += len(batch)
+		batch = batch[:0]
+		return nil
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return count, fmt.Errorf("libdcdb: reading CSV: %w", err)
+		}
+		ts, err := time.Parse(time.RFC3339Nano, rec[1])
+		if err != nil {
+			return count, fmt.Errorf("libdcdb: bad timestamp %q: %w", rec[1], err)
+		}
+		v, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return count, fmt.Errorf("libdcdb: bad value %q: %w", rec[2], err)
+		}
+		if rec[0] != batchTopic {
+			if err := flush(); err != nil {
+				return count, err
+			}
+			batchTopic = rec[0]
+		}
+		batch = append(batch, core.Reading{Timestamp: ts.UnixNano(), Value: v})
+	}
+	return count, flush()
+}

@@ -1,0 +1,114 @@
+package libdcdb
+
+import (
+	"fmt"
+
+	"dcdb/internal/core"
+)
+
+// Analysis operations offered by the dcdbquery tool (paper §5.2):
+// integrals and derivatives of sensor time series, plus simple
+// aggregates. They operate on readings already retrieved via Query.
+
+// Integral computes the time integral of a series using the trapezoid
+// rule, in value-units × seconds. An energy counter in W integrates to
+// Joules.
+func Integral(rs []core.Reading) float64 {
+	var sum float64
+	for i := 1; i < len(rs); i++ {
+		dt := float64(rs[i].Timestamp-rs[i-1].Timestamp) / 1e9
+		sum += dt * (rs[i].Value + rs[i-1].Value) / 2
+	}
+	return sum
+}
+
+// Derivative computes the discrete time derivative of a series in
+// value-units per second. The result has one reading per input pair,
+// stamped at the later point. Monotonic counters (Metadata.Integrable)
+// turn into rates this way.
+func Derivative(rs []core.Reading) []core.Reading {
+	if len(rs) < 2 {
+		return nil
+	}
+	out := make([]core.Reading, 0, len(rs)-1)
+	for i := 1; i < len(rs); i++ {
+		dt := float64(rs[i].Timestamp-rs[i-1].Timestamp) / 1e9
+		if dt <= 0 {
+			continue
+		}
+		out = append(out, core.Reading{
+			Timestamp: rs[i].Timestamp,
+			Value:     (rs[i].Value - rs[i-1].Value) / dt,
+		})
+	}
+	return out
+}
+
+// Aggregate summarises a series.
+type Aggregate struct {
+	Count    int
+	Min, Max float64
+	Mean     float64
+	First    core.Reading
+	Last     core.Reading
+}
+
+// Summarize computes an Aggregate over the series.
+func Summarize(rs []core.Reading) (Aggregate, error) {
+	if len(rs) == 0 {
+		return Aggregate{}, fmt.Errorf("libdcdb: cannot summarise empty series")
+	}
+	a := Aggregate{
+		Count: len(rs),
+		Min:   rs[0].Value,
+		Max:   rs[0].Value,
+		First: rs[0],
+		Last:  rs[len(rs)-1],
+	}
+	var sum float64
+	for _, r := range rs {
+		if r.Value < a.Min {
+			a.Min = r.Value
+		}
+		if r.Value > a.Max {
+			a.Max = r.Value
+		}
+		sum += r.Value
+	}
+	a.Mean = sum / float64(len(rs))
+	return a, nil
+}
+
+// Downsample reduces a series to at most n points by averaging equal
+// time buckets, used by the Grafana data source for wide time ranges.
+func Downsample(rs []core.Reading, n int) []core.Reading {
+	if n <= 0 || len(rs) <= n {
+		return rs
+	}
+	from := rs[0].Timestamp
+	to := rs[len(rs)-1].Timestamp
+	if to == from {
+		return rs[:1]
+	}
+	width := (to - from + int64(n)) / int64(n)
+	out := make([]core.Reading, 0, n)
+	var bucketSum float64
+	var bucketN int
+	bucketStart := from
+	flush := func(ts int64) {
+		if bucketN > 0 {
+			out = append(out, core.Reading{Timestamp: ts, Value: bucketSum / float64(bucketN)})
+		}
+		bucketSum, bucketN = 0, 0
+	}
+	for _, r := range rs {
+		for r.Timestamp >= bucketStart+width {
+			flush(bucketStart + width/2)
+			bucketStart += width
+		}
+		bucketSum += r.Value
+		bucketN++
+	}
+	flush(bucketStart + width/2)
+	return out
+}

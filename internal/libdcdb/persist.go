@@ -1,0 +1,85 @@
+package libdcdb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"dcdb/internal/core"
+)
+
+// Metadata persistence for the command-line tools: dcdbconfig edits
+// sensor properties and virtual-sensor definitions, which are stored
+// next to the Storage Backend snapshot as a line-oriented text file:
+//
+//	topic<TAB>unit<TAB>scale<TAB>ttlSeconds<TAB>integrable<TAB>expression
+//
+// The expression field is empty for physical sensors.
+
+// SaveMetadata writes all registered sensor metadata.
+func (c *Connection) SaveMetadata(w io.Writer) error {
+	c.mu.RLock()
+	topics := make([]string, 0, len(c.meta))
+	for t := range c.meta {
+		topics = append(topics, t)
+	}
+	metas := make([]core.Metadata, 0, len(topics))
+	sort.Strings(topics)
+	for _, t := range topics {
+		metas = append(metas, c.meta[t])
+	}
+	c.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	for _, m := range metas {
+		integrable := "0"
+		if m.Integrable {
+			integrable = "1"
+		}
+		fmt.Fprintf(bw, "%s\t%s\t%g\t%d\t%s\t%s\n",
+			m.Topic, m.Unit, m.EffectiveScale(), int64(m.TTL/time.Second), integrable,
+			strings.ReplaceAll(m.Expression, "\t", " "))
+	}
+	return bw.Flush()
+}
+
+// LoadMetadata registers sensors previously written by SaveMetadata.
+func (c *Connection) LoadMetadata(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, "\t")
+		if len(fields) != 6 {
+			return fmt.Errorf("libdcdb: metadata line %d has %d fields", line, len(fields))
+		}
+		scale, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return fmt.Errorf("libdcdb: metadata line %d scale: %w", line, err)
+		}
+		ttlSec, err := strconv.ParseInt(fields[3], 10, 64)
+		if err != nil {
+			return fmt.Errorf("libdcdb: metadata line %d ttl: %w", line, err)
+		}
+		m := core.Metadata{
+			Topic:      fields[0],
+			Unit:       fields[1],
+			Scale:      scale,
+			TTL:        time.Duration(ttlSec) * time.Second,
+			Integrable: fields[4] == "1",
+			Virtual:    fields[5] != "",
+			Expression: fields[5],
+		}
+		if err := c.PublishSensor(m); err != nil {
+			return fmt.Errorf("libdcdb: metadata line %d: %w", line, err)
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,241 @@
+package mqtt
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Handler receives every PUBLISH the broker accepts. Collect Agents
+// register one handler that forwards readings to the Storage Backend;
+// this mirrors the custom MQTT implementation of the paper (§4.2), which
+// avoids general topic-filtering overhead because the Storage Backend
+// subscribes to everything.
+type Handler func(topic string, payload []byte)
+
+// Broker is a minimal MQTT 3.1.1 broker. All PUBLISH traffic is passed
+// to the Handler; clients may additionally SUBSCRIBE and receive
+// forwarded messages.
+type Broker struct {
+	handler Handler
+
+	ln     net.Listener
+	mu     sync.Mutex
+	conns  map[*brokerConn]struct{}
+	closed bool
+
+	// Stats counters (atomic).
+	published atomic.Int64
+	bytesIn   atomic.Int64
+}
+
+// NewBroker creates a broker delivering PUBLISH packets to handler
+// (which may be nil).
+func NewBroker(handler Handler) *Broker {
+	return &Broker{handler: handler, conns: make(map[*brokerConn]struct{})}
+}
+
+// Listen binds the broker to addr ("host:port"; port 0 picks a free
+// port) and starts accepting connections.
+func (b *Broker) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("mqtt: listen %s: %w", addr, err)
+	}
+	b.ln = ln
+	go b.acceptLoop()
+	return nil
+}
+
+// Addr returns the broker's bound address.
+func (b *Broker) Addr() string {
+	if b.ln == nil {
+		return ""
+	}
+	return b.ln.Addr().String()
+}
+
+// Stats reports the number of PUBLISH packets and payload bytes
+// received since start.
+func (b *Broker) Stats() (published, payloadBytes int64) {
+	return b.published.Load(), b.bytesIn.Load()
+}
+
+// Close stops accepting and drops all connections.
+func (b *Broker) Close() error {
+	b.mu.Lock()
+	b.closed = true
+	conns := make([]*brokerConn, 0, len(b.conns))
+	for c := range b.conns {
+		conns = append(conns, c)
+	}
+	b.mu.Unlock()
+	var err error
+	if b.ln != nil {
+		err = b.ln.Close()
+	}
+	for _, c := range conns {
+		c.conn.Close()
+	}
+	return err
+}
+
+func (b *Broker) acceptLoop() {
+	for {
+		conn, err := b.ln.Accept()
+		if err != nil {
+			return
+		}
+		bc := &brokerConn{broker: b, conn: conn, r: bufio.NewReaderSize(conn, 1<<16)}
+		b.mu.Lock()
+		if b.closed {
+			b.mu.Unlock()
+			conn.Close()
+			return
+		}
+		b.conns[bc] = struct{}{}
+		b.mu.Unlock()
+		go bc.serve()
+	}
+}
+
+type brokerConn struct {
+	broker  *Broker
+	conn    net.Conn
+	r       *bufio.Reader
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	filters []string
+}
+
+func (c *brokerConn) write(p *Packet) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return WritePacket(c.conn, p)
+}
+
+func (c *brokerConn) serve() {
+	defer func() {
+		c.conn.Close()
+		c.broker.mu.Lock()
+		delete(c.broker.conns, c)
+		c.broker.mu.Unlock()
+	}()
+	// First packet must be CONNECT.
+	p, err := ReadPacket(c.r)
+	if err != nil || p.Type != CONNECT {
+		return
+	}
+	if err := c.write(&Packet{Type: CONNACK, ReturnCode: ConnAccepted}); err != nil {
+		return
+	}
+	for {
+		p, err := ReadPacket(c.r)
+		if err != nil {
+			return
+		}
+		switch p.Type {
+		case PUBLISH:
+			c.broker.published.Add(1)
+			c.broker.bytesIn.Add(int64(len(p.Payload)))
+			if p.PublishQoS() == 1 {
+				if err := c.write(&Packet{Type: PUBACK, ID: p.ID}); err != nil {
+					return
+				}
+			}
+			if h := c.broker.handler; h != nil {
+				h(p.Topic, p.Payload)
+			}
+			c.broker.fanout(p)
+		case SUBSCRIBE:
+			c.mu.Lock()
+			c.filters = append(c.filters, p.Topics...)
+			c.mu.Unlock()
+			codes := make([]byte, len(p.Topics))
+			for i, q := range p.QoS {
+				if i < len(codes) && q > 1 {
+					codes[i] = 1 // grant at most QoS 1
+				} else if i < len(codes) {
+					codes[i] = q
+				}
+			}
+			if err := c.write(&Packet{Type: SUBACK, ID: p.ID, QoS: codes}); err != nil {
+				return
+			}
+		case UNSUBSCRIBE:
+			c.mu.Lock()
+			var kept []string
+			for _, f := range c.filters {
+				drop := false
+				for _, t := range p.Topics {
+					if t == f {
+						drop = true
+						break
+					}
+				}
+				if !drop {
+					kept = append(kept, f)
+				}
+			}
+			c.filters = kept
+			c.mu.Unlock()
+			if err := c.write(&Packet{Type: UNSUBACK, ID: p.ID}); err != nil {
+				return
+			}
+		case PINGREQ:
+			if err := c.write(&Packet{Type: PINGRESP}); err != nil {
+				return
+			}
+		case DISCONNECT:
+			return
+		default:
+			log.Printf("mqtt broker: dropping unexpected %v from %s", p.Type, c.conn.RemoteAddr())
+		}
+	}
+}
+
+// fanout forwards a PUBLISH to all subscribed connections at QoS 0.
+func (b *Broker) fanout(p *Packet) {
+	b.mu.Lock()
+	var targets []*brokerConn
+	for c := range b.conns {
+		c.mu.Lock()
+		for _, f := range c.filters {
+			if matchFilter(f, p.Topic) {
+				targets = append(targets, c)
+				break
+			}
+		}
+		c.mu.Unlock()
+	}
+	b.mu.Unlock()
+	for _, c := range targets {
+		out := &Packet{Type: PUBLISH, Topic: p.Topic, Payload: p.Payload}
+		if err := c.write(out); err != nil {
+			c.conn.Close()
+		}
+	}
+}
+
+// matchFilter implements MQTT topic-filter matching with '+' and '#'.
+func matchFilter(filter, topic string) bool {
+	f := strings.Split(strings.TrimPrefix(filter, "/"), "/")
+	t := strings.Split(strings.TrimPrefix(topic, "/"), "/")
+	for i, fp := range f {
+		if fp == "#" {
+			return i == len(f)-1
+		}
+		if i >= len(t) {
+			return false
+		}
+		if fp != "+" && fp != t[i] {
+			return false
+		}
+	}
+	return len(f) == len(t)
+}

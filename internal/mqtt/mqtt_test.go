@@ -1,0 +1,330 @@
+package mqtt
+
+import (
+	"bufio"
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func roundtrip(t *testing.T, p *Packet) *Packet {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WritePacket(&buf, p); err != nil {
+		t.Fatalf("WritePacket(%v): %v", p.Type, err)
+	}
+	got, err := ReadPacket(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatalf("ReadPacket(%v): %v", p.Type, err)
+	}
+	return got
+}
+
+func TestPacketRoundtrips(t *testing.T) {
+	conn := roundtrip(t, &Packet{Type: CONNECT, ClientID: "pusher-01", KeepAlive: 60, CleanSession: true})
+	if conn.ClientID != "pusher-01" || conn.KeepAlive != 60 || !conn.CleanSession {
+		t.Errorf("CONNECT = %+v", conn)
+	}
+	ack := roundtrip(t, &Packet{Type: CONNACK, ReturnCode: ConnAccepted, SessionPresent: true})
+	if ack.ReturnCode != ConnAccepted || !ack.SessionPresent {
+		t.Errorf("CONNACK = %+v", ack)
+	}
+	pub := roundtrip(t, &Packet{Type: PUBLISH, Topic: "/a/b", Payload: []byte("hi")})
+	if pub.Topic != "/a/b" || string(pub.Payload) != "hi" || pub.PublishQoS() != 0 {
+		t.Errorf("PUBLISH = %+v", pub)
+	}
+	pub1 := roundtrip(t, &Packet{Type: PUBLISH, Flags: 1 << 1, ID: 7, Topic: "/q", Payload: []byte{1, 2, 3}})
+	if pub1.PublishQoS() != 1 || pub1.ID != 7 {
+		t.Errorf("PUBLISH qos1 = %+v", pub1)
+	}
+	puback := roundtrip(t, &Packet{Type: PUBACK, ID: 9})
+	if puback.ID != 9 {
+		t.Errorf("PUBACK = %+v", puback)
+	}
+	sub := roundtrip(t, &Packet{Type: SUBSCRIBE, ID: 3, Topics: []string{"/a/#", "/b/+"}, QoS: []byte{1, 0}})
+	if len(sub.Topics) != 2 || sub.Topics[0] != "/a/#" || sub.QoS[1] != 0 || sub.ID != 3 {
+		t.Errorf("SUBSCRIBE = %+v", sub)
+	}
+	suback := roundtrip(t, &Packet{Type: SUBACK, ID: 3, QoS: []byte{1, 0}})
+	if suback.ID != 3 || len(suback.QoS) != 2 {
+		t.Errorf("SUBACK = %+v", suback)
+	}
+	unsub := roundtrip(t, &Packet{Type: UNSUBSCRIBE, ID: 4, Topics: []string{"/a/#"}})
+	if unsub.ID != 4 || len(unsub.Topics) != 1 {
+		t.Errorf("UNSUBSCRIBE = %+v", unsub)
+	}
+	for _, typ := range []PacketType{PINGREQ, PINGRESP, DISCONNECT, UNSUBACK} {
+		p := &Packet{Type: typ, ID: 5}
+		got := roundtrip(t, p)
+		if got.Type != typ {
+			t.Errorf("%v roundtrip = %v", typ, got.Type)
+		}
+	}
+}
+
+func TestPacketTypeString(t *testing.T) {
+	names := map[PacketType]string{
+		CONNECT: "CONNECT", CONNACK: "CONNACK", PUBLISH: "PUBLISH",
+		PUBACK: "PUBACK", SUBSCRIBE: "SUBSCRIBE", SUBACK: "SUBACK",
+		UNSUBSCRIBE: "UNSUBSCRIBE", UNSUBACK: "UNSUBACK",
+		PINGREQ: "PINGREQ", PINGRESP: "PINGRESP", DISCONNECT: "DISCONNECT",
+	}
+	for typ, want := range names {
+		if typ.String() != want {
+			t.Errorf("%d.String() = %q", typ, typ.String())
+		}
+	}
+	if PacketType(0).String() == "" {
+		t.Error("unknown type String empty")
+	}
+}
+
+func TestVarint(t *testing.T) {
+	for _, n := range []int{0, 1, 127, 128, 16383, 16384, 2097151, 2097152, maxRemainingLength} {
+		b := appendVarint(nil, n)
+		got, err := readVarint(bufio.NewReader(bytes.NewReader(b)))
+		if err != nil || got != n {
+			t.Errorf("varint(%d) = %d, %v", n, got, err)
+		}
+	}
+	// 5-byte varint rejected.
+	if _, err := readVarint(bufio.NewReader(bytes.NewReader([]byte{0x80, 0x80, 0x80, 0x80, 1}))); err == nil {
+		t.Error("oversized varint accepted")
+	}
+}
+
+func TestPublishPayloadRoundtripQuick(t *testing.T) {
+	f := func(topic string, payload []byte) bool {
+		if len(topic) > 1000 || len(payload) > 100000 {
+			return true
+		}
+		p := &Packet{Type: PUBLISH, Topic: topic, Payload: payload}
+		var buf bytes.Buffer
+		if err := WritePacket(&buf, p); err != nil {
+			return false
+		}
+		got, err := ReadPacket(bufio.NewReader(&buf))
+		if err != nil {
+			return false
+		}
+		return got.Topic == topic && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBrokerPublishToHandler(t *testing.T) {
+	var got atomic.Int64
+	var mu sync.Mutex
+	topics := map[string][]byte{}
+	b := NewBroker(func(topic string, payload []byte) {
+		mu.Lock()
+		topics[topic] = append([]byte(nil), payload...)
+		mu.Unlock()
+		got.Add(1)
+	})
+	if err := b.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	c, err := Dial(b.Addr(), DialOptions{ClientID: "t1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Publish("/x/y", []byte("v0"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish("/x/z", []byte("v1"), 1); err != nil {
+		t.Fatal(err)
+	}
+	// QoS-1 publish is acknowledged, so the handler must have seen both
+	// (handler runs before PUBACK for the second message; wait for the
+	// first briefly).
+	deadline := time.Now().Add(2 * time.Second)
+	for got.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if string(topics["/x/y"]) != "v0" || string(topics["/x/z"]) != "v1" {
+		t.Fatalf("handler saw %v", topics)
+	}
+	pubs, bytesIn := b.Stats()
+	if pubs != 2 || bytesIn != 4 {
+		t.Errorf("Stats = %d, %d", pubs, bytesIn)
+	}
+}
+
+func TestBrokerSubscribeFanout(t *testing.T) {
+	b := NewBroker(nil)
+	if err := b.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	sub, err := Dial(b.Addr(), DialOptions{ClientID: "sub"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	recv := make(chan string, 10)
+	if err := sub.Subscribe("/a/#", 0, func(topic string, payload []byte) {
+		recv <- topic + "=" + string(payload)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	pub, err := Dial(b.Addr(), DialOptions{ClientID: "pub"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Publish("/a/b", []byte("1"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish("/other", []byte("2"), 1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-recv:
+		if got != "/a/b=1" {
+			t.Fatalf("received %q", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("fanout timed out")
+	}
+	select {
+	case got := <-recv:
+		t.Fatalf("unexpected extra message %q", got)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestBrokerUnsubscribe(t *testing.T) {
+	b := NewBroker(nil)
+	if err := b.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	sub, err := Dial(b.Addr(), DialOptions{ClientID: "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	recv := make(chan string, 1)
+	if err := sub.Subscribe("/t", 0, func(topic string, _ []byte) { recv <- topic }); err != nil {
+		t.Fatal(err)
+	}
+	// Remove the server-side filter directly via UNSUBSCRIBE.
+	if err := sub.write(&Packet{Type: UNSUBSCRIBE, ID: 99, Topics: []string{"/t"}}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	pub, err := Dial(b.Addr(), DialOptions{ClientID: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Publish("/t", []byte("x"), 1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-recv:
+		t.Fatal("message delivered after unsubscribe")
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestClientManyConcurrentPublishes(t *testing.T) {
+	var count atomic.Int64
+	b := NewBroker(func(string, []byte) { count.Add(1) })
+	if err := b.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	c, err := Dial(b.Addr(), DialOptions{ClientID: "many"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	const n = 50
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := c.Publish("/c", []byte("x"), 1); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if count.Load() != n {
+		t.Fatalf("handler saw %d of %d", count.Load(), n)
+	}
+}
+
+func TestMatchFilter(t *testing.T) {
+	cases := []struct {
+		f, tp string
+		want  bool
+	}{
+		{"/a/b", "/a/b", true},
+		{"/a/+", "/a/b", true},
+		{"/a/+", "/a/b/c", false},
+		{"/a/#", "/a/b/c", true},
+		{"#", "/x", true},
+		{"/a", "/b", false},
+	}
+	for _, c := range cases {
+		if matchFilter(c.f, c.tp) != c.want {
+			t.Errorf("matchFilter(%q, %q) != %v", c.f, c.tp, c.want)
+		}
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", DialOptions{Timeout: 200 * time.Millisecond}); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestClientPublishInvalidQoS(t *testing.T) {
+	b := NewBroker(nil)
+	if err := b.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	c, err := Dial(b.Addr(), DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Publish("/t", nil, 2); err == nil {
+		t.Error("QoS 2 accepted")
+	}
+}
+
+func TestBrokerCloseUnblocksClients(t *testing.T) {
+	b := NewBroker(nil)
+	if err := b.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(b.Addr(), DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	select {
+	case <-c.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("client did not observe broker close")
+	}
+	c.Close()
+}

@@ -1,0 +1,36 @@
+// Package all wires every built-in plugin into a pusher.Registry, the
+// equivalent of the plugin dynamic libraries shipped with the original
+// Pusher (paper §3.1 lists the same ten: Perfevents, ProcFS, SysFS,
+// GPFS, Omnipath, IPMI, SNMP, REST and BACnet, plus the tester plugin
+// of the evaluation).
+package all
+
+import (
+	"dcdb/internal/plugins/bacnetplug"
+	"dcdb/internal/plugins/gpfs"
+	"dcdb/internal/plugins/ipmiplug"
+	"dcdb/internal/plugins/opa"
+	"dcdb/internal/plugins/perfevents"
+	"dcdb/internal/plugins/procfs"
+	"dcdb/internal/plugins/restplug"
+	"dcdb/internal/plugins/snmpplug"
+	"dcdb/internal/plugins/sysfs"
+	"dcdb/internal/plugins/tester"
+	"dcdb/internal/pusher"
+)
+
+// Registry returns a registry with every built-in plugin registered.
+func Registry() *pusher.Registry {
+	r := pusher.NewRegistry()
+	r.Register("tester", tester.Factory)
+	r.Register("procfs", procfs.Factory)
+	r.Register("sysfs", sysfs.Factory)
+	r.Register("perfevents", perfevents.Factory)
+	r.Register("ipmi", ipmiplug.Factory)
+	r.Register("snmp", snmpplug.Factory)
+	r.Register("bacnet", bacnetplug.Factory)
+	r.Register("rest", restplug.Factory)
+	r.Register("opa", opa.Factory)
+	r.Register("gpfs", gpfs.Factory)
+	return r
+}

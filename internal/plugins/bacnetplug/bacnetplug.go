@@ -1,0 +1,151 @@
+// Package bacnetplug implements the BACnet plugin (paper §3.1), reading
+// building-management sensors — room temperatures, chilled-water
+// plants, air handlers — as analog-input objects from BACnet/IP
+// devices. Devices are entities; sensors name an object instance whose
+// Present_Value is sampled.
+//
+// Configuration:
+//
+//	plugin bacnet {
+//	    mqttPrefix /building
+//	    interval   30000
+//	    device ahu1 {
+//	        addr 127.0.0.1:47808
+//	        group air {
+//	            sensor supply_temp { object 1001 unit C }
+//	            sensor return_temp { object 1002 unit C }
+//	        }
+//	    }
+//	}
+package bacnetplug
+
+import (
+	"fmt"
+	"time"
+
+	"dcdb/internal/config"
+	"dcdb/internal/plugins/pluginutil"
+	"dcdb/internal/pusher"
+	"dcdb/internal/sim/bacnet"
+)
+
+// Plugin samples BACnet devices.
+type Plugin struct {
+	pluginutil.Base
+}
+
+// New creates an unconfigured BACnet plugin.
+func New() *Plugin {
+	p := &Plugin{}
+	p.PluginName = "bacnet"
+	return p
+}
+
+// Factory adapts New to the plugin registry.
+func Factory() pusher.Plugin { return New() }
+
+type deviceEntity struct {
+	name   string
+	addr   string
+	client *bacnet.Client
+}
+
+// Name implements pusher.Entity.
+func (d *deviceEntity) Name() string { return d.name }
+
+// Connect implements pusher.Entity.
+func (d *deviceEntity) Connect() error {
+	c, err := bacnet.Dial(d.addr)
+	if err != nil {
+		return err
+	}
+	d.client = c
+	return nil
+}
+
+// Close implements pusher.Entity.
+func (d *deviceEntity) Close() error {
+	if d.client == nil {
+		return nil
+	}
+	err := d.client.Close()
+	d.client = nil
+	return err
+}
+
+// Configure implements pusher.Plugin.
+func (p *Plugin) Configure(cfg *config.Node) error {
+	p.Reset()
+	defInterval := cfg.Duration("interval", 30*time.Second)
+	prefix := cfg.String("mqttPrefix", "/bacnet")
+	devices := cfg.ChildrenNamed("device")
+	if len(devices) == 0 {
+		return fmt.Errorf("bacnet: configuration defines no devices")
+	}
+	for _, dn := range devices {
+		devName := dn.Value
+		if devName == "" {
+			return fmt.Errorf("bacnet: device block without a name")
+		}
+		addr, err := pluginutil.RequireValue("bacnet", dn, "addr")
+		if err != nil {
+			return err
+		}
+		ent := &deviceEntity{name: devName, addr: addr}
+		p.EntityList = append(p.EntityList, ent)
+		for _, gn := range dn.ChildrenNamed("group") {
+			gc := pluginutil.ParseGroup(gn, defInterval)
+			if gc.Prefix == "" {
+				gc.Prefix = pluginutil.JoinTopic(prefix, devName+"/"+gc.Name)
+			}
+			var sensors []*pusher.Sensor
+			var objects []uint32
+			for _, sn := range gn.ChildrenNamed("sensor") {
+				if sn.Value == "" {
+					return fmt.Errorf("bacnet: device %q group %q has a sensor without a name", devName, gc.Name)
+				}
+				obj := sn.Int("object", -1)
+				if obj < 0 {
+					return fmt.Errorf("bacnet: sensor %q missing object instance", sn.Value)
+				}
+				sensors = append(sensors, &pusher.Sensor{
+					Name:  sn.Value,
+					Topic: pluginutil.JoinTopic(gc.Prefix, pluginutil.SanitizeLevel(sn.Value)),
+					Unit:  sn.String("unit", ""),
+				})
+				objects = append(objects, uint32(obj))
+			}
+			if len(sensors) == 0 {
+				return fmt.Errorf("bacnet: device %q group %q has no sensors", devName, gc.Name)
+			}
+			objs := objects
+			g := &pusher.Group{
+				Name:     devName + "/" + gc.Name,
+				Interval: gc.Interval,
+				Sensors:  sensors,
+				Entity:   devName,
+				Reader: pusher.GroupReaderFunc(func(time.Time) ([]float64, error) {
+					if ent.client == nil {
+						return nil, fmt.Errorf("bacnet: device %q not connected", ent.name)
+					}
+					out := make([]float64, len(objs))
+					for i, obj := range objs {
+						v, err := ent.client.ReadProperty(obj, bacnet.PropPresentValue)
+						if err != nil {
+							return nil, err
+						}
+						out[i] = v
+					}
+					return out, nil
+				}),
+			}
+			if err := p.AddGroup(g); err != nil {
+				return err
+			}
+		}
+	}
+	if len(p.GroupList) == 0 {
+		return fmt.Errorf("bacnet: configuration defines no groups")
+	}
+	return nil
+}

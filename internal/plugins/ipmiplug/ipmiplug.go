@@ -1,0 +1,150 @@
+// Package ipmiplug implements the IPMI plugin (paper §3.1): out-of-band
+// sampling of IT-component sensors (temperatures, power supplies, fans)
+// from board management controllers. Each configured host becomes an
+// entity — the shared BMC connection used by all of that host's groups
+// (§4.1) — and sensors are read by SDR name through the IPMI simulator
+// client (package sim/ipmi).
+//
+// Configuration:
+//
+//	plugin ipmi {
+//	    mqttPrefix /rack01
+//	    interval   10000
+//	    host node07 {
+//	        addr 127.0.0.1:62301
+//	        group psu {
+//	            sensor "PSU1 Power"  { unit W }
+//	            sensor "Inlet Temp"  { unit C }
+//	        }
+//	    }
+//	}
+package ipmiplug
+
+import (
+	"fmt"
+	"time"
+
+	"dcdb/internal/config"
+	"dcdb/internal/plugins/pluginutil"
+	"dcdb/internal/pusher"
+	"dcdb/internal/sim/ipmi"
+)
+
+// Plugin samples BMC sensors over the simulated IPMI protocol.
+type Plugin struct {
+	pluginutil.Base
+}
+
+// New creates an unconfigured IPMI plugin.
+func New() *Plugin {
+	p := &Plugin{}
+	p.PluginName = "ipmi"
+	return p
+}
+
+// Factory adapts New to the plugin registry.
+func Factory() pusher.Plugin { return New() }
+
+// hostEntity is the shared BMC connection of one host.
+type hostEntity struct {
+	name   string
+	addr   string
+	client *ipmi.Client
+}
+
+// Name implements pusher.Entity.
+func (h *hostEntity) Name() string { return h.name }
+
+// Connect implements pusher.Entity.
+func (h *hostEntity) Connect() error {
+	c, err := ipmi.Dial(h.addr)
+	if err != nil {
+		return err
+	}
+	h.client = c
+	return nil
+}
+
+// Close implements pusher.Entity.
+func (h *hostEntity) Close() error {
+	if h.client == nil {
+		return nil
+	}
+	err := h.client.Close()
+	h.client = nil
+	return err
+}
+
+// Configure implements pusher.Plugin.
+func (p *Plugin) Configure(cfg *config.Node) error {
+	p.Reset()
+	defInterval := cfg.Duration("interval", 10*time.Second)
+	prefix := cfg.String("mqttPrefix", "/ipmi")
+	hosts := cfg.ChildrenNamed("host")
+	if len(hosts) == 0 {
+		return fmt.Errorf("ipmi: configuration defines no hosts")
+	}
+	for _, hn := range hosts {
+		hostName := hn.Value
+		if hostName == "" {
+			return fmt.Errorf("ipmi: host block without a name")
+		}
+		addr, err := pluginutil.RequireValue("ipmi", hn, "addr")
+		if err != nil {
+			return err
+		}
+		ent := &hostEntity{name: hostName, addr: addr}
+		p.EntityList = append(p.EntityList, ent)
+		for _, gn := range hn.ChildrenNamed("group") {
+			gc := pluginutil.ParseGroup(gn, defInterval)
+			if gc.Prefix == "" {
+				gc.Prefix = pluginutil.JoinTopic(prefix, hostName+"/"+gc.Name)
+			}
+			var sensors []*pusher.Sensor
+			var sdrNames []string
+			for _, sn := range gn.ChildrenNamed("sensor") {
+				if sn.Value == "" {
+					return fmt.Errorf("ipmi: host %q group %q has a sensor without a name", hostName, gc.Name)
+				}
+				sensors = append(sensors, &pusher.Sensor{
+					Name:  sn.Value,
+					Topic: pluginutil.JoinTopic(gc.Prefix, pluginutil.SanitizeLevel(sn.Value)),
+					Unit:  sn.String("unit", ""),
+					Delta: sn.Bool("delta", false),
+				})
+				sdrNames = append(sdrNames, sn.Value)
+			}
+			if len(sensors) == 0 {
+				return fmt.Errorf("ipmi: host %q group %q has no sensors", hostName, gc.Name)
+			}
+			names := sdrNames
+			g := &pusher.Group{
+				Name:     hostName + "/" + gc.Name,
+				Interval: gc.Interval,
+				Sensors:  sensors,
+				Entity:   hostName,
+				Reader: pusher.GroupReaderFunc(func(time.Time) ([]float64, error) {
+					if ent.client == nil {
+						return nil, fmt.Errorf("ipmi: host %q not connected", ent.name)
+					}
+					out := make([]float64, len(names))
+					for i, n := range names {
+						v, err := ent.client.GetReading(n)
+						if err != nil {
+							return nil, err
+						}
+						out[i] = v
+					}
+					return out, nil
+				}),
+			}
+			if err := p.AddGroup(g); err != nil {
+				return err
+			}
+		}
+	}
+	if len(p.GroupList) == 0 {
+		return fmt.Errorf("ipmi: configuration defines no groups")
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+// Package opa implements the OPA plugin (paper §3.1, §6.2.1): per-port
+// Omni-Path fabric counters (transmitted/received data and packets)
+// published as per-interval deltas. The production systems read the
+// hfi1 counters; here the counters come from the fabric simulator.
+//
+// Configuration:
+//
+//	plugin opa {
+//	    mqttPrefix /node07/opa
+//	    interval   1000
+//	    ports      1
+//	}
+package opa
+
+import (
+	"fmt"
+	"time"
+
+	"dcdb/internal/config"
+	"dcdb/internal/plugins/pluginutil"
+	"dcdb/internal/pusher"
+	"dcdb/internal/sim/fabric"
+)
+
+// Plugin samples Omni-Path port counters.
+type Plugin struct {
+	pluginutil.Base
+	ports []*fabric.Port
+}
+
+// New creates an unconfigured OPA plugin.
+func New() *Plugin {
+	p := &Plugin{}
+	p.PluginName = "opa"
+	return p
+}
+
+// Factory adapts New to the plugin registry.
+func Factory() pusher.Plugin { return New() }
+
+// Configure implements pusher.Plugin.
+func (p *Plugin) Configure(cfg *config.Node) error {
+	p.Reset()
+	interval := cfg.Duration("interval", time.Second)
+	prefix := cfg.String("mqttPrefix", "/opa")
+	nports := cfg.Int("ports", 1)
+	if nports <= 0 {
+		return fmt.Errorf("opa: ports must be positive, got %d", nports)
+	}
+	p.ports = make([]*fabric.Port, nports)
+	now := time.Now()
+	for i := range p.ports {
+		p.ports[i] = fabric.NewPort(now, 0)
+	}
+	for i := 0; i < nports; i++ {
+		port := p.ports[i]
+		pp := pluginutil.JoinTopic(prefix, fmt.Sprintf("port%d", i))
+		sensors := []*pusher.Sensor{
+			{Name: "xmit_data", Topic: pp + "/xmit_data", Unit: "B", Delta: true},
+			{Name: "rcv_data", Topic: pp + "/rcv_data", Unit: "B", Delta: true},
+			{Name: "xmit_pkts", Topic: pp + "/xmit_pkts", Unit: "packets", Delta: true},
+			{Name: "rcv_pkts", Topic: pp + "/rcv_pkts", Unit: "packets", Delta: true},
+		}
+		g := &pusher.Group{
+			Name:     fmt.Sprintf("port%d", i),
+			Interval: interval,
+			Sensors:  sensors,
+			Reader: pusher.GroupReaderFunc(func(now time.Time) ([]float64, error) {
+				return []float64{
+					float64(port.XmitData(now)),
+					float64(port.RcvData(now)),
+					float64(port.XmitPkts(now)),
+					float64(port.RcvPkts(now)),
+				}, nil
+			}),
+		}
+		if err := p.AddGroup(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+// Package pluginutil provides the shared scaffolding used by all Pusher
+// plugins, playing the role of the code-skeleton generator scripts the
+// original DCDB ships to simplify plugin development (paper §4.1):
+// plugins embed Base and only implement Configure plus their reading
+// logic.
+package pluginutil
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dcdb/internal/config"
+	"dcdb/internal/pusher"
+)
+
+// Base carries the bookkeeping common to every plugin.
+type Base struct {
+	PluginName string
+	GroupList  []*pusher.Group
+	EntityList []pusher.Entity
+}
+
+// Name implements pusher.Plugin.
+func (b *Base) Name() string { return b.PluginName }
+
+// Groups implements pusher.Plugin.
+func (b *Base) Groups() []*pusher.Group { return b.GroupList }
+
+// Entities implements pusher.Plugin.
+func (b *Base) Entities() []pusher.Entity { return b.EntityList }
+
+// Start implements pusher.Plugin with a no-op.
+func (b *Base) Start() error { return nil }
+
+// Stop implements pusher.Plugin with a no-op.
+func (b *Base) Stop() error { return nil }
+
+// AddGroup appends a validated group.
+func (b *Base) AddGroup(g *pusher.Group) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	b.GroupList = append(b.GroupList, g)
+	return nil
+}
+
+// Reset clears configured state so Configure can be re-run (REST
+// reload).
+func (b *Base) Reset() {
+	b.GroupList = nil
+	b.EntityList = nil
+}
+
+// CommonGroupConfig extracts the settings every group block shares.
+type CommonGroupConfig struct {
+	Name     string
+	Interval time.Duration
+	Prefix   string // MQTT topic prefix for the group's sensors
+}
+
+// ParseGroup reads the common fields of a "group <name> { … }" block.
+// defaultInterval applies when the block has no interval.
+func ParseGroup(n *config.Node, defaultInterval time.Duration) CommonGroupConfig {
+	g := CommonGroupConfig{
+		Name:     n.Value,
+		Interval: n.Duration("interval", defaultInterval),
+		Prefix:   n.String("mqttPrefix", ""),
+	}
+	if g.Name == "" {
+		g.Name = "default"
+	}
+	return g
+}
+
+// JoinTopic concatenates a prefix and a leaf into a clean topic.
+func JoinTopic(prefix, leaf string) string {
+	p := strings.TrimSuffix(prefix, "/")
+	l := strings.TrimPrefix(leaf, "/")
+	if p == "" {
+		return "/" + l
+	}
+	if !strings.HasPrefix(p, "/") {
+		p = "/" + p
+	}
+	return p + "/" + l
+}
+
+// SanitizeLevel makes an arbitrary device-provided name usable as one
+// topic hierarchy level.
+func SanitizeLevel(s string) string {
+	s = strings.TrimSpace(s)
+	repl := strings.NewReplacer("/", "-", " ", "_", "#", "", "+", "", "\"", "")
+	s = repl.Replace(s)
+	if s == "" {
+		return "unnamed"
+	}
+	return s
+}
+
+// FuncEntity adapts connect/close functions to pusher.Entity; most
+// plugin entities are a connection plus a name.
+type FuncEntity struct {
+	EntityName string
+	OnConnect  func() error
+	OnClose    func() error
+}
+
+// Name implements pusher.Entity.
+func (e *FuncEntity) Name() string { return e.EntityName }
+
+// Connect implements pusher.Entity.
+func (e *FuncEntity) Connect() error {
+	if e.OnConnect == nil {
+		return nil
+	}
+	return e.OnConnect()
+}
+
+// Close implements pusher.Entity.
+func (e *FuncEntity) Close() error {
+	if e.OnClose == nil {
+		return nil
+	}
+	return e.OnClose()
+}
+
+// RequireValue returns a config value or an error mentioning the
+// plugin, for uniform Configure diagnostics.
+func RequireValue(plugin string, n *config.Node, key string) (string, error) {
+	v, ok := n.Get(key)
+	if !ok || v == "" {
+		return "", fmt.Errorf("%s: missing required config key %q", plugin, key)
+	}
+	return v, nil
+}

@@ -1,0 +1,51 @@
+package procfs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// synthState renders deterministic /proc-style file contents when the
+// real files are unavailable, so the same parser code path runs in
+// hermetic tests and on non-Linux hosts.
+type synthState struct {
+	kind  string
+	start time.Time
+}
+
+func newSynthState(kind string) *synthState {
+	return &synthState{kind: kind, start: time.Now()}
+}
+
+func (s *synthState) render(now time.Time) string {
+	e := now.Sub(s.start).Seconds()
+	if e < 0 {
+		e = 0
+	}
+	switch s.kind {
+	case "meminfo":
+		used := 30e6 + 5e6*math.Sin(e/60)
+		return fmt.Sprintf(
+			"MemTotal:       98304000 kB\nMemFree:        %d kB\nMemAvailable:   %d kB\nBuffers:          512000 kB\nCached:          8192000 kB\nSwapTotal:             0 kB\nSwapFree:              0 kB\nDirty:             %d kB\nActive:         20480000 kB\nInactive:       10240000 kB\n",
+			int(98304000-used), int(98304000-used-9e6), int(2048+1024*math.Abs(math.Sin(e/13))))
+	case "procstat":
+		user := 1000 + 350*e
+		system := 300 + 45*e
+		idle := 5000 + 9000*e
+		var b strings.Builder
+		fmt.Fprintf(&b, "cpu  %d 0 %d %d 120 0 35\n", int(user*48), int(system*48), int(idle*48))
+		for c := 0; c < 4; c++ {
+			fmt.Fprintf(&b, "cpu%d %d 0 %d %d 30 0 8\n", c, int(user*(1+0.02*float64(c))), int(system), int(idle))
+		}
+		fmt.Fprintf(&b, "ctxt %d\nprocesses %d\nprocs_running 3\nprocs_blocked 0\n", int(90000+12000*e), int(4000+2*e))
+		return b.String()
+	default: // vmstat
+		return fmt.Sprintf(
+			"nr_free_pages %d\nnr_anon_pages %d\nnr_mapped 81234\npgpgin %d\npgpgout %d\npgfault %d\npgmajfault %d\nnr_dirty %d\n",
+			int(17e6-1e5*math.Sin(e/30)), int(6e6+2e5*math.Sin(e/45)),
+			int(5e5+4000*e), int(3e5+2500*e), int(9e6+60000*e), int(120+0.3*e),
+			int(900+700*math.Abs(math.Sin(e/7))))
+	}
+}

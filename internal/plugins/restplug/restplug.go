@@ -1,0 +1,138 @@
+// Package restplug implements the REST plugin (paper §3.1, §7.1):
+// out-of-band sampling of devices exposing sensors through RESTful JSON
+// APIs, one of the two sources of the heat-removal case study. A group
+// performs one GET per interval and extracts the configured keys from
+// the returned JSON object, so many sensors cost a single request.
+//
+// Configuration:
+//
+//	plugin rest {
+//	    mqttPrefix /facility/rack01
+//	    interval   10000
+//	    endpoint rack {
+//	        url http://127.0.0.1:8801/sensors
+//	        group circuit {
+//	            sensor power         { key power_kw   unit kW }
+//	            sensor heat_removed  { key heat_kw    unit kW }
+//	            sensor inlet_temp    { key inlet_c    unit C }
+//	        }
+//	    }
+//	}
+package restplug
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"dcdb/internal/config"
+	"dcdb/internal/plugins/pluginutil"
+	"dcdb/internal/pusher"
+)
+
+// Plugin samples REST endpoints.
+type Plugin struct {
+	pluginutil.Base
+	client *http.Client
+}
+
+// New creates an unconfigured REST plugin.
+func New() *Plugin {
+	p := &Plugin{client: &http.Client{Timeout: 5 * time.Second}}
+	p.PluginName = "rest"
+	return p
+}
+
+// Factory adapts New to the plugin registry.
+func Factory() pusher.Plugin { return New() }
+
+// Configure implements pusher.Plugin.
+func (p *Plugin) Configure(cfg *config.Node) error {
+	p.Reset()
+	defInterval := cfg.Duration("interval", 10*time.Second)
+	prefix := cfg.String("mqttPrefix", "/rest")
+	endpoints := cfg.ChildrenNamed("endpoint")
+	if len(endpoints) == 0 {
+		return fmt.Errorf("rest: configuration defines no endpoints")
+	}
+	for _, en := range endpoints {
+		epName := en.Value
+		if epName == "" {
+			return fmt.Errorf("rest: endpoint block without a name")
+		}
+		url, err := pluginutil.RequireValue("rest", en, "url")
+		if err != nil {
+			return err
+		}
+		for _, gn := range en.ChildrenNamed("group") {
+			gc := pluginutil.ParseGroup(gn, defInterval)
+			if gc.Prefix == "" {
+				gc.Prefix = pluginutil.JoinTopic(prefix, epName+"/"+gc.Name)
+			}
+			var sensors []*pusher.Sensor
+			var keys []string
+			for _, sn := range gn.ChildrenNamed("sensor") {
+				if sn.Value == "" {
+					return fmt.Errorf("rest: endpoint %q group %q has a sensor without a name", epName, gc.Name)
+				}
+				key := sn.String("key", sn.Value)
+				sensors = append(sensors, &pusher.Sensor{
+					Name:  sn.Value,
+					Topic: pluginutil.JoinTopic(gc.Prefix, pluginutil.SanitizeLevel(sn.Value)),
+					Unit:  sn.String("unit", ""),
+					Delta: sn.Bool("delta", false),
+				})
+				keys = append(keys, key)
+			}
+			if len(sensors) == 0 {
+				return fmt.Errorf("rest: endpoint %q group %q has no sensors", epName, gc.Name)
+			}
+			ks := keys
+			u := url
+			g := &pusher.Group{
+				Name:     epName + "/" + gc.Name,
+				Interval: gc.Interval,
+				Sensors:  sensors,
+				Reader: pusher.GroupReaderFunc(func(time.Time) ([]float64, error) {
+					values, err := p.fetch(u)
+					if err != nil {
+						return nil, err
+					}
+					out := make([]float64, len(ks))
+					for i, k := range ks {
+						v, ok := values[k]
+						if !ok {
+							return nil, fmt.Errorf("rest: endpoint %s has no key %q", u, k)
+						}
+						out[i] = v
+					}
+					return out, nil
+				}),
+			}
+			if err := p.AddGroup(g); err != nil {
+				return err
+			}
+		}
+	}
+	if len(p.GroupList) == 0 {
+		return fmt.Errorf("rest: configuration defines no groups")
+	}
+	return nil
+}
+
+func (p *Plugin) fetch(url string) (map[string]float64, error) {
+	resp, err := p.client.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("rest: GET %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("rest: GET %s: status %s", url, resp.Status)
+	}
+	var values map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&values); err != nil {
+		return nil, fmt.Errorf("rest: decoding %s: %w", url, err)
+	}
+	return values, nil
+}

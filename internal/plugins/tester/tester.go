@@ -1,0 +1,110 @@
+// Package tester implements the tester plugin of the paper's evaluation
+// (§6.2.1): it generates an arbitrary number of sensors with negligible
+// acquisition overhead, isolating the cost of the Pusher core (sampling
+// machinery plus MQTT communication) from the cost of real monitoring
+// backends. All scalability experiments (Figures 5–8) drive Pushers
+// configured with this plugin.
+//
+// Configuration:
+//
+//	plugin tester {
+//	    mqttPrefix  /test
+//	    interval    1000         ; default interval, ms
+//	    group g0 {
+//	        interval    1000
+//	        mqttPrefix  /test/g0
+//	        sensors     100      ; sensors in this group
+//	    }
+//	    groups      10           ; alternative: bulk-generate groups
+//	    sensorsEach 100          ; sensors per bulk group
+//	}
+package tester
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"dcdb/internal/config"
+	"dcdb/internal/plugins/pluginutil"
+	"dcdb/internal/pusher"
+)
+
+// Plugin generates synthetic monotonically increasing readings.
+type Plugin struct {
+	pluginutil.Base
+	counter atomic.Int64
+}
+
+// New creates an unconfigured tester plugin.
+func New() *Plugin {
+	p := &Plugin{}
+	p.PluginName = "tester"
+	return p
+}
+
+// Factory adapts New to the plugin registry.
+func Factory() pusher.Plugin { return New() }
+
+// Configure implements pusher.Plugin.
+func (p *Plugin) Configure(cfg *config.Node) error {
+	p.Reset()
+	defInterval := cfg.Duration("interval", time.Second)
+	prefix := cfg.String("mqttPrefix", "/test")
+
+	for _, gn := range cfg.ChildrenNamed("group") {
+		gc := pluginutil.ParseGroup(gn, defInterval)
+		if gc.Prefix == "" {
+			gc.Prefix = pluginutil.JoinTopic(prefix, gc.Name)
+		}
+		count := gn.Int("sensors", 1)
+		if err := p.addGroup(gc, count); err != nil {
+			return err
+		}
+	}
+	if bulk := cfg.Int("groups", 0); bulk > 0 {
+		each := cfg.Int("sensorsEach", 1)
+		for i := 0; i < bulk; i++ {
+			gc := pluginutil.CommonGroupConfig{
+				Name:     fmt.Sprintf("bulk%04d", i),
+				Interval: defInterval,
+				Prefix:   pluginutil.JoinTopic(prefix, fmt.Sprintf("g%04d", i)),
+			}
+			if err := p.addGroup(gc, each); err != nil {
+				return err
+			}
+		}
+	}
+	if len(p.GroupList) == 0 {
+		return fmt.Errorf("tester: configuration defines no groups")
+	}
+	return nil
+}
+
+func (p *Plugin) addGroup(gc pluginutil.CommonGroupConfig, count int) error {
+	if count <= 0 {
+		return fmt.Errorf("tester: group %q has %d sensors", gc.Name, count)
+	}
+	sensors := make([]*pusher.Sensor, count)
+	for i := range sensors {
+		sensors[i] = &pusher.Sensor{
+			Name:  fmt.Sprintf("s%05d", i),
+			Topic: pluginutil.JoinTopic(gc.Prefix, fmt.Sprintf("s%05d", i)),
+			Unit:  "events",
+		}
+	}
+	g := &pusher.Group{
+		Name:     gc.Name,
+		Interval: gc.Interval,
+		Sensors:  sensors,
+		Reader: pusher.GroupReaderFunc(func(time.Time) ([]float64, error) {
+			base := p.counter.Add(int64(count))
+			vals := make([]float64, count)
+			for i := range vals {
+				vals[i] = float64(base) + float64(i)
+			}
+			return vals, nil
+		}),
+	}
+	return p.AddGroup(g)
+}

@@ -1,0 +1,183 @@
+// Package pusher implements DCDB's Pusher component (paper §3.1, §4.1):
+// the daemon that runs on compute nodes (in-band) or management servers
+// (out-of-band) and acquires monitoring data through plugins. A plugin
+// consists of up to four logical components — sensors, groups, entities
+// and a configurator — mirroring the original architecture:
+//
+//   - Sensor: the most basic unit of data collection, a single source
+//     that cannot be divided further (an L1-miss counter, a power probe).
+//   - Group: logically-related sensors sharing one sampling interval,
+//     always read collectively at the same point in time.
+//   - Entity: an optional level that lets groups share a resource, e.g.
+//     the connection to a remote IPMI or SNMP host.
+//   - Configurator: builds all of the above from the configuration file.
+//
+// The Pusher host schedules group reads on a bounded pool of sampling
+// workers, aligns read times to wall-clock multiples of the interval
+// (the NTP-style synchronisation of §4.1 that keeps node interruptions
+// simultaneous across a parallel job), stores readings in the sensor
+// cache, and forwards them to a Collect Agent over MQTT in either
+// continuous or burst mode.
+package pusher
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dcdb/internal/config"
+	"dcdb/internal/core"
+)
+
+// Sensor describes one data source within a group.
+type Sensor struct {
+	// Name is the sensor's name within its group.
+	Name string
+	// Topic is the full MQTT topic readings are published under.
+	Topic string
+	// Unit is the physical unit of raw readings.
+	Unit string
+	// Delta marks monotonic counters published as per-interval deltas
+	// (perfevents-style).
+	Delta bool
+
+	prev      float64
+	prevValid bool
+}
+
+// deltaValue converts a raw counter sample into a delta reading; the
+// first sample after start is suppressed (no baseline yet).
+func (s *Sensor) deltaValue(raw float64) (float64, bool) {
+	if !s.Delta {
+		return raw, true
+	}
+	if !s.prevValid {
+		s.prev, s.prevValid = raw, true
+		return 0, false
+	}
+	d := raw - s.prev
+	s.prev = raw
+	return d, true
+}
+
+// GroupReader performs the collective read of a group. Implementations
+// return one raw value per sensor, in group order.
+type GroupReader interface {
+	ReadGroup(now time.Time) ([]float64, error)
+}
+
+// GroupReaderFunc adapts a function to the GroupReader interface.
+type GroupReaderFunc func(now time.Time) ([]float64, error)
+
+// ReadGroup implements GroupReader.
+func (f GroupReaderFunc) ReadGroup(now time.Time) ([]float64, error) { return f(now) }
+
+// Group ties together logically-related sensors sharing a sampling
+// interval (paper §4.1).
+type Group struct {
+	// Name identifies the group within its plugin.
+	Name string
+	// Interval is the sampling interval of all sensors in the group.
+	Interval time.Duration
+	// Sensors are the group members, read collectively.
+	Sensors []*Sensor
+	// Reader performs the collective read.
+	Reader GroupReader
+	// Entity optionally names the entity the group reads through.
+	Entity string
+}
+
+// Validate reports structural problems in a group definition.
+func (g *Group) Validate() error {
+	if g.Name == "" {
+		return fmt.Errorf("pusher: group without name")
+	}
+	if g.Interval <= 0 {
+		return fmt.Errorf("pusher: group %q has non-positive interval", g.Name)
+	}
+	if len(g.Sensors) == 0 {
+		return fmt.Errorf("pusher: group %q has no sensors", g.Name)
+	}
+	if g.Reader == nil {
+		return fmt.Errorf("pusher: group %q has no reader", g.Name)
+	}
+	for _, s := range g.Sensors {
+		if _, err := core.CanonicalTopic(s.Topic); err != nil {
+			return fmt.Errorf("pusher: group %q sensor %q: %w", g.Name, s.Name, err)
+		}
+	}
+	return nil
+}
+
+// Entity is an optional shared resource (a remote host connection, a
+// device handle) used by one or more groups of a plugin.
+type Entity interface {
+	Name() string
+	Connect() error
+	Close() error
+}
+
+// Plugin is the data-acquisition interface loaded by the Pusher. The
+// Configurator role of the paper maps to the Configure method.
+type Plugin interface {
+	// Name returns the plugin identifier ("procfs", "ipmi", …).
+	Name() string
+	// Configure builds entities, groups and sensors from the plugin's
+	// configuration block.
+	Configure(cfg *config.Node) error
+	// Groups lists the configured sensor groups.
+	Groups() []*Group
+	// Entities lists the configured entities (may be empty).
+	Entities() []Entity
+	// Start is called before sampling begins (connect entities, open
+	// files).
+	Start() error
+	// Stop is called when the plugin is stopped or the Pusher exits.
+	Stop() error
+}
+
+// Registry maps plugin names to factories so that configurations can
+// instantiate plugins by name, emulating the dynamic-library loading of
+// the original Pusher.
+type Registry struct {
+	mu        sync.RWMutex
+	factories map[string]func() Plugin
+}
+
+// NewRegistry returns an empty plugin registry.
+func NewRegistry() *Registry {
+	return &Registry{factories: make(map[string]func() Plugin)}
+}
+
+// Register adds a plugin factory under its name. Re-registering a name
+// replaces the factory, which configurations use to swap
+// implementations.
+func (r *Registry) Register(name string, factory func() Plugin) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.factories[name] = factory
+}
+
+// New instantiates a registered plugin.
+func (r *Registry) New(name string) (Plugin, error) {
+	r.mu.RLock()
+	f, ok := r.factories[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("pusher: unknown plugin %q (known: %v)", name, r.Names())
+	}
+	return f(), nil
+}
+
+// Names lists the registered plugin names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.factories))
+	for n := range r.factories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,229 @@
+// Package rest implements the RESTful APIs of Pushers and Collect
+// Agents (paper §5.3). The Pusher API retrieves the current
+// configuration, starts and stops individual plugins (to avoid
+// conflicts with user software accessing the same data source),
+// triggers seamless configuration reloads, and reads the sensor cache.
+// The Collect Agent API mirrors the cache access for all sensors of the
+// connected Pushers, so other processes — legacy monitoring included —
+// can read every sensor through one interface from user space.
+package rest
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"dcdb/internal/cache"
+	"dcdb/internal/collectagent"
+	"dcdb/internal/pusher"
+)
+
+// CachedReading is the JSON shape of one cache entry.
+type CachedReading struct {
+	Topic     string  `json:"topic"`
+	Timestamp int64   `json:"timestamp"`
+	Value     float64 `json:"value"`
+	Average   float64 `json:"average,omitempty"`
+}
+
+// PusherAPI serves the Pusher's RESTful interface.
+type PusherAPI struct {
+	host *pusher.Host
+	// ConfigText returns the current configuration rendering; nil
+	// yields 404 on /config.
+	ConfigText func() string
+	// Reload re-reads the configuration and reconfigures plugins
+	// without interrupting the Pusher; nil yields 501 on /reload.
+	Reload func() error
+	// StartPlugin restarts a previously stopped plugin by name; nil
+	// yields 501.
+	StartPlugin func(name string) error
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewPusherAPI wraps a Host.
+func NewPusherAPI(host *pusher.Host) *PusherAPI { return &PusherAPI{host: host} }
+
+// Routes returns the API's handler (exported for tests).
+func (p *PusherAPI) Routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /config", func(w http.ResponseWriter, r *http.Request) {
+		if p.ConfigText == nil {
+			http.Error(w, "no configuration attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprint(w, p.ConfigText())
+	})
+	mux.HandleFunc("GET /plugins", func(w http.ResponseWriter, r *http.Request) {
+		running := p.host.Running()
+		sort.Strings(running)
+		writeJSON(w, map[string]any{"running": running})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, p.host.Stats())
+	})
+	mux.HandleFunc("GET /sensors", func(w http.ResponseWriter, r *http.Request) {
+		serveTopics(w, p.host.Cache())
+	})
+	mux.HandleFunc("GET /cache/", func(w http.ResponseWriter, r *http.Request) {
+		serveCache(w, r, p.host.Cache(), "/cache/")
+	})
+	mux.HandleFunc("POST /plugins/{name}/stop", func(w http.ResponseWriter, r *http.Request) {
+		if err := p.host.StopPlugin(r.PathValue("name")); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, map[string]string{"status": "stopped"})
+	})
+	mux.HandleFunc("POST /plugins/{name}/start", func(w http.ResponseWriter, r *http.Request) {
+		if p.StartPlugin == nil {
+			http.Error(w, "start not supported", http.StatusNotImplemented)
+			return
+		}
+		if err := p.StartPlugin(r.PathValue("name")); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, map[string]string{"status": "started"})
+	})
+	mux.HandleFunc("POST /reload", func(w http.ResponseWriter, r *http.Request) {
+		if p.Reload == nil {
+			http.Error(w, "reload not supported", http.StatusNotImplemented)
+			return
+		}
+		if err := p.Reload(); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, map[string]string{"status": "reloaded"})
+	})
+	return mux
+}
+
+// Listen starts the API server on addr.
+func (p *PusherAPI) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	p.ln = ln
+	p.srv = &http.Server{Handler: p.Routes()}
+	go p.srv.Serve(ln)
+	return nil
+}
+
+// Addr returns the bound address.
+func (p *PusherAPI) Addr() string {
+	if p.ln == nil {
+		return ""
+	}
+	return p.ln.Addr().String()
+}
+
+// Close stops the server.
+func (p *PusherAPI) Close() error {
+	if p.srv == nil {
+		return nil
+	}
+	return p.srv.Close()
+}
+
+// AgentAPI serves the Collect Agent's RESTful interface.
+type AgentAPI struct {
+	agent *collectagent.Agent
+	srv   *http.Server
+	ln    net.Listener
+}
+
+// NewAgentAPI wraps an Agent.
+func NewAgentAPI(agent *collectagent.Agent) *AgentAPI { return &AgentAPI{agent: agent} }
+
+// Routes returns the API's handler (exported for tests).
+func (a *AgentAPI) Routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /sensors", func(w http.ResponseWriter, r *http.Request) {
+		serveTopics(w, a.agent.Cache())
+	})
+	mux.HandleFunc("GET /cache/", func(w http.ResponseWriter, r *http.Request) {
+		serveCache(w, r, a.agent.Cache(), "/cache/")
+	})
+	mux.HandleFunc("GET /hierarchy", func(w http.ResponseWriter, r *http.Request) {
+		path := r.URL.Query().Get("path")
+		writeJSON(w, map[string]any{
+			"path":     path,
+			"children": a.agent.Hierarchy().Children(path),
+			"sensors":  a.agent.Hierarchy().Sensors(path),
+		})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, a.agent.Stats())
+	})
+	return mux
+}
+
+// Listen starts the API server on addr.
+func (a *AgentAPI) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	a.ln = ln
+	a.srv = &http.Server{Handler: a.Routes()}
+	go a.srv.Serve(ln)
+	return nil
+}
+
+// Addr returns the bound address.
+func (a *AgentAPI) Addr() string {
+	if a.ln == nil {
+		return ""
+	}
+	return a.ln.Addr().String()
+}
+
+// Close stops the server.
+func (a *AgentAPI) Close() error {
+	if a.srv == nil {
+		return nil
+	}
+	return a.srv.Close()
+}
+
+func serveTopics(w http.ResponseWriter, c *cache.Cache) {
+	topics := c.Topics()
+	sort.Strings(topics)
+	writeJSON(w, map[string]any{"sensors": topics})
+}
+
+func serveCache(w http.ResponseWriter, r *http.Request, c *cache.Cache, prefix string) {
+	topic := strings.TrimPrefix(r.URL.Path, prefix)
+	if !strings.HasPrefix(topic, "/") {
+		topic = "/" + topic
+	}
+	latest, ok := c.Latest(topic)
+	if !ok {
+		http.Error(w, "sensor not in cache", http.StatusNotFound)
+		return
+	}
+	out := CachedReading{Topic: topic, Timestamp: latest.Timestamp, Value: latest.Value}
+	if avgStr := r.URL.Query().Get("avg"); avgStr != "" {
+		if d, err := time.ParseDuration(avgStr); err == nil {
+			if avg, ok := c.Average(topic, d); ok {
+				out.Average = avg
+			}
+		}
+	}
+	writeJSON(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

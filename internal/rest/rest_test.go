@@ -1,0 +1,218 @@
+package rest
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dcdb/internal/collectagent"
+	"dcdb/internal/config"
+	"dcdb/internal/core"
+	"dcdb/internal/plugins/tester"
+	"dcdb/internal/pusher"
+	"dcdb/internal/store"
+)
+
+func startHostWithTester(t *testing.T) *pusher.Host {
+	t.Helper()
+	h := pusher.NewHost(nil, pusher.Options{Threads: 1})
+	t.Cleanup(func() { h.Close() })
+	p := tester.New()
+	cfg, _ := config.ParseString("mqttPrefix /api\ngroup g { interval 10 sensors 2 }")
+	if err := p.Configure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.StartPlugin(p); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for h.Stats().Readings < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	return h
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp, sb.String()
+}
+
+func post(t *testing.T, srv *httptest.Server, path string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(srv.URL+path, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func TestPusherAPI(t *testing.T) {
+	h := startHostWithTester(t)
+	api := NewPusherAPI(h)
+	api.ConfigText = func() string { return "global { }" }
+	reloaded := false
+	api.Reload = func() error { reloaded = true; return nil }
+	srv := httptest.NewServer(api.Routes())
+	defer srv.Close()
+
+	resp, body := get(t, srv, "/config")
+	if resp.StatusCode != 200 || body != "global { }" {
+		t.Errorf("/config = %d %q", resp.StatusCode, body)
+	}
+	resp, body = get(t, srv, "/plugins")
+	if resp.StatusCode != 200 || !strings.Contains(body, "tester") {
+		t.Errorf("/plugins = %d %q", resp.StatusCode, body)
+	}
+	resp, body = get(t, srv, "/sensors")
+	if resp.StatusCode != 200 || !strings.Contains(body, "/api/g/s00000") {
+		t.Errorf("/sensors = %d %q", resp.StatusCode, body)
+	}
+	resp, body = get(t, srv, "/cache/api/g/s00000?avg=1m")
+	if resp.StatusCode != 200 {
+		t.Fatalf("/cache = %d %q", resp.StatusCode, body)
+	}
+	var cr CachedReading
+	if err := json.Unmarshal([]byte(body), &cr); err != nil || cr.Topic != "/api/g/s00000" {
+		t.Errorf("cache reading = %+v, %v", cr, err)
+	}
+	resp, _ = get(t, srv, "/cache/unknown/topic")
+	if resp.StatusCode != 404 {
+		t.Errorf("unknown cache topic = %d", resp.StatusCode)
+	}
+	resp, body = get(t, srv, "/stats")
+	if resp.StatusCode != 200 || !strings.Contains(body, "Readings") {
+		t.Errorf("/stats = %d %q", resp.StatusCode, body)
+	}
+	// Reload.
+	if resp := post(t, srv, "/reload"); resp.StatusCode != 200 || !reloaded {
+		t.Errorf("/reload = %d, reloaded=%v", resp.StatusCode, reloaded)
+	}
+	// Stop the plugin via the API.
+	if resp := post(t, srv, "/plugins/tester/stop"); resp.StatusCode != 200 {
+		t.Errorf("stop = %d", resp.StatusCode)
+	}
+	if len(h.Running()) != 0 {
+		t.Error("plugin still running after API stop")
+	}
+	if resp := post(t, srv, "/plugins/tester/stop"); resp.StatusCode != 404 {
+		t.Errorf("double stop = %d", resp.StatusCode)
+	}
+	// Start is 501 without a hook, then works with one.
+	if resp := post(t, srv, "/plugins/tester/start"); resp.StatusCode != 501 {
+		t.Errorf("start without hook = %d", resp.StatusCode)
+	}
+	api.StartPlugin = func(name string) error {
+		if name != "tester" {
+			return fmt.Errorf("unknown plugin %q", name)
+		}
+		p := tester.New()
+		cfg, _ := config.ParseString("mqttPrefix /api\ngroup g { interval 10 sensors 2 }")
+		if err := p.Configure(cfg); err != nil {
+			return err
+		}
+		return h.StartPlugin(p)
+	}
+	if resp := post(t, srv, "/plugins/tester/start"); resp.StatusCode != 200 {
+		t.Errorf("start = %d", resp.StatusCode)
+	}
+	if len(h.Running()) != 1 {
+		t.Error("plugin not running after API start")
+	}
+	if resp := post(t, srv, "/plugins/bogus/start"); resp.StatusCode != 400 {
+		t.Errorf("bogus start = %d", resp.StatusCode)
+	}
+}
+
+func TestPusherAPIWithoutHooks(t *testing.T) {
+	h := pusher.NewHost(nil, pusher.Options{})
+	defer h.Close()
+	srv := httptest.NewServer(NewPusherAPI(h).Routes())
+	defer srv.Close()
+	if resp, _ := get(t, srv, "/config"); resp.StatusCode != 404 {
+		t.Error("config without hook should 404")
+	}
+	if resp := post(t, srv, "/reload"); resp.StatusCode != 501 {
+		t.Error("reload without hook should 501")
+	}
+}
+
+func TestAgentAPI(t *testing.T) {
+	a := collectagent.New(store.NewNode(0), nil, collectagent.Options{Quiet: true})
+	a.Handle("/lrz/cm3/n1/power", core.EncodeReadings([]core.Reading{{Timestamp: 5, Value: 7.5}}))
+	a.Handle("/lrz/cm3/n2/power", core.EncodeReadings([]core.Reading{{Timestamp: 6, Value: 8.5}}))
+	srv := httptest.NewServer(NewAgentAPI(a).Routes())
+	defer srv.Close()
+
+	resp, body := get(t, srv, "/sensors")
+	if resp.StatusCode != 200 || !strings.Contains(body, "/lrz/cm3/n1/power") {
+		t.Errorf("/sensors = %d %q", resp.StatusCode, body)
+	}
+	resp, body = get(t, srv, "/cache/lrz/cm3/n1/power")
+	if resp.StatusCode != 200 || !strings.Contains(body, "7.5") {
+		t.Errorf("/cache = %d %q", resp.StatusCode, body)
+	}
+	resp, body = get(t, srv, "/hierarchy?path=/lrz/cm3")
+	if resp.StatusCode != 200 || !strings.Contains(body, "n1") || !strings.Contains(body, "n2") {
+		t.Errorf("/hierarchy = %d %q", resp.StatusCode, body)
+	}
+	resp, body = get(t, srv, "/stats")
+	if resp.StatusCode != 200 || !strings.Contains(body, "Readings") {
+		t.Errorf("/stats = %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestAPIListenAndClose(t *testing.T) {
+	h := pusher.NewHost(nil, pusher.Options{})
+	defer h.Close()
+	api := NewPusherAPI(h)
+	if err := api.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if api.Addr() == "" {
+		t.Error("no addr after listen")
+	}
+	resp, err := http.Get("http://" + api.Addr() + "/plugins")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("live API: %v, %v", resp, err)
+	}
+	resp.Body.Close()
+	if err := api.Close(); err != nil {
+		t.Error(err)
+	}
+
+	a := collectagent.New(store.NewNode(0), nil, collectagent.Options{Quiet: true})
+	agentAPI := NewAgentAPI(a)
+	if err := agentAPI.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if agentAPI.Addr() == "" {
+		t.Error("no agent addr")
+	}
+	resp, err = http.Get("http://" + agentAPI.Addr() + "/stats")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("live agent API: %v, %v", resp, err)
+	}
+	resp.Body.Close()
+	if err := agentAPI.Close(); err != nil {
+		t.Error(err)
+	}
+}

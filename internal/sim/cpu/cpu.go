@@ -1,0 +1,157 @@
+// Package cpu simulates per-core CPU performance counters, standing in
+// for the perf_event_open interface the Perfevents plugin samples on
+// real nodes. Counter values are deterministic functions of elapsed
+// time and the machine's workload profile, so two reads of the same
+// counter at the same instant agree, counters are monotonic, and tests
+// are reproducible.
+package cpu
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Counter identifies a hardware event.
+type Counter int
+
+// The simulated hardware events, mirroring the perfevents plugin's
+// production configuration.
+const (
+	Instructions Counter = iota
+	Cycles
+	CacheMisses
+	CacheReferences
+	BranchMisses
+	BranchInstructions
+	numCounters
+)
+
+// Names of the counters as used in MQTT topics.
+var counterNames = [...]string{
+	"instructions", "cycles", "cache-misses", "cache-references",
+	"branch-misses", "branch-instructions",
+}
+
+// String returns the counter's topic name.
+func (c Counter) String() string {
+	if c < 0 || int(c) >= len(counterNames) {
+		return fmt.Sprintf("counter%d", int(c))
+	}
+	return counterNames[c]
+}
+
+// Counters lists all simulated events.
+func Counters() []Counter {
+	out := make([]Counter, numCounters)
+	for i := range out {
+		out[i] = Counter(i)
+	}
+	return out
+}
+
+// Profile shapes the workload driving the counters: given the elapsed
+// time, it returns the instantaneous instructions-per-cycle and the
+// node power draw in Watts. Workload models (HPL, CORAL-2 apps) provide
+// profiles.
+type Profile func(elapsed time.Duration) (ipc float64, powerW float64)
+
+// DefaultProfile is a mildly varying compute profile.
+func DefaultProfile(elapsed time.Duration) (float64, float64) {
+	t := elapsed.Seconds()
+	return 1.5 + 0.3*math.Sin(t/7), 250 + 20*math.Sin(t/11)
+}
+
+// Machine simulates the counters of one node.
+type Machine struct {
+	cores   int
+	baseHz  float64
+	start   time.Time
+	mu      sync.RWMutex
+	profile Profile
+}
+
+// NewMachine creates a node simulator with the given core count and
+// nominal clock (e.g. 2.7e9). A nil profile selects DefaultProfile.
+func NewMachine(cores int, clockHz float64, profile Profile) *Machine {
+	if profile == nil {
+		profile = DefaultProfile
+	}
+	if cores <= 0 {
+		cores = 1
+	}
+	if clockHz <= 0 {
+		clockHz = 2.7e9
+	}
+	return &Machine{cores: cores, baseHz: clockHz, start: time.Now(), profile: profile}
+}
+
+// Cores returns the simulated core count.
+func (m *Machine) Cores() int { return m.cores }
+
+// SetProfile swaps the workload profile (e.g. when a new job starts).
+func (m *Machine) SetProfile(p Profile) {
+	m.mu.Lock()
+	m.profile = p
+	m.mu.Unlock()
+}
+
+// SetStart rebases the machine's epoch (used by tests).
+func (m *Machine) SetStart(t time.Time) {
+	m.mu.Lock()
+	m.start = t
+	m.mu.Unlock()
+}
+
+// ReadCounter returns the cumulative value of a counter on a core at
+// the given wall-clock time. Values are monotonic in t.
+func (m *Machine) ReadCounter(core int, c Counter, at time.Time) (uint64, error) {
+	if core < 0 || core >= m.cores {
+		return 0, fmt.Errorf("cpu: core %d out of range [0,%d)", core, m.cores)
+	}
+	m.mu.RLock()
+	start, profile := m.start, m.profile
+	m.mu.RUnlock()
+	elapsed := at.Sub(start)
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	// Integrate the profile coarsely: IPC is sampled midway through
+	// the elapsed interval, which keeps the function monotonic and
+	// cheap while still reflecting phase changes.
+	ipc, _ := profile(elapsed / 2)
+	cycles := m.baseHz * elapsed.Seconds()
+	// Per-core skew makes cores distinguishable.
+	skew := 1 + 0.01*float64(core%7)
+	instr := cycles * ipc * skew
+	switch c {
+	case Instructions:
+		return uint64(instr), nil
+	case Cycles:
+		return uint64(cycles * skew), nil
+	case CacheReferences:
+		return uint64(instr * 0.31), nil
+	case CacheMisses:
+		return uint64(instr * 0.012 * (2 - ipc/2)), nil
+	case BranchInstructions:
+		return uint64(instr * 0.19), nil
+	case BranchMisses:
+		return uint64(instr * 0.004), nil
+	default:
+		return 0, fmt.Errorf("cpu: unknown counter %d", int(c))
+	}
+}
+
+// Power returns the node power draw in Watts at the given time.
+func (m *Machine) Power(at time.Time) float64 {
+	m.mu.RLock()
+	start, profile := m.start, m.profile
+	m.mu.RUnlock()
+	elapsed := at.Sub(start)
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	_, w := profile(elapsed)
+	return w
+}

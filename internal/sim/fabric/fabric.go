@@ -1,0 +1,111 @@
+// Package fabric simulates the I/O substrate counters sampled by the
+// paper's OPA (Omni-Path) and GPFS plugins (§3.1): monotonically
+// increasing per-port transmit/receive counters and per-filesystem
+// operation counters. Values are deterministic functions of elapsed
+// time modelling a bursty parallel I/O pattern, so the plugins' delta
+// logic produces realistic non-negative rates.
+package fabric
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Port simulates one Omni-Path HFI port.
+type Port struct {
+	start time.Time
+	// MeanBytesPerSec is the average transmit bandwidth.
+	MeanBytesPerSec float64
+	mu              sync.Mutex
+}
+
+// NewPort creates a port with the given mean bandwidth anchored at
+// start.
+func NewPort(start time.Time, meanBytesPerSec float64) *Port {
+	if meanBytesPerSec <= 0 {
+		meanBytesPerSec = 2e9 // ~16 Gbit/s average on a 100 Gbit fabric
+	}
+	return &Port{start: start, MeanBytesPerSec: meanBytesPerSec}
+}
+
+// integrate returns the integral of a bursty rate profile over elapsed
+// seconds: base load plus sinusoidal communication phases. The closed
+// form keeps counters exact and monotonic.
+func integrate(e, mean, burstPeriod float64) float64 {
+	if e < 0 {
+		return 0
+	}
+	// rate(t) = mean * (0.7 + 0.3 sin(2πt/p)) ≥ 0.4·mean > 0.
+	return mean * (0.7*e + 0.3*burstPeriod/(2*math.Pi)*(1-math.Cos(2*math.Pi*e/burstPeriod)))
+}
+
+// XmitData returns cumulative transmitted bytes at t.
+func (p *Port) XmitData(t time.Time) uint64 {
+	return uint64(integrate(t.Sub(p.start).Seconds(), p.MeanBytesPerSec, 45))
+}
+
+// RcvData returns cumulative received bytes at t.
+func (p *Port) RcvData(t time.Time) uint64 {
+	return uint64(integrate(t.Sub(p.start).Seconds(), p.MeanBytesPerSec*0.93, 45))
+}
+
+// XmitPkts returns cumulative transmitted packets at t (2 KiB MTU-ish).
+func (p *Port) XmitPkts(t time.Time) uint64 { return p.XmitData(t) / 2048 }
+
+// RcvPkts returns cumulative received packets at t.
+func (p *Port) RcvPkts(t time.Time) uint64 { return p.RcvData(t) / 2048 }
+
+// Filesystem simulates GPFS mmpmon-style counters for one mounted
+// parallel filesystem.
+type Filesystem struct {
+	start time.Time
+	// MeanReadBps and MeanWriteBps are average throughputs.
+	MeanReadBps, MeanWriteBps float64
+}
+
+// NewFilesystem creates a filesystem anchored at start.
+func NewFilesystem(start time.Time, readBps, writeBps float64) *Filesystem {
+	if readBps <= 0 {
+		readBps = 5e8
+	}
+	if writeBps <= 0 {
+		writeBps = 3e8
+	}
+	return &Filesystem{start: start, MeanReadBps: readBps, MeanWriteBps: writeBps}
+}
+
+// BytesRead returns cumulative bytes read at t.
+func (f *Filesystem) BytesRead(t time.Time) uint64 {
+	return uint64(integrate(t.Sub(f.start).Seconds(), f.MeanReadBps, 120))
+}
+
+// BytesWritten returns cumulative bytes written at t. Writes burst on a
+// checkpoint-like cadence.
+func (f *Filesystem) BytesWritten(t time.Time) uint64 {
+	return uint64(integrate(t.Sub(f.start).Seconds(), f.MeanWriteBps, 300))
+}
+
+// Reads returns the cumulative read-call count at t (1 MiB average).
+func (f *Filesystem) Reads(t time.Time) uint64 { return f.BytesRead(t) / (1 << 20) }
+
+// Writes returns the cumulative write-call count at t.
+func (f *Filesystem) Writes(t time.Time) uint64 { return f.BytesWritten(t) / (1 << 20) }
+
+// Opens returns cumulative file opens at t: jobs churn files slowly.
+func (f *Filesystem) Opens(t time.Time) uint64 {
+	e := t.Sub(f.start).Seconds()
+	if e < 0 {
+		return 0
+	}
+	return uint64(e * 3.5)
+}
+
+// Closes returns cumulative file closes (trailing opens slightly).
+func (f *Filesystem) Closes(t time.Time) uint64 {
+	o := f.Opens(t)
+	if o < 2 {
+		return 0
+	}
+	return o - 2
+}

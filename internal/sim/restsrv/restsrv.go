@@ -1,0 +1,92 @@
+// Package restsrv simulates a device exposing sensors through a
+// RESTful JSON API — rack controllers and cooling-loop managers of the
+// kind the paper's REST plugin samples out-of-band in the first case
+// study (§7.1). GET /sensors returns all values; GET /sensors/<name>
+// returns one.
+package restsrv
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SensorFunc produces the current value of one REST-exposed sensor.
+type SensorFunc func(at time.Time) float64
+
+// Device is a simulated REST sensor endpoint.
+type Device struct {
+	mu      sync.RWMutex
+	sensors map[string]SensorFunc
+	srv     *http.Server
+	ln      net.Listener
+}
+
+// NewDevice creates an empty device.
+func NewDevice() *Device { return &Device{sensors: make(map[string]SensorFunc)} }
+
+// AddSensor registers a sensor under a path-safe name.
+func (d *Device) AddSensor(name string, f SensorFunc) {
+	d.mu.Lock()
+	d.sensors[name] = f
+	d.mu.Unlock()
+}
+
+// Listen starts the HTTP server on addr (":0" picks a free port).
+func (d *Device) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	d.ln = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("/sensors", d.handleAll)
+	mux.HandleFunc("/sensors/", d.handleOne)
+	d.srv = &http.Server{Handler: mux}
+	go d.srv.Serve(ln)
+	return nil
+}
+
+// Addr returns the device's address.
+func (d *Device) Addr() string {
+	if d.ln == nil {
+		return ""
+	}
+	return d.ln.Addr().String()
+}
+
+// Close stops the server.
+func (d *Device) Close() error {
+	if d.srv == nil {
+		return nil
+	}
+	return d.srv.Close()
+}
+
+func (d *Device) handleAll(w http.ResponseWriter, _ *http.Request) {
+	now := time.Now()
+	d.mu.RLock()
+	out := make(map[string]float64, len(d.sensors))
+	for n, f := range d.sensors {
+		out[n] = f(now)
+	}
+	d.mu.RUnlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func (d *Device) handleOne(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/sensors/")
+	d.mu.RLock()
+	f, ok := d.sensors[name]
+	d.mu.RUnlock()
+	if !ok {
+		http.Error(w, "unknown sensor", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]float64{name: f(time.Now())})
+}

@@ -1,0 +1,147 @@
+// Package snmp simulates an SNMP agent — a PDU, a cooling-loop
+// controller, a network switch — answering OID GET requests over UDP,
+// the out-of-band source of the paper's SNMP plugin (§3.1, §7.1). The
+// wire format is a minimal GET protocol preserving the plugin-relevant
+// behaviour: one datagram per OID read.
+//
+// Request datagram : 'G' | oid bytes
+// Response datagram: status u8 | f64 value (big-endian)
+package snmp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"time"
+)
+
+// Status codes.
+const (
+	StatusOK         = 0
+	StatusUnknownOID = 1
+	StatusBadRequest = 2
+)
+
+// ValueFunc produces the current value behind an OID.
+type ValueFunc func(at time.Time) float64
+
+// Agent is a simulated SNMP agent.
+type Agent struct {
+	mu   sync.RWMutex
+	oids map[string]ValueFunc
+	conn *net.UDPConn
+}
+
+// NewAgent creates an empty agent.
+func NewAgent() *Agent { return &Agent{oids: make(map[string]ValueFunc)} }
+
+// Register binds an OID ("1.3.6.1.4.1.2021.4.5.0") to a value source.
+func (a *Agent) Register(oid string, f ValueFunc) {
+	a.mu.Lock()
+	a.oids[oid] = f
+	a.mu.Unlock()
+}
+
+// Listen starts the agent on a UDP address (":0" picks a free port).
+func (a *Agent) Listen(addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("snmp: resolve %s: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return fmt.Errorf("snmp: listen: %w", err)
+	}
+	a.conn = conn
+	go a.serve()
+	return nil
+}
+
+// Addr returns the agent's address.
+func (a *Agent) Addr() string {
+	if a.conn == nil {
+		return ""
+	}
+	return a.conn.LocalAddr().String()
+}
+
+// Close stops the agent.
+func (a *Agent) Close() error {
+	if a.conn == nil {
+		return nil
+	}
+	return a.conn.Close()
+}
+
+func (a *Agent) serve() {
+	buf := make([]byte, 512)
+	for {
+		n, peer, err := a.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		if n < 2 || buf[0] != 'G' {
+			a.conn.WriteToUDP([]byte{StatusBadRequest}, peer)
+			continue
+		}
+		oid := string(buf[1:n])
+		a.mu.RLock()
+		f, ok := a.oids[oid]
+		a.mu.RUnlock()
+		if !ok {
+			a.conn.WriteToUDP([]byte{StatusUnknownOID}, peer)
+			continue
+		}
+		var resp [9]byte
+		resp[0] = StatusOK
+		binary.BigEndian.PutUint64(resp[1:], math.Float64bits(f(time.Now())))
+		a.conn.WriteToUDP(resp[:], peer)
+	}
+}
+
+// Client issues GETs against an agent.
+type Client struct {
+	mu   sync.Mutex
+	conn *net.UDPConn
+}
+
+// Dial creates a client bound to the agent's address.
+func Dial(addr string) (*Client, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("snmp: resolve %s: %w", addr, err)
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, fmt.Errorf("snmp: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close drops the client socket.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Get reads one OID with a 2-second timeout.
+func (c *Client) Get(oid string) (float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	req := append([]byte{'G'}, oid...)
+	if _, err := c.conn.Write(req); err != nil {
+		return 0, err
+	}
+	c.conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	var resp [9]byte
+	n, err := c.conn.Read(resp[:])
+	if err != nil {
+		return 0, fmt.Errorf("snmp: reading %q: %w", oid, err)
+	}
+	if n < 1 || resp[0] != StatusOK {
+		return 0, fmt.Errorf("snmp: OID %q: status %d", oid, resp[0])
+	}
+	if n < 9 {
+		return 0, fmt.Errorf("snmp: short response for %q", oid)
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(resp[1:])), nil
+}

@@ -1,0 +1,232 @@
+package store
+
+import (
+	"fmt"
+	"time"
+
+	"dcdb/internal/core"
+)
+
+// Partitioner decides which of n nodes owns a sensor's primary replica.
+type Partitioner interface {
+	NodeFor(id core.SensorID, n int) int
+	Name() string
+}
+
+// HierarchicalPartitioner maps a sub-tree of the sensor hierarchy to a
+// particular database server by partitioning on the SID prefix at a
+// fixed depth (paper §4.3). All sensors of one rack/chassis/node land on
+// the same server, so inserts and queries for a subtree touch a single
+// node and avoid inter-server traffic.
+type HierarchicalPartitioner struct {
+	// Depth is the number of hierarchy levels forming the partition
+	// key (e.g. 4 = room/system/rack/chassis).
+	Depth int
+}
+
+// NodeFor implements Partitioner.
+func (p HierarchicalPartitioner) NodeFor(id core.SensorID, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	pre := id.Prefix(p.Depth)
+	return int(fnvSID(pre) % uint64(n))
+}
+
+// Name implements Partitioner.
+func (p HierarchicalPartitioner) Name() string {
+	return fmt.Sprintf("hierarchical(depth=%d)", p.Depth)
+}
+
+// HashPartitioner spreads sensors uniformly by hashing the full SID.
+// It is the ablation baseline for the hierarchical scheme: ingest
+// balance is ideal but subtree queries fan out to every node.
+type HashPartitioner struct{}
+
+// NodeFor implements Partitioner.
+func (HashPartitioner) NodeFor(id core.SensorID, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(fnvSID(id) % uint64(n))
+}
+
+// Name implements Partitioner.
+func (HashPartitioner) Name() string { return "hash" }
+
+func fnvSID(id core.SensorID) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for shift := 56; shift >= 0; shift -= 8 {
+		h = (h ^ (id.Hi >> uint(shift) & 0xff)) * prime
+	}
+	for shift := 56; shift >= 0; shift -= 8 {
+		h = (h ^ (id.Lo >> uint(shift) & 0xff)) * prime
+	}
+	// FNV's low bits disperse poorly when taken modulo small node
+	// counts (byte contributions can cancel); finish with a
+	// murmur-style avalanche so every input bit reaches every output
+	// bit.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Cluster composes several Nodes into one logical Storage Backend with
+// replication, mirroring a multi-server Cassandra cluster.
+type Cluster struct {
+	nodes       []*Node
+	part        Partitioner
+	replication int
+}
+
+// NewCluster builds a cluster of the given nodes. replication is the
+// total number of copies of each row (1 = no redundancy); it is capped
+// at the node count. A nil partitioner defaults to the hierarchical
+// scheme at depth 4.
+func NewCluster(nodes []*Node, part Partitioner, replication int) (*Cluster, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("store: cluster needs at least one node")
+	}
+	if part == nil {
+		part = HierarchicalPartitioner{Depth: 4}
+	}
+	if replication < 1 {
+		replication = 1
+	}
+	if replication > len(nodes) {
+		replication = len(nodes)
+	}
+	return &Cluster{nodes: nodes, part: part, replication: replication}, nil
+}
+
+// Nodes exposes the member nodes (for stats and failure injection).
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Partitioner returns the active partitioning scheme.
+func (c *Cluster) Partitioner() Partitioner { return c.part }
+
+// replicasFor yields the node indices holding a sensor, primary first.
+func (c *Cluster) replicasFor(id core.SensorID) []int {
+	primary := c.part.NodeFor(id, len(c.nodes))
+	out := make([]int, 0, c.replication)
+	for i := 0; i < c.replication; i++ {
+		out = append(out, (primary+i)%len(c.nodes))
+	}
+	return out
+}
+
+// Insert implements Backend: the reading is written to every replica.
+// The write succeeds if at least one replica accepts it (consistency
+// level ONE, the common monitoring configuration).
+func (c *Cluster) Insert(id core.SensorID, r core.Reading, ttl time.Duration) error {
+	return c.InsertBatch(id, []core.Reading{r}, ttl)
+}
+
+// InsertBatch implements Backend.
+func (c *Cluster) InsertBatch(id core.SensorID, rs []core.Reading, ttl time.Duration) error {
+	var lastErr error
+	acked := false
+	for _, idx := range c.replicasFor(id) {
+		if err := c.nodes[idx].InsertBatch(id, rs, ttl); err != nil {
+			lastErr = err
+		} else {
+			acked = true
+		}
+	}
+	if !acked {
+		return fmt.Errorf("store: no replica accepted write: %w", lastErr)
+	}
+	return nil
+}
+
+// Query implements Backend: the primary is consulted first, then the
+// remaining replicas on failure.
+func (c *Cluster) Query(id core.SensorID, from, to int64) ([]core.Reading, error) {
+	var lastErr error
+	for _, idx := range c.replicasFor(id) {
+		rs, err := c.nodes[idx].Query(id, from, to)
+		if err == nil {
+			return rs, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("store: all replicas failed: %w", lastErr)
+}
+
+// QueryPrefix implements Backend. With the hierarchical partitioner the
+// whole subtree lives on one replica set; with the hash partitioner the
+// query fans out to all nodes and results are merged.
+func (c *Cluster) QueryPrefix(prefix core.SensorID, depth int, from, to int64) (map[core.SensorID][]core.Reading, error) {
+	out := make(map[core.SensorID][]core.Reading)
+	var firstErr error
+	reached := false
+	for _, n := range c.nodes {
+		m, err := n.QueryPrefix(prefix, depth, from, to)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		reached = true
+		for id, rs := range m {
+			if _, dup := out[id]; !dup {
+				out[id] = rs
+			}
+		}
+	}
+	if !reached {
+		return nil, fmt.Errorf("store: all nodes failed: %w", firstErr)
+	}
+	return out, nil
+}
+
+// DeleteBefore implements Backend.
+func (c *Cluster) DeleteBefore(id core.SensorID, cutoff int64) error {
+	var lastErr error
+	acked := false
+	for _, idx := range c.replicasFor(id) {
+		if err := c.nodes[idx].DeleteBefore(id, cutoff); err != nil {
+			lastErr = err
+		} else {
+			acked = true
+		}
+	}
+	if !acked {
+		return lastErr
+	}
+	return nil
+}
+
+// Compact compacts every node.
+func (c *Cluster) Compact() {
+	for _, n := range c.nodes {
+		n.Compact()
+	}
+}
+
+// Close implements Backend.
+func (c *Cluster) Close() error {
+	for _, n := range c.nodes {
+		n.Close()
+	}
+	return nil
+}
+
+// TotalInserts sums the insert counters of all nodes (replication makes
+// this larger than the number of logical writes).
+func (c *Cluster) TotalInserts() int64 {
+	var total int64
+	for _, n := range c.nodes {
+		ins, _, _ := n.Stats()
+		total += ins
+	}
+	return total
+}

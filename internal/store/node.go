@@ -1,0 +1,352 @@
+// Package store implements DCDB's Storage Backend: a distributed
+// wide-column time-series store standing in for the Apache Cassandra
+// deployment of the paper (§3.1, §4.3). Monitoring data is streamed in
+// bulk and retrieved for long time spans, so the design follows the
+// LSM-style write path of wide-column stores: inserts land in a
+// per-sensor memtable and are periodically flushed into immutable sorted
+// runs (SSTables); queries merge the memtable with all runs. Data points
+// are <sensor, timestamp, reading> tuples keyed by the 128-bit SID.
+//
+// A Cluster distributes rows across Nodes using a pluggable partitioner.
+// The hierarchical partitioner maps a sub-tree of the sensor hierarchy
+// (a SID prefix) to a particular node, so a sensor's readings are stored
+// on the server nearest to it and queries are routed directly — exactly
+// the locality argument of §4.3. Replication provides redundancy.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dcdb/internal/core"
+)
+
+// Backend is the storage interface the Collect Agent and libDCDB write
+// to and query from. Both Node and Cluster implement it, which is what
+// lets the whole backend be swapped out (paper §5.1).
+type Backend interface {
+	// Insert stores one reading for the sensor. ttl of zero keeps the
+	// reading forever.
+	Insert(id core.SensorID, r core.Reading, ttl time.Duration) error
+	// InsertBatch stores several readings of one sensor at once.
+	InsertBatch(id core.SensorID, rs []core.Reading, ttl time.Duration) error
+	// Query returns the readings of a sensor with from <= ts <= to,
+	// in timestamp order.
+	Query(id core.SensorID, from, to int64) ([]core.Reading, error)
+	// QueryPrefix returns readings of every sensor whose SID starts
+	// with the given prefix (depth levels), keyed by SID.
+	QueryPrefix(prefix core.SensorID, depth int, from, to int64) (map[core.SensorID][]core.Reading, error)
+	// DeleteBefore removes readings older than the cutoff for one
+	// sensor (dcdbconfig's database-cleanup task).
+	DeleteBefore(id core.SensorID, cutoff int64) error
+	// Close releases resources.
+	Close() error
+}
+
+// entry is one stored cell: timestamp, value, and absolute expiry
+// (0 = never).
+type entry struct {
+	ts     int64
+	val    float64
+	expire int64
+}
+
+// memSeries is the in-memory write buffer of one sensor.
+type memSeries struct {
+	entries []entry
+	sorted  bool
+}
+
+// sstable is an immutable sorted run produced by a memtable flush.
+type sstable struct {
+	series map[core.SensorID][]entry
+	size   int
+}
+
+// Node is a single storage server. It is safe for concurrent use.
+type Node struct {
+	mu        sync.RWMutex
+	mem       map[core.SensorID]*memSeries
+	memSize   int
+	tables    []*sstable
+	flushSize int
+	down      bool
+
+	inserts int64
+	queries int64
+}
+
+// DefaultFlushSize is the number of memtable entries that triggers a
+// flush into an SSTable.
+const DefaultFlushSize = 1 << 16
+
+// NewNode creates a storage node. flushSize <= 0 selects
+// DefaultFlushSize.
+func NewNode(flushSize int) *Node {
+	if flushSize <= 0 {
+		flushSize = DefaultFlushSize
+	}
+	return &Node{mem: make(map[core.SensorID]*memSeries), flushSize: flushSize}
+}
+
+// SetDown marks the node unavailable; operations fail until revived.
+// Used to exercise replication failover.
+func (n *Node) SetDown(down bool) {
+	n.mu.Lock()
+	n.down = down
+	n.mu.Unlock()
+}
+
+// ErrNodeDown is returned by operations on a node marked down.
+var ErrNodeDown = fmt.Errorf("store: node is down")
+
+// Insert implements Backend.
+func (n *Node) Insert(id core.SensorID, r core.Reading, ttl time.Duration) error {
+	return n.InsertBatch(id, []core.Reading{r}, ttl)
+}
+
+// InsertBatch implements Backend.
+func (n *Node) InsertBatch(id core.SensorID, rs []core.Reading, ttl time.Duration) error {
+	if len(rs) == 0 {
+		return nil
+	}
+	var expire int64
+	if ttl > 0 {
+		expire = time.Now().Add(ttl).UnixNano()
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down {
+		return ErrNodeDown
+	}
+	s, ok := n.mem[id]
+	if !ok {
+		s = &memSeries{sorted: true}
+		n.mem[id] = s
+	}
+	for _, r := range rs {
+		if s.sorted && len(s.entries) > 0 && r.Timestamp < s.entries[len(s.entries)-1].ts {
+			s.sorted = false
+		}
+		s.entries = append(s.entries, entry{ts: r.Timestamp, val: r.Value, expire: expire})
+	}
+	n.inserts += int64(len(rs))
+	n.memSize += len(rs)
+	if n.memSize >= n.flushSize {
+		n.flushLocked()
+	}
+	return nil
+}
+
+// Flush forces the memtable into an SSTable.
+func (n *Node) Flush() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.flushLocked()
+}
+
+func (n *Node) flushLocked() {
+	if n.memSize == 0 {
+		return
+	}
+	t := &sstable{series: make(map[core.SensorID][]entry, len(n.mem)), size: n.memSize}
+	for id, s := range n.mem {
+		es := s.entries
+		if !s.sorted {
+			sort.Slice(es, func(i, j int) bool { return es[i].ts < es[j].ts })
+		}
+		t.series[id] = es
+	}
+	n.tables = append(n.tables, t)
+	n.mem = make(map[core.SensorID]*memSeries)
+	n.memSize = 0
+}
+
+// Query implements Backend.
+func (n *Node) Query(id core.SensorID, from, to int64) ([]core.Reading, error) {
+	now := time.Now().UnixNano()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.down {
+		return nil, ErrNodeDown
+	}
+	n.queries++
+	var out []core.Reading
+	for _, t := range n.tables {
+		collectEntries(&out, t.series[id], from, to, now)
+	}
+	if s, ok := n.mem[id]; ok {
+		if !s.sorted {
+			es := append([]entry(nil), s.entries...)
+			sort.Slice(es, func(i, j int) bool { return es[i].ts < es[j].ts })
+			collectEntries(&out, es, from, to, now)
+		} else {
+			collectEntries(&out, s.entries, from, to, now)
+		}
+	}
+	// Runs are individually sorted but may interleave; merge by sort.
+	sort.Slice(out, func(i, j int) bool { return out[i].Timestamp < out[j].Timestamp })
+	return dedup(out), nil
+}
+
+// QueryPrefix implements Backend.
+func (n *Node) QueryPrefix(prefix core.SensorID, depth int, from, to int64) (map[core.SensorID][]core.Reading, error) {
+	n.mu.RLock()
+	ids := make(map[core.SensorID]struct{})
+	if n.down {
+		n.mu.RUnlock()
+		return nil, ErrNodeDown
+	}
+	for id := range n.mem {
+		if id.Prefix(depth) == prefix {
+			ids[id] = struct{}{}
+		}
+	}
+	for _, t := range n.tables {
+		for id := range t.series {
+			if id.Prefix(depth) == prefix {
+				ids[id] = struct{}{}
+			}
+		}
+	}
+	n.mu.RUnlock()
+	out := make(map[core.SensorID][]core.Reading, len(ids))
+	for id := range ids {
+		rs, err := n.Query(id, from, to)
+		if err != nil {
+			return nil, err
+		}
+		if len(rs) > 0 {
+			out[id] = rs
+		}
+	}
+	return out, nil
+}
+
+// DeleteBefore implements Backend.
+func (n *Node) DeleteBefore(id core.SensorID, cutoff int64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down {
+		return ErrNodeDown
+	}
+	if s, ok := n.mem[id]; ok {
+		kept := s.entries[:0]
+		for _, e := range s.entries {
+			if e.ts >= cutoff {
+				kept = append(kept, e)
+			}
+		}
+		n.memSize -= len(s.entries) - len(kept)
+		s.entries = kept
+	}
+	for _, t := range n.tables {
+		if es, ok := t.series[id]; ok {
+			var kept []entry
+			for _, e := range es {
+				if e.ts >= cutoff {
+					kept = append(kept, e)
+				}
+			}
+			t.size -= len(es) - len(kept)
+			t.series[id] = kept
+		}
+	}
+	return nil
+}
+
+// Compact merges all SSTables into one and drops expired entries. It
+// corresponds to the compaction task of dcdbconfig (paper §5.2).
+func (n *Node) Compact() {
+	now := time.Now().UnixNano()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.tables) == 0 {
+		return
+	}
+	merged := &sstable{series: make(map[core.SensorID][]entry)}
+	for _, t := range n.tables {
+		for id, es := range t.series {
+			for _, e := range es {
+				if e.expire != 0 && e.expire <= now {
+					continue
+				}
+				merged.series[id] = append(merged.series[id], e)
+			}
+		}
+	}
+	for id, es := range merged.series {
+		sort.Slice(es, func(i, j int) bool { return es[i].ts < es[j].ts })
+		merged.series[id] = es
+		merged.size += len(es)
+	}
+	n.tables = []*sstable{merged}
+}
+
+// Stats reports cumulative insert/query counts and the resident entry
+// count.
+func (n *Node) Stats() (inserts, queries int64, entries int) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	entries = n.memSize
+	for _, t := range n.tables {
+		entries += t.size
+	}
+	return n.inserts, n.queries, entries
+}
+
+// SensorIDs lists every SID present on the node.
+func (n *Node) SensorIDs() []core.SensorID {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	set := make(map[core.SensorID]struct{})
+	for id := range n.mem {
+		set[id] = struct{}{}
+	}
+	for _, t := range n.tables {
+		for id := range t.series {
+			set[id] = struct{}{}
+		}
+	}
+	out := make([]core.SensorID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Close implements Backend.
+func (n *Node) Close() error { return nil }
+
+func collectEntries(out *[]core.Reading, es []entry, from, to, now int64) {
+	// Binary search to the first in-range entry; runs are sorted.
+	lo := sort.Search(len(es), func(i int) bool { return es[i].ts >= from })
+	for _, e := range es[lo:] {
+		if e.ts > to {
+			break
+		}
+		if e.expire != 0 && e.expire <= now {
+			continue
+		}
+		*out = append(*out, core.Reading{Timestamp: e.ts, Value: e.val})
+	}
+}
+
+// dedup collapses duplicate timestamps, keeping the last write.
+func dedup(rs []core.Reading) []core.Reading {
+	if len(rs) < 2 {
+		return rs
+	}
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		if r.Timestamp == out[len(out)-1].Timestamp {
+			out[len(out)-1] = r
+		} else {
+			out = append(out, r)
+		}
+	}
+	return out
+}

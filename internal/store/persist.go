@@ -1,0 +1,153 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"dcdb/internal/core"
+)
+
+// Snapshot persistence: a node can serialise its full contents into a
+// compact binary file and restore from it at start-up, giving the
+// in-memory backend durability across daemon restarts. The format is a
+// single flushed SSTable:
+//
+//	magic "DCDBSNAP" | version u32 | seriesCount u64
+//	repeated: sidHi u64 | sidLo u64 | entryCount u64
+//	          repeated: ts i64 | value f64 | expire i64
+//
+// All integers are big-endian.
+
+var snapMagic = []byte("DCDBSNAP")
+
+const snapVersion = 1
+
+// Save writes the node's entire contents to w.
+func (n *Node) Save(w io.Writer) error {
+	n.mu.Lock()
+	n.flushLocked()
+	// Collect a stable view under the lock.
+	merged := make(map[core.SensorID][]entry)
+	for _, t := range n.tables {
+		for id, es := range t.series {
+			merged[id] = append(merged[id], es...)
+		}
+	}
+	n.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.BigEndian, uint32(snapVersion)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.BigEndian, uint64(len(merged))); err != nil {
+		return err
+	}
+	for id, es := range merged {
+		hdr := [24]byte{}
+		binary.BigEndian.PutUint64(hdr[0:], id.Hi)
+		binary.BigEndian.PutUint64(hdr[8:], id.Lo)
+		binary.BigEndian.PutUint64(hdr[16:], uint64(len(es)))
+		if _, err := bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		var rec [24]byte
+		for _, e := range es {
+			binary.BigEndian.PutUint64(rec[0:], uint64(e.ts))
+			binary.BigEndian.PutUint64(rec[8:], math.Float64bits(e.val))
+			binary.BigEndian.PutUint64(rec[16:], uint64(e.expire))
+			if _, err := bw.Write(rec[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load replaces the node's contents with a snapshot previously written
+// by Save.
+func (n *Node) Load(r io.Reader) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("store: reading snapshot magic: %w", err)
+	}
+	if string(magic) != string(snapMagic) {
+		return fmt.Errorf("store: not a DCDB snapshot")
+	}
+	var version uint32
+	if err := binary.Read(br, binary.BigEndian, &version); err != nil {
+		return err
+	}
+	if version != snapVersion {
+		return fmt.Errorf("store: unsupported snapshot version %d", version)
+	}
+	var count uint64
+	if err := binary.Read(br, binary.BigEndian, &count); err != nil {
+		return err
+	}
+	t := &sstable{series: make(map[core.SensorID][]entry, count)}
+	var hdr [24]byte
+	var rec [24]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return fmt.Errorf("store: truncated snapshot: %w", err)
+		}
+		id := core.SensorID{Hi: binary.BigEndian.Uint64(hdr[0:]), Lo: binary.BigEndian.Uint64(hdr[8:])}
+		en := binary.BigEndian.Uint64(hdr[16:])
+		es := make([]entry, 0, en)
+		for j := uint64(0); j < en; j++ {
+			if _, err := io.ReadFull(br, rec[:]); err != nil {
+				return fmt.Errorf("store: truncated snapshot: %w", err)
+			}
+			es = append(es, entry{
+				ts:     int64(binary.BigEndian.Uint64(rec[0:])),
+				val:    math.Float64frombits(binary.BigEndian.Uint64(rec[8:])),
+				expire: int64(binary.BigEndian.Uint64(rec[16:])),
+			})
+		}
+		t.series[id] = es
+		t.size += len(es)
+	}
+	n.mu.Lock()
+	n.mem = make(map[core.SensorID]*memSeries)
+	n.memSize = 0
+	n.tables = []*sstable{t}
+	n.mu.Unlock()
+	return nil
+}
+
+// SaveFile saves a snapshot atomically (write to temp file, rename).
+func (n *Node) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := n.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile restores a snapshot from a file.
+func (n *Node) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return n.Load(f)
+}

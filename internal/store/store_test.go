@@ -1,0 +1,456 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dcdb/internal/core"
+)
+
+func sid(hi, lo uint64) core.SensorID { return core.SensorID{Hi: hi, Lo: lo} }
+
+func rd(ts int64, v float64) core.Reading { return core.Reading{Timestamp: ts, Value: v} }
+
+func TestNodeInsertQuery(t *testing.T) {
+	n := NewNode(0)
+	id := sid(1, 2)
+	for i := int64(0); i < 100; i++ {
+		if err := n.Insert(id, rd(i*10, float64(i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs, err := n.Query(id, 100, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 41 {
+		t.Fatalf("got %d readings", len(rs))
+	}
+	if rs[0].Timestamp != 100 || rs[len(rs)-1].Timestamp != 500 {
+		t.Fatalf("range bounds: %v … %v", rs[0], rs[len(rs)-1])
+	}
+	// Unknown sensor yields empty result, no error.
+	empty, err := n.Query(sid(9, 9), 0, 1000)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("unknown sensor: %v, %v", empty, err)
+	}
+}
+
+func TestNodeOutOfOrderInserts(t *testing.T) {
+	n := NewNode(0)
+	id := sid(3, 0)
+	order := []int64{50, 10, 30, 20, 40}
+	for _, ts := range order {
+		n.Insert(id, rd(ts, float64(ts)), 0)
+	}
+	rs, _ := n.Query(id, 0, 100)
+	if len(rs) != 5 {
+		t.Fatalf("got %d", len(rs))
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Timestamp <= rs[i-1].Timestamp {
+			t.Fatalf("unsorted output: %v", rs)
+		}
+	}
+}
+
+func TestNodeFlushAndQueryAcrossTables(t *testing.T) {
+	n := NewNode(10) // tiny flush threshold
+	id := sid(1, 1)
+	for i := int64(0); i < 35; i++ {
+		n.Insert(id, rd(i, float64(i)), 0)
+	}
+	rs, _ := n.Query(id, 0, 100)
+	if len(rs) != 35 {
+		t.Fatalf("got %d readings across tables", len(rs))
+	}
+	_, _, entries := n.Stats()
+	if entries != 35 {
+		t.Fatalf("entries = %d", entries)
+	}
+}
+
+func TestNodeDuplicateTimestampsLastWins(t *testing.T) {
+	n := NewNode(0)
+	id := sid(1, 1)
+	n.Insert(id, rd(100, 1), 0)
+	n.Insert(id, rd(100, 2), 0)
+	rs, _ := n.Query(id, 0, 200)
+	if len(rs) != 1 || rs[0].Value != 2 {
+		t.Fatalf("dedup failed: %v", rs)
+	}
+}
+
+func TestNodeTTL(t *testing.T) {
+	n := NewNode(0)
+	id := sid(1, 1)
+	n.Insert(id, rd(1, 1), time.Nanosecond) // expires immediately
+	n.Insert(id, rd(2, 2), time.Hour)
+	time.Sleep(time.Millisecond)
+	rs, _ := n.Query(id, 0, 10)
+	if len(rs) != 1 || rs[0].Value != 2 {
+		t.Fatalf("TTL not honoured: %v", rs)
+	}
+	// Compact drops expired entries physically.
+	n.Flush()
+	n.Compact()
+	_, _, entries := n.Stats()
+	if entries != 1 {
+		t.Fatalf("entries after compact = %d", entries)
+	}
+}
+
+func TestNodeDeleteBefore(t *testing.T) {
+	n := NewNode(5)
+	id := sid(1, 1)
+	for i := int64(0); i < 20; i++ {
+		n.Insert(id, rd(i, float64(i)), 0)
+	}
+	if err := n.DeleteBefore(id, 10); err != nil {
+		t.Fatal(err)
+	}
+	rs, _ := n.Query(id, 0, 100)
+	if len(rs) != 10 || rs[0].Timestamp != 10 {
+		t.Fatalf("DeleteBefore: %v", rs)
+	}
+}
+
+func TestNodeQueryPrefix(t *testing.T) {
+	n := NewNode(0)
+	m := core.NewTopicMapper()
+	a, _ := m.Map("/sys/r1/n1/power")
+	b, _ := m.Map("/sys/r1/n2/power")
+	c, _ := m.Map("/sys/r2/n1/power")
+	for _, id := range []core.SensorID{a, b, c} {
+		n.Insert(id, rd(1, 1), 0)
+	}
+	pre := a.Prefix(2)
+	got, err := n.QueryPrefix(pre, 2, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("prefix query got %d sensors", len(got))
+	}
+	if _, ok := got[c]; ok {
+		t.Error("prefix query leaked foreign subtree")
+	}
+}
+
+func TestNodeDown(t *testing.T) {
+	n := NewNode(0)
+	n.SetDown(true)
+	id := sid(1, 1)
+	if err := n.Insert(id, rd(1, 1), 0); err != ErrNodeDown {
+		t.Errorf("Insert on down node: %v", err)
+	}
+	if _, err := n.Query(id, 0, 1); err != ErrNodeDown {
+		t.Errorf("Query on down node: %v", err)
+	}
+	if _, err := n.QueryPrefix(core.SensorID{}, 1, 0, 1); err != ErrNodeDown {
+		t.Errorf("QueryPrefix on down node: %v", err)
+	}
+	if err := n.DeleteBefore(id, 1); err != ErrNodeDown {
+		t.Errorf("DeleteBefore on down node: %v", err)
+	}
+	n.SetDown(false)
+	if err := n.Insert(id, rd(1, 1), 0); err != nil {
+		t.Errorf("Insert after revive: %v", err)
+	}
+}
+
+func TestNodeSensorIDs(t *testing.T) {
+	n := NewNode(2)
+	ids := []core.SensorID{sid(2, 0), sid(1, 0), sid(3, 0)}
+	for _, id := range ids {
+		n.Insert(id, rd(1, 1), 0)
+	}
+	got := n.SensorIDs()
+	if len(got) != 3 || got[0] != sid(1, 0) || got[2] != sid(3, 0) {
+		t.Fatalf("SensorIDs = %v", got)
+	}
+}
+
+func TestNodeConcurrency(t *testing.T) {
+	n := NewNode(100)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := sid(uint64(w), 0)
+			for i := int64(0); i < 500; i++ {
+				n.Insert(id, rd(i, float64(i)), 0)
+				if i%50 == 0 {
+					n.Query(id, 0, i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	ins, _, entries := n.Stats()
+	if ins != 4000 || entries != 4000 {
+		t.Fatalf("inserts=%d entries=%d", ins, entries)
+	}
+}
+
+func TestSnapshotRoundtrip(t *testing.T) {
+	n := NewNode(7)
+	rng := rand.New(rand.NewSource(42))
+	want := make(map[core.SensorID][]core.Reading)
+	for s := 0; s < 5; s++ {
+		id := sid(uint64(s+1), uint64(s))
+		for i := int64(0); i < 50; i++ {
+			r := rd(i*100, rng.Float64())
+			n.Insert(id, r, 0)
+			want[id] = append(want[id], r)
+		}
+	}
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n2 := NewNode(0)
+	if err := n2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for id, rs := range want {
+		got, err := n2.Query(id, 0, 1<<60)
+		if err != nil || len(got) != len(rs) {
+			t.Fatalf("sensor %v: got %d readings, err %v", id, len(got), err)
+		}
+		for i := range rs {
+			if got[i] != rs[i] {
+				t.Fatalf("sensor %v reading %d: %v != %v", id, i, got[i], rs[i])
+			}
+		}
+	}
+}
+
+func TestSnapshotFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "node.snap")
+	n := NewNode(0)
+	n.Insert(sid(1, 1), rd(5, 7), 0)
+	if err := n.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	n2 := NewNode(0)
+	if err := n2.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	rs, _ := n2.Query(sid(1, 1), 0, 10)
+	if len(rs) != 1 || rs[0].Value != 7 {
+		t.Fatalf("file roundtrip: %v", rs)
+	}
+	if err := n2.LoadFile(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestSnapshotBadData(t *testing.T) {
+	n := NewNode(0)
+	if err := n.Load(bytes.NewReader([]byte("NOTASNAP"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if err := n.Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty snapshot accepted")
+	}
+	var buf bytes.Buffer
+	buf.Write(snapMagic)
+	buf.Write([]byte{0, 0, 0, 99}) // bad version
+	if err := n.Load(&buf); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestClusterBasics(t *testing.T) {
+	nodes := []*Node{NewNode(0), NewNode(0), NewNode(0)}
+	c, err := NewCluster(nodes, HierarchicalPartitioner{Depth: 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewTopicMapper()
+	var ids []core.SensorID
+	for _, tp := range []string{"/s/r1/n1/p", "/s/r1/n2/p", "/s/r2/n1/p", "/s/r2/n2/p"} {
+		id, _ := m.Map(tp)
+		ids = append(ids, id)
+	}
+	for i, id := range ids {
+		for ts := int64(0); ts < 10; ts++ {
+			if err := c.Insert(id, rd(ts, float64(i)), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i, id := range ids {
+		rs, err := c.Query(id, 0, 100)
+		if err != nil || len(rs) != 10 || rs[0].Value != float64(i) {
+			t.Fatalf("sensor %d: %v, %v", i, rs, err)
+		}
+	}
+	// Replication: total physical inserts = logical * 2.
+	if got := c.TotalInserts(); got != 80 {
+		t.Fatalf("TotalInserts = %d, want 80", got)
+	}
+}
+
+func TestClusterFailover(t *testing.T) {
+	nodes := []*Node{NewNode(0), NewNode(0), NewNode(0)}
+	c, _ := NewCluster(nodes, HashPartitioner{}, 2)
+	id := sid(42, 7)
+	for ts := int64(0); ts < 5; ts++ {
+		c.Insert(id, rd(ts, 1), 0)
+	}
+	primary := c.part.NodeFor(id, 3)
+	nodes[primary].SetDown(true)
+	rs, err := c.Query(id, 0, 100)
+	if err != nil || len(rs) != 5 {
+		t.Fatalf("failover query: %v, %v", rs, err)
+	}
+	// Writes survive with one replica down.
+	if err := c.Insert(id, rd(100, 2), 0); err != nil {
+		t.Fatalf("degraded write: %v", err)
+	}
+	// All replicas down -> failure.
+	for _, n := range nodes {
+		n.SetDown(true)
+	}
+	if _, err := c.Query(id, 0, 100); err == nil {
+		t.Error("query with all nodes down succeeded")
+	}
+	if err := c.Insert(id, rd(200, 3), 0); err == nil {
+		t.Error("insert with all nodes down succeeded")
+	}
+}
+
+func TestClusterQueryPrefixHierarchicalLocality(t *testing.T) {
+	nodes := []*Node{NewNode(0), NewNode(0), NewNode(0), NewNode(0)}
+	c, _ := NewCluster(nodes, HierarchicalPartitioner{Depth: 3}, 1)
+	m := core.NewTopicMapper()
+	subtree := []string{"/s/r1/n1/power", "/s/r1/n1/temp", "/s/r1/n1/energy"}
+	for _, tp := range subtree {
+		id, _ := m.Map(tp)
+		c.Insert(id, rd(1, 1), 0)
+	}
+	// All three sensors share the prefix, so they live on one node.
+	id0, _ := m.Lookup(subtree[0])
+	holder := c.part.NodeFor(id0, 4)
+	ins, _, _ := nodes[holder].Stats()
+	if ins != 3 {
+		t.Fatalf("expected all 3 rows on node %d, it has %d", holder, ins)
+	}
+	got, err := c.QueryPrefix(id0.Prefix(3), 3, 0, 10)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("QueryPrefix = %d sensors, %v", len(got), err)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(nil, nil, 1); err == nil {
+		t.Error("empty cluster accepted")
+	}
+	c, err := NewCluster([]*Node{NewNode(0)}, nil, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.replication != 1 {
+		t.Errorf("replication not capped: %d", c.replication)
+	}
+	if c.Partitioner().Name() == "" {
+		t.Error("default partitioner has no name")
+	}
+	if err := c.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClusterDeleteBefore(t *testing.T) {
+	c, _ := NewCluster([]*Node{NewNode(0), NewNode(0)}, nil, 2)
+	id := sid(1, 1)
+	for ts := int64(0); ts < 10; ts++ {
+		c.Insert(id, rd(ts, 1), 0)
+	}
+	if err := c.DeleteBefore(id, 5); err != nil {
+		t.Fatal(err)
+	}
+	rs, _ := c.Query(id, 0, 100)
+	if len(rs) != 5 {
+		t.Fatalf("after delete: %d", len(rs))
+	}
+}
+
+func TestPartitionerProperties(t *testing.T) {
+	// Hierarchical: same prefix -> same node, regardless of leaf.
+	m := core.NewTopicMapper()
+	a, _ := m.Map("/s/r1/n1/power")
+	b, _ := m.Map("/s/r1/n1/temp")
+	p := HierarchicalPartitioner{Depth: 3}
+	if p.NodeFor(a, 7) != p.NodeFor(b, 7) {
+		t.Error("same subtree mapped to different nodes")
+	}
+	if p.NodeFor(a, 1) != 0 || (HashPartitioner{}).NodeFor(a, 1) != 0 {
+		t.Error("single-node cluster must map to 0")
+	}
+	if (HashPartitioner{}).Name() != "hash" {
+		t.Error("hash partitioner name")
+	}
+	// Quick: node index is always in range.
+	f := func(hi, lo uint64, n uint8) bool {
+		nodes := int(n%16) + 1
+		id := core.SensorID{Hi: hi, Lo: lo}
+		h := HashPartitioner{}.NodeFor(id, nodes)
+		g := HierarchicalPartitioner{Depth: 4}.NodeFor(id, nodes)
+		return h >= 0 && h < nodes && g >= 0 && g < nodes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashPartitionerBalance(t *testing.T) {
+	counts := make([]int, 4)
+	for i := 0; i < 4000; i++ {
+		id := sid(rand.Uint64(), rand.Uint64())
+		counts[HashPartitioner{}.NodeFor(id, 4)]++
+	}
+	for i, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("node %d has %d of 4000 sensors (imbalanced)", i, c)
+		}
+	}
+}
+
+// Property: Query returns sorted unique timestamps for any insert order.
+func TestQuerySortedQuick(t *testing.T) {
+	f := func(stamps []int64) bool {
+		n := NewNode(8)
+		id := sid(1, 1)
+		for _, ts := range stamps {
+			ts &= 0xffff
+			n.Insert(id, rd(ts, float64(ts)), 0)
+		}
+		rs, err := n.Query(id, 0, 1<<60)
+		if err != nil {
+			return false
+		}
+		if !sort.SliceIsSorted(rs, func(i, j int) bool { return rs[i].Timestamp < rs[j].Timestamp }) {
+			return false
+		}
+		for i := 1; i < len(rs); i++ {
+			if rs[i].Timestamp == rs[i-1].Timestamp {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+package tooldb
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dcdb/internal/core"
+	"dcdb/internal/libdcdb"
+	"dcdb/internal/store"
+)
+
+func TestOpenEmpty(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "fresh")
+	conn, node, err := Open(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conn == nil || node == nil {
+		t.Fatal("nil connection or node")
+	}
+	if got := conn.ListSensors(""); len(got) != 0 {
+		t.Errorf("fresh db lists %v", got)
+	}
+}
+
+func TestSaveOpenRoundtrip(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "db")
+	node := store.NewNode(0)
+	conn := libdcdb.Connect(node, nil)
+	if err := conn.PublishSensor(core.Metadata{Topic: "/a/power", Unit: "W", Scale: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 10; i++ {
+		if err := conn.Insert("/a/power", core.Reading{Timestamp: i * 1000, Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := conn.PublishSensor(core.Metadata{Topic: "/a/double", Virtual: true, Expression: "</a/power> * 2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(conn, node, prefix); err != nil {
+		t.Fatal(err)
+	}
+
+	conn2, node2, err := Open(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node2 == nil {
+		t.Fatal("nil node")
+	}
+	rs, err := conn2.Query("/a/power", 0, 1<<62)
+	if err != nil || len(rs) != 10 {
+		t.Fatalf("reloaded query: %d readings, %v", len(rs), err)
+	}
+	// Metadata survived, including the virtual sensor.
+	m, ok := conn2.Metadata("/a/power")
+	if !ok || m.Unit != "W" {
+		t.Fatalf("metadata = %+v, %v", m, ok)
+	}
+	vs, err := conn2.Query("/a/double", 0, 1<<62)
+	if err != nil || len(vs) != 10 || vs[3].Value != 6 {
+		t.Fatalf("virtual query after reload: %v, %v", vs, err)
+	}
+	// Hierarchy rebuilt from the topic map.
+	if got := conn2.ListSensors("/a"); len(got) < 1 {
+		t.Errorf("hierarchy = %v", got)
+	}
+}
+
+func TestOpenMultiNodeSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "cluster")
+	mapper := core.NewTopicMapper()
+	// Two separate node snapshots, disjoint sensors.
+	for i := 0; i < 2; i++ {
+		n := store.NewNode(0)
+		topic := "/c/n" + string(rune('0'+i)) + "/v"
+		id, err := mapper.Map(topic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Insert(id, core.Reading{Timestamp: 1, Value: float64(i + 1)}, 0)
+		if err := n.SaveFile(prefix + ".node" + string(rune('0'+i)) + ".snap"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Topic map file.
+	lines := mapper.Export()
+	text := ""
+	for _, l := range lines {
+		text += l + "\n"
+	}
+	if err := writeFile(prefix+".topics", text); err != nil {
+		t.Fatal(err)
+	}
+	conn, _, err := Open(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		topic := "/c/n" + string(rune('0'+i)) + "/v"
+		rs, err := conn.Query(topic, 0, 10)
+		if err != nil || len(rs) != 1 || rs[0].Value != float64(i+1) {
+			t.Fatalf("node %d sensor: %v, %v", i, rs, err)
+		}
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

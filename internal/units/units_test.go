@@ -1,0 +1,143 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestConvertPower(t *testing.T) {
+	cases := []struct {
+		v        float64
+		from, to string
+		want     float64
+	}{
+		{1500, "mW", "W", 1.5},
+		{1.5, "kW", "W", 1500},
+		{2, "MW", "kW", 2000},
+		{1, "W", "uW", 1e6},
+	}
+	for _, c := range cases {
+		got, err := Convert(c.v, c.from, c.to)
+		if err != nil || !approx(got, c.want) {
+			t.Errorf("Convert(%v, %s, %s) = %v, %v; want %v", c.v, c.from, c.to, got, err, c.want)
+		}
+	}
+}
+
+func TestConvertTemperature(t *testing.T) {
+	got, err := Convert(25, "C", "K")
+	if err != nil || !approx(got, 298.15) {
+		t.Errorf("25C = %vK, %v", got, err)
+	}
+	got, err = Convert(298.15, "K", "C")
+	if err != nil || !approx(got, 25) {
+		t.Errorf("298.15K = %vC, %v", got, err)
+	}
+	got, err = Convert(32, "F", "C")
+	if err != nil || !approx(got, 0) {
+		t.Errorf("32F = %vC, %v", got, err)
+	}
+	got, err = Convert(45000, "mC", "C")
+	if err != nil || !approx(got, 45) {
+		t.Errorf("45000mC = %vC, %v", got, err)
+	}
+}
+
+func TestConvertEnergyAndFlow(t *testing.T) {
+	got, _ := Convert(1, "kWh", "J")
+	if !approx(got, 3.6e6) {
+		t.Errorf("1 kWh = %v J", got)
+	}
+	got, _ = Convert(3600, "m3/h", "m3/s")
+	if !approx(got, 1) {
+		t.Errorf("3600 m3/h = %v m3/s", got)
+	}
+	got, _ = Convert(60, "l/min", "l/s")
+	if !approx(got, 1) {
+		t.Errorf("60 l/min = %v l/s", got)
+	}
+}
+
+func TestConvertFraction(t *testing.T) {
+	got, _ := Convert(90, "%", "ratio")
+	if !approx(got, 0.9) {
+		t.Errorf("90%% = %v", got)
+	}
+}
+
+func TestConvertIncompatible(t *testing.T) {
+	if _, err := Convert(1, "W", "K"); err == nil {
+		t.Error("W->K accepted")
+	}
+	if !Compatible("W", "mW") || Compatible("W", "K") {
+		t.Error("Compatible wrong")
+	}
+	// Unknown units pass through.
+	got, err := Convert(7, "frobs", "W")
+	if err != nil || got != 7 {
+		t.Errorf("unknown unit: %v, %v", got, err)
+	}
+	if !Compatible("frobs", "W") {
+		t.Error("unknown should be compatible")
+	}
+}
+
+func TestConvertIdentityAndCase(t *testing.T) {
+	got, err := Convert(5, "W", "w")
+	if err != nil || got != 5 {
+		t.Errorf("case-insensitive identity: %v, %v", got, err)
+	}
+	if _, ok := Lookup("KW"); !ok {
+		t.Error("case-insensitive lookup failed")
+	}
+}
+
+func TestToBaseAndBaseName(t *testing.T) {
+	if got := ToBase(2, "kW"); !approx(got, 2000) {
+		t.Errorf("ToBase(2, kW) = %v", got)
+	}
+	if got := ToBase(3, "unknown"); got != 3 {
+		t.Errorf("ToBase unknown = %v", got)
+	}
+	pairs := map[string]string{
+		"mW": "W", "kWh": "J", "C": "K", "ms": "s", "GHz": "Hz",
+		"MiB": "B", "GB/s": "B/s", "l/min": "m3/s", "%": "ratio",
+		"instructions": "events", "mV": "V", "mA": "A", "zz": "",
+	}
+	for in, want := range pairs {
+		if got := BaseName(in); got != want {
+			t.Errorf("BaseName(%s) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDimensionOf(t *testing.T) {
+	if DimensionOf("kW") != Power || DimensionOf("xyzzy") != None {
+		t.Error("DimensionOf wrong")
+	}
+}
+
+func TestConvertRoundtripQuick(t *testing.T) {
+	pairs := [][2]string{{"mW", "kW"}, {"C", "F"}, {"ms", "h"}, {"KiB", "GB"}, {"l/min", "m3/h"}}
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+			return true
+		}
+		for _, p := range pairs {
+			fwd, err1 := Convert(v, p[0], p[1])
+			back, err2 := Convert(fwd, p[1], p[0])
+			if err1 != nil || err2 != nil || !approx(back, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,162 @@
+package vsensor
+
+import (
+	"fmt"
+	"sort"
+
+	"dcdb/internal/core"
+	"dcdb/internal/units"
+)
+
+// Source supplies operand time series to the evaluator. libDCDB
+// implements it on top of the Storage Backend; tests use in-memory
+// fakes. Expand lists the sensors below a hierarchy prefix for
+// wildcard references.
+type Source interface {
+	// Readings returns the series of a sensor in [from, to] together
+	// with its unit ("" when unknown).
+	Readings(topic string, from, to int64) ([]core.Reading, string, error)
+	// Expand lists the full topics of all sensors below prefix.
+	Expand(prefix string) ([]string, error)
+}
+
+// Evaluate computes the expression over [from, to]. Operand series are
+// converted to the base unit of their dimension, aligned on the union
+// of their timestamps, and gaps are bridged by linear interpolation —
+// the comparability machinery of paper challenge (2). The result
+// carries one reading per timestamp in the union.
+func Evaluate(e *Expr, src Source, from, to int64) ([]core.Reading, error) {
+	type operand struct {
+		key    string
+		series []core.Reading
+	}
+	var ops []operand
+	for _, ref := range e.Refs() {
+		if prefix, ok := cutWildcard(ref); ok {
+			topics, err := src.Expand(prefix)
+			if err != nil {
+				return nil, fmt.Errorf("vsensor: expanding %q: %w", ref, err)
+			}
+			if len(topics) == 0 {
+				return nil, fmt.Errorf("vsensor: wildcard %q matches no sensors", ref)
+			}
+			sum, err := sumSeries(src, topics, from, to)
+			if err != nil {
+				return nil, err
+			}
+			ops = append(ops, operand{key: ref, series: sum})
+			continue
+		}
+		rs, unit, err := src.Readings(ref, from, to)
+		if err != nil {
+			return nil, fmt.Errorf("vsensor: reading %q: %w", ref, err)
+		}
+		if len(rs) == 0 {
+			return nil, fmt.Errorf("vsensor: sensor %q has no data in the queried period", ref)
+		}
+		ops = append(ops, operand{key: ref, series: toBase(rs, unit)})
+	}
+	if len(ops) == 0 {
+		// Pure-constant expression: one reading at the period start.
+		return []core.Reading{{Timestamp: from, Value: e.root.eval(nil)}}, nil
+	}
+	// Union timebase.
+	stampSet := make(map[int64]struct{})
+	for _, op := range ops {
+		for _, r := range op.series {
+			stampSet[r.Timestamp] = struct{}{}
+		}
+	}
+	stamps := make([]int64, 0, len(stampSet))
+	for ts := range stampSet {
+		stamps = append(stamps, ts)
+	}
+	sort.Slice(stamps, func(i, j int) bool { return stamps[i] < stamps[j] })
+
+	out := make([]core.Reading, len(stamps))
+	env := make(map[string]float64, len(ops))
+	for i, ts := range stamps {
+		for _, op := range ops {
+			env[op.key] = interpolate(op.series, ts)
+		}
+		out[i] = core.Reading{Timestamp: ts, Value: e.root.eval(env)}
+	}
+	return out, nil
+}
+
+func cutWildcard(ref string) (string, bool) {
+	if len(ref) > 2 && ref[len(ref)-2:] == "/*" {
+		return ref[:len(ref)-2], true
+	}
+	return ref, false
+}
+
+// sumSeries evaluates a wildcard reference: the per-timestamp sum of all
+// matched sensors, each converted to base units and interpolated onto
+// the union of their timestamps.
+func sumSeries(src Source, topics []string, from, to int64) ([]core.Reading, error) {
+	var series [][]core.Reading
+	stampSet := make(map[int64]struct{})
+	for _, tp := range topics {
+		rs, unit, err := src.Readings(tp, from, to)
+		if err != nil {
+			return nil, fmt.Errorf("vsensor: reading %q: %w", tp, err)
+		}
+		if len(rs) == 0 {
+			continue
+		}
+		b := toBase(rs, unit)
+		series = append(series, b)
+		for _, r := range b {
+			stampSet[r.Timestamp] = struct{}{}
+		}
+	}
+	if len(series) == 0 {
+		return nil, fmt.Errorf("vsensor: no data below wildcard prefix")
+	}
+	stamps := make([]int64, 0, len(stampSet))
+	for ts := range stampSet {
+		stamps = append(stamps, ts)
+	}
+	sort.Slice(stamps, func(i, j int) bool { return stamps[i] < stamps[j] })
+	out := make([]core.Reading, len(stamps))
+	for i, ts := range stamps {
+		var sum float64
+		for _, s := range series {
+			sum += interpolate(s, ts)
+		}
+		out[i] = core.Reading{Timestamp: ts, Value: sum}
+	}
+	return out, nil
+}
+
+func toBase(rs []core.Reading, unit string) []core.Reading {
+	u, ok := units.Lookup(unit)
+	if !ok || (u.Factor == 1 && u.Offset == 0) {
+		return rs
+	}
+	out := make([]core.Reading, len(rs))
+	for i, r := range rs {
+		out[i] = core.Reading{Timestamp: r.Timestamp, Value: r.Value*u.Factor + u.Offset}
+	}
+	return out
+}
+
+// interpolate returns the series value at ts using linear interpolation
+// between the neighbouring readings, clamping beyond the ends. The
+// series must be sorted by timestamp and non-empty.
+func interpolate(rs []core.Reading, ts int64) float64 {
+	i := sort.Search(len(rs), func(i int) bool { return rs[i].Timestamp >= ts })
+	switch {
+	case i < len(rs) && rs[i].Timestamp == ts:
+		return rs[i].Value
+	case i == 0:
+		return rs[0].Value
+	case i == len(rs):
+		return rs[len(rs)-1].Value
+	default:
+		a, b := rs[i-1], rs[i]
+		frac := float64(ts-a.Timestamp) / float64(b.Timestamp-a.Timestamp)
+		return a.Value + frac*(b.Value-a.Value)
+	}
+}

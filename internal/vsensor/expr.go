@@ -1,0 +1,315 @@
+// Package vsensor implements DCDB's virtual sensors (paper §3.2):
+// derived metrics generated from user-specified arithmetic expressions of
+// arbitrary length whose operands are sensors, virtual sensors or
+// constants. Virtual sensors are evaluated lazily — only upon a query
+// and only for the queried period — with automatic unit conversion of
+// the underlying physical sensors and linear interpolation to account
+// for different sampling frequencies.
+//
+// Grammar (sensor references are written in angle brackets because
+// topics contain '/', which is also the division operator):
+//
+//	expr   := term (('+'|'-') term)*
+//	term   := factor (('*'|'/') factor)*
+//	factor := number | '<' topic '>' | '(' expr ')' | '-' factor
+//	        | ident '(' expr (',' expr)* ')'
+//
+// Functions: min, max, abs. A reference ending in "/*" expands to the
+// sum over every sensor below that hierarchy prefix, which is how
+// system-wide aggregates such as total power are expressed:
+//
+//	(<"/cm3/power/*">)        total power of the cm3 subtree
+//	<heat> / <power>          heat-removal efficiency (Figure 9)
+package vsensor
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Expr is a parsed virtual-sensor expression.
+type Expr struct {
+	root node
+	src  string
+}
+
+// String returns the original expression source.
+func (e *Expr) String() string { return e.src }
+
+// Refs lists the sensor references in the expression, in first-use
+// order (wildcard refs keep their trailing "/*").
+func (e *Expr) Refs() []string {
+	var out []string
+	seen := make(map[string]bool)
+	var walk func(n node)
+	walk = func(n node) {
+		switch v := n.(type) {
+		case *refNode:
+			name := v.topic
+			if v.wildcard {
+				name += "/*"
+			}
+			if !seen[name] {
+				seen[name] = true
+				out = append(out, name)
+			}
+		case *unaryNode:
+			walk(v.operand)
+		case *binaryNode:
+			walk(v.left)
+			walk(v.right)
+		case *callNode:
+			for _, a := range v.args {
+				walk(a)
+			}
+		}
+	}
+	walk(e.root)
+	return out
+}
+
+type node interface {
+	eval(env map[string]float64) float64
+}
+
+type constNode struct{ v float64 }
+
+func (n *constNode) eval(map[string]float64) float64 { return n.v }
+
+type refNode struct {
+	topic    string
+	wildcard bool
+}
+
+func (n *refNode) eval(env map[string]float64) float64 {
+	key := n.topic
+	if n.wildcard {
+		key += "/*"
+	}
+	return env[key]
+}
+
+type unaryNode struct{ operand node }
+
+func (n *unaryNode) eval(env map[string]float64) float64 { return -n.operand.eval(env) }
+
+type binaryNode struct {
+	op          byte
+	left, right node
+}
+
+func (n *binaryNode) eval(env map[string]float64) float64 {
+	l, r := n.left.eval(env), n.right.eval(env)
+	switch n.op {
+	case '+':
+		return l + r
+	case '-':
+		return l - r
+	case '*':
+		return l * r
+	case '/':
+		if r == 0 {
+			return math.NaN()
+		}
+		return l / r
+	}
+	return math.NaN()
+}
+
+type callNode struct {
+	fn   string
+	args []node
+}
+
+func (n *callNode) eval(env map[string]float64) float64 {
+	switch n.fn {
+	case "abs":
+		return math.Abs(n.args[0].eval(env))
+	case "min":
+		v := n.args[0].eval(env)
+		for _, a := range n.args[1:] {
+			v = math.Min(v, a.eval(env))
+		}
+		return v
+	case "max":
+		v := n.args[0].eval(env)
+		for _, a := range n.args[1:] {
+			v = math.Max(v, a.eval(env))
+		}
+		return v
+	}
+	return math.NaN()
+}
+
+// Parse compiles an expression.
+func Parse(src string) (*Expr, error) {
+	p := &exprParser{src: src}
+	root, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("vsensor: trailing input at offset %d in %q", p.pos, src)
+	}
+	return &Expr{root: root, src: src}, nil
+}
+
+type exprParser struct {
+	src string
+	pos int
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *exprParser) parseExpr() (node, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		c := p.peek()
+		if c != '+' && c != '-' {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = &binaryNode{op: c, left: left, right: right}
+	}
+}
+
+func (p *exprParser) parseTerm() (node, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		c := p.peek()
+		if c != '*' && c != '/' {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = &binaryNode{op: c, left: left, right: right}
+	}
+}
+
+func (p *exprParser) parseFactor() (node, error) {
+	switch c := p.peek(); {
+	case c == 0:
+		return nil, fmt.Errorf("vsensor: unexpected end of expression %q", p.src)
+	case c == '-':
+		p.pos++
+		operand, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryNode{operand: operand}, nil
+	case c == '(':
+		p.pos++
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("vsensor: missing ')' in %q", p.src)
+		}
+		p.pos++
+		return inner, nil
+	case c == '<':
+		p.pos++
+		end := strings.IndexByte(p.src[p.pos:], '>')
+		if end < 0 {
+			return nil, fmt.Errorf("vsensor: unterminated sensor reference in %q", p.src)
+		}
+		topic := strings.Trim(p.src[p.pos:p.pos+end], `" `)
+		p.pos += end + 1
+		if topic == "" {
+			return nil, fmt.Errorf("vsensor: empty sensor reference in %q", p.src)
+		}
+		if rest, ok := strings.CutSuffix(topic, "/*"); ok {
+			return &refNode{topic: rest, wildcard: true}, nil
+		}
+		return &refNode{topic: topic}, nil
+	case c >= '0' && c <= '9' || c == '.':
+		start := p.pos
+		for p.pos < len(p.src) && (p.src[p.pos] >= '0' && p.src[p.pos] <= '9' || p.src[p.pos] == '.' ||
+			p.src[p.pos] == 'e' || p.src[p.pos] == 'E' ||
+			((p.src[p.pos] == '+' || p.src[p.pos] == '-') && p.pos > start && (p.src[p.pos-1] == 'e' || p.src[p.pos-1] == 'E'))) {
+			p.pos++
+		}
+		v, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+		if err != nil {
+			return nil, fmt.Errorf("vsensor: bad number %q in %q", p.src[start:p.pos], p.src)
+		}
+		return &constNode{v: v}, nil
+	case isIdentStart(c):
+		start := p.pos
+		for p.pos < len(p.src) && isIdent(p.src[p.pos]) {
+			p.pos++
+		}
+		name := p.src[start:p.pos]
+		if p.peek() != '(' {
+			return nil, fmt.Errorf("vsensor: unknown token %q in %q (sensor references need <…>)", name, p.src)
+		}
+		p.pos++
+		var args []node
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if p.peek() == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("vsensor: missing ')' after %s(...) in %q", name, p.src)
+		}
+		p.pos++
+		switch name {
+		case "abs":
+			if len(args) != 1 {
+				return nil, fmt.Errorf("vsensor: abs takes 1 argument")
+			}
+		case "min", "max":
+			if len(args) < 2 {
+				return nil, fmt.Errorf("vsensor: %s takes at least 2 arguments", name)
+			}
+		default:
+			return nil, fmt.Errorf("vsensor: unknown function %q", name)
+		}
+		return &callNode{fn: name, args: args}, nil
+	default:
+		return nil, fmt.Errorf("vsensor: unexpected character %q in %q", c, p.src)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdent(c byte) bool { return isIdentStart(c) || c >= '0' && c <= '9' }
