@@ -15,10 +15,12 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"dcdb/internal/bench"
+	"dcdb/internal/cache"
 	"dcdb/internal/collectagent"
 	"dcdb/internal/config"
 	"dcdb/internal/core"
@@ -260,6 +262,175 @@ func BenchmarkStoreInsertBatch(b *testing.B) {
 		}
 	}
 	b.SetBytes(int64(len(batch) * 16))
+}
+
+// BenchmarkStoreInsertParallel measures store ingest under concurrent
+// writers hitting distinct sensors, the Collect Agent's steady-state
+// load shape (many Pushers, disjoint sensor sets). With the global
+// memtable lock this collapses to single-core speed; the sharded
+// memtable should scale with GOMAXPROCS.
+func BenchmarkStoreInsertParallel(b *testing.B) {
+	n := store.NewNode(0)
+	var worker int64
+	b.RunParallel(func(pb *testing.PB) {
+		w := atomic.AddInt64(&worker, 1)
+		id := core.SensorID{Hi: uint64(w) << 32, Lo: uint64(w)}
+		ts := int64(0)
+		for pb.Next() {
+			ts++
+			if err := n.Insert(id, core.Reading{Timestamp: ts, Value: 1}, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStoreInsertBatchParallel is the batched variant (burst
+// payloads from many Pushers at once).
+func BenchmarkStoreInsertBatchParallel(b *testing.B) {
+	n := store.NewNode(0)
+	var worker int64
+	b.RunParallel(func(pb *testing.PB) {
+		w := atomic.AddInt64(&worker, 1)
+		id := core.SensorID{Hi: uint64(w) << 32, Lo: uint64(w)}
+		batch := make([]core.Reading, 64)
+		ts := int64(0)
+		for pb.Next() {
+			for i := range batch {
+				ts++
+				batch[i] = core.Reading{Timestamp: ts, Value: 1}
+			}
+			if err := n.InsertBatch(id, batch, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.SetBytes(64 * 16)
+}
+
+// BenchmarkStoreQueryParallel measures concurrent range reads mixed
+// across sensors (dashboards polling while ingest is quiescent).
+func BenchmarkStoreQueryParallel(b *testing.B) {
+	n := store.NewNode(1 << 12)
+	const sensors = 16
+	for s := 0; s < sensors; s++ {
+		id := core.SensorID{Hi: uint64(s), Lo: 1}
+		for i := int64(0); i < 20000; i++ {
+			n.Insert(id, core.Reading{Timestamp: i, Value: float64(i)}, 0)
+		}
+	}
+	var worker int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := atomic.AddInt64(&worker, 1)
+		id := core.SensorID{Hi: uint64(w) % sensors, Lo: 1}
+		for pb.Next() {
+			rs, err := n.Query(id, 5000, 6000)
+			if err != nil || len(rs) != 1001 {
+				b.Fatalf("query: %d, %v", len(rs), err)
+			}
+		}
+	})
+}
+
+// BenchmarkAgentIngestParallel measures the full Collect Agent ingest
+// path (decode → topic→SID → store → cache) under concurrent
+// publishers, the measured counterpart of Figure 8 at high fan-in.
+func BenchmarkAgentIngestParallel(b *testing.B) {
+	backend := store.NewNode(0)
+	agent := collectagent.New(backend, nil, collectagent.Options{Quiet: true})
+	payload := core.EncodeReadings([]core.Reading{{Timestamp: 1, Value: 1}})
+	topics := make([]string, 256)
+	for i := range topics {
+		topics[i] = fmt.Sprintf("/bench/h%02d/s%02d/v", i/16, i%16)
+	}
+	// Pre-warm the mapper so the benchmark exercises the steady-state
+	// (known-topic) path, not first-sight code assignment.
+	for _, tp := range topics {
+		agent.Handle(tp, payload)
+	}
+	var worker int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := int(atomic.AddInt64(&worker, 1))
+		i := w * 31
+		for pb.Next() {
+			agent.Handle(topics[i%len(topics)], payload)
+			i++
+		}
+	})
+}
+
+// BenchmarkTopicMapParallel measures topic→SID translation under
+// concurrent lookups of known topics — the Collect Agent's per-message
+// bookkeeping once the sensor population has been seen.
+func BenchmarkTopicMapParallel(b *testing.B) {
+	m := core.NewTopicMapper()
+	topics := make([]string, 512)
+	for i := range topics {
+		topics[i] = fmt.Sprintf("/lrz/sys/r%02d/c%d/n%02d/cpu%02d/instr", i%16, i%4, i%32, i%48)
+	}
+	for _, tp := range topics {
+		if _, err := m.Map(tp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var worker int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := int(atomic.AddInt64(&worker, 1))
+		i := w * 17
+		for pb.Next() {
+			if _, err := m.Map(topics[i%len(topics)]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkCacheStoreParallel measures the Pusher/Agent sensor cache
+// under concurrent stores to distinct topics.
+func BenchmarkCacheStoreParallel(b *testing.B) {
+	c := cache.New(time.Minute)
+	var worker int64
+	b.RunParallel(func(pb *testing.PB) {
+		w := atomic.AddInt64(&worker, 1)
+		topic := fmt.Sprintf("/bench/cache/t%d", w)
+		ts := int64(0)
+		for pb.Next() {
+			ts++
+			c.Store(topic, core.Reading{Timestamp: ts, Value: 1})
+		}
+	})
+}
+
+// BenchmarkClusterInsertReplicated measures replicated cluster writes
+// (replication 3), where replica fan-out dominates.
+func BenchmarkClusterInsertReplicated(b *testing.B) {
+	nodes := []*store.Node{store.NewNode(0), store.NewNode(0), store.NewNode(0)}
+	c, err := store.NewCluster(nodes, nil, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var worker int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := atomic.AddInt64(&worker, 1)
+		id := core.SensorID{Hi: uint64(w) << 32, Lo: uint64(w)}
+		batch := make([]core.Reading, 64)
+		ts := int64(0)
+		for pb.Next() {
+			for i := range batch {
+				ts++
+				batch[i] = core.Reading{Timestamp: ts, Value: 1}
+			}
+			if err := c.InsertBatch(id, batch, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.SetBytes(64 * 16)
 }
 
 // BenchmarkStoreQuery measures range reads across memtable + SSTables.

@@ -1,0 +1,3 @@
+module dcdb
+
+go 1.22

@@ -13,12 +13,39 @@ import (
 	"dcdb/internal/core"
 )
 
+// numShards is the lock-stripe count of the topic→ring map. A Pusher
+// host runs many sampling goroutines and the Collect Agent stores a
+// reading per MQTT message, so the cache is written from many
+// goroutines at once; striping by topic hash keeps them from
+// serializing on one lock. Power of two so the selector is a mask.
+const numShards = 16
+
 // Cache is a concurrency-safe sensor cache. The zero value is not usable;
 // call New.
 type Cache struct {
 	window time.Duration
-	mu     sync.RWMutex
-	rings  map[string]*ring
+	shards [numShards]cacheShard
+}
+
+// cacheShard is one lock stripe of the cache. Stripes live in one
+// array; pad to a full cache line so they never false-share.
+type cacheShard struct {
+	mu    sync.RWMutex
+	rings map[string]*ring
+	_     [32]byte
+}
+
+// shardOf selects a topic's stripe by FNV-1a hash.
+func (c *Cache) shardOf(topic string) *cacheShard {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(topic); i++ {
+		h = (h ^ uint64(topic[i])) * prime
+	}
+	return &c.shards[h&(numShards-1)]
 }
 
 // ring is a growable circular buffer of readings ordered by insertion.
@@ -39,7 +66,11 @@ func New(window time.Duration) *Cache {
 	if window <= 0 {
 		window = DefaultWindow
 	}
-	return &Cache{window: window, rings: make(map[string]*ring)}
+	c := &Cache{window: window}
+	for i := range c.shards {
+		c.shards[i].rings = make(map[string]*ring)
+	}
+	return c
 }
 
 // Window returns the configured retention window.
@@ -48,12 +79,13 @@ func (c *Cache) Window() time.Duration { return c.window }
 // Store inserts a reading for the sensor with the given topic, evicting
 // readings that fall out of the window.
 func (c *Cache) Store(topic string, r core.Reading) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	rg, ok := c.rings[topic]
+	sh := c.shardOf(topic)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rg, ok := sh.rings[topic]
 	if !ok {
 		rg = &ring{buf: make([]core.Reading, 8)}
-		c.rings[topic] = rg
+		sh.rings[topic] = rg
 	}
 	rg.push(r)
 	rg.evict(r.Timestamp - c.window.Nanoseconds())
@@ -82,9 +114,10 @@ func (r *ring) evict(cutoff int64) {
 
 // Latest returns the most recent reading of the sensor.
 func (c *Cache) Latest(topic string) (core.Reading, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	rg, ok := c.rings[topic]
+	sh := c.shardOf(topic)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rg, ok := sh.rings[topic]
 	if !ok || rg.count == 0 {
 		return core.Reading{}, false
 	}
@@ -94,9 +127,10 @@ func (c *Cache) Latest(topic string) (core.Reading, bool) {
 // Range returns the cached readings of the sensor with timestamps in
 // [from, to], oldest first.
 func (c *Cache) Range(topic string, from, to int64) []core.Reading {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	rg, ok := c.rings[topic]
+	sh := c.shardOf(topic)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rg, ok := sh.rings[topic]
 	if !ok {
 		return nil
 	}
@@ -114,9 +148,10 @@ func (c *Cache) Range(topic string, from, to int64) []core.Reading {
 // d of the sensor's newest reading. The boolean is false when the sensor
 // has no cached readings.
 func (c *Cache) Average(topic string, d time.Duration) (float64, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	rg, ok := c.rings[topic]
+	sh := c.shardOf(topic)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rg, ok := sh.rings[topic]
 	if !ok || rg.count == 0 {
 		return 0, false
 	}
@@ -139,35 +174,44 @@ func (c *Cache) Average(topic string, d time.Duration) (float64, bool) {
 
 // Topics lists the sensors currently present in the cache.
 func (c *Cache) Topics() []string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]string, 0, len(c.rings))
-	for t := range c.rings {
-		out = append(out, t)
+	var out []string
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for t := range sh.rings {
+			out = append(out, t)
+		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
 
 // Snapshot returns the latest reading of every cached sensor.
 func (c *Cache) Snapshot() map[string]core.Reading {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make(map[string]core.Reading, len(c.rings))
-	for t, rg := range c.rings {
-		if rg.count > 0 {
-			out[t] = rg.buf[(rg.head+rg.count-1)%len(rg.buf)]
+	out := make(map[string]core.Reading)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for t, rg := range sh.rings {
+			if rg.count > 0 {
+				out[t] = rg.buf[(rg.head+rg.count-1)%len(rg.buf)]
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
 
 // Len returns the total number of cached readings across all sensors.
 func (c *Cache) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	var n int
-	for _, rg := range c.rings {
-		n += rg.count
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for _, rg := range sh.rings {
+			n += rg.count
+		}
+		sh.mu.RUnlock()
 	}
 	return n
 }
@@ -175,11 +219,14 @@ func (c *Cache) Len() int {
 // SizeBytes estimates the memory held by cached readings, used by the
 // footprint experiments (Figure 6b).
 func (c *Cache) SizeBytes() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	var n int
-	for _, rg := range c.rings {
-		n += len(rg.buf) * 16 // 8 bytes timestamp + 8 bytes value
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for _, rg := range sh.rings {
+			n += len(rg.buf) * 16 // 8 bytes timestamp + 8 bytes value
+		}
+		sh.mu.RUnlock()
 	}
 	return n
 }

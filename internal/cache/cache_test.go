@@ -1,6 +1,8 @@
 package cache
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -135,6 +137,47 @@ func TestConcurrentAccess(t *testing.T) {
 		c.Snapshot()
 	}
 	<-done
+}
+
+func TestConcurrentStripedAccess(t *testing.T) {
+	// Writers on distinct topics plus aggregate readers, so the race
+	// detector crosses every stripe.
+	c := New(time.Hour)
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			topic := fmt.Sprintf("/race/t%d", w)
+			for i := int64(0); i < perWorker; i++ {
+				c.Store(topic, r(i, float64(i)))
+				if i%100 == 0 {
+					c.Latest(topic)
+					c.Range(topic, 0, i)
+					c.Average(topic, time.Hour)
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			c.Snapshot()
+			c.Topics()
+			c.Len()
+			c.SizeBytes()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := len(c.Topics()); got != workers {
+		t.Fatalf("Topics = %d, want %d", got, workers)
+	}
+	if got := c.Len(); got != workers*perWorker {
+		t.Fatalf("Len = %d, want %d", got, workers*perWorker)
+	}
 }
 
 // Property: after storing n in-window readings with increasing

@@ -1,6 +1,8 @@
 package collectagent
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -173,5 +175,48 @@ func TestBurstPipeline(t *testing.T) {
 	}
 	if st.Readings < 6 {
 		t.Fatalf("agent saw %d readings", st.Readings)
+	}
+}
+
+func TestConcurrentHandle(t *testing.T) {
+	// The full ingest path (decode → topic→SID → store → cache →
+	// hierarchy) hammered from concurrent publishers, as under many
+	// Pusher connections.
+	backend := store.NewNode(0)
+	a := New(backend, nil, Options{Quiet: true})
+	const workers, perWorker = 8, 300
+	payload := core.EncodeReadings([]core.Reading{{Timestamp: 1, Value: 1}, {Timestamp: 2, Value: 2}})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				topic := fmt.Sprintf("/conc/h%d/s%d/v", w, i%4)
+				a.Handle(topic, payload)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := a.Stats()
+	if st.Messages != workers*perWorker || st.Errors != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Readings != int64(workers*perWorker*2) {
+		t.Fatalf("readings = %d, want %d", st.Readings, workers*perWorker*2)
+	}
+	// Every distinct topic is mapped and queryable.
+	for w := 0; w < workers; w++ {
+		for s := 0; s < 4; s++ {
+			topic := fmt.Sprintf("/conc/h%d/s%d/v", w, s)
+			id, ok := a.Mapper().Lookup(topic)
+			if !ok {
+				t.Fatalf("topic %q not mapped", topic)
+			}
+			rs, err := backend.Query(id, 0, 10)
+			if err != nil || len(rs) != 2 {
+				t.Fatalf("topic %q: %d readings, %v", topic, len(rs), err)
+			}
+		}
 	}
 }

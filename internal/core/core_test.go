@@ -351,3 +351,59 @@ func TestHierarchy(t *testing.T) {
 		t.Error("Sensors of unknown path not nil")
 	}
 }
+
+func TestTopicMapperConcurrentMap(t *testing.T) {
+	// Concurrent Map calls racing on first-sight assignment and on the
+	// read-mostly fast path must still produce a consistent 1:1
+	// topic↔SID mapping.
+	m := NewTopicMapper()
+	topics := make([]string, 64)
+	for i := range topics {
+		topics[i] = JoinTopic([]string{"race", "sys",
+			string(rune('a' + i%8)), string(rune('a' + i/8)), "power"})
+	}
+	const workers = 8
+	got := make([][]SensorID, workers)
+	done := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			ids := make([]SensorID, len(topics))
+			// Each worker walks the topic list from a different
+			// offset so first-sight races actually happen.
+			for i := range topics {
+				tp := topics[(i+w*13)%len(topics)]
+				id, err := m.Map(tp)
+				if err != nil {
+					t.Error(err)
+				}
+				ids[(i+w*13)%len(topics)] = id
+			}
+			got[w] = ids
+			done <- w
+		}(w)
+	}
+	for i := 0; i < workers; i++ {
+		<-done
+	}
+	// All workers agree on every topic's SID.
+	for w := 1; w < workers; w++ {
+		for i := range topics {
+			if got[w][i] != got[0][i] {
+				t.Fatalf("worker %d mapped %q to %v, worker 0 to %v",
+					w, topics[i], got[w][i], got[0][i])
+			}
+		}
+	}
+	// The mapping is injective and reversible.
+	seen := make(map[SensorID]string)
+	for i, tp := range topics {
+		if prev, dup := seen[got[0][i]]; dup {
+			t.Fatalf("topics %q and %q share SID %v", prev, tp, got[0][i])
+		}
+		seen[got[0][i]] = tp
+		back, ok := m.Reverse(got[0][i])
+		if !ok || back != tp {
+			t.Fatalf("Reverse(%v) = %q, %v; want %q", got[0][i], back, ok, tp)
+		}
+	}
+}

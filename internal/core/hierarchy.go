@@ -25,15 +25,32 @@ func NewHierarchy() *Hierarchy {
 	return &Hierarchy{root: &hnode{children: make(map[string]*hnode)}}
 }
 
-// Add inserts a sensor topic into the tree.
+// Add inserts a sensor topic into the tree. The Collect Agent calls it
+// for every message, so known topics take only the shared read lock;
+// the exclusive lock is reserved for a topic's first sight.
 func (h *Hierarchy) Add(topic string) error {
 	parts, err := ParseTopic(topic)
 	if err != nil {
 		return err
 	}
+	h.mu.RLock()
+	n := h.root
+	for _, p := range parts {
+		c, ok := n.children[p]
+		if !ok {
+			n = nil
+			break
+		}
+		n = c
+	}
+	known := n != nil && n.sensor
+	h.mu.RUnlock()
+	if known {
+		return nil
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	n := h.root
+	n = h.root
 	for _, p := range parts {
 		c, ok := n.children[p]
 		if !ok {

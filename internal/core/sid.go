@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // SensorID is the 128-bit numerical key under which a sensor's readings
@@ -105,8 +106,24 @@ func ParseSensorID(s string) (SensorID, error) {
 // collision-free and reversible. Collect Agents share one mapper; its
 // state can be exported/imported so that SIDs stay stable across
 // restarts.
+//
+// The mapper is read-mostly: after a sensor's first message every
+// component is already in the dictionaries, and a Collect Agent
+// translates a topic on every MQTT PUBLISH. The dictionaries are
+// therefore kept in an immutable copy-on-write snapshot — readers (Map
+// of a known topic, Lookup, Reverse, Export) follow one atomic pointer
+// and never write shared state, so translation scales linearly with
+// cores. Writers (first sight of a component, Import) serialize on a
+// mutex, clone the level dictionaries they modify and atomically
+// publish a new snapshot.
 type TopicMapper struct {
-	mu     sync.RWMutex
+	wmu  sync.Mutex // serializes writers; readers only load snap
+	snap atomic.Pointer[mapperState]
+}
+
+// mapperState is an immutable snapshot of the level dictionaries.
+// Published states are never mutated.
+type mapperState struct {
 	levels [MaxTopicLevels]levelDict
 }
 
@@ -115,32 +132,75 @@ type levelDict struct {
 	names []string // code-1 -> component (code 0 is reserved for "absent")
 }
 
+// resolve translates already-parsed components against this snapshot.
+func (st *mapperState) resolve(parts []string) (SensorID, bool) {
+	var id SensorID
+	for i, p := range parts {
+		code, ok := st.levels[i].codes[p]
+		if !ok {
+			return SensorID{}, false
+		}
+		id = id.WithLevel(i, code)
+	}
+	return id, true
+}
+
+// cloneLevel returns a private copy of one level dictionary with room
+// for one more component.
+func cloneLevel(d levelDict) levelDict {
+	codes := make(map[string]uint16, len(d.codes)+1)
+	for k, v := range d.codes {
+		codes[k] = v
+	}
+	names := make([]string, len(d.names), len(d.names)+1)
+	copy(names, d.names)
+	return levelDict{codes: codes, names: names}
+}
+
 // NewTopicMapper returns an empty mapper.
 func NewTopicMapper() *TopicMapper {
 	m := &TopicMapper{}
-	for i := range m.levels {
-		m.levels[i].codes = make(map[string]uint16)
+	st := &mapperState{}
+	for i := range st.levels {
+		st.levels[i].codes = make(map[string]uint16)
 	}
+	m.snap.Store(st)
 	return m
 }
 
 // Map translates a topic to its SID, assigning new level codes on first
 // sight. It fails if a level dictionary is exhausted (65535 distinct
-// components) or the topic is malformed.
+// components) or the topic is malformed. Nothing is published on
+// failure.
 func (m *TopicMapper) Map(topic string) (SensorID, error) {
 	parts, err := ParseTopic(topic)
 	if err != nil {
 		return SensorID{}, err
 	}
+	if id, ok := m.snap.Load().resolve(parts); ok {
+		return id, nil
+	}
+	// First sight of at least one component: clone, assign, publish.
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	st := m.snap.Load()
+	if id, ok := st.resolve(parts); ok {
+		// Assigned by another writer while we waited for the lock.
+		return id, nil
+	}
+	ns := *st // shares unmodified level dictionaries
+	var cloned [MaxTopicLevels]bool
 	var id SensorID
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	for i, p := range parts {
-		d := &m.levels[i]
+		d := &ns.levels[i]
 		code, ok := d.codes[p]
 		if !ok {
 			if len(d.names) >= 0xffff {
 				return SensorID{}, fmt.Errorf("core: level %d dictionary exhausted", i)
+			}
+			if !cloned[i] {
+				*d = cloneLevel(*d)
+				cloned[i] = true
 			}
 			d.names = append(d.names, p)
 			code = uint16(len(d.names)) // codes start at 1
@@ -148,6 +208,7 @@ func (m *TopicMapper) Map(topic string) (SensorID, error) {
 		}
 		id = id.WithLevel(i, code)
 	}
+	m.snap.Store(&ns)
 	return id, nil
 }
 
@@ -158,31 +219,20 @@ func (m *TopicMapper) Lookup(topic string) (SensorID, bool) {
 	if err != nil {
 		return SensorID{}, false
 	}
-	var id SensorID
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	for i, p := range parts {
-		code, ok := m.levels[i].codes[p]
-		if !ok {
-			return SensorID{}, false
-		}
-		id = id.WithLevel(i, code)
-	}
-	return id, true
+	return m.snap.Load().resolve(parts)
 }
 
 // Reverse reconstructs the topic of a SID. The boolean is false when the
 // SID contains codes the mapper never assigned.
 func (m *TopicMapper) Reverse(id SensorID) (string, bool) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	st := m.snap.Load()
 	var parts []string
 	for i := 0; i < MaxTopicLevels; i++ {
 		code := id.Level(i)
 		if code == 0 {
 			break
 		}
-		d := &m.levels[i]
+		d := &st.levels[i]
 		if int(code) > len(d.names) {
 			return "", false
 		}
@@ -207,11 +257,10 @@ func (m *TopicMapper) PrefixOf(topic string, n int) (SensorID, error) {
 // Export returns a stable snapshot of the dictionaries as
 // "level/component code" lines, sorted for reproducibility.
 func (m *TopicMapper) Export() []string {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	st := m.snap.Load()
 	var out []string
-	for i := range m.levels {
-		for name, code := range m.levels[i].codes {
+	for i := range st.levels {
+		for name, code := range st.levels[i].codes {
 			out = append(out, fmt.Sprintf("%d/%s %d", i, name, code))
 		}
 	}
@@ -220,14 +269,17 @@ func (m *TopicMapper) Export() []string {
 }
 
 // Import loads dictionary entries produced by Export. Entries must not
-// conflict with codes already assigned.
+// conflict with codes already assigned. The import is atomic: on error
+// no entry is applied.
 func (m *TopicMapper) Import(lines []string) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	st := m.snap.Load()
+	ns := *st
+	var cloned [MaxTopicLevels]bool
 	for _, ln := range lines {
 		slash := strings.IndexByte(ln, '/')
-		sp := strings.LastIndexByte(ln, ' ')
-		if slash < 0 || sp < slash+1 {
+		if slash < 0 {
 			return fmt.Errorf("core: bad mapper line %q", ln)
 		}
 		var lvl int
@@ -235,7 +287,7 @@ func (m *TopicMapper) Import(lines []string) error {
 			return fmt.Errorf("core: bad mapper line %q: %w", ln, err)
 		}
 		rest := ln[slash+1:]
-		sp = strings.LastIndexByte(rest, ' ')
+		sp := strings.LastIndexByte(rest, ' ')
 		if sp <= 0 {
 			return fmt.Errorf("core: bad mapper line %q", ln)
 		}
@@ -247,9 +299,13 @@ func (m *TopicMapper) Import(lines []string) error {
 		if lvl < 0 || lvl >= MaxTopicLevels {
 			return fmt.Errorf("core: bad level in mapper line %q", ln)
 		}
-		d := &m.levels[lvl]
+		d := &ns.levels[lvl]
 		if have, ok := d.codes[name]; ok && have != code {
 			return fmt.Errorf("core: conflicting code for %d/%s", lvl, name)
+		}
+		if !cloned[lvl] {
+			*d = cloneLevel(*d)
+			cloned[lvl] = true
 		}
 		for int(code) > len(d.names) {
 			d.names = append(d.names, "")
@@ -260,5 +316,6 @@ func (m *TopicMapper) Import(lines []string) error {
 		d.names[code-1] = name
 		d.codes[name] = code
 	}
+	m.snap.Store(&ns)
 	return nil
 }

@@ -2,10 +2,22 @@ package store
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"dcdb/internal/core"
 )
+
+// parallelFanout gates goroutine-per-replica fan-out. On a single-CPU
+// host the goroutine handoff costs more than the in-memory node
+// operation it would parallelize, so the sequential path is kept.
+var parallelFanout = runtime.NumCPU() > 1
+
+// parallelBatchMin is the batch size below which a replicated write is
+// performed sequentially even on multicore hosts: spawning goroutines
+// costs more than a couple of memtable appends.
+const parallelBatchMin = 16
 
 // Partitioner decides which of n nodes owns a sensor's primary replica.
 type Partitioner interface {
@@ -129,21 +141,43 @@ func (c *Cluster) Insert(id core.SensorID, r core.Reading, ttl time.Duration) er
 	return c.InsertBatch(id, []core.Reading{r}, ttl)
 }
 
-// InsertBatch implements Backend.
+// InsertBatch implements Backend. Large batches are written to the
+// replicas concurrently; the write succeeds once any replica accepts
+// it.
 func (c *Cluster) InsertBatch(id core.SensorID, rs []core.Reading, ttl time.Duration) error {
+	replicas := c.replicasFor(id)
 	var lastErr error
-	acked := false
-	for _, idx := range c.replicasFor(id) {
-		if err := c.nodes[idx].InsertBatch(id, rs, ttl); err != nil {
+	if parallelFanout && len(replicas) > 1 && len(rs) >= parallelBatchMin {
+		errs := make([]error, len(replicas))
+		var wg sync.WaitGroup
+		for i, idx := range replicas {
+			wg.Add(1)
+			go func(i, idx int) {
+				defer wg.Done()
+				errs[i] = c.nodes[idx].InsertBatch(id, rs, ttl)
+			}(i, idx)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err == nil {
+				return nil
+			}
 			lastErr = err
-		} else {
-			acked = true
+		}
+	} else {
+		acked := false
+		for _, idx := range replicas {
+			if err := c.nodes[idx].InsertBatch(id, rs, ttl); err != nil {
+				lastErr = err
+			} else {
+				acked = true
+			}
+		}
+		if acked {
+			return nil
 		}
 	}
-	if !acked {
-		return fmt.Errorf("store: no replica accepted write: %w", lastErr)
-	}
-	return nil
+	return fmt.Errorf("store: no replica accepted write: %w", lastErr)
 }
 
 // Query implements Backend: the primary is consulted first, then the
@@ -163,20 +197,38 @@ func (c *Cluster) Query(id core.SensorID, from, to int64) ([]core.Reading, error
 // QueryPrefix implements Backend. With the hierarchical partitioner the
 // whole subtree lives on one replica set; with the hash partitioner the
 // query fans out to all nodes and results are merged.
+// All nodes are queried concurrently and the per-node result maps are
+// merged afterwards, keeping the first replica's copy of each sensor.
 func (c *Cluster) QueryPrefix(prefix core.SensorID, depth int, from, to int64) (map[core.SensorID][]core.Reading, error) {
+	maps := make([]map[core.SensorID][]core.Reading, len(c.nodes))
+	errs := make([]error, len(c.nodes))
+	if !parallelFanout || len(c.nodes) == 1 {
+		for i, n := range c.nodes {
+			maps[i], errs[i] = n.QueryPrefix(prefix, depth, from, to)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, n := range c.nodes {
+			wg.Add(1)
+			go func(i int, n *Node) {
+				defer wg.Done()
+				maps[i], errs[i] = n.QueryPrefix(prefix, depth, from, to)
+			}(i, n)
+		}
+		wg.Wait()
+	}
 	out := make(map[core.SensorID][]core.Reading)
 	var firstErr error
 	reached := false
-	for _, n := range c.nodes {
-		m, err := n.QueryPrefix(prefix, depth, from, to)
-		if err != nil {
+	for i := range c.nodes {
+		if errs[i] != nil {
 			if firstErr == nil {
-				firstErr = err
+				firstErr = errs[i]
 			}
 			continue
 		}
 		reached = true
-		for id, rs := range m {
+		for id, rs := range maps[i] {
 			if _, dup := out[id]; !dup {
 				out[id] = rs
 			}
@@ -188,21 +240,33 @@ func (c *Cluster) QueryPrefix(prefix core.SensorID, depth int, from, to int64) (
 	return out, nil
 }
 
-// DeleteBefore implements Backend.
+// DeleteBefore implements Backend; replicas are cleaned concurrently.
 func (c *Cluster) DeleteBefore(id core.SensorID, cutoff int64) error {
-	var lastErr error
-	acked := false
-	for _, idx := range c.replicasFor(id) {
-		if err := c.nodes[idx].DeleteBefore(id, cutoff); err != nil {
-			lastErr = err
-		} else {
-			acked = true
+	replicas := c.replicasFor(id)
+	errs := make([]error, len(replicas))
+	if !parallelFanout || len(replicas) == 1 {
+		for i, idx := range replicas {
+			errs[i] = c.nodes[idx].DeleteBefore(id, cutoff)
 		}
+	} else {
+		var wg sync.WaitGroup
+		for i, idx := range replicas {
+			wg.Add(1)
+			go func(i, idx int) {
+				defer wg.Done()
+				errs[i] = c.nodes[idx].DeleteBefore(id, cutoff)
+			}(i, idx)
+		}
+		wg.Wait()
 	}
-	if !acked {
-		return lastErr
+	var lastErr error
+	for _, err := range errs {
+		if err == nil {
+			return nil
+		}
+		lastErr = err
 	}
-	return nil
+	return lastErr
 }
 
 // Compact compacts every node.

@@ -12,12 +12,18 @@
 // (a SID prefix) to a particular node, so a sensor's readings are stored
 // on the server nearest to it and queries are routed directly — exactly
 // the locality argument of §4.3. Replication provides redundancy.
+//
+// The memtable is lock-striped into shards keyed by SID hash so that
+// concurrent inserts and queries for different sensors proceed without
+// contention; the paper's sub-1% overhead claim (§4.2) depends on the
+// ingest path scaling with cores rather than serializing on one lock.
 package store
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dcdb/internal/core"
@@ -59,52 +65,151 @@ type memSeries struct {
 	sorted  bool
 }
 
-// sstable is an immutable sorted run produced by a memtable flush.
-type sstable struct {
-	series map[core.SensorID][]entry
-	size   int
+// run is one flushed sorted run of a sensor. min/max cache the run's
+// timestamp bounds so a query window rejects a run by scanning the
+// compact header array instead of dereferencing each run's entries.
+type run struct {
+	es       []entry
+	min, max int64
+}
+
+// numShards is the lock-stripe count of a Node's memtable. A power of
+// two so the shard selector is a mask; 16 stripes keep contention
+// negligible up to typical server core counts without bloating small
+// nodes.
+const numShards = 16
+
+// shard is one lock stripe of a Node: a slice of the memtable, its
+// flushed runs, and a lazily maintained sorted SID index used by prefix
+// queries.
+type shard struct {
+	mu      sync.RWMutex
+	mem     map[core.SensorID]*memSeries
+	memSize int
+
+	// runs holds each sensor's flushed sorted runs (the SSTables of
+	// the LSM design), oldest first. Keying runs by sensor — rather
+	// than keeping per-flush tables each mapping every sensor — means
+	// a query touches one map entry and then only its own sensor's
+	// runs, so read cost does not degrade as flushes accumulate.
+	runs        map[core.SensorID][]run
+	flushedSize int
+
+	// Lookaside for the write path: Pushers deliver readings in
+	// per-sensor bursts, so consecutive inserts usually hit the same
+	// series. Guarded by mu held exclusively.
+	lastID core.SensorID
+	last   *memSeries
+
+	// index is the sorted list of SIDs present in mem or runs.
+	// Rebuilt on demand when indexOK is false; the slice itself is
+	// immutable once published, so readers may use it outside the
+	// lock.
+	index   []core.SensorID
+	indexOK bool
+
+	// Counters are striped per shard: a single node-wide counter
+	// would put one contended cache line back into every insert.
+	// The struct is exactly 128 bytes (two cache lines), so shards
+	// in the array never false-share; keep it a 64-byte multiple
+	// when adding fields.
+	inserts int64        // guarded by mu (held exclusively on insert)
+	queries atomic.Int64 // incremented under the shared read lock
+}
+
+// seriesFor returns the memtable series of id, creating it on first
+// sight, via the one-entry lookaside. Caller holds mu exclusively.
+func (sh *shard) seriesFor(id core.SensorID) *memSeries {
+	if sh.last != nil && sh.lastID == id {
+		return sh.last
+	}
+	s, ok := sh.mem[id]
+	if !ok {
+		s = &memSeries{sorted: true}
+		sh.mem[id] = s
+		sh.indexOK = false
+	}
+	sh.lastID, sh.last = id, s
+	return s
 }
 
 // Node is a single storage server. It is safe for concurrent use.
 type Node struct {
-	mu        sync.RWMutex
-	mem       map[core.SensorID]*memSeries
-	memSize   int
-	tables    []*sstable
+	shards    [numShards]shard
 	flushSize int
-	down      bool
+	down      atomic.Bool
 
-	inserts int64
-	queries int64
+	prefixQueries atomic.Int64
 }
 
-// DefaultFlushSize is the number of memtable entries that triggers a
-// flush into an SSTable.
+// DefaultFlushSize is the node-wide number of memtable entries that
+// triggers a flush into an SSTable.
 const DefaultFlushSize = 1 << 16
 
 // NewNode creates a storage node. flushSize <= 0 selects
-// DefaultFlushSize.
+// DefaultFlushSize. The budget is divided across the lock stripes so
+// the node-wide memtable footprint stays what the caller configured.
 func NewNode(flushSize int) *Node {
 	if flushSize <= 0 {
 		flushSize = DefaultFlushSize
 	}
-	return &Node{mem: make(map[core.SensorID]*memSeries), flushSize: flushSize}
+	perShard := flushSize / numShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	n := &Node{flushSize: perShard}
+	for i := range n.shards {
+		n.shards[i].mem = make(map[core.SensorID]*memSeries)
+		n.shards[i].runs = make(map[core.SensorID][]run)
+		n.shards[i].indexOK = true
+	}
+	return n
 }
+
+// shardIndex selects the lock stripe of a SID with a cheap avalanche
+// mix, so sensors spread evenly even when SIDs share a hierarchical
+// prefix.
+func shardIndex(id core.SensorID) int {
+	h := id.Lo*0x9e3779b97f4a7c15 ^ id.Hi
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return int(h & (numShards - 1))
+}
+
+func (n *Node) shardOf(id core.SensorID) *shard { return &n.shards[shardIndex(id)] }
 
 // SetDown marks the node unavailable; operations fail until revived.
 // Used to exercise replication failover.
-func (n *Node) SetDown(down bool) {
-	n.mu.Lock()
-	n.down = down
-	n.mu.Unlock()
-}
+func (n *Node) SetDown(down bool) { n.down.Store(down) }
 
 // ErrNodeDown is returned by operations on a node marked down.
 var ErrNodeDown = fmt.Errorf("store: node is down")
 
-// Insert implements Backend.
+// Insert implements Backend. It is the per-message hot path, so it
+// avoids the slice round-trip through InsertBatch.
 func (n *Node) Insert(id core.SensorID, r core.Reading, ttl time.Duration) error {
-	return n.InsertBatch(id, []core.Reading{r}, ttl)
+	if n.down.Load() {
+		return ErrNodeDown
+	}
+	var expire int64
+	if ttl > 0 {
+		expire = time.Now().Add(ttl).UnixNano()
+	}
+	sh := n.shardOf(id)
+	sh.mu.Lock()
+	s := sh.seriesFor(id)
+	if s.sorted && len(s.entries) > 0 && r.Timestamp < s.entries[len(s.entries)-1].ts {
+		s.sorted = false
+	}
+	s.entries = append(s.entries, entry{ts: r.Timestamp, val: r.Value, expire: expire})
+	sh.memSize++
+	sh.inserts++
+	if sh.memSize >= n.flushSize {
+		sh.flushLocked()
+	}
+	sh.mu.Unlock()
+	return nil
 }
 
 // InsertBatch implements Backend.
@@ -112,207 +217,438 @@ func (n *Node) InsertBatch(id core.SensorID, rs []core.Reading, ttl time.Duratio
 	if len(rs) == 0 {
 		return nil
 	}
+	if n.down.Load() {
+		return ErrNodeDown
+	}
+	// The TTL clock is read once per batch, outside the lock.
 	var expire int64
 	if ttl > 0 {
 		expire = time.Now().Add(ttl).UnixNano()
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.down {
-		return ErrNodeDown
-	}
-	s, ok := n.mem[id]
-	if !ok {
-		s = &memSeries{sorted: true}
-		n.mem[id] = s
-	}
+	sh := n.shardOf(id)
+	sh.mu.Lock()
+	s := sh.seriesFor(id)
 	for _, r := range rs {
 		if s.sorted && len(s.entries) > 0 && r.Timestamp < s.entries[len(s.entries)-1].ts {
 			s.sorted = false
 		}
 		s.entries = append(s.entries, entry{ts: r.Timestamp, val: r.Value, expire: expire})
 	}
-	n.inserts += int64(len(rs))
-	n.memSize += len(rs)
-	if n.memSize >= n.flushSize {
-		n.flushLocked()
+	sh.memSize += len(rs)
+	sh.inserts += int64(len(rs))
+	if sh.memSize >= n.flushSize {
+		sh.flushLocked()
 	}
+	sh.mu.Unlock()
 	return nil
 }
 
-// Flush forces the memtable into an SSTable.
+// Flush forces every shard's memtable into an SSTable.
 func (n *Node) Flush() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.flushLocked()
+	for i := range n.shards {
+		sh := &n.shards[i]
+		sh.mu.Lock()
+		sh.flushLocked()
+		sh.mu.Unlock()
+	}
 }
 
-func (n *Node) flushLocked() {
-	if n.memSize == 0 {
+func (sh *shard) flushLocked() {
+	if sh.memSize == 0 {
 		return
 	}
-	t := &sstable{series: make(map[core.SensorID][]entry, len(n.mem)), size: n.memSize}
-	for id, s := range n.mem {
+	for id, s := range sh.mem {
+		if len(s.entries) == 0 {
+			continue
+		}
 		es := s.entries
 		if !s.sorted {
 			sort.Slice(es, func(i, j int) bool { return es[i].ts < es[j].ts })
 		}
-		t.series[id] = es
+		sh.runs[id] = append(sh.runs[id], run{es: es, min: es[0].ts, max: es[len(es)-1].ts})
+		// The series object stays in the memtable with a fresh
+		// buffer of the same capacity: the SID set is unchanged
+		// (no index invalidation) and steady-state ingest never
+		// pays slice-growth copies again.
+		s.entries = make([]entry, 0, cap(es))
+		s.sorted = true
 	}
-	n.tables = append(n.tables, t)
-	n.mem = make(map[core.SensorID]*memSeries)
-	n.memSize = 0
+	sh.flushedSize += sh.memSize
+	sh.memSize = 0
 }
 
 // Query implements Backend.
 func (n *Node) Query(id core.SensorID, from, to int64) ([]core.Reading, error) {
-	now := time.Now().UnixNano()
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	if n.down {
+	if n.down.Load() {
 		return nil, ErrNodeDown
 	}
-	n.queries++
-	var out []core.Reading
-	for _, t := range n.tables {
-		collectEntries(&out, t.series[id], from, to, now)
-	}
-	if s, ok := n.mem[id]; ok {
-		if !s.sorted {
-			es := append([]entry(nil), s.entries...)
-			sort.Slice(es, func(i, j int) bool { return es[i].ts < es[j].ts })
-			collectEntries(&out, es, from, to, now)
-		} else {
-			collectEntries(&out, s.entries, from, to, now)
-		}
-	}
-	// Runs are individually sorted but may interleave; merge by sort.
-	sort.Slice(out, func(i, j int) bool { return out[i].Timestamp < out[j].Timestamp })
-	return dedup(out), nil
+	now := time.Now().UnixNano()
+	sh := n.shardOf(id)
+	sh.queries.Add(1)
+	sh.mu.RLock()
+	out := sh.queryLocked(id, from, to, now)
+	sh.mu.RUnlock()
+	return out, nil
 }
 
-// QueryPrefix implements Backend.
-func (n *Node) QueryPrefix(prefix core.SensorID, depth int, from, to int64) (map[core.SensorID][]core.Reading, error) {
-	n.mu.RLock()
-	ids := make(map[core.SensorID]struct{})
-	if n.down {
-		n.mu.RUnlock()
-		return nil, ErrNodeDown
-	}
-	for id := range n.mem {
-		if id.Prefix(depth) == prefix {
-			ids[id] = struct{}{}
+// queryLocked merges the sorted runs of one sensor. Caller holds at
+// least a read lock on the shard.
+func (sh *shard) queryLocked(id core.SensorID, from, to, now int64) []core.Reading {
+	var mem []entry
+	if s, ok := sh.mem[id]; ok && len(s.entries) > 0 {
+		mem = s.entries
+		if !s.sorted {
+			mem = append([]entry(nil), s.entries...)
+			sort.Slice(mem, func(i, j int) bool { return mem[i].ts < mem[j].ts })
 		}
 	}
-	for _, t := range n.tables {
-		for id := range t.series {
-			if id.Prefix(depth) == prefix {
-				ids[id] = struct{}{}
+	return mergeRuns(sh.runs[id], mem, from, to, now)
+}
+
+// mergeRuns performs a k-way heap merge over time-sorted runs, dropping
+// expired entries and collapsing duplicate timestamps so the newest run
+// (highest index — flushed runs are ordered oldest first, the memtable
+// run is newest) wins. Each run is first narrowed to [from, to] by
+// binary search; flushed is read-only and never copied, and runs whose
+// cached [min, max] bounds miss the window are rejected from the
+// header scan alone.
+func mergeRuns(flushed []run, mem []entry, from, to, now int64) []core.Reading {
+	total := 0
+	var narrowed [][]entry
+	narrow := func(es []entry) {
+		lo := sort.Search(len(es), func(i int) bool { return es[i].ts >= from })
+		hi := sort.Search(len(es), func(i int) bool { return es[i].ts > to })
+		if lo < hi {
+			narrowed = append(narrowed, es[lo:hi])
+			total += hi - lo
+		}
+	}
+	for _, r := range flushed {
+		if r.min > to || r.max < from {
+			continue
+		}
+		narrow(r.es)
+	}
+	if len(mem) > 0 && mem[0].ts <= to && mem[len(mem)-1].ts >= from {
+		narrow(mem)
+	}
+	if len(narrowed) == 0 {
+		return nil
+	}
+	// Sensors usually emit monotonically increasing timestamps, so
+	// consecutive runs rarely overlap: when every run ends at or
+	// before the next one starts, plain concatenation yields sorted
+	// output and the heap is skipped entirely.
+	sequential := true
+	for i := 1; i < len(narrowed); i++ {
+		prev := narrowed[i-1]
+		if prev[len(prev)-1].ts > narrowed[i][0].ts {
+			sequential = false
+			break
+		}
+	}
+	if sequential {
+		out := make([]core.Reading, 0, total)
+		for _, es := range narrowed {
+			for _, e := range es {
+				if e.expire != 0 && e.expire <= now {
+					continue
+				}
+				if len(out) > 0 && out[len(out)-1].Timestamp == e.ts {
+					out[len(out)-1] = core.Reading{Timestamp: e.ts, Value: e.val}
+				} else {
+					out = append(out, core.Reading{Timestamp: e.ts, Value: e.val})
+				}
 			}
 		}
+		return out
 	}
-	n.mu.RUnlock()
-	out := make(map[core.SensorID][]core.Reading, len(ids))
-	for id := range ids {
-		rs, err := n.Query(id, from, to)
-		if err != nil {
-			return nil, err
-		}
-		if len(rs) > 0 {
-			out[id] = rs
+
+	// cursor walks one run; the heap orders cursors by (next
+	// timestamp, run index) so equal timestamps pop oldest-run first
+	// and the overwrite below leaves the newest run's value.
+	type cursor struct {
+		es  []entry
+		pos int
+		run int
+	}
+	h := make([]cursor, 0, len(narrowed))
+	less := func(a, b cursor) bool {
+		at, bt := a.es[a.pos].ts, b.es[b.pos].ts
+		return at < bt || (at == bt && a.run < b.run)
+	}
+	push := func(c cursor) {
+		h = append(h, c)
+		for i := len(h) - 1; i > 0; {
+			p := (i - 1) / 2
+			if !less(h[i], h[p]) {
+				break
+			}
+			h[i], h[p] = h[p], h[i]
+			i = p
 		}
 	}
+	siftDown := func() {
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			s := i
+			if l < len(h) && less(h[l], h[s]) {
+				s = l
+			}
+			if r < len(h) && less(h[r], h[s]) {
+				s = r
+			}
+			if s == i {
+				break
+			}
+			h[i], h[s] = h[s], h[i]
+			i = s
+		}
+	}
+	for run, es := range narrowed {
+		push(cursor{es: es, run: run})
+	}
+	out := make([]core.Reading, 0, total)
+	for len(h) > 0 {
+		c := h[0]
+		e := c.es[c.pos]
+		if c.pos+1 < len(c.es) {
+			h[0].pos++
+			siftDown()
+		} else {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+			siftDown()
+		}
+		if e.expire != 0 && e.expire <= now {
+			continue
+		}
+		if len(out) > 0 && out[len(out)-1].Timestamp == e.ts {
+			out[len(out)-1] = core.Reading{Timestamp: e.ts, Value: e.val}
+		} else {
+			out = append(out, core.Reading{Timestamp: e.ts, Value: e.val})
+		}
+	}
+	return out
+}
+
+// snapshotIndex returns the shard's sorted SID list, rebuilding it if
+// stale. The returned slice is immutable.
+func (sh *shard) snapshotIndex() []core.SensorID {
+	sh.mu.RLock()
+	if sh.indexOK {
+		idx := sh.index
+		sh.mu.RUnlock()
+		return idx
+	}
+	sh.mu.RUnlock()
+	sh.mu.Lock()
+	if !sh.indexOK {
+		set := make(map[core.SensorID]struct{}, len(sh.mem)+len(sh.runs))
+		for id := range sh.mem {
+			set[id] = struct{}{}
+		}
+		for id := range sh.runs {
+			set[id] = struct{}{}
+		}
+		idx := make([]core.SensorID, 0, len(set))
+		for id := range set {
+			idx = append(idx, id)
+		}
+		sort.Slice(idx, func(i, j int) bool { return idx[i].Compare(idx[j]) < 0 })
+		sh.index = idx
+		sh.indexOK = true
+	}
+	idx := sh.index
+	sh.mu.Unlock()
+	return idx
+}
+
+// prefixRange returns the half-open SID interval covering every sensor
+// in the subtree, and whether the interval is bounded above (an
+// all-ones prefix extends to the end of the keyspace).
+func prefixRange(prefix core.SensorID, depth int) (lo, hi core.SensorID, bounded bool) {
+	if depth >= core.MaxTopicLevels {
+		depth = core.MaxTopicLevels
+	}
+	bits := uint(16 * (core.MaxTopicLevels - depth)) // 0..128
+	var incHi, incLo uint64
+	switch {
+	case bits >= 128:
+		return prefix, core.SensorID{}, false // whole keyspace
+	case bits >= 64:
+		incHi = 1 << (bits - 64)
+	default:
+		incLo = 1 << bits
+	}
+	hi.Lo = prefix.Lo + incLo
+	carry := uint64(0)
+	if hi.Lo < prefix.Lo {
+		carry = 1
+	}
+	hi.Hi = prefix.Hi + incHi + carry
+	// A wrapped 128-bit sum compares <= prefix: the subtree runs to
+	// the end of the keyspace.
+	if hi.Compare(prefix) <= 0 {
+		return prefix, core.SensorID{}, false
+	}
+	return prefix, hi, true
+}
+
+// QueryPrefix implements Backend. Each shard is consulted once: its
+// sorted SID index is range-scanned for the subtree (SIDs under one
+// prefix are contiguous in SID order) and all matching sensors are read
+// under a single lock acquisition.
+func (n *Node) QueryPrefix(prefix core.SensorID, depth int, from, to int64) (map[core.SensorID][]core.Reading, error) {
+	if n.down.Load() {
+		return nil, ErrNodeDown
+	}
+	if prefix.Prefix(depth) != prefix {
+		// A prefix with bits set below the depth cut can match no
+		// sensor.
+		return map[core.SensorID][]core.Reading{}, nil
+	}
+	now := time.Now().UnixNano()
+	lo, hi, bounded := prefixRange(prefix, depth)
+	out := make(map[core.SensorID][]core.Reading)
+	for i := range n.shards {
+		sh := &n.shards[i]
+		idx := sh.snapshotIndex()
+		start := sort.Search(len(idx), func(i int) bool { return idx[i].Compare(lo) >= 0 })
+		end := len(idx)
+		if bounded {
+			end = sort.Search(len(idx), func(i int) bool { return idx[i].Compare(hi) >= 0 })
+		}
+		if start >= end {
+			continue
+		}
+		sh.mu.RLock()
+		for _, id := range idx[start:end] {
+			if rs := sh.queryLocked(id, from, to, now); len(rs) > 0 {
+				out[id] = rs
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	n.prefixQueries.Add(1)
 	return out, nil
 }
 
 // DeleteBefore implements Backend.
 func (n *Node) DeleteBefore(id core.SensorID, cutoff int64) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.down {
+	if n.down.Load() {
 		return ErrNodeDown
 	}
-	if s, ok := n.mem[id]; ok {
+	sh := n.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s, ok := sh.mem[id]; ok {
 		kept := s.entries[:0]
 		for _, e := range s.entries {
 			if e.ts >= cutoff {
 				kept = append(kept, e)
 			}
 		}
-		n.memSize -= len(s.entries) - len(kept)
+		sh.memSize -= len(s.entries) - len(kept)
 		s.entries = kept
 	}
-	for _, t := range n.tables {
-		if es, ok := t.series[id]; ok {
-			var kept []entry
-			for _, e := range es {
-				if e.ts >= cutoff {
-					kept = append(kept, e)
-				}
+	if rs, ok := sh.runs[id]; ok {
+		kept := rs[:0]
+		for _, r := range rs {
+			// Runs are sorted: everything before the cutoff is a
+			// prefix, dropped by reslicing without copying.
+			lo := sort.Search(len(r.es), func(i int) bool { return r.es[i].ts >= cutoff })
+			sh.flushedSize -= lo
+			if lo < len(r.es) {
+				es := r.es[lo:]
+				kept = append(kept, run{es: es, min: es[0].ts, max: r.max})
 			}
-			t.size -= len(es) - len(kept)
-			t.series[id] = kept
+		}
+		if len(kept) == 0 {
+			delete(sh.runs, id)
+			sh.indexOK = false
+		} else {
+			sh.runs[id] = kept
 		}
 	}
 	return nil
 }
 
-// Compact merges all SSTables into one and drops expired entries. It
-// corresponds to the compaction task of dcdbconfig (paper §5.2).
+// Compact merges each sensor's flushed runs into one and drops expired
+// entries. It corresponds to the compaction task of dcdbconfig (paper
+// §5.2).
 func (n *Node) Compact() {
 	now := time.Now().UnixNano()
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if len(n.tables) == 0 {
-		return
-	}
-	merged := &sstable{series: make(map[core.SensorID][]entry)}
-	for _, t := range n.tables {
-		for id, es := range t.series {
-			for _, e := range es {
-				if e.expire != 0 && e.expire <= now {
-					continue
+	for i := range n.shards {
+		sh := &n.shards[i]
+		sh.mu.Lock()
+		if len(sh.runs) == 0 {
+			sh.mu.Unlock()
+			continue
+		}
+		for id, rs := range sh.runs {
+			total := 0
+			for _, r := range rs {
+				total += len(r.es)
+			}
+			merged := make([]entry, 0, total)
+			for _, r := range rs {
+				for _, e := range r.es {
+					if e.expire != 0 && e.expire <= now {
+						continue
+					}
+					merged = append(merged, e)
 				}
-				merged.series[id] = append(merged.series[id], e)
+			}
+			// Stable: runs were concatenated oldest-first, so equal
+			// timestamps keep the newest write last and query-time
+			// dedup still prefers it.
+			if !sort.SliceIsSorted(merged, func(i, j int) bool { return merged[i].ts < merged[j].ts }) {
+				sort.SliceStable(merged, func(i, j int) bool { return merged[i].ts < merged[j].ts })
+			}
+			sh.flushedSize += len(merged) - total
+			if len(merged) == 0 {
+				delete(sh.runs, id)
+			} else {
+				sh.runs[id] = []run{{es: merged, min: merged[0].ts, max: merged[len(merged)-1].ts}}
 			}
 		}
+		// Flush keeps series objects in the memtable to reuse their
+		// buffers; compaction is where idle ones are retired, so
+		// expired-only sensors really disappear and dead sensors
+		// stop pinning capacity.
+		for id, s := range sh.mem {
+			if len(s.entries) == 0 {
+				delete(sh.mem, id)
+			}
+		}
+		sh.lastID, sh.last = core.SensorID{}, nil
+		sh.indexOK = false // expired-only sensors disappear
+		sh.mu.Unlock()
 	}
-	for id, es := range merged.series {
-		sort.Slice(es, func(i, j int) bool { return es[i].ts < es[j].ts })
-		merged.series[id] = es
-		merged.size += len(es)
-	}
-	n.tables = []*sstable{merged}
 }
 
 // Stats reports cumulative insert/query counts and the resident entry
 // count.
 func (n *Node) Stats() (inserts, queries int64, entries int) {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	entries = n.memSize
-	for _, t := range n.tables {
-		entries += t.size
+	queries = n.prefixQueries.Load()
+	for i := range n.shards {
+		sh := &n.shards[i]
+		sh.mu.RLock()
+		entries += sh.memSize + sh.flushedSize
+		inserts += sh.inserts
+		sh.mu.RUnlock()
+		queries += sh.queries.Load()
 	}
-	return n.inserts, n.queries, entries
+	return inserts, queries, entries
 }
 
 // SensorIDs lists every SID present on the node.
 func (n *Node) SensorIDs() []core.SensorID {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	set := make(map[core.SensorID]struct{})
-	for id := range n.mem {
-		set[id] = struct{}{}
-	}
-	for _, t := range n.tables {
-		for id := range t.series {
-			set[id] = struct{}{}
-		}
-	}
-	out := make([]core.SensorID, 0, len(set))
-	for id := range set {
-		out = append(out, id)
+	var out []core.SensorID
+	for i := range n.shards {
+		out = append(out, n.shards[i].snapshotIndex()...)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return out
@@ -320,33 +656,3 @@ func (n *Node) SensorIDs() []core.SensorID {
 
 // Close implements Backend.
 func (n *Node) Close() error { return nil }
-
-func collectEntries(out *[]core.Reading, es []entry, from, to, now int64) {
-	// Binary search to the first in-range entry; runs are sorted.
-	lo := sort.Search(len(es), func(i int) bool { return es[i].ts >= from })
-	for _, e := range es[lo:] {
-		if e.ts > to {
-			break
-		}
-		if e.expire != 0 && e.expire <= now {
-			continue
-		}
-		*out = append(*out, core.Reading{Timestamp: e.ts, Value: e.val})
-	}
-}
-
-// dedup collapses duplicate timestamps, keeping the last write.
-func dedup(rs []core.Reading) []core.Reading {
-	if len(rs) < 2 {
-		return rs
-	}
-	out := rs[:1]
-	for _, r := range rs[1:] {
-		if r.Timestamp == out[len(out)-1].Timestamp {
-			out[len(out)-1] = r
-		} else {
-			out = append(out, r)
-		}
-	}
-	return out
-}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sort"
 
 	"dcdb/internal/core"
 )
@@ -26,18 +27,33 @@ var snapMagic = []byte("DCDBSNAP")
 
 const snapVersion = 1
 
-// Save writes the node's entire contents to w.
+// Save writes the node's entire contents to w. Shards are collected
+// one at a time so ingest never pauses globally; the snapshot is
+// therefore a fuzzy cut across shards — fine for monitoring data,
+// where series are independent and no cross-sensor invariant exists.
 func (n *Node) Save(w io.Writer) error {
-	n.mu.Lock()
-	n.flushLocked()
-	// Collect a stable view under the lock.
 	merged := make(map[core.SensorID][]entry)
-	for _, t := range n.tables {
-		for id, es := range t.series {
-			merged[id] = append(merged[id], es...)
+	for i := range n.shards {
+		sh := &n.shards[i]
+		sh.mu.Lock()
+		sh.flushLocked()
+		for id, rs := range sh.runs {
+			for _, r := range rs {
+				merged[id] = append(merged[id], r.es...)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	// Concatenated runs interleave in time; persist each series as one
+	// sorted run so readers can rely on run order. Stable: runs were
+	// appended oldest-first, so duplicate timestamps keep the newest
+	// write last.
+	for id, es := range merged {
+		if !sort.SliceIsSorted(es, func(i, j int) bool { return es[i].ts < es[j].ts }) {
+			sort.SliceStable(es, func(i, j int) bool { return es[i].ts < es[j].ts })
+			merged[id] = es
 		}
 	}
-	n.mu.Unlock()
 
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(snapMagic); err != nil {
@@ -92,7 +108,10 @@ func (n *Node) Load(r io.Reader) error {
 	if err := binary.Read(br, binary.BigEndian, &count); err != nil {
 		return err
 	}
-	t := &sstable{series: make(map[core.SensorID][]entry, count)}
+	// Decode into one run map per shard so the restored node has the
+	// same striped layout as a freshly written one.
+	var runs [numShards]map[core.SensorID][]run
+	var sizes [numShards]int
 	var hdr [24]byte
 	var rec [24]byte
 	for i := uint64(0); i < count; i++ {
@@ -101,7 +120,14 @@ func (n *Node) Load(r io.Reader) error {
 		}
 		id := core.SensorID{Hi: binary.BigEndian.Uint64(hdr[0:]), Lo: binary.BigEndian.Uint64(hdr[8:])}
 		en := binary.BigEndian.Uint64(hdr[16:])
-		es := make([]entry, 0, en)
+		// The on-disk count is untrusted: cap the preallocation so a
+		// corrupt header errors out as a truncated snapshot instead
+		// of panicking in makeslice or OOMing.
+		capHint := en
+		if capHint > 1<<20 {
+			capHint = 1 << 20
+		}
+		es := make([]entry, 0, capHint)
 		for j := uint64(0); j < en; j++ {
 			if _, err := io.ReadFull(br, rec[:]); err != nil {
 				return fmt.Errorf("store: truncated snapshot: %w", err)
@@ -112,14 +138,37 @@ func (n *Node) Load(r io.Reader) error {
 				expire: int64(binary.BigEndian.Uint64(rec[16:])),
 			})
 		}
-		t.series[id] = es
-		t.size += len(es)
+		// Snapshots written by older versions (or a fuzzy concurrent
+		// Save) may interleave timestamps; the read path requires
+		// sorted runs. Stable preserves file order for duplicates.
+		if !sort.SliceIsSorted(es, func(i, j int) bool { return es[i].ts < es[j].ts }) {
+			sort.SliceStable(es, func(i, j int) bool { return es[i].ts < es[j].ts })
+		}
+		idx := shardIndex(id)
+		if runs[idx] == nil {
+			runs[idx] = make(map[core.SensorID][]run)
+		}
+		if len(es) > 0 {
+			runs[idx][id] = []run{{es: es, min: es[0].ts, max: es[len(es)-1].ts}}
+			sizes[idx] += len(es)
+		}
 	}
-	n.mu.Lock()
-	n.mem = make(map[core.SensorID]*memSeries)
-	n.memSize = 0
-	n.tables = []*sstable{t}
-	n.mu.Unlock()
+	for i := range n.shards {
+		sh := &n.shards[i]
+		sh.mu.Lock()
+		sh.mem = make(map[core.SensorID]*memSeries)
+		sh.memSize = 0
+		sh.lastID, sh.last = core.SensorID{}, nil
+		if runs[i] != nil {
+			sh.runs = runs[i]
+		} else {
+			sh.runs = make(map[core.SensorID][]run)
+		}
+		sh.flushedSize = sizes[i]
+		sh.index = nil
+		sh.indexOK = false
+		sh.mu.Unlock()
+	}
 	return nil
 }
 

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"path/filepath"
 	"sort"
@@ -200,6 +201,169 @@ func TestNodeConcurrency(t *testing.T) {
 	}
 }
 
+func TestNodeMergeAcrossRunsLastWriteWins(t *testing.T) {
+	// Duplicate timestamps in different runs: the newer run must win.
+	n := NewNode(0)
+	id := sid(1, 1)
+	n.Insert(id, rd(100, 1), 0)
+	n.Flush() // v=1 now in an SSTable
+	n.Insert(id, rd(100, 2), 0)
+	rs, _ := n.Query(id, 0, 200)
+	if len(rs) != 1 || rs[0].Value != 2 {
+		t.Fatalf("memtable should shadow SSTable: %v", rs)
+	}
+	n.Flush() // v=2 in a second, newer SSTable
+	rs, _ = n.Query(id, 0, 200)
+	if len(rs) != 1 || rs[0].Value != 2 {
+		t.Fatalf("newer SSTable should win: %v", rs)
+	}
+}
+
+func TestNodeMergeInterleavedRuns(t *testing.T) {
+	// Runs with interleaved timestamp ranges must merge into one
+	// sorted sequence.
+	n := NewNode(0)
+	id := sid(7, 7)
+	for _, ts := range []int64{0, 10, 20, 30} {
+		n.Insert(id, rd(ts, float64(ts)), 0)
+	}
+	n.Flush()
+	for _, ts := range []int64{5, 15, 25, 35} {
+		n.Insert(id, rd(ts, float64(ts)), 0)
+	}
+	n.Flush()
+	for _, ts := range []int64{3, 33} {
+		n.Insert(id, rd(ts, float64(ts)), 0)
+	}
+	rs, _ := n.Query(id, 0, 100)
+	want := []int64{0, 3, 5, 10, 15, 20, 25, 30, 33, 35}
+	if len(rs) != len(want) {
+		t.Fatalf("got %d readings: %v", len(rs), rs)
+	}
+	for i, ts := range want {
+		if rs[i].Timestamp != ts || rs[i].Value != float64(ts) {
+			t.Fatalf("position %d: %v, want ts %d", i, rs[i], ts)
+		}
+	}
+}
+
+func TestNodeConcurrentMixedOps(t *testing.T) {
+	// Hammer every operation from multiple goroutines so the race
+	// detector exercises the striped shards, the lazy prefix index and
+	// the atomic counters together.
+	n := NewNode(64)
+	m := core.NewTopicMapper()
+	ids := make([]core.SensorID, 16)
+	for i := range ids {
+		id, err := m.Map(fmt.Sprintf("/race/r%d/n%d/power", i%4, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	prefix := ids[0].Prefix(1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := int64(0); i < 300; i++ {
+				// Alternate between two sensors so all 16 get data.
+				id := ids[(w+8*int(i%2))%len(ids)]
+				switch i % 7 {
+				case 0, 1, 2:
+					n.Insert(id, rd(i, float64(i)), 0)
+				case 3:
+					n.Query(id, 0, i)
+				case 4:
+					n.QueryPrefix(prefix, 1, 0, i)
+				case 5:
+					if w == 0 {
+						n.Flush()
+					} else {
+						n.SensorIDs()
+					}
+				case 6:
+					if w == 1 {
+						n.Compact()
+					} else {
+						n.Stats()
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	got, err := n.QueryPrefix(prefix, 1, 0, 1<<60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ids) {
+		t.Fatalf("prefix query found %d of %d sensors", len(got), len(ids))
+	}
+}
+
+func TestClusterConcurrentReplicatedOps(t *testing.T) {
+	// Force the goroutine-per-replica fan-out even on single-CPU test
+	// hosts so the race detector covers the parallel paths.
+	old := parallelFanout
+	parallelFanout = true
+	defer func() { parallelFanout = old }()
+
+	nodes := []*Node{NewNode(128), NewNode(128), NewNode(128)}
+	c, err := NewCluster(nodes, HashPartitioner{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, batches, batchLen = 8, 16, 16 // batchLen >= parallelBatchMin
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := sid(uint64(w+1), uint64(w))
+			for b := 0; b < batches; b++ {
+				batch := make([]core.Reading, batchLen)
+				for i := range batch {
+					ts := int64(b*batchLen + i)
+					batch[i] = rd(ts, float64(ts))
+				}
+				if err := c.InsertBatch(id, batch, 0); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.Query(id, 0, 1<<60); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.QueryPrefix(core.SensorID{}, 0, 0, 1<<60); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	const perWorker = batches * batchLen
+	if got := c.TotalInserts(); got != workers*perWorker*2 {
+		t.Fatalf("TotalInserts = %d, want %d", got, workers*perWorker*2)
+	}
+	for w := 0; w < workers; w++ {
+		id := sid(uint64(w+1), uint64(w))
+		rs, err := c.Query(id, 0, 1<<60)
+		if err != nil || len(rs) != perWorker {
+			t.Fatalf("worker %d: %d readings, %v", w, len(rs), err)
+		}
+		if err := c.DeleteBefore(id, perWorker/2); err != nil {
+			t.Fatal(err)
+		}
+		rs, err = c.Query(id, 0, 1<<60)
+		if err != nil || len(rs) != perWorker/2 {
+			t.Fatalf("worker %d after delete: %d readings, %v", w, len(rs), err)
+		}
+	}
+}
+
 func TestSnapshotRoundtrip(t *testing.T) {
 	n := NewNode(7)
 	rng := rand.New(rand.NewSource(42))
@@ -230,6 +394,66 @@ func TestSnapshotRoundtrip(t *testing.T) {
 				t.Fatalf("sensor %v reading %d: %v != %v", id, i, got[i], rs[i])
 			}
 		}
+	}
+}
+
+func TestSnapshotInterleavedRunsStaySorted(t *testing.T) {
+	// Save concatenates a sensor's runs from several SSTables; the
+	// restored single run must be sorted or the merge read path
+	// returns out-of-order results.
+	n := NewNode(0)
+	id := sid(1, 1)
+	n.Insert(id, rd(100, 1), 0)
+	n.Flush()
+	n.Insert(id, rd(50, 2), 0)
+	n.Flush()
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n2 := NewNode(0)
+	if err := n2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := n2.Query(id, 0, 200)
+	if err != nil || len(rs) != 2 || rs[0].Timestamp != 50 || rs[1].Timestamp != 100 {
+		t.Fatalf("restored query = %v, %v; want sorted [50 100]", rs, err)
+	}
+	// Window narrowing relies on sortedness too.
+	rs, _ = n2.Query(id, 60, 200)
+	if len(rs) != 1 || rs[0].Timestamp != 100 {
+		t.Fatalf("restored window query = %v", rs)
+	}
+}
+
+func TestCompactRetiresDeadSensors(t *testing.T) {
+	// A sensor whose data fully expires must vanish from SensorIDs
+	// and the prefix index after compaction, even though flush keeps
+	// series objects around for buffer reuse.
+	n := NewNode(0)
+	dead, live := sid(1, 1), sid(2, 2)
+	n.Insert(dead, rd(1, 1), time.Nanosecond)
+	n.Insert(live, rd(1, 1), time.Hour)
+	time.Sleep(time.Millisecond)
+	n.Flush()
+	n.Compact()
+	ids := n.SensorIDs()
+	if len(ids) != 1 || ids[0] != live {
+		t.Fatalf("SensorIDs after compact = %v, want only %v", ids, live)
+	}
+	got, err := n.QueryPrefix(core.SensorID{}, 0, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got[dead]; ok {
+		t.Error("expired sensor still visible to prefix queries")
+	}
+	// The retired sensor accepts new data again.
+	if err := n.Insert(dead, rd(5, 5), 0); err != nil {
+		t.Fatal(err)
+	}
+	if rs, _ := n.Query(dead, 0, 10); len(rs) != 1 {
+		t.Fatalf("revived sensor query = %v", rs)
 	}
 }
 
