@@ -1,14 +1,20 @@
 // Command collectagent runs a DCDB Collect Agent: an MQTT broker that
 // receives sensor readings from Pushers, translates topics into SIDs
 // and writes them to a Storage Backend (paper §4.2). The backend is an
-// in-process wide-column store cluster; its contents and the topic
-// mapper are persisted as snapshot files on shutdown and on a periodic
-// timer, so the query tools can operate on them.
+// in-process wide-column store cluster.
+//
+// With -data the cluster is durable: each node owns a subdirectory of
+// per-shard sorted run files and write-ahead logs, every accepted
+// reading is crash-safe once the WAL syncs (see -wal-sync), and the
+// directory is recovered on start, so restarts and crashes lose
+// nothing. The legacy -snapshot mode persists whole-node snapshot
+// files on a timer instead and remains for the query tools' file
+// format.
 //
 // Usage:
 //
 //	collectagent -listen :1883 -rest :8080 -nodes 2 -replication 1 \
-//	             -snapshot /var/lib/dcdb/agent
+//	             -data /var/lib/dcdb/agent
 package main
 
 import (
@@ -18,10 +24,12 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"dcdb/internal/collectagent"
+	"dcdb/internal/core"
 	"dcdb/internal/rest"
 	"dcdb/internal/store"
 )
@@ -33,14 +41,16 @@ func main() {
 	replication := flag.Int("replication", 1, "copies of each row")
 	partitioner := flag.String("partitioner", "hierarchical", "hierarchical or hash")
 	depth := flag.Int("depth", 4, "hierarchy depth of the partition key")
-	snapshot := flag.String("snapshot", "", "snapshot file prefix (empty = no persistence)")
-	snapEvery := flag.Duration("snapshot-interval", 5*time.Minute, "periodic snapshot interval")
+	dataDir := flag.String("data", "", "durable data directory (run files + WAL; empty = not durable)")
+	walSync := flag.Duration("wal-sync", 50*time.Millisecond, "WAL fsync batching interval; 0 syncs every write")
+	snapshot := flag.String("snapshot", "", "legacy snapshot file prefix (empty = no snapshots)")
+	snapEvery := flag.Duration("snapshot-interval", 5*time.Minute, "periodic snapshot / topic-map save interval")
 	flag.Parse()
 
-	ns := make([]*store.Node, *nodes)
-	for i := range ns {
-		ns[i] = store.NewNode(0)
+	if *dataDir != "" && *snapshot != "" {
+		log.Fatal("collectagent: -data and -snapshot are mutually exclusive")
 	}
+
 	var part store.Partitioner
 	switch *partitioner {
 	case "hierarchical":
@@ -50,27 +60,87 @@ func main() {
 	default:
 		log.Fatalf("unknown partitioner %q", *partitioner)
 	}
-	cluster, err := store.NewCluster(ns, part, *replication)
-	if err != nil {
-		log.Fatal(err)
+
+	var cluster *store.Cluster
+	if *dataDir != "" {
+		var err error
+		cluster, err = collectagent.OpenBackend(*dataDir, *nodes, *replication,
+			part, store.DiskOptions{SyncInterval: *walSync})
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		ns := make([]*store.Node, *nodes)
+		for i := range ns {
+			ns[i] = store.NewNode(0)
+		}
+		var err error
+		cluster, err = store.NewCluster(ns, part, *replication)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
-	agent := collectagent.New(cluster, nil, collectagent.Options{})
-	if *snapshot != "" {
-		loadSnapshots(ns, agent, *snapshot)
+
+	var agent *collectagent.Agent
+	opts := collectagent.Options{}
+	// Every topic-map save (first-sight, periodic tick, shutdown) is
+	// serialized through one mutex, and the Export happens inside it:
+	// the last writer always persists the newest map, so an in-flight
+	// stale save can never overwrite the shutdown save.
+	saver := newTopicSaver(func() error {
+		return collectagent.SaveTopics(*dataDir, agent.Mapper())
+	})
+	if *dataDir != "" {
+		// A reading must never outlive its name: OnNewTopic fires
+		// before the reading is inserted (and thus before it can be
+		// WAL-acknowledged), and blocks until a save that began after
+		// this topic was mapped has committed. Concurrent first-sights
+		// share one save (group commit), so onboarding a large fleet
+		// costs bounded rewrites, not one per topic.
+		opts.OnNewTopic = func(string, core.SensorID) error {
+			return saver.saveIncluding()
+		}
+	}
+	agent = collectagent.New(cluster, nil, opts)
+	switch {
+	case *dataDir != "":
+		if err := collectagent.LoadTopics(*dataDir, agent.Mapper()); err != nil {
+			log.Printf("collectagent: topic map: %v", err)
+		}
+	case *snapshot != "":
+		loadSnapshots(cluster.Nodes(), agent, *snapshot)
 	}
 	if err := agent.Listen(*listen); err != nil {
+		cluster.Close() // leave no half-open WAL segments behind
 		log.Fatal(err)
 	}
-	log.Printf("collectagent: MQTT broker on %s, %d storage node(s), %s partitioner",
-		agent.Addr(), *nodes, part.Name())
+	mode := "memory-only"
+	if *dataDir != "" {
+		mode = "durable at " + *dataDir
+	}
+	log.Printf("collectagent: MQTT broker on %s, %d storage node(s), %s partitioner, %s",
+		agent.Addr(), *nodes, part.Name(), mode)
 
 	if *restAddr != "" {
 		api := rest.NewAgentAPI(agent)
 		if err := api.Listen(*restAddr); err != nil {
+			cluster.Close()
 			log.Fatal(err)
 		}
 		defer api.Close()
 		log.Printf("collectagent: REST API on %s", api.Addr())
+	}
+
+	persistTick := func() {
+		if *dataDir != "" {
+			// Readings are already durable; only the topic map needs a
+			// periodic save.
+			if err := saver.saveIncluding(); err != nil {
+				log.Printf("collectagent: topic map: %v", err)
+			}
+		} else if *snapshot != "" {
+			saveSnapshots(cluster.Nodes(), agent, *snapshot)
+		}
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -80,12 +150,11 @@ func main() {
 	for {
 		select {
 		case <-tick.C:
-			if *snapshot != "" {
-				saveSnapshots(ns, agent, *snapshot)
-			}
+			persistTick()
 		case <-stop:
-			if *snapshot != "" {
-				saveSnapshots(ns, agent, *snapshot)
+			persistTick()
+			if err := cluster.Close(); err != nil {
+				log.Printf("collectagent: closing backend: %v", err)
 			}
 			st := agent.Stats()
 			log.Printf("collectagent: shutting down (%d messages, %d readings, %d errors)",
@@ -94,6 +163,53 @@ func main() {
 			return
 		}
 	}
+}
+
+// topicSaver group-commits topic-map saves: saveIncluding returns once
+// a save whose Export began after the call has committed, but any
+// number of concurrent callers share one save, so onboarding N sensors
+// costs far fewer than N file rewrites while each caller still gets
+// the durability guarantee.
+type topicSaver struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	save    func() error
+	reqGen  uint64 // bumped per caller
+	doneGen uint64 // requests at or below this are persisted
+	saving  bool
+}
+
+func newTopicSaver(save func() error) *topicSaver {
+	s := &topicSaver{save: save}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *topicSaver) saveIncluding() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reqGen++
+	g := s.reqGen
+	for s.doneGen < g {
+		if s.saving {
+			s.cond.Wait() // the in-flight or next save will cover us
+			continue
+		}
+		s.saving = true
+		target := s.reqGen // the Export below sees every request so far
+		s.mu.Unlock()
+		err := s.save()
+		s.mu.Lock()
+		s.saving = false
+		if err == nil {
+			s.doneGen = target
+		}
+		s.cond.Broadcast()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func saveSnapshots(ns []*store.Node, agent *collectagent.Agent, prefix string) {

@@ -11,6 +11,7 @@ package collectagent
 
 import (
 	"log"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -26,6 +27,15 @@ type Options struct {
 	CacheWindow time.Duration
 	// Quiet suppresses per-message warnings (benchmarks).
 	Quiet bool
+	// OnNewTopic, when set, fires the first time a topic is mapped to
+	// a SID, before any reading of that topic is stored. A durable
+	// agent persists the topic map here, so the mapping of every
+	// stored reading survives a crash alongside the reading itself;
+	// returning an error drops the message instead of storing a
+	// reading whose name could not be made durable. Called from the
+	// message path — keep it cheap for steady state (it only fires
+	// when the sensor set grows).
+	OnNewTopic func(topic string, id core.SensorID) error
 }
 
 // Stats are cumulative Agent counters.
@@ -47,6 +57,12 @@ type Agent struct {
 	messages atomic.Int64
 	readings atomic.Int64
 	errors   atomic.Int64
+
+	// pendingTopics are topics whose OnNewTopic persistence failed;
+	// they retry on the topic's next message so no reading is ever
+	// stored without its name having been persisted.
+	pendingMu     sync.Mutex
+	pendingTopics map[string]struct{}
 }
 
 // New creates an agent writing to backend. The mapper may be shared
@@ -112,13 +128,43 @@ func (a *Agent) handle(topic string, payload []byte) {
 		return
 	}
 	// Topic -> SID translation (paper §4.2): 1:1, hierarchical.
-	id, err := a.mapper.Map(topic)
+	id, first, err := a.mapper.MapFirst(topic)
 	if err != nil {
 		a.errors.Add(1)
 		if !a.opts.Quiet {
 			log.Printf("collectagent: unmappable topic %q: %v", topic, err)
 		}
 		return
+	}
+	if a.opts.OnNewTopic != nil {
+		if !first {
+			// A topic whose earlier persistence attempt failed must
+			// retry before any of its readings are stored.
+			a.pendingMu.Lock()
+			_, first = a.pendingTopics[topic]
+			a.pendingMu.Unlock()
+		}
+		if first {
+			if err := a.opts.OnNewTopic(topic, id); err != nil {
+				// Storing the reading without its durable name would
+				// let it resolve to the wrong sensor after a crash;
+				// drop it and retry on the topic's next message.
+				a.pendingMu.Lock()
+				if a.pendingTopics == nil {
+					a.pendingTopics = make(map[string]struct{})
+				}
+				a.pendingTopics[topic] = struct{}{}
+				a.pendingMu.Unlock()
+				a.errors.Add(1)
+				if !a.opts.Quiet {
+					log.Printf("collectagent: dropping reading of %q: persisting topic map: %v", topic, err)
+				}
+				return
+			}
+			a.pendingMu.Lock()
+			delete(a.pendingTopics, topic)
+			a.pendingMu.Unlock()
+		}
 	}
 	if err := a.backend.InsertBatch(id, rs, 0); err != nil {
 		a.errors.Add(1)

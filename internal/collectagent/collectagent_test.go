@@ -220,3 +220,136 @@ func TestConcurrentHandle(t *testing.T) {
 		}
 	}
 }
+
+func TestAgentDurableBackendSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *store.Cluster {
+		c, err := OpenBackend(dir, 2, 2, nil, store.DiskOptions{CompactInterval: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	// First agent generation ingests over the in-process MQTT path.
+	backend := open()
+	a := New(backend, nil, Options{Quiet: true})
+	topics := []string{"/dur/n1/power", "/dur/n1/temp", "/dur/n2/power"}
+	for i, tp := range topics {
+		rs := []core.Reading{
+			{Timestamp: 100, Value: float64(i)},
+			{Timestamp: 200, Value: float64(i) + 0.5},
+		}
+		a.Handle(tp, core.EncodeReadings(rs))
+	}
+	if err := SaveTopics(dir, a.Mapper()); err != nil {
+		t.Fatal(err)
+	}
+	if err := backend.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second generation recovers readings and the topic map.
+	backend2 := open()
+	defer backend2.Close()
+	mapper := core.NewTopicMapper()
+	if err := LoadTopics(dir, mapper); err != nil {
+		t.Fatal(err)
+	}
+	a2 := New(backend2, mapper, Options{Quiet: true})
+	for i, tp := range topics {
+		id, ok := a2.Mapper().Lookup(tp)
+		if !ok {
+			t.Fatalf("topic %q lost across restart", tp)
+		}
+		rs, err := backend2.Query(id, 0, 1000)
+		if err != nil || len(rs) != 2 {
+			t.Fatalf("topic %q: %v, %v", tp, rs, err)
+		}
+		if rs[1].Value != float64(i)+0.5 {
+			t.Fatalf("topic %q reading corrupted: %+v", tp, rs[1])
+		}
+	}
+	// Ingest continues, and the recovered mapper reuses the same SIDs
+	// so old and new readings merge under one sensor.
+	a2.Handle(topics[0], core.EncodeReadings([]core.Reading{{Timestamp: 300, Value: 9}}))
+	id, _ := a2.Mapper().Lookup(topics[0])
+	rs, err := backend2.Query(id, 0, 1000)
+	if err != nil || len(rs) != 3 || rs[2].Value != 9 {
+		t.Fatalf("post-restart ingest: %v, %v", rs, err)
+	}
+}
+
+func TestOpenBackendValidation(t *testing.T) {
+	dir := t.TempDir()
+	// A node count below one is clamped rather than rejected.
+	c, err := OpenBackend(dir, 0, 1, nil, store.DiskOptions{CompactInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Nodes()) != 1 {
+		t.Fatalf("clamped node count = %d", len(c.Nodes()))
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopening the same directory with the same shape succeeds.
+	c2, err := OpenBackend(dir, 1, 1, nil, store.DiskOptions{CompactInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Close()
+}
+
+func TestOpenBackendRejectsHiddenNodes(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenBackend(dir, 2, 1, nil, store.DiskOptions{CompactInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopening with fewer nodes than the directory holds must fail
+	// loudly instead of silently hiding node1's acknowledged data.
+	if _, err := OpenBackend(dir, 1, 1, nil, store.DiskOptions{CompactInterval: -1}); err == nil {
+		t.Fatal("shrunken node count over a wider directory accepted")
+	}
+}
+
+func TestOnNewTopicVetoDropsMessage(t *testing.T) {
+	backend := store.NewNode(0)
+	vetoing := true
+	a := New(backend, nil, Options{
+		Quiet: true,
+		OnNewTopic: func(topic string, _ core.SensorID) error {
+			if vetoing && topic == "/veto/me" {
+				return fmt.Errorf("injected persistence failure")
+			}
+			return nil
+		},
+	})
+	a.Handle("/veto/me", core.EncodeReadings([]core.Reading{{Timestamp: 1, Value: 1}}))
+	a.Handle("/keep/me", core.EncodeReadings([]core.Reading{{Timestamp: 1, Value: 2}}))
+	st := a.Stats()
+	if st.Errors != 1 || st.Readings != 1 {
+		t.Fatalf("stats = %+v, want 1 error (vetoed) and 1 stored reading", st)
+	}
+	if id, ok := a.Mapper().Lookup("/veto/me"); ok {
+		if rs, _ := backend.Query(id, 0, 10); len(rs) != 0 {
+			t.Fatal("vetoed reading was stored anyway")
+		}
+	}
+	// While persistence keeps failing, later readings of the topic are
+	// also dropped — nothing may be stored before its name is durable.
+	a.Handle("/veto/me", core.EncodeReadings([]core.Reading{{Timestamp: 2, Value: 3}}))
+	if st := a.Stats(); st.Errors != 2 || st.Readings != 1 {
+		t.Fatalf("stats while persistence failing = %+v", st)
+	}
+	// Once persistence recovers, the pending topic retries and stores.
+	vetoing = false
+	a.Handle("/veto/me", core.EncodeReadings([]core.Reading{{Timestamp: 3, Value: 4}}))
+	if st := a.Stats(); st.Readings != 2 {
+		t.Fatalf("post-recovery stats = %+v", st)
+	}
+}

@@ -1,0 +1,154 @@
+// Durable backend wiring: instead of periodically snapshotting every
+// node into one file, a Collect Agent can own a data directory in
+// which each storage node keeps per-shard run files and write-ahead
+// logs (internal/store). Opening the directory replays the WALs, so an
+// agent restart — clean or not — resumes with every acknowledged
+// reading intact, which is what makes the paper's "continuous"
+// monitoring claim (§2) hold across daemon crashes.
+//
+// Layout:
+//
+//	<dir>/node<i>/shard-<s>/run-*.sst, wal-*.log
+//	<dir>/topics        — the topic↔SID map (atomic replace)
+package collectagent
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dcdb/internal/core"
+	"dcdb/internal/fsutil"
+	"dcdb/internal/store"
+)
+
+// NodeDir returns the data directory of cluster node i under dir.
+func NodeDir(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("node%d", i))
+}
+
+// Staging directories of a tool-side data-directory rewrite
+// (tooldb.Save). "node0.building" is an in-progress rewrite
+// (incomplete, discarded); "node0.ready" is a complete rewrite whose
+// final swap was interrupted (committed here). Both the agent and the
+// tools heal before opening, so an interrupted rewrite can never be
+// half-applied — or applied on top of data a later agent run wrote.
+const (
+	BuildingDir = "node0.building"
+	ReadyDir    = "node0.ready"
+)
+
+// HealInterruptedSave completes or discards an interrupted tool-side
+// rewrite of the data directory.
+func HealInterruptedSave(dir string) error {
+	os.RemoveAll(filepath.Join(dir, BuildingDir)) // never complete; inputs are intact
+	ready := filepath.Join(dir, ReadyDir)
+	if _, err := os.Stat(ready); err != nil {
+		return nil
+	}
+	// The rewrite finished building: finish its swap — replace node0
+	// and drop the now-stale higher-numbered nodes it meant to remove.
+	if err := os.RemoveAll(NodeDir(dir, 0)); err != nil {
+		return err
+	}
+	if err := os.Rename(ready, NodeDir(dir, 0)); err != nil {
+		return err
+	}
+	for i := 1; ; i++ {
+		nd := NodeDir(dir, i)
+		if _, err := os.Stat(nd); err != nil {
+			break
+		}
+		if err := os.RemoveAll(nd); err != nil {
+			return err
+		}
+	}
+	fsutil.SyncDir(dir)
+	return nil
+}
+
+// OpenBackend opens (creating on first use) a durable storage cluster
+// rooted at dir with one subdirectory per node. Recovery of each node
+// happens here; the returned cluster must be Closed to flush and
+// detach cleanly.
+func OpenBackend(dir string, nodes, replication int, part store.Partitioner, o store.DiskOptions) (*store.Cluster, error) {
+	if nodes < 1 {
+		nodes = 1
+	}
+	if err := HealInterruptedSave(dir); err != nil {
+		return nil, fmt.Errorf("collectagent: healing interrupted save: %w", err)
+	}
+	// Opening fewer nodes than the directory holds would silently hide
+	// acknowledged data; make the shrink explicit.
+	if _, err := os.Stat(NodeDir(dir, nodes)); err == nil {
+		return nil, fmt.Errorf("collectagent: %s exists but only %d node(s) requested — the directory holds more nodes than the configuration opens", NodeDir(dir, nodes), nodes)
+	}
+	ns := make([]*store.Node, nodes)
+	for i := range ns {
+		n := store.NewNode(0)
+		if err := n.OpenOptions(NodeDir(dir, i), o); err != nil {
+			for _, opened := range ns[:i] {
+				opened.Close()
+			}
+			return nil, fmt.Errorf("collectagent: opening node %d: %w", i, err)
+		}
+		ns[i] = n
+	}
+	c, err := store.NewCluster(ns, part, replication)
+	if err != nil {
+		for _, n := range ns {
+			n.Close()
+		}
+		return nil, err
+	}
+	return c, nil
+}
+
+// TopicsPath returns the topic-map file under a data directory.
+func TopicsPath(dir string) string { return filepath.Join(dir, "topics") }
+
+// SaveTopics atomically replaces the data directory's topic map.
+func SaveTopics(dir string, m *core.TopicMapper) error {
+	return SaveTopicsFile(TopicsPath(dir), m)
+}
+
+// SaveTopicsFile writes the topic map to an arbitrary path with the
+// same durability discipline as the run files (atomic replace with
+// fsyncs). Without them a crash after the rename could commit an empty
+// file, orphaning every stored SID.
+func SaveTopicsFile(path string, m *core.TopicMapper) error {
+	data := []byte(strings.Join(m.Export(), "\n") + "\n")
+	return fsutil.WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// LoadTopics imports a previously saved topic map; a missing file is a
+// fresh database, not an error.
+func LoadTopics(dir string, m *core.TopicMapper) error {
+	return LoadTopicsFile(TopicsPath(dir), m)
+}
+
+// LoadTopicsFile imports the topic map at an arbitrary path (missing =
+// fresh database). Temp files a crashed save left next to it are
+// removed — loading happens at startup, before any saver runs.
+func LoadTopicsFile(path string, m *core.TopicMapper) error {
+	fsutil.CleanTemps(path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var lines []string
+	for _, ln := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(ln) != "" {
+			lines = append(lines, ln)
+		}
+	}
+	return m.Import(lines)
+}

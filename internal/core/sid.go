@@ -173,12 +173,21 @@ func NewTopicMapper() *TopicMapper {
 // components) or the topic is malformed. Nothing is published on
 // failure.
 func (m *TopicMapper) Map(topic string) (SensorID, error) {
+	id, _, err := m.MapFirst(topic)
+	return id, err
+}
+
+// MapFirst is Map, additionally reporting whether the call assigned any
+// new level code — i.e. whether this topic was seen for the first
+// time. Consumers persisting the dictionary (a durable Collect Agent)
+// use it to save the map exactly when it grows.
+func (m *TopicMapper) MapFirst(topic string) (SensorID, bool, error) {
 	parts, err := ParseTopic(topic)
 	if err != nil {
-		return SensorID{}, err
+		return SensorID{}, false, err
 	}
 	if id, ok := m.snap.Load().resolve(parts); ok {
-		return id, nil
+		return id, false, nil
 	}
 	// First sight of at least one component: clone, assign, publish.
 	m.wmu.Lock()
@@ -186,7 +195,7 @@ func (m *TopicMapper) Map(topic string) (SensorID, error) {
 	st := m.snap.Load()
 	if id, ok := st.resolve(parts); ok {
 		// Assigned by another writer while we waited for the lock.
-		return id, nil
+		return id, false, nil
 	}
 	ns := *st // shares unmodified level dictionaries
 	var cloned [MaxTopicLevels]bool
@@ -196,7 +205,7 @@ func (m *TopicMapper) Map(topic string) (SensorID, error) {
 		code, ok := d.codes[p]
 		if !ok {
 			if len(d.names) >= 0xffff {
-				return SensorID{}, fmt.Errorf("core: level %d dictionary exhausted", i)
+				return SensorID{}, false, fmt.Errorf("core: level %d dictionary exhausted", i)
 			}
 			if !cloned[i] {
 				*d = cloneLevel(*d)
@@ -209,7 +218,7 @@ func (m *TopicMapper) Map(topic string) (SensorID, error) {
 		id = id.WithLevel(i, code)
 	}
 	m.snap.Store(&ns)
-	return id, nil
+	return id, true, nil
 }
 
 // Lookup translates a topic without assigning new codes. The boolean is

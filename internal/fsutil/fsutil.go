@@ -1,0 +1,66 @@
+// Package fsutil holds the small filesystem rituals the durable paths
+// share, so the write-temp/fsync/rename/fsync-dir dance lives in one
+// place instead of diverging across savers.
+package fsutil
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic replaces path with the bytes produced by write,
+// atomically and durably: the content goes to a uniquely named temp
+// file in the same directory, is fsynced, renamed over path, and the
+// directory is fsynced. A crash at any point leaves either the old
+// file or the new one — never a torn or empty file. Unique temp names
+// keep concurrent savers of the same path from interleaving; the last
+// rename wins.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := write(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	SyncDir(filepath.Dir(path))
+	return nil
+}
+
+// SyncDir fsyncs a directory so a just-renamed file survives a crash.
+// Best-effort: some filesystems reject directory fsync.
+func SyncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// CleanTemps removes temp files a crashed WriteFileAtomic for path
+// left behind. Call at startup, before concurrent savers exist — the
+// glob would happily delete a temp file another writer is mid-way
+// through.
+func CleanTemps(path string) {
+	stale, _ := filepath.Glob(path + ".tmp*")
+	for _, p := range stale {
+		os.Remove(p)
+	}
+}

@@ -4,12 +4,14 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"dcdb/internal/core"
+	"dcdb/internal/fsutil"
 )
 
 // Metadata persistence for the command-line tools: dcdbconfig edits
@@ -44,6 +46,29 @@ func (c *Connection) SaveMetadata(w io.Writer) error {
 			strings.ReplaceAll(m.Expression, "\t", " "))
 	}
 	return bw.Flush()
+}
+
+// SaveMetadataFile writes the metadata atomically and durably, so a
+// crash mid-save never leaves a torn or empty metadata file next to
+// the crash-safe storage directory.
+func (c *Connection) SaveMetadataFile(path string) error {
+	return fsutil.WriteFileAtomic(path, c.SaveMetadata)
+}
+
+// LoadMetadataFile restores metadata written by SaveMetadataFile. A
+// missing file is a fresh database, not an error. Stale temp files
+// from a crashed save are cleaned up on the way.
+func (c *Connection) LoadMetadataFile(path string) error {
+	fsutil.CleanTemps(path)
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	return c.LoadMetadata(f)
 }
 
 // LoadMetadata registers sensors previously written by SaveMetadata.

@@ -1,0 +1,119 @@
+package pluginutil
+
+import (
+	"testing"
+	"time"
+
+	"dcdb/internal/config"
+	"dcdb/internal/pusher"
+)
+
+func TestJoinTopic(t *testing.T) {
+	cases := []struct{ prefix, leaf, want string }{
+		{"", "power", "/power"},
+		{"/node07", "power", "/node07/power"},
+		{"/node07/", "/power", "/node07/power"},
+		{"node07", "power", "/node07/power"},
+		{"/a/b", "c/d", "/a/b/c/d"},
+	}
+	for _, c := range cases {
+		if got := JoinTopic(c.prefix, c.leaf); got != c.want {
+			t.Errorf("JoinTopic(%q, %q) = %q, want %q", c.prefix, c.leaf, got, c.want)
+		}
+	}
+}
+
+func TestSanitizeLevel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"CPU1 Temp", "CPU1_Temp"},
+		{"a/b", "a-b"},
+		{"bad#topic+chars\"", "badtopicchars"},
+		{"  spaced  ", "spaced"},
+		{"", "unnamed"},
+		{"#+", "unnamed"},
+	}
+	for _, c := range cases {
+		if got := SanitizeLevel(c.in); got != c.want {
+			t.Errorf("SanitizeLevel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseGroup(t *testing.T) {
+	root, err := config.ParseString(`
+group fast {
+    interval 250ms
+    mqttPrefix /x/fast
+}
+group {
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := root.ChildrenNamed("group")
+	if len(groups) != 2 {
+		t.Fatalf("parsed %d groups", len(groups))
+	}
+	g := ParseGroup(groups[0], time.Second)
+	if g.Name != "fast" || g.Interval != 250*time.Millisecond || g.Prefix != "/x/fast" {
+		t.Errorf("ParseGroup = %+v", g)
+	}
+	// Defaults: unnamed group, inherited interval, empty prefix.
+	d := ParseGroup(groups[1], 2*time.Second)
+	if d.Name != "default" || d.Interval != 2*time.Second || d.Prefix != "" {
+		t.Errorf("defaulted ParseGroup = %+v", d)
+	}
+}
+
+func TestBaseGroupLifecycle(t *testing.T) {
+	b := &Base{PluginName: "x"}
+	if b.Name() != "x" || b.Start() != nil || b.Stop() != nil {
+		t.Fatal("Base plumbing broken")
+	}
+	ok := &pusher.Group{
+		Name: "g", Interval: time.Second,
+		Sensors: []*pusher.Sensor{{Name: "s", Topic: "/t/s"}},
+		Reader:  pusher.GroupReaderFunc(func(time.Time) ([]float64, error) { return []float64{1}, nil }),
+	}
+	if err := b.AddGroup(ok); err != nil {
+		t.Fatalf("valid group rejected: %v", err)
+	}
+	if err := b.AddGroup(&pusher.Group{Name: "bad"}); err == nil {
+		t.Error("invalid group accepted")
+	}
+	if len(b.Groups()) != 1 {
+		t.Fatalf("groups = %d", len(b.Groups()))
+	}
+	b.Reset()
+	if len(b.Groups()) != 0 || len(b.Entities()) != 0 {
+		t.Error("Reset left state behind")
+	}
+}
+
+func TestRequireValue(t *testing.T) {
+	root, err := config.ParseString("path /proc/stat\nempty \"\"")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := RequireValue("p", root, "path"); err != nil || v != "/proc/stat" {
+		t.Errorf("RequireValue = %q, %v", v, err)
+	}
+	if _, err := RequireValue("p", root, "missing"); err == nil {
+		t.Error("missing key accepted")
+	}
+}
+
+func TestFuncEntity(t *testing.T) {
+	called := 0
+	e := &FuncEntity{EntityName: "bmc", OnConnect: func() error { called++; return nil }}
+	if e.Name() != "bmc" {
+		t.Error("name")
+	}
+	if err := e.Connect(); err != nil || called != 1 {
+		t.Errorf("connect: %v, called=%d", err, called)
+	}
+	if err := e.Close(); err != nil { // nil OnClose is a no-op
+		t.Errorf("close: %v", err)
+	}
+}

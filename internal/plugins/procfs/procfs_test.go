@@ -1,0 +1,130 @@
+package procfs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dcdb/internal/config"
+)
+
+func TestParseProcFileFormats(t *testing.T) {
+	mem, err := parseProcFile("meminfo", "MemTotal:  97871212 kB\nMemFree:  1234 kB\nBogus line\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mem) != 2 || mem[0].name != "MemTotal" || mem[0].value != 97871212 {
+		t.Fatalf("meminfo = %+v", mem)
+	}
+
+	vm, err := parseProcFile("vmstat", "pgpgin 123\npgpgout 456\nnot numeric x\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vm) != 2 || vm[1].name != "pgpgout" || vm[1].value != 456 {
+		t.Fatalf("vmstat = %+v", vm)
+	}
+
+	st, err := parseProcFile("procstat", "cpu0 10 20 30 40 50 60 70\nctxt 999\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cpu0 expands into seven named counters plus the scalar ctxt.
+	if len(st) != 8 || st[0].name != "cpu0.user" || st[0].value != 10 || st[7].name != "ctxt" {
+		t.Fatalf("procstat = %+v", st)
+	}
+
+	if _, err := parseProcFile("meminfo", "nothing parsable"); err == nil {
+		t.Error("unparsable content accepted")
+	}
+}
+
+func TestFileReaderRealFileRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "meminfo")
+	if err := os.WriteFile(path, []byte("MemTotal: 100 kB\nMemFree: 40 kB\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := newFileReader("meminfo", path)
+	metrics, err := r.metrics()
+	if err != nil || len(metrics) != 2 {
+		t.Fatalf("metrics = %v, %v", metrics, err)
+	}
+	vals, err := r.ReadGroup(time.Now())
+	if err != nil || len(vals) != 2 || vals[0] != 100 || vals[1] != 40 {
+		t.Fatalf("ReadGroup = %v, %v", vals, err)
+	}
+	// The metric order is frozen: rewriting the file with reordered
+	// lines must not reorder the output.
+	if err := os.WriteFile(path, []byte("MemFree: 41 kB\nMemTotal: 101 kB\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vals, err = r.ReadGroup(time.Now())
+	if err != nil || vals[0] != 101 || vals[1] != 41 {
+		t.Fatalf("reordered ReadGroup = %v, %v", vals, err)
+	}
+}
+
+func TestFileReaderSyntheticFallback(t *testing.T) {
+	r := newFileReader("vmstat", filepath.Join(t.TempDir(), "does-not-exist"))
+	metrics, err := r.metrics()
+	if err != nil || len(metrics) == 0 {
+		t.Fatalf("synthetic metrics = %v, %v", metrics, err)
+	}
+	v1, err := r.ReadGroup(time.Now())
+	if err != nil || len(v1) != len(metrics) {
+		t.Fatalf("synthetic read = %v, %v", v1, err)
+	}
+	// Cumulative event counters never go down; gauges (nr_*) may.
+	v2, err := r.ReadGroup(time.Now().Add(5 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range metrics {
+		if v2[i] < 0 {
+			t.Errorf("synthetic %s went negative: %v", name, v2[i])
+		}
+		if (name == "pgpgin" || name == "pgfault") && v2[i] < v1[i] {
+			t.Errorf("synthetic counter %s decreased: %v -> %v", name, v1[i], v2[i])
+		}
+	}
+}
+
+func TestConfigure(t *testing.T) {
+	cfg, err := config.ParseString(`
+mqttPrefix /node07/procfs
+interval 500ms
+file meminfo { }
+file vmstat { }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New()
+	if err := p.Configure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	groups := p.Groups()
+	if len(groups) != 2 {
+		t.Fatalf("configured %d groups", len(groups))
+	}
+	g := groups[0]
+	if g.Interval != 500*time.Millisecond || len(g.Sensors) == 0 {
+		t.Fatalf("group = %+v", g)
+	}
+	for _, s := range g.Sensors {
+		if s.Topic == "" || s.Topic[0] != '/' {
+			t.Errorf("sensor %q has bad topic %q", s.Name, s.Topic)
+		}
+	}
+	// Reading the configured group produces one value per sensor.
+	vals, err := g.Reader.ReadGroup(time.Now())
+	if err != nil || len(vals) != len(g.Sensors) {
+		t.Fatalf("group read = %d values, %v", len(vals), err)
+	}
+
+	if err := New().Configure(&config.Node{}); err == nil {
+		t.Error("configuration without files accepted")
+	}
+}

@@ -1,0 +1,113 @@
+package sysfs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dcdb/internal/config"
+)
+
+func TestReadNumberFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "temp1_input")
+	if err := os.WriteFile(path, []byte(" 45250\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	v, err := readNumberFile(path)
+	if err != nil || v != 45250 {
+		t.Fatalf("readNumberFile = %v, %v", v, err)
+	}
+	if err := os.WriteFile(path, []byte("not a number"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readNumberFile(path); err == nil {
+		t.Error("non-numeric content accepted")
+	}
+	if _, err := readNumberFile(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestGroupReaderMixesRealAndSynthetic(t *testing.T) {
+	dir := t.TempDir()
+	real := filepath.Join(dir, "fan1_input")
+	if err := os.WriteFile(real, []byte("4200"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := &groupReader{paths: []string{real, filepath.Join(dir, "temp_missing")}, start: time.Now()}
+	vals, err := r.ReadGroup(time.Now())
+	if err != nil || len(vals) != 2 {
+		t.Fatalf("ReadGroup = %v, %v", vals, err)
+	}
+	if vals[0] != 4200 {
+		t.Errorf("real file value = %v", vals[0])
+	}
+	// Synthetic temperature: plausible hwmon millidegrees.
+	if vals[1] < 30000 || vals[1] > 60000 {
+		t.Errorf("synthetic temp = %v, outside hwmon range", vals[1])
+	}
+}
+
+func TestSyntheticEnergyMonotonic(t *testing.T) {
+	r := &groupReader{start: time.Now()}
+	path := "/sys/class/powercap/intel-rapl:0/energy_uj"
+	prev := -1.0
+	for i := 0; i < 10; i++ {
+		v := r.synthetic(path, r.start.Add(time.Duration(i)*7*time.Second))
+		if v < prev {
+			t.Fatalf("energy counter decreased at step %d: %v -> %v", i, prev, v)
+		}
+		prev = v
+	}
+}
+
+func TestConfigure(t *testing.T) {
+	cfg, err := config.ParseString(`
+mqttPrefix /node07/sysfs
+group temps {
+    interval 1000ms
+    sensor cpu0_temp {
+        path /nonexistent/temp1_input
+        unit mC
+    }
+    sensor pkg_energy {
+        path /nonexistent/energy_uj
+        unit uJ
+        delta true
+    }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New()
+	if err := p.Configure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	groups := p.Groups()
+	if len(groups) != 1 || len(groups[0].Sensors) != 2 {
+		t.Fatalf("groups = %+v", groups)
+	}
+	s := groups[0].Sensors[1]
+	if s.Name != "pkg_energy" || !s.Delta || s.Unit != "uJ" {
+		t.Errorf("sensor = %+v", s)
+	}
+	if s.Topic != "/node07/sysfs/temps/pkg_energy" {
+		t.Errorf("topic = %q", s.Topic)
+	}
+	vals, err := groups[0].Reader.ReadGroup(time.Now())
+	if err != nil || len(vals) != 2 {
+		t.Fatalf("read = %v, %v", vals, err)
+	}
+
+	// Error paths: no groups, sensor without a path, unnamed sensor.
+	if err := New().Configure(&config.Node{}); err == nil {
+		t.Error("empty configuration accepted")
+	}
+	bad, _ := config.ParseString("group g { sensor s { } }")
+	if err := New().Configure(bad); err == nil {
+		t.Error("sensor without path accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package tester
+
+import (
+	"testing"
+	"time"
+
+	"dcdb/internal/config"
+)
+
+func TestConfigureExplicitGroups(t *testing.T) {
+	cfg, err := config.ParseString(`
+mqttPrefix /test
+interval 1000ms
+group g0 {
+    interval 250ms
+    sensors 3
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New()
+	if err := p.Configure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	groups := p.Groups()
+	if len(groups) != 1 || groups[0].Interval != 250*time.Millisecond {
+		t.Fatalf("groups = %+v", groups)
+	}
+	if len(groups[0].Sensors) != 3 || groups[0].Sensors[2].Topic != "/test/g0/s00002" {
+		t.Fatalf("sensors = %+v", groups[0].Sensors)
+	}
+}
+
+func TestConfigureBulkGroups(t *testing.T) {
+	cfg, err := config.ParseString("groups 4\nsensorsEach 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New()
+	if err := p.Configure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Groups()) != 4 {
+		t.Fatalf("bulk groups = %d", len(p.Groups()))
+	}
+	for _, g := range p.Groups() {
+		if len(g.Sensors) != 2 {
+			t.Fatalf("group %s has %d sensors", g.Name, len(g.Sensors))
+		}
+	}
+}
+
+func TestReadingsMonotonicAcrossReads(t *testing.T) {
+	cfg, _ := config.ParseString("group g { sensors 5 }")
+	p := New()
+	if err := p.Configure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	g := p.Groups()[0]
+	v1, err := g.Reader.ReadGroup(time.Now())
+	if err != nil || len(v1) != 5 {
+		t.Fatalf("read = %v, %v", v1, err)
+	}
+	v2, err := g.Reader.ReadGroup(time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v1 {
+		if v2[i] <= v1[i] {
+			t.Fatalf("sensor %d not monotonic: %v -> %v", i, v1[i], v2[i])
+		}
+	}
+}
+
+func TestConfigureErrors(t *testing.T) {
+	if err := New().Configure(&config.Node{}); err == nil {
+		t.Error("configuration without groups accepted")
+	}
+	bad, _ := config.ParseString("group g { sensors 0 }")
+	if err := New().Configure(bad); err == nil {
+		t.Error("zero-sensor group accepted")
+	}
+}

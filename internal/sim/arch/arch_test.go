@@ -1,0 +1,71 @@
+package arch
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSensorRate(t *testing.T) {
+	if r := SensorRate(100, time.Second); r != 100 {
+		t.Errorf("100 sensors at 1s = %v readings/s", r)
+	}
+	if r := SensorRate(10, 100*time.Millisecond); math.Abs(r-100) > 1e-9 {
+		t.Errorf("10 sensors at 100ms = %v readings/s", r)
+	}
+}
+
+func TestPusherCPULoadScalesLinearly(t *testing.T) {
+	for _, m := range []Model{Skylake, KnightsLanding} {
+		l1, l2 := m.PusherCPULoad(1000), m.PusherCPULoad(2000)
+		if l1 <= 0 || math.Abs(l2-2*l1) > 1e-9 {
+			t.Errorf("%s load not linear: %v, %v", m.Name, l1, l2)
+		}
+	}
+	// The many-core in-order KNL pays more per reading than Skylake
+	// (paper Fig. 5 vs Fig. 6).
+	if KnightsLanding.PusherCPULoad(1e5) <= Skylake.PusherCPULoad(1e5) {
+		t.Error("KNL should be slower per reading than Skylake")
+	}
+}
+
+func TestInterpolateCPULoadRecoversModel(t *testing.T) {
+	m := Skylake
+	la, lb := m.PusherCPULoad(1000), m.PusherCPULoad(50000)
+	got := InterpolateCPULoad(25000, 1000, la, 50000, lb)
+	if math.Abs(got-m.PusherCPULoad(25000)) > 1e-9 {
+		t.Errorf("interpolation = %v, want %v", got, m.PusherCPULoad(25000))
+	}
+	// Degenerate interval falls back to the endpoint load.
+	if InterpolateCPULoad(5, 1, 2, 1, 2) != 2 {
+		t.Error("degenerate interpolation")
+	}
+}
+
+func TestPusherMemoryGrowsWithSensors(t *testing.T) {
+	m := Skylake
+	small := m.PusherMemoryMB(100, time.Second, time.Minute)
+	large := m.PusherMemoryMB(10000, time.Second, time.Minute)
+	if small <= 0 || large <= small {
+		t.Errorf("memory model: %v MB for 100, %v MB for 10000 sensors", small, large)
+	}
+}
+
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	a, b := Jitter(1, 2, 3), Jitter(1, 2, 3)
+	if a != b {
+		t.Error("jitter not deterministic for equal inputs")
+	}
+	for i := 0; i < 50; i++ {
+		j := Jitter(i, 7)
+		if j < 0 || j >= 1 {
+			t.Errorf("jitter(%d) = %v out of [0,1)", i, j)
+		}
+	}
+}
+
+func TestRound2(t *testing.T) {
+	if Round2(1.2345) != 1.23 || Round2(1.235) != 1.24 {
+		t.Errorf("Round2: %v, %v", Round2(1.2345), Round2(1.235))
+	}
+}

@@ -1,0 +1,64 @@
+package cpu
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCounterNamesAndList(t *testing.T) {
+	cs := Counters()
+	if len(cs) != int(numCounters) {
+		t.Fatalf("Counters() = %d", len(cs))
+	}
+	if Instructions.String() != "instructions" || CacheMisses.String() != "cache-misses" {
+		t.Error("counter names")
+	}
+	if Counter(99).String() != "counter99" {
+		t.Error("out-of-range counter name")
+	}
+}
+
+func TestCountersDeterministicAndMonotonic(t *testing.T) {
+	start := time.Unix(1000, 0)
+	m := NewMachine(4, 2.5e9, nil)
+	m.SetStart(start)
+	at := start.Add(10 * time.Second)
+	v1, err := m.ReadCounter(0, Instructions, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := m.ReadCounter(0, Instructions, at)
+	if v1 != v2 {
+		t.Fatalf("same instant disagrees: %d != %d", v1, v2)
+	}
+	later, _ := m.ReadCounter(0, Instructions, at.Add(time.Second))
+	if later <= v1 {
+		t.Fatalf("counter not monotonic: %d -> %d", v1, later)
+	}
+	// Cache references dominate misses; cycles exceed nothing odd.
+	misses, _ := m.ReadCounter(0, CacheMisses, at)
+	refs, _ := m.ReadCounter(0, CacheReferences, at)
+	if misses > refs {
+		t.Errorf("misses %d > references %d", misses, refs)
+	}
+}
+
+func TestReadCounterValidation(t *testing.T) {
+	m := NewMachine(2, 2e9, nil)
+	if _, err := m.ReadCounter(7, Instructions, time.Now()); err == nil {
+		t.Error("bad core accepted")
+	}
+	if _, err := m.ReadCounter(0, Counter(99), time.Now()); err == nil {
+		t.Error("bad counter accepted")
+	}
+}
+
+func TestPowerFollowsProfile(t *testing.T) {
+	start := time.Unix(0, 0)
+	m := NewMachine(2, 2e9, func(time.Duration) (float64, float64) { return 1.5, 300 })
+	m.SetStart(start)
+	p := m.Power(start.Add(time.Minute))
+	if p < 250 || p > 350 {
+		t.Errorf("power = %v, profile says ~300W", p)
+	}
+}

@@ -1,0 +1,59 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPortCountersMonotonic(t *testing.T) {
+	start := time.Unix(0, 0)
+	p := NewPort(start, 2e9)
+	var prevX, prevR uint64
+	for s := 1; s <= 120; s += 7 {
+		at := start.Add(time.Duration(s) * time.Second)
+		x, r := p.XmitData(at), p.RcvData(at)
+		if x <= prevX || r <= prevR {
+			t.Fatalf("counters stalled or reversed at %ds: %d/%d", s, x, r)
+		}
+		if p.XmitPkts(at) != x/2048 {
+			t.Errorf("packet counter inconsistent at %ds", s)
+		}
+		prevX, prevR = x, r
+	}
+}
+
+func TestPortRateNearMean(t *testing.T) {
+	start := time.Unix(0, 0)
+	mean := 2e9
+	p := NewPort(start, mean)
+	// Over a long window the bursty profile averages to ~0.7×mean
+	// (rate = mean*(0.7 + 0.3 sin)) plus the bounded burst term.
+	hour := start.Add(time.Hour)
+	avg := float64(p.XmitData(hour)) / 3600
+	if avg < 0.5*mean || avg > mean {
+		t.Errorf("hourly average rate %v not near 0.7×%v", avg, mean)
+	}
+	// Zero/negative mean falls back to a sane default.
+	if NewPort(start, -1).MeanBytesPerSec <= 0 {
+		t.Error("default bandwidth not applied")
+	}
+}
+
+func TestFilesystemCounters(t *testing.T) {
+	start := time.Unix(0, 0)
+	fs := NewFilesystem(start, 1e9, 5e8)
+	at := start.Add(10 * time.Minute)
+	br, bw := fs.BytesRead(at), fs.BytesWritten(at)
+	if br == 0 || bw == 0 {
+		t.Fatal("no I/O simulated")
+	}
+	if br <= bw {
+		t.Errorf("read-heavy filesystem reads %d <= writes %d", br, bw)
+	}
+	if fs.Opens(at) == 0 || fs.Closes(at) > fs.Opens(at) {
+		t.Errorf("opens/closes inconsistent: %d/%d", fs.Opens(at), fs.Closes(at))
+	}
+	if fs.Reads(at) != br/(1<<20) {
+		t.Error("operation counter inconsistent with bytes")
+	}
+}

@@ -1,0 +1,57 @@
+package restsrv
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestSensorsEndpoints(t *testing.T) {
+	d := NewDevice()
+	d.AddSensor("inlet_temp", func(time.Time) float64 { return 25.5 })
+	d.AddSensor("flow", func(time.Time) float64 { return 3.2 })
+	if err := d.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	base := "http://" + d.Addr()
+
+	resp, err := http.Get(base + "/sensors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var all map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&all); err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 || all["inlet_temp"] != 25.5 || all["flow"] != 3.2 {
+		t.Fatalf("GET /sensors = %v", all)
+	}
+
+	one, err := http.Get(base + "/sensors/inlet_temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer one.Body.Close()
+	if one.StatusCode != http.StatusOK {
+		t.Fatalf("GET one: status %d", one.StatusCode)
+	}
+	var v map[string]float64
+	if err := json.NewDecoder(one.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v["inlet_temp"] != 25.5 {
+		t.Fatalf("single sensor = %+v", v)
+	}
+
+	missing, err := http.Get(base + "/sensors/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing.Body.Close()
+	if missing.StatusCode != http.StatusNotFound {
+		t.Errorf("missing sensor status = %d", missing.StatusCode)
+	}
+}

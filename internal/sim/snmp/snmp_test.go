@@ -1,0 +1,48 @@
+package snmp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGetRoundtrip(t *testing.T) {
+	a := NewAgent()
+	a.Register("1.3.6.1.4.1.2021.4.5.0", func(time.Time) float64 { return 42.5 })
+	if err := a.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	c, err := Dial(a.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	v, err := c.Get("1.3.6.1.4.1.2021.4.5.0")
+	if err != nil || v != 42.5 {
+		t.Fatalf("Get = %v, %v", v, err)
+	}
+	if _, err := c.Get("9.9.9"); err == nil {
+		t.Error("unknown OID accepted")
+	}
+}
+
+func TestLateRegistration(t *testing.T) {
+	a := NewAgent()
+	if err := a.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	c, err := Dial(a.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Get("1.2.3"); err == nil {
+		t.Error("unregistered OID accepted")
+	}
+	a.Register("1.2.3", func(time.Time) float64 { return 7 })
+	if v, err := c.Get("1.2.3"); err != nil || v != 7 {
+		t.Errorf("after registration: %v, %v", v, err)
+	}
+}

@@ -276,12 +276,40 @@ func (c *Cluster) Compact() {
 	}
 }
 
-// Close implements Backend.
-func (c *Cluster) Close() error {
+// Flush forces every node's memtable into sorted runs (durable nodes
+// spill them to disk in the background).
+func (c *Cluster) Flush() error {
+	var firstErr error
 	for _, n := range c.nodes {
-		n.Close()
+		if err := n.Flush(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
-	return nil
+	return firstErr
+}
+
+// Sync forces every node's WAL to disk.
+func (c *Cluster) Sync() error {
+	var firstErr error
+	for _, n := range c.nodes {
+		if err := n.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close implements Backend. Durable member nodes flush and detach from
+// their data directories; the first failure is reported after every
+// node has been closed.
+func (c *Cluster) Close() error {
+	var firstErr error
+	for _, n := range c.nodes {
+		if err := n.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // TotalInserts sums the insert counters of all nodes (replication makes

@@ -1,0 +1,423 @@
+package store
+
+import (
+	"log"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"dcdb/internal/core"
+)
+
+// Background machinery of a durable node: the spiller turns flushed
+// memtables into run files off the ingest path, and the compactor
+// merges run files copy-aside with size-tiered scheduling so neither
+// queries nor ingest ever wait on a merge. Both publish their results
+// under a short exclusive shard lock; all heavy I/O happens outside
+// every lock, reading only immutable entry slices.
+
+// spillJob carries one flushed memtable generation to disk.
+type spillJob struct {
+	shard     int
+	seq       uint64
+	series    map[core.SensorID][]entry
+	tombs     map[core.SensorID]int64
+	covered   []string // WAL segment paths deletable once the file is durable
+	attempts  int
+	notBefore time.Time // backoff deadline after a failed attempt
+}
+
+// Spill failures are retried a few times (transient I/O blips must not
+// silently degrade the node for its lifetime) and logged every time;
+// after the last attempt the job is dropped — its data stays
+// recoverable from the WAL segments, which are only deleted on
+// success.
+const (
+	spillMaxAttempts = 5
+	spillRetryDelay  = 500 * time.Millisecond
+)
+
+// spiller is the single background writer of run files. One goroutine
+// keeps spills in per-shard sequence order (FIFO) so a shard's file
+// list only ever grows at the newest end.
+type spiller struct {
+	n      *Node
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []spillJob
+	active bool
+	closed bool
+	err    error // first spill failure, surfaced by close
+}
+
+func newSpiller(n *Node) *spiller {
+	s := &spiller{n: n}
+	s.cond = sync.NewCond(&s.mu)
+	go s.loop()
+	return s
+}
+
+func (s *spiller) enqueue(j spillJob) {
+	s.mu.Lock()
+	if !s.closed {
+		s.queue = append(s.queue, j)
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// runnableLocked returns the index of the next job to run: the first
+// whose backoff deadline has passed and that has no earlier queued job
+// for the same shard (per-shard sequence order is a recovery
+// invariant; cross-shard order is not). During close, backoff is
+// ignored so draining never sleeps. Returns -1 when every queued job
+// is backing off.
+func (s *spiller) runnableLocked(now time.Time) int {
+	var blocked [numShards]bool
+	for i, j := range s.queue {
+		if blocked[j.shard] {
+			continue
+		}
+		if s.closed || !j.notBefore.After(now) {
+			return i
+		}
+		blocked[j.shard] = true
+	}
+	return -1
+}
+
+func (s *spiller) loop() {
+	for {
+		s.mu.Lock()
+		var j spillJob
+		for {
+			if len(s.queue) == 0 {
+				if s.closed {
+					s.mu.Unlock()
+					return
+				}
+				s.cond.Wait()
+				continue
+			}
+			idx := s.runnableLocked(time.Now())
+			if idx >= 0 {
+				j = s.queue[idx]
+				s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
+				break
+			}
+			// Every queued job is backing off; poll rather than build
+			// a timer-wakeup protocol — the window is rare and short.
+			s.mu.Unlock()
+			time.Sleep(10 * time.Millisecond)
+			s.mu.Lock()
+		}
+		s.active = true
+		s.mu.Unlock()
+
+		err := s.n.spillOne(j)
+
+		s.mu.Lock()
+		s.active = false
+		if err != nil {
+			j.attempts++
+			log.Printf("store: spilling run %d of shard %d failed (attempt %d/%d): %v",
+				j.seq, j.shard, j.attempts, spillMaxAttempts, err)
+			if !s.closed && j.attempts < spillMaxAttempts {
+				// Back at the front so per-shard order holds; the
+				// deadline lets other shards' spills proceed in the
+				// meantime.
+				j.notBefore = time.Now().Add(spillRetryDelay)
+				s.queue = append([]spillJob{j}, s.queue...)
+			} else if s.err == nil {
+				s.err = err
+			}
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// waitIdle blocks until every enqueued spill has reached disk.
+func (s *spiller) waitIdle() {
+	s.mu.Lock()
+	for len(s.queue) > 0 || s.active {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// close drains the queue, stops the loop and reports the first spill
+// failure.
+func (s *spiller) close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	for len(s.queue) > 0 || s.active {
+		s.cond.Wait()
+	}
+	err := s.err
+	s.mu.Unlock()
+	return err
+}
+
+// spillOne writes one flush's run file and retires the WAL segments it
+// covers. On failure the segments are kept: the data stays recoverable
+// from the WAL and the in-memory run keeps serving queries.
+func (n *Node) spillOne(j spillJob) error {
+	sh := &n.shards[j.shard]
+	meta, err := writeRunFile(sh.disk.dir, j.seq, j.seq, j.series, j.tombs)
+	if err != nil {
+		return err
+	}
+	meta.tombs = j.tombs
+	sh.mu.Lock()
+	sh.disk.files = append(sh.disk.files, meta)
+	sh.mu.Unlock()
+	for _, p := range j.covered {
+		os.Remove(p)
+	}
+	return nil
+}
+
+// compactLoop is the background compaction scheduler: every tick it
+// offers each shard one size-tiered merge.
+func (n *Node) compactLoop() {
+	defer n.bgWG.Done()
+	t := time.NewTicker(n.opts.CompactInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stopBG:
+			return
+		case <-t.C:
+			for i := range n.shards {
+				sh := &n.shards[i]
+				sh.disk.cmu.Lock()
+				n.compactWindow(i, false)
+				sh.disk.cmu.Unlock()
+			}
+		}
+	}
+}
+
+// syncLoop batches WAL fsyncs at the configured interval.
+func (n *Node) syncLoop() {
+	defer n.bgWG.Done()
+	t := time.NewTicker(n.opts.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stopBG:
+			return
+		case <-t.C:
+			// Sync failures mark the segment broken, so the next
+			// write on that shard surfaces the error to its caller.
+			_ = n.Sync()
+		}
+	}
+}
+
+// pickWindow selects the newest contiguous window of similar-sized run
+// files to merge (size-tiered): starting from the newest file, older
+// neighbours join while no single file dwarfs the accumulated window
+// (4× its total size), which leaves large, settled files alone until
+// enough fresh flushes pile up to justify rewriting them. Merging
+// triggers only once the shard holds more than maxRuns files; lo == hi
+// means nothing to do.
+func pickWindow(files []runFileMeta, maxRuns int) (lo, hi int) {
+	if len(files) <= maxRuns {
+		return 0, 0
+	}
+	hi = len(files)
+	lo = hi
+	var total int64
+	for lo > 0 {
+		sz := files[lo-1].size
+		if total > 0 && sz > 4*total {
+			break
+		}
+		total += sz
+		lo--
+	}
+	if hi-lo < 2 {
+		// Strictly geometric file sizes: merge the two newest so the
+		// count stays bounded regardless.
+		lo = hi - 2
+	}
+	return lo, hi
+}
+
+// mergeParts concatenates a sensor's runs (oldest first), drops entries
+// expired at now, and restores timestamp order. The sort is stable so
+// duplicate timestamps keep the newest write last, which is what the
+// query-time dedup prefers.
+func mergeParts(parts [][]entry, now int64) []entry {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	merged := make([]entry, 0, total)
+	for _, p := range parts {
+		for _, e := range p {
+			if e.expire != 0 && e.expire <= now {
+				continue
+			}
+			merged = append(merged, e)
+		}
+	}
+	if !sort.SliceIsSorted(merged, func(i, j int) bool { return merged[i].ts < merged[j].ts }) {
+		sort.SliceStable(merged, func(i, j int) bool { return merged[i].ts < merged[j].ts })
+	}
+	return merged
+}
+
+// compactWindow merges one window of shard i's run files copy-aside:
+// the inputs are snapshotted under a read lock, merged and written to a
+// new run file with no lock held, and swapped in under a brief write
+// lock; the old files are deleted afterwards (write-new, rename,
+// delete-old). A DeleteBefore racing with the merge bumps the shard's
+// delVer and the merge aborts rather than resurrect deleted rows.
+// full selects every file (Compact); otherwise pickWindow decides.
+// Caller holds sh.disk.cmu.
+func (n *Node) compactWindow(i int, full bool) {
+	sh := &n.shards[i]
+	now := time.Now().UnixNano()
+
+	sh.mu.RLock()
+	var lo, hi int
+	if full {
+		lo, hi = 0, len(sh.disk.files)
+	} else {
+		lo, hi = pickWindow(sh.disk.files, n.opts.MaxRuns)
+	}
+	if hi-lo == 0 || (hi-lo < 2 && !full) {
+		sh.mu.RUnlock()
+		return
+	}
+	window := append([]runFileMeta(nil), sh.disk.files[lo:hi]...)
+	minSeq, maxSeq := window[0].minSeq, window[len(window)-1].maxSeq
+	inWindow := func(seq uint64) bool { return seq >= minSeq && seq <= maxSeq }
+	// Snapshot the window's per-sensor entry slices. Runs are
+	// immutable once flushed, so they are safe to read without the
+	// lock; the delVer check below catches the one mutation that
+	// re-slices them (DeleteBefore).
+	series := make(map[core.SensorID][][]entry)
+	for id, rs := range sh.runs {
+		for _, r := range rs {
+			if inWindow(r.seq) {
+				series[id] = append(series[id], r.es)
+			}
+		}
+	}
+	// Residual tombstones still apply to files older than the window;
+	// a window reaching the oldest file retires them for good.
+	var tombs map[core.SensorID]int64
+	if lo > 0 {
+		for _, m := range window {
+			for id, cutoff := range m.tombs {
+				if tombs == nil {
+					tombs = make(map[core.SensorID]int64)
+				}
+				if cutoff > tombs[id] {
+					tombs[id] = cutoff
+				}
+			}
+		}
+	}
+	delVer0 := sh.disk.delVer
+	sh.mu.RUnlock()
+
+	merged := make(map[core.SensorID][]entry, len(series))
+	for id, parts := range series {
+		if es := mergeParts(parts, now); len(es) > 0 {
+			merged[id] = es
+		}
+	}
+
+	var newMeta runFileMeta
+	wrote := false
+	if len(merged) > 0 || len(tombs) > 0 {
+		var err error
+		newMeta, err = writeRunFile(sh.disk.dir, minSeq, maxSeq, merged, tombs)
+		if err != nil {
+			return // inputs untouched; retried next tick
+		}
+		newMeta.tombs = tombs
+		wrote = true
+	}
+
+	sh.mu.Lock()
+	if sh.disk.delVer != delVer0 {
+		sh.mu.Unlock()
+		if wrote {
+			// A single-file window was rewritten in place (same span,
+			// same path): the rename already replaced the live input,
+			// which must survive. Its content predates the racing
+			// delete, but the delete's WAL record (or its tombstone in
+			// a later run file) re-applies at recovery, so the stale
+			// rows cannot resurrect. Only a distinct merged file is
+			// discarded here.
+			replaced := false
+			for _, m := range window {
+				if m.path == newMeta.path {
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				os.Remove(newMeta.path)
+			}
+		}
+		return
+	}
+	adj := 0
+	for id := range series {
+		old := sh.runs[id]
+		kept := make([]run, 0, len(old))
+		for _, r := range old {
+			if inWindow(r.seq) {
+				adj -= len(r.es)
+				continue
+			}
+			kept = append(kept, r)
+		}
+		if es, ok := merged[id]; ok {
+			adj += len(es)
+			mr := run{es: es, min: es[0].ts, max: es[len(es)-1].ts, seq: maxSeq}
+			pos := sort.Search(len(kept), func(k int) bool { return kept[k].seq > maxSeq })
+			kept = append(kept, run{})
+			copy(kept[pos+1:], kept[pos:])
+			kept[pos] = mr
+		}
+		if len(kept) == 0 {
+			delete(sh.runs, id)
+			if s, ok := sh.mem[id]; !ok || len(s.entries) == 0 {
+				sh.indexOK = false // sensor fully expired away
+			}
+		} else {
+			sh.runs[id] = kept
+		}
+	}
+	sh.flushedSize += adj
+	// The spiller only appends, so the window's position is stable.
+	files := make([]runFileMeta, 0, len(sh.disk.files)-len(window)+1)
+	files = append(files, sh.disk.files[:lo]...)
+	if wrote {
+		files = append(files, newMeta)
+	}
+	files = append(files, sh.disk.files[hi:]...)
+	sh.disk.files = files
+	sh.mu.Unlock()
+
+	for _, m := range window {
+		// A single-file window (full compaction rewriting expired
+		// entries away) produces the same span and therefore the same
+		// path: the rename already replaced it, so it must survive.
+		if wrote && m.path == newMeta.path {
+			continue
+		}
+		os.Remove(m.path)
+	}
+	syncDir(sh.disk.dir)
+}

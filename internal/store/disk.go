@@ -1,0 +1,548 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"dcdb/internal/core"
+	"dcdb/internal/fsutil"
+)
+
+// On-disk sorted runs: each memtable flush spills one immutable run
+// file per shard (`shard-<i>/run-<minSeq>-<maxSeq>.sst`); compaction
+// merges a contiguous sequence window of run files into one whose
+// header records the merged span, so a crash between writing the
+// merged file and deleting its inputs is recovered by dropping any
+// file whose span is contained in another's (write-new, rename,
+// delete-old — the rename is the commit point).
+//
+// File layout (integers big-endian, same record shape as the snapshot
+// format of persist.go):
+//
+//	magic "DCDBRUN1"
+//	version   u32
+//	minSeq    u64 | maxSeq u64     // flush-sequence span of the inputs
+//	tombCount u64 | seriesCount u64
+//	tombs  : tombCount  × (sidHi u64 | sidLo u64 | cutoff i64)
+//	series : seriesCount × header + entries
+//	  header : sidHi u64 | sidLo u64 | entryCount u64 | min i64 | max i64
+//	  entry  : ts i64 | value f64 | expire i64
+//	crc32(IEEE) u32 over everything above
+//
+// Tombstones persist DeleteBefore cutoffs issued while this file's
+// memtable was live; at recovery they are applied to every run file
+// with an older span, whose bytes still hold the deleted rows.
+
+var runMagic = []byte("DCDBRUN1")
+
+const runVersion = 1
+
+// runFileMeta describes one durable run file of a shard. tombs mirrors
+// the file's tombstone section so a compaction can carry the residual
+// cutoffs into its merged output without re-reading the inputs.
+type runFileMeta struct {
+	path           string
+	minSeq, maxSeq uint64
+	size           int64 // file size in bytes, drives size-tiered compaction
+	tombs          map[core.SensorID]int64
+}
+
+// runFileName builds the canonical file name for a sequence span.
+func runFileName(minSeq, maxSeq uint64) string {
+	return fmt.Sprintf("run-%016x-%016x.sst", minSeq, maxSeq)
+}
+
+// runFileSpan parses a run file name, or returns false for other files.
+func runFileSpan(name string) (minSeq, maxSeq uint64, ok bool) {
+	if !strings.HasPrefix(name, "run-") || !strings.HasSuffix(name, ".sst") {
+		return 0, 0, false
+	}
+	span := strings.TrimSuffix(strings.TrimPrefix(name, "run-"), ".sst")
+	var a, b uint64
+	if _, err := fmt.Sscanf(span, "%016x-%016x", &a, &b); err != nil || a > b {
+		return 0, 0, false
+	}
+	return a, b, true
+}
+
+// runContents is a decoded run file.
+type runContents struct {
+	minSeq, maxSeq uint64
+	tombs          map[core.SensorID]int64
+	series         map[core.SensorID][]entry
+}
+
+// writeRunFile persists series (and the delete cutoffs accumulated
+// while its memtable was live) atomically: write to a temp file, fsync,
+// rename into place, fsync the directory. The returned meta reflects
+// the final file.
+func writeRunFile(dir string, minSeq, maxSeq uint64, series map[core.SensorID][]entry, tombs map[core.SensorID]int64) (runFileMeta, error) {
+	final := filepath.Join(dir, runFileName(minSeq, maxSeq))
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return runFileMeta{}, err
+	}
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(crc, f))
+
+	write := func(p []byte) error {
+		_, err := bw.Write(p)
+		return err
+	}
+	var scratch [40]byte
+	fail := func(err error) (runFileMeta, error) {
+		f.Close()
+		os.Remove(tmp)
+		return runFileMeta{}, err
+	}
+	if err := write(runMagic); err != nil {
+		return fail(err)
+	}
+	binary.BigEndian.PutUint32(scratch[0:], runVersion)
+	if err := write(scratch[:4]); err != nil {
+		return fail(err)
+	}
+	binary.BigEndian.PutUint64(scratch[0:], minSeq)
+	binary.BigEndian.PutUint64(scratch[8:], maxSeq)
+	binary.BigEndian.PutUint64(scratch[16:], uint64(len(tombs)))
+	binary.BigEndian.PutUint64(scratch[24:], uint64(len(series)))
+	if err := write(scratch[:32]); err != nil {
+		return fail(err)
+	}
+	// Deterministic order keeps byte-identical files for identical
+	// contents (useful for tests and debugging).
+	tombIDs := sortedIDs(len(tombs), func(yield func(core.SensorID)) {
+		for id := range tombs {
+			yield(id)
+		}
+	})
+	for _, id := range tombIDs {
+		binary.BigEndian.PutUint64(scratch[0:], id.Hi)
+		binary.BigEndian.PutUint64(scratch[8:], id.Lo)
+		binary.BigEndian.PutUint64(scratch[16:], uint64(tombs[id]))
+		if err := write(scratch[:24]); err != nil {
+			return fail(err)
+		}
+	}
+	seriesIDs := sortedIDs(len(series), func(yield func(core.SensorID)) {
+		for id := range series {
+			yield(id)
+		}
+	})
+	for _, id := range seriesIDs {
+		es := series[id]
+		binary.BigEndian.PutUint64(scratch[0:], id.Hi)
+		binary.BigEndian.PutUint64(scratch[8:], id.Lo)
+		binary.BigEndian.PutUint64(scratch[16:], uint64(len(es)))
+		binary.BigEndian.PutUint64(scratch[24:], uint64(es[0].ts))
+		binary.BigEndian.PutUint64(scratch[32:], uint64(es[len(es)-1].ts))
+		if err := write(scratch[:40]); err != nil {
+			return fail(err)
+		}
+		for _, e := range es {
+			binary.BigEndian.PutUint64(scratch[0:], uint64(e.ts))
+			binary.BigEndian.PutUint64(scratch[8:], math.Float64bits(e.val))
+			binary.BigEndian.PutUint64(scratch[16:], uint64(e.expire))
+			if err := write(scratch[:24]); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	// The CRC trailer is written directly (not through the hasher).
+	binary.BigEndian.PutUint32(scratch[0:], crc.Sum32())
+	if _, err := f.Write(scratch[:4]); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return runFileMeta{}, err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return runFileMeta{}, err
+	}
+	syncDir(dir)
+	return runFileMeta{path: final, minSeq: minSeq, maxSeq: maxSeq, size: st.Size()}, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a crash.
+func syncDir(dir string) { fsutil.SyncDir(dir) }
+
+func sortedIDs(n int, iter func(func(core.SensorID))) []core.SensorID {
+	ids := make([]core.SensorID, 0, n)
+	iter(func(id core.SensorID) { ids = append(ids, id) })
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Compare(ids[j]) < 0 })
+	return ids
+}
+
+// decodeRunFile parses run-file bytes. Counts are validated against the
+// remaining length before any allocation, so corrupt headers error out
+// instead of panicking or OOMing; a CRC mismatch rejects the whole
+// file. Series whose entries arrive unsorted are sorted defensively
+// (stable, preserving file order for duplicate timestamps) because the
+// merge-read path requires sorted runs.
+func decodeRunFile(data []byte) (*runContents, error) {
+	if len(data) < len(runMagic)+4+32+4 {
+		return nil, fmt.Errorf("store: run file truncated")
+	}
+	if string(data[:len(runMagic)]) != string(runMagic) {
+		return nil, fmt.Errorf("store: not a DCDB run file")
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(trailer) {
+		return nil, fmt.Errorf("store: run file CRC mismatch")
+	}
+	off := len(runMagic)
+	version := binary.BigEndian.Uint32(body[off:])
+	if version != runVersion {
+		return nil, fmt.Errorf("store: unsupported run file version %d", version)
+	}
+	off += 4
+	rc := &runContents{
+		minSeq: binary.BigEndian.Uint64(body[off:]),
+		maxSeq: binary.BigEndian.Uint64(body[off+8:]),
+	}
+	tombCount := binary.BigEndian.Uint64(body[off+16:])
+	seriesCount := binary.BigEndian.Uint64(body[off+24:])
+	off += 32
+	if rc.minSeq > rc.maxSeq {
+		return nil, fmt.Errorf("store: run file span inverted")
+	}
+	rest := uint64(len(body) - off)
+	if tombCount > rest/24 {
+		return nil, fmt.Errorf("store: run file tombstone count overflows file")
+	}
+	if tombCount > 0 {
+		rc.tombs = make(map[core.SensorID]int64, tombCount)
+		for i := uint64(0); i < tombCount; i++ {
+			id := core.SensorID{Hi: binary.BigEndian.Uint64(body[off:]), Lo: binary.BigEndian.Uint64(body[off+8:])}
+			rc.tombs[id] = int64(binary.BigEndian.Uint64(body[off+16:]))
+			off += 24
+		}
+	}
+	if seriesCount > uint64(len(body)-off)/40 {
+		return nil, fmt.Errorf("store: run file series count overflows file")
+	}
+	rc.series = make(map[core.SensorID][]entry, seriesCount)
+	for i := uint64(0); i < seriesCount; i++ {
+		if len(body)-off < 40 {
+			return nil, fmt.Errorf("store: run file truncated in series header")
+		}
+		id := core.SensorID{Hi: binary.BigEndian.Uint64(body[off:]), Lo: binary.BigEndian.Uint64(body[off+8:])}
+		count := binary.BigEndian.Uint64(body[off+16:])
+		off += 40 // min/max are recomputed below; the stored copy is advisory
+		if count == 0 {
+			return nil, fmt.Errorf("store: run file has empty series")
+		}
+		if count > uint64(len(body)-off)/24 {
+			return nil, fmt.Errorf("store: run file entry count overflows file")
+		}
+		es := make([]entry, count)
+		for j := range es {
+			es[j] = entry{
+				ts:     int64(binary.BigEndian.Uint64(body[off:])),
+				val:    math.Float64frombits(binary.BigEndian.Uint64(body[off+8:])),
+				expire: int64(binary.BigEndian.Uint64(body[off+16:])),
+			}
+			off += 24
+		}
+		if !sort.SliceIsSorted(es, func(a, b int) bool { return es[a].ts < es[b].ts }) {
+			sort.SliceStable(es, func(a, b int) bool { return es[a].ts < es[b].ts })
+		}
+		if _, dup := rc.series[id]; dup {
+			return nil, fmt.Errorf("store: run file repeats sensor %v", id)
+		}
+		rc.series[id] = es
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("store: run file has %d trailing bytes", len(body)-off)
+	}
+	return rc, nil
+}
+
+// readRunFile loads and decodes one run file.
+func readRunFile(path string) (*runContents, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rc, err := decodeRunFile(data)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	return rc, nil
+}
+
+// scanRunFiles lists a shard directory's run files, deletes leftover
+// temp files, and retires any file whose sequence span is contained in
+// another's (the crash window between a compaction's rename and its
+// input deletion). The survivors have pairwise disjoint spans and are
+// returned in span order.
+func scanRunFiles(dir string) ([]runFileMeta, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var metas []runFileMeta
+	for _, de := range des {
+		name := de.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		minSeq, maxSeq, ok := runFileSpan(name)
+		if !ok {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			return nil, err
+		}
+		metas = append(metas, runFileMeta{
+			path: filepath.Join(dir, name), minSeq: minSeq, maxSeq: maxSeq, size: info.Size(),
+		})
+	}
+	// Wider spans first so contained files are found after their
+	// container.
+	sort.Slice(metas, func(i, j int) bool {
+		si, sj := metas[i].maxSeq-metas[i].minSeq, metas[j].maxSeq-metas[j].minSeq
+		if si != sj {
+			return si > sj
+		}
+		return metas[i].minSeq < metas[j].minSeq
+	})
+	kept := metas[:0]
+	for _, m := range metas {
+		covered := false
+		for _, k := range kept {
+			if k.minSeq <= m.minSeq && m.maxSeq <= k.maxSeq {
+				covered = true
+				break
+			}
+		}
+		if covered {
+			os.Remove(m.path)
+			continue
+		}
+		kept = append(kept, m)
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].maxSeq < kept[j].maxSeq })
+	return kept, nil
+}
+
+// DiskOptions tune a durable node. The zero value is the safest
+// configuration: fsync on every write, 8-file compaction trigger,
+// 250ms background compaction pace.
+type DiskOptions struct {
+	// SyncInterval batches WAL fsyncs. 0 syncs before every write is
+	// acknowledged (each insert is durable when it returns); > 0 syncs
+	// at that cadence, so a crash may lose up to one interval of
+	// acknowledged writes; < 0 disables automatic syncing entirely
+	// (call Sync explicitly — for tools and tests).
+	SyncInterval time.Duration
+	// MaxRuns is the per-shard run-file count above which the
+	// background compactor schedules a size-tiered merge. <= 0 selects
+	// the default (8).
+	MaxRuns int
+	// CompactInterval is the background compaction scheduling pace.
+	// 0 selects the default (250ms); < 0 disables the background
+	// compactor (Compact still works when called).
+	CompactInterval time.Duration
+	// ReadOnly recovers the directory without touching it: no WAL
+	// segment is created, torn tails are not truncated, nothing is
+	// spilled or compacted, and writes fail with ErrNodeReadOnly.
+	// For tools inspecting a (possibly crashed) agent's directory.
+	ReadOnly bool
+}
+
+const (
+	defaultMaxRuns         = 8
+	defaultCompactInterval = 250 * time.Millisecond
+)
+
+// Open attaches a fresh node to a data directory with default
+// DiskOptions: run files are mapped in, WAL segments are replayed, and
+// from then on every write is crash-durable. See OpenOptions.
+func (n *Node) Open(dir string) error { return n.OpenOptions(dir, DiskOptions{}) }
+
+// OpenOptions attaches a fresh node to a data directory. The layout is
+// one subdirectory per shard (`shard-<i>/`) holding immutable sorted
+// run files (`run-<minSeq>-<maxSeq>.sst`) and WAL segments
+// (`wal-<seq>.log`). Recovery first maps the run files — dropping any
+// whose sequence span another file covers (the crash window of a
+// compaction) — then replays the surviving WAL segments in order,
+// truncating a torn tail, so every write acknowledged before the crash
+// is served again and no partial record ever is. On error the node is
+// not usable and must be discarded.
+func (n *Node) OpenOptions(dir string, o DiskOptions) error {
+	if n.durable() {
+		return fmt.Errorf("store: node already open at %s", n.dir)
+	}
+	for i := range n.shards {
+		if n.shards[i].memSize != 0 || len(n.shards[i].runs) != 0 {
+			return fmt.Errorf("store: Open requires a fresh node")
+		}
+	}
+	if o.MaxRuns <= 0 {
+		o.MaxRuns = defaultMaxRuns
+	}
+	if o.CompactInterval == 0 {
+		o.CompactInterval = defaultCompactInterval
+	}
+	n.opts = o
+	n.dir = dir
+	for i := range n.shards {
+		sh := &n.shards[i]
+		sh.disk.dir = filepath.Join(dir, fmt.Sprintf("shard-%02d", i))
+		if o.ReadOnly {
+			// Leave the directory untouched; a missing shard is empty.
+			if _, err := os.Stat(sh.disk.dir); os.IsNotExist(err) {
+				continue
+			}
+		} else if err := os.MkdirAll(sh.disk.dir, 0o755); err != nil {
+			n.Close() // release the WALs already opened for earlier shards
+			return err
+		}
+		if err := n.recoverShard(i); err != nil {
+			n.Close()
+			return err
+		}
+	}
+	n.stopBG = make(chan struct{})
+	if o.ReadOnly {
+		return nil
+	}
+	n.sp = newSpiller(n)
+	if o.CompactInterval > 0 {
+		n.bgWG.Add(1)
+		go n.compactLoop()
+	}
+	if o.SyncInterval > 0 {
+		n.bgWG.Add(1)
+		go n.syncLoop()
+	}
+	// A replayed WAL can leave a shard over its flush budget; spill it
+	// now that the background machinery is running.
+	for i := range n.shards {
+		sh := &n.shards[i]
+		sh.mu.Lock()
+		var err error
+		if sh.memSize >= n.flushSize {
+			err = n.flushShardLocked(i)
+		}
+		sh.mu.Unlock()
+		if err != nil {
+			// Don't leak the just-started goroutines and open WAL
+			// files: tear the node down before reporting failure.
+			n.Close()
+			return err
+		}
+	}
+	return nil
+}
+
+// recoverShard rebuilds shard i from its directory: run files first
+// (oldest to newest, applying each file's tombstones to the older
+// files' rows), then WAL segment replay into the memtable. Single
+// threaded; no locks needed.
+func (n *Node) recoverShard(i int) error {
+	sh := &n.shards[i]
+	metas, err := scanRunFiles(sh.disk.dir)
+	if err != nil {
+		return err
+	}
+	for mi := range metas {
+		m := &metas[mi]
+		rc, err := readRunFile(m.path)
+		if err != nil {
+			return err
+		}
+		if rc.minSeq != m.minSeq || rc.maxSeq != m.maxSeq {
+			return fmt.Errorf("store: %s: header span [%d,%d] contradicts name", m.path, rc.minSeq, rc.maxSeq)
+		}
+		// Tombstones cover deletes issued while this file's memtable
+		// was live; older files still hold the deleted rows.
+		for id, cutoff := range rc.tombs {
+			sh.cutRunsLocked(id, cutoff, m.minSeq)
+		}
+		m.tombs = rc.tombs
+		for id, es := range rc.series {
+			sh.runs[id] = append(sh.runs[id], run{es: es, min: es[0].ts, max: es[len(es)-1].ts, seq: m.maxSeq})
+			sh.flushedSize += len(es)
+		}
+		sh.disk.files = append(sh.disk.files, *m)
+		if m.maxSeq >= sh.disk.nextSeq {
+			sh.disk.nextSeq = m.maxSeq + 1
+		}
+	}
+	segs, err := findWALSegments(sh.disk.dir)
+	if err != nil {
+		return err
+	}
+	for _, seg := range segs {
+		ops, err := replaySegment(seg.path, !n.opts.ReadOnly)
+		if err != nil {
+			return err
+		}
+		for _, op := range ops {
+			if op.del {
+				// The delete happened after everything replayed so
+				// far and after every run file older than this
+				// segment; data in newer run files was either
+				// filtered at its flush or legitimately re-inserted
+				// afterwards, so it is left alone.
+				sh.cutMemLocked(op.id, op.cutoff)
+				sh.cutRunsLocked(op.id, op.cutoff, seg.seq)
+				if sh.disk.tombs == nil {
+					sh.disk.tombs = make(map[core.SensorID]int64)
+				}
+				if op.cutoff > sh.disk.tombs[op.id] {
+					sh.disk.tombs[op.id] = op.cutoff
+				}
+				continue
+			}
+			s := sh.seriesFor(op.id)
+			for _, e := range op.entries {
+				if s.sorted && len(s.entries) > 0 && e.ts < s.entries[len(s.entries)-1].ts {
+					s.sorted = false
+				}
+				s.entries = append(s.entries, e)
+			}
+			sh.memSize += len(op.entries)
+		}
+		sh.disk.memSegs = append(sh.disk.memSegs, seg.path)
+		if seg.seq >= sh.disk.nextSeq {
+			sh.disk.nextSeq = seg.seq + 1
+		}
+	}
+	sh.indexOK = len(sh.mem) == 0 && len(sh.runs) == 0
+	if n.opts.ReadOnly {
+		return nil
+	}
+	w, err := createWAL(sh.disk.dir, sh.disk.nextSeq)
+	if err != nil {
+		return err
+	}
+	sh.disk.wal = w
+	return nil
+}

@@ -1,0 +1,163 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dcdb/internal/core"
+)
+
+// Fuzz targets for every on-disk decoder: the run-file reader, the WAL
+// replayer and the legacy snapshot loader all consume bytes that a
+// crash, a torn write or a hostile file can corrupt arbitrarily, so
+// none of them may panic, over-allocate from a forged count, or accept
+// a record that fails its checksum.
+
+// validRunFileBytes builds a well-formed run file through the real
+// writer, used to seed the corpus.
+func validRunFileBytes(t interface{ Fatal(...any) }) []byte {
+	dir, err := os.MkdirTemp("", "dcdbfuzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	series := map[core.SensorID][]entry{
+		{Hi: 1, Lo: 2}: {{ts: 5, val: 1.5}, {ts: 9, val: -2, expire: 77}},
+		{Hi: 3, Lo: 4}: {{ts: 1, val: 42}},
+	}
+	tombs := map[core.SensorID]int64{{Hi: 1, Lo: 2}: 3}
+	meta, err := writeRunFile(dir, 2, 4, series, tombs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(meta.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func FuzzRunFileDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("DCDBRUN1"))
+	f.Add(validRunFileBytes(f))
+	// A truncated valid file exercises every partial-header path.
+	valid := validRunFileBytes(f)
+	f.Add(valid[:len(valid)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rc, err := decodeRunFile(data)
+		if err != nil {
+			return
+		}
+		// Accepted files must uphold the reader invariants.
+		if rc.minSeq > rc.maxSeq {
+			t.Fatalf("accepted inverted span [%d,%d]", rc.minSeq, rc.maxSeq)
+		}
+		for id, es := range rc.series {
+			if len(es) == 0 {
+				t.Fatalf("accepted empty series %v", id)
+			}
+			for i := 1; i < len(es); i++ {
+				if es[i].ts < es[i-1].ts {
+					t.Fatalf("series %v unsorted at %d", id, i)
+				}
+			}
+		}
+	})
+}
+
+func FuzzWALReplay(f *testing.F) {
+	f.Add([]byte{})
+	var seg bytes.Buffer
+	{
+		dir, err := os.MkdirTemp("", "dcdbfuzz")
+		if err != nil {
+			f.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		w, err := createWAL(dir, 1)
+		if err != nil {
+			f.Fatal(err)
+		}
+		id := core.SensorID{Hi: 7, Lo: 8}
+		w.append(encodeWALInsert(nil, id, []core.Reading{{Timestamp: 1, Value: 2}, {Timestamp: 3, Value: 4}}, 0))
+		w.append(encodeWALDelete(nil, id, 2))
+		w.append(encodeWALInsert1(nil, id, core.Reading{Timestamp: 9, Value: 9}, 123))
+		if err := w.close(); err != nil {
+			f.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "wal-0000000000000001.log"))
+		if err != nil {
+			f.Fatal(err)
+		}
+		seg.Write(data)
+	}
+	f.Add(seg.Bytes())
+	f.Add(seg.Bytes()[:seg.Len()-3]) // torn tail
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops, valid := decodeWALRecords(data)
+		if valid < 0 || valid > len(data) {
+			t.Fatalf("valid offset %d outside [0,%d]", valid, len(data))
+		}
+		// Everything decoded must be replayable without panicking.
+		n := NewNode(0)
+		id := core.SensorID{}
+		for _, op := range ops {
+			if op.del {
+				if err := n.DeleteBefore(op.id, op.cutoff); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			rs := make([]core.Reading, len(op.entries))
+			for i, e := range op.entries {
+				rs[i] = core.Reading{Timestamp: e.ts, Value: e.val}
+			}
+			if err := n.InsertBatch(op.id, rs, 0); err != nil {
+				t.Fatal(err)
+			}
+			id = op.id
+		}
+		if _, err := n.Query(id, -1<<62, 1<<62); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func FuzzSnapshotLoad(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("DCDBSNAP"))
+	var snap bytes.Buffer
+	{
+		n := NewNode(0)
+		id := core.SensorID{Hi: 1, Lo: 1}
+		n.Insert(id, core.Reading{Timestamp: 1, Value: 2}, 0)
+		n.Insert(id, core.Reading{Timestamp: 5, Value: 6}, time.Hour)
+		if err := n.Save(&snap); err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(snap.Bytes())
+	f.Add(snap.Bytes()[:snap.Len()-5])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := NewNode(0)
+		if err := n.Load(bytes.NewReader(data)); err != nil {
+			return
+		}
+		// A loaded node must be fully usable.
+		for _, id := range n.SensorIDs() {
+			rs, err := n.Query(id, -1<<62, 1<<62)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i < len(rs); i++ {
+				if rs[i].Timestamp <= rs[i-1].Timestamp {
+					t.Fatalf("loaded sensor %v serves unsorted readings", id)
+				}
+			}
+		}
+	})
+}

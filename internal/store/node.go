@@ -21,6 +21,7 @@ package store
 
 import (
 	"fmt"
+	"log"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -68,9 +69,13 @@ type memSeries struct {
 // run is one flushed sorted run of a sensor. min/max cache the run's
 // timestamp bounds so a query window rejects a run by scanning the
 // compact header array instead of dereferencing each run's entries.
+// seq is the flush sequence that produced the run and ties it to the
+// run file holding the same entries on durable nodes; per-sensor run
+// lists are ordered by ascending seq (oldest first).
 type run struct {
 	es       []entry
 	min, max int64
+	seq      uint64
 }
 
 // numShards is the lock-stripe count of a Node's memtable. A power of
@@ -110,11 +115,35 @@ type shard struct {
 
 	// Counters are striped per shard: a single node-wide counter
 	// would put one contended cache line back into every insert.
-	// The struct is exactly 128 bytes (two cache lines), so shards
-	// in the array never false-share; keep it a 64-byte multiple
-	// when adding fields.
 	inserts int64        // guarded by mu (held exclusively on insert)
 	queries atomic.Int64 // incremented under the shared read lock
+
+	// disk is the cold durable state, kept behind one pointer so the
+	// shard struct stays a fixed, cache-line-friendly size; see the
+	// padding note below.
+	disk *shardDisk
+
+	// The fields above total 136 bytes; the pad keeps the struct at
+	// exactly 192 bytes (three cache lines), so shards in the array
+	// never false-share their hot mu/counter lines. Keep the total a
+	// 64-byte multiple when adding fields (checked by
+	// TestShardSizeCacheAligned).
+	_ [56]byte
+}
+
+// shardDisk is a shard's durable bookkeeping. All fields are guarded
+// by the shard's mu unless noted. Allocated for every shard (durable
+// or not) so flush sequence numbering is uniform.
+type shardDisk struct {
+	dir     string                  // shard-<i> directory
+	nextSeq uint64                  // next flush/WAL sequence number
+	wal     *wal                    // active WAL segment (nil once closed)
+	files   []runFileMeta           // durable run files, ordered by maxSeq
+	memSegs []string                // replayed segments whose data sits in the memtable
+	tombs   map[core.SensorID]int64 // DeleteBefore cutoffs since the last flush
+	walBuf  []byte                  // WAL record scratch, reused under mu
+	delVer  uint64                  // bumped by DeleteBefore; aborts in-flight merges
+	cmu     sync.Mutex              // serialises compactions of this shard
 }
 
 // seriesFor returns the memtable series of id, creating it on first
@@ -134,13 +163,29 @@ func (sh *shard) seriesFor(id core.SensorID) *memSeries {
 }
 
 // Node is a single storage server. It is safe for concurrent use.
+// A node is memory-only until Open points it at a data directory, after
+// which every write is logged to a per-shard WAL before it is
+// acknowledged, memtable flushes spill per-shard sorted run files, and
+// a background goroutine compacts run files with size-tiered
+// scheduling.
 type Node struct {
 	shards    [numShards]shard
 	flushSize int
 	down      atomic.Bool
 
 	prefixQueries atomic.Int64
+
+	// Durability plumbing; zero on memory-only nodes.
+	dir    string
+	opts   DiskOptions
+	sp     *spiller
+	stopBG chan struct{}
+	bgWG   sync.WaitGroup
+	closed atomic.Bool
 }
+
+// durable reports whether the node is backed by a data directory.
+func (n *Node) durable() bool { return n.dir != "" }
 
 // DefaultFlushSize is the node-wide number of memtable entries that
 // triggers a flush into an SSTable.
@@ -162,6 +207,7 @@ func NewNode(flushSize int) *Node {
 		n.shards[i].mem = make(map[core.SensorID]*memSeries)
 		n.shards[i].runs = make(map[core.SensorID][]run)
 		n.shards[i].indexOK = true
+		n.shards[i].disk = &shardDisk{}
 	}
 	return n
 }
@@ -186,6 +232,68 @@ func (n *Node) SetDown(down bool) { n.down.Store(down) }
 // ErrNodeDown is returned by operations on a node marked down.
 var ErrNodeDown = fmt.Errorf("store: node is down")
 
+// ErrNodeClosed is returned by writes to a durable node after Close.
+var ErrNodeClosed = fmt.Errorf("store: node is closed")
+
+// ErrNodeReadOnly is returned by writes to a node opened read-only.
+var ErrNodeReadOnly = fmt.Errorf("store: node is read-only")
+
+// logDurable appends a WAL record for the mutation and, in sync-every
+// mode, makes it durable before the caller mutates the memtable.
+// Caller holds sh.mu exclusively. No-op on memory-only nodes.
+func (n *Node) logDurable(i int, encode func([]byte) []byte) error {
+	sh := &n.shards[i]
+	if !n.durable() {
+		return nil
+	}
+	if n.opts.ReadOnly {
+		return ErrNodeReadOnly
+	}
+	if sh.disk.wal == nil {
+		return ErrNodeClosed
+	}
+	if sh.disk.wal.isBroken() {
+		// Self-heal after a transient write/fsync failure: every
+		// record applied from the broken segment is still in the
+		// memtable, so parking the segment with the memtable's other
+		// source segments (the next flush's run file covers them, and
+		// until then recovery replays them) lets a fresh segment take
+		// over instead of wedging the shard until restart.
+		if err := n.rotateBrokenWALLocked(i); err != nil {
+			return err
+		}
+		log.Printf("store: shard %d rotated a broken WAL segment", i)
+	}
+	sh.disk.walBuf = encode(sh.disk.walBuf)
+	if err := sh.disk.wal.append(sh.disk.walBuf); err != nil {
+		return err
+	}
+	if n.opts.SyncInterval == 0 {
+		return sh.disk.wal.sync()
+	}
+	return nil
+}
+
+// rotateBrokenWALLocked retires the active (broken) segment into the
+// memtable's covered-segment set and opens a fresh one. Caller holds
+// the shard's mu exclusively.
+func (n *Node) rotateBrokenWALLocked(i int) error {
+	sh := &n.shards[i]
+	sh.disk.memSegs = append(sh.disk.memSegs, sh.disk.wal.path)
+	sh.disk.wal.close() // best effort; the synced prefix is already on disk
+	// The replacement gets a fresh sequence so its name cannot collide
+	// with the broken file, which stays behind until a flush's run
+	// file covers it; recovery replays both in sequence order.
+	sh.disk.nextSeq++
+	nw, err := createWAL(sh.disk.dir, sh.disk.nextSeq)
+	if err != nil {
+		sh.disk.wal = nil // fail closed; writes reject until reopen
+		return err
+	}
+	sh.disk.wal = nw
+	return nil
+}
+
 // Insert implements Backend. It is the per-message hot path, so it
 // avoids the slice round-trip through InsertBatch.
 func (n *Node) Insert(id core.SensorID, r core.Reading, ttl time.Duration) error {
@@ -196,8 +304,15 @@ func (n *Node) Insert(id core.SensorID, r core.Reading, ttl time.Duration) error
 	if ttl > 0 {
 		expire = time.Now().Add(ttl).UnixNano()
 	}
-	sh := n.shardOf(id)
+	i := shardIndex(id)
+	sh := &n.shards[i]
 	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := n.logDurable(i, func(buf []byte) []byte {
+		return encodeWALInsert1(buf, id, r, expire)
+	}); err != nil {
+		return err
+	}
 	s := sh.seriesFor(id)
 	if s.sorted && len(s.entries) > 0 && r.Timestamp < s.entries[len(s.entries)-1].ts {
 		s.sorted = false
@@ -206,9 +321,8 @@ func (n *Node) Insert(id core.SensorID, r core.Reading, ttl time.Duration) error
 	sh.memSize++
 	sh.inserts++
 	if sh.memSize >= n.flushSize {
-		sh.flushLocked()
+		return n.flushShardLocked(i)
 	}
-	sh.mu.Unlock()
 	return nil
 }
 
@@ -225,8 +339,24 @@ func (n *Node) InsertBatch(id core.SensorID, rs []core.Reading, ttl time.Duratio
 	if ttl > 0 {
 		expire = time.Now().Add(ttl).UnixNano()
 	}
-	sh := n.shardOf(id)
+	i := shardIndex(id)
+	sh := &n.shards[i]
 	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	// Batches are chunked so no record exceeds the replay-side bound
+	// (walMaxRecord) — an oversized record would be rejected at
+	// recovery and truncate every later record in the segment.
+	for off := 0; off < len(rs); off += walBatchChunk {
+		chunk := rs[off:min(off+walBatchChunk, len(rs))]
+		if err := n.logDurable(i, func(buf []byte) []byte {
+			return encodeWALInsert(buf, id, chunk, expire)
+		}); err != nil {
+			// Nothing was applied to the memtable: the write is not
+			// acknowledged (earlier chunks may replay after a crash,
+			// like any unacknowledged write in flight).
+			return err
+		}
+	}
 	s := sh.seriesFor(id)
 	for _, r := range rs {
 		if s.sorted && len(s.entries) > 0 && r.Timestamp < s.entries[len(s.entries)-1].ts {
@@ -237,25 +367,44 @@ func (n *Node) InsertBatch(id core.SensorID, rs []core.Reading, ttl time.Duratio
 	sh.memSize += len(rs)
 	sh.inserts += int64(len(rs))
 	if sh.memSize >= n.flushSize {
-		sh.flushLocked()
+		return n.flushShardLocked(i)
 	}
-	sh.mu.Unlock()
 	return nil
 }
 
-// Flush forces every shard's memtable into an SSTable.
-func (n *Node) Flush() {
+// Flush forces every shard's memtable into a sorted run. On durable
+// nodes the runs are additionally spilled to per-shard run files in the
+// background; the error reports WAL-rotation failures.
+func (n *Node) Flush() error {
+	var firstErr error
 	for i := range n.shards {
 		sh := &n.shards[i]
 		sh.mu.Lock()
-		sh.flushLocked()
+		if err := n.flushShardLocked(i); err != nil && firstErr == nil {
+			firstErr = err
+		}
 		sh.mu.Unlock()
 	}
+	return firstErr
 }
 
-func (sh *shard) flushLocked() {
+// flushShardLocked moves shard i's memtable into an immutable in-memory
+// run (immediately queryable) and, on durable nodes, hands the same
+// entry slices to the background spiller for the run file write while
+// rotating the WAL, so ingest never waits on run-file I/O. The closed
+// WAL segment — together with any segments replayed into this memtable
+// at Open — is deleted only once the spilled run file is durable.
+// Caller holds sh.mu exclusively.
+func (n *Node) flushShardLocked(i int) error {
+	sh := &n.shards[i]
 	if sh.memSize == 0 {
-		return
+		return nil
+	}
+	seq := sh.disk.nextSeq
+	sh.disk.nextSeq++
+	var spillSeries map[core.SensorID][]entry
+	if n.durable() {
+		spillSeries = make(map[core.SensorID][]entry, len(sh.mem))
 	}
 	for id, s := range sh.mem {
 		if len(s.entries) == 0 {
@@ -263,9 +412,14 @@ func (sh *shard) flushLocked() {
 		}
 		es := s.entries
 		if !s.sorted {
-			sort.Slice(es, func(i, j int) bool { return es[i].ts < es[j].ts })
+			// Stable: duplicate timestamps must keep insertion order
+			// so query-time dedup's last-wins picks the newest write.
+			sort.SliceStable(es, func(i, j int) bool { return es[i].ts < es[j].ts })
 		}
-		sh.runs[id] = append(sh.runs[id], run{es: es, min: es[0].ts, max: es[len(es)-1].ts})
+		sh.runs[id] = append(sh.runs[id], run{es: es, min: es[0].ts, max: es[len(es)-1].ts, seq: seq})
+		if spillSeries != nil {
+			spillSeries[id] = es
+		}
 		// The series object stays in the memtable with a fresh
 		// buffer of the same capacity: the SID set is unchanged
 		// (no index invalidation) and steady-state ingest never
@@ -275,6 +429,31 @@ func (sh *shard) flushLocked() {
 	}
 	sh.flushedSize += sh.memSize
 	sh.memSize = 0
+	if !n.durable() || sh.disk.wal == nil {
+		// Memory-only, read-only, or already closed: the in-memory
+		// run is all there is to do.
+		return nil
+	}
+	// Rotate the WAL: the closed segment plus any replayed segments
+	// cover exactly the data this flush spilled.
+	covered := append(sh.disk.memSegs, sh.disk.wal.path)
+	sh.disk.memSegs = nil
+	cerr := sh.disk.wal.close()
+	nw, err := createWAL(sh.disk.dir, sh.disk.nextSeq)
+	if err != nil {
+		// Fail the shard closed: with no segment to log to, further
+		// durable writes must be rejected (logDurable checks for a
+		// nil wal), not silently buffered into the closed file. No
+		// spill was enqueued, so the covered segments are never
+		// deleted and this flush stays recoverable from the WAL.
+		sh.disk.wal = nil
+		return err
+	}
+	sh.disk.wal = nw
+	tombs := sh.disk.tombs
+	sh.disk.tombs = nil
+	n.sp.enqueue(spillJob{shard: i, seq: seq, series: spillSeries, tombs: tombs, covered: covered})
+	return cerr
 }
 
 // Query implements Backend.
@@ -299,7 +478,9 @@ func (sh *shard) queryLocked(id core.SensorID, from, to, now int64) []core.Readi
 		mem = s.entries
 		if !s.sorted {
 			mem = append([]entry(nil), s.entries...)
-			sort.Slice(mem, func(i, j int) bool { return mem[i].ts < mem[j].ts })
+			// Stable for the same reason as the flush path: equal
+			// timestamps must stay in insertion order.
+			sort.SliceStable(mem, func(i, j int) bool { return mem[i].ts < mem[j].ts })
 		}
 	}
 	return mergeRuns(sh.runs[id], mem, from, to, now)
@@ -535,98 +716,153 @@ func (n *Node) QueryPrefix(prefix core.SensorID, depth int, from, to int64) (map
 	return out, nil
 }
 
-// DeleteBefore implements Backend.
+// DeleteBefore implements Backend. On durable nodes the delete is
+// WAL-logged and recorded as a tombstone carried by the next run file,
+// so it survives a crash even though older run files still hold the
+// deleted rows (recovery re-applies tombstones to older files).
 func (n *Node) DeleteBefore(id core.SensorID, cutoff int64) error {
 	if n.down.Load() {
 		return ErrNodeDown
 	}
-	sh := n.shardOf(id)
+	i := shardIndex(id)
+	sh := &n.shards[i]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if s, ok := sh.mem[id]; ok {
-		kept := s.entries[:0]
-		for _, e := range s.entries {
-			if e.ts >= cutoff {
-				kept = append(kept, e)
-			}
-		}
-		sh.memSize -= len(s.entries) - len(kept)
-		s.entries = kept
+	if err := n.logDurable(i, func(buf []byte) []byte {
+		return encodeWALDelete(buf, id, cutoff)
+	}); err != nil {
+		return err
 	}
-	if rs, ok := sh.runs[id]; ok {
-		kept := rs[:0]
-		for _, r := range rs {
-			// Runs are sorted: everything before the cutoff is a
-			// prefix, dropped by reslicing without copying.
-			lo := sort.Search(len(r.es), func(i int) bool { return r.es[i].ts >= cutoff })
-			sh.flushedSize -= lo
-			if lo < len(r.es) {
-				es := r.es[lo:]
-				kept = append(kept, run{es: es, min: es[0].ts, max: r.max})
-			}
+	if n.durable() {
+		if sh.disk.tombs == nil {
+			sh.disk.tombs = make(map[core.SensorID]int64)
 		}
-		if len(kept) == 0 {
-			delete(sh.runs, id)
-			sh.indexOK = false
-		} else {
-			sh.runs[id] = kept
+		if cutoff > sh.disk.tombs[id] {
+			sh.disk.tombs[id] = cutoff
 		}
 	}
+	// Invalidate in-flight copy-aside compactions: their input
+	// snapshot predates this delete.
+	sh.disk.delVer++
+	sh.cutMemLocked(id, cutoff)
+	sh.cutRunsLocked(id, cutoff, ^uint64(0))
 	return nil
+}
+
+// cutMemLocked drops memtable entries of id older than cutoff. Caller
+// holds mu exclusively.
+func (sh *shard) cutMemLocked(id core.SensorID, cutoff int64) {
+	s, ok := sh.mem[id]
+	if !ok {
+		return
+	}
+	kept := s.entries[:0]
+	for _, e := range s.entries {
+		if e.ts >= cutoff {
+			kept = append(kept, e)
+		}
+	}
+	sh.memSize -= len(s.entries) - len(kept)
+	s.entries = kept
+}
+
+// cutRunsLocked drops entries of id older than cutoff from runs with
+// seq < beforeSeq (recovery applies a tombstone only to runs that
+// predate it; live deletes pass the maximum). Caller holds mu
+// exclusively.
+func (sh *shard) cutRunsLocked(id core.SensorID, cutoff int64, beforeSeq uint64) {
+	rs, ok := sh.runs[id]
+	if !ok {
+		return
+	}
+	kept := rs[:0]
+	for _, r := range rs {
+		if r.seq >= beforeSeq {
+			kept = append(kept, r)
+			continue
+		}
+		// Runs are sorted: everything before the cutoff is a
+		// prefix, dropped by reslicing without copying.
+		lo := sort.Search(len(r.es), func(i int) bool { return r.es[i].ts >= cutoff })
+		sh.flushedSize -= lo
+		if lo < len(r.es) {
+			es := r.es[lo:]
+			kept = append(kept, run{es: es, min: es[0].ts, max: r.max, seq: r.seq})
+		}
+	}
+	if len(kept) == 0 {
+		delete(sh.runs, id)
+		sh.indexOK = false
+	} else {
+		sh.runs[id] = kept
+	}
 }
 
 // Compact merges each sensor's flushed runs into one and drops expired
 // entries. It corresponds to the compaction task of dcdbconfig (paper
-// §5.2).
+// §5.2). On durable nodes this is a full copy-aside merge of every run
+// file (queries and ingest proceed while the merged file is written);
+// incremental size-tiered merges additionally run continuously in the
+// background without being asked.
 func (n *Node) Compact() {
+	if n.durable() && !n.opts.ReadOnly {
+		// Wait for pending spills so the full window covers every
+		// flushed run; runs created by flushes racing past this point
+		// keep their own files and are picked up by the next merge.
+		n.sp.waitIdle()
+		for i := range n.shards {
+			sh := &n.shards[i]
+			sh.disk.cmu.Lock()
+			n.compactWindow(i, true)
+			sh.disk.cmu.Unlock()
+			n.retireIdleSeries(sh)
+		}
+		return
+	}
 	now := time.Now().UnixNano()
 	for i := range n.shards {
 		sh := &n.shards[i]
 		sh.mu.Lock()
 		if len(sh.runs) == 0 {
 			sh.mu.Unlock()
+			n.retireIdleSeries(sh)
 			continue
 		}
 		for id, rs := range sh.runs {
 			total := 0
-			for _, r := range rs {
+			parts := make([][]entry, len(rs))
+			for k, r := range rs {
 				total += len(r.es)
+				parts[k] = r.es
 			}
-			merged := make([]entry, 0, total)
-			for _, r := range rs {
-				for _, e := range r.es {
-					if e.expire != 0 && e.expire <= now {
-						continue
-					}
-					merged = append(merged, e)
-				}
-			}
-			// Stable: runs were concatenated oldest-first, so equal
-			// timestamps keep the newest write last and query-time
-			// dedup still prefers it.
-			if !sort.SliceIsSorted(merged, func(i, j int) bool { return merged[i].ts < merged[j].ts }) {
-				sort.SliceStable(merged, func(i, j int) bool { return merged[i].ts < merged[j].ts })
-			}
+			merged := mergeParts(parts, now)
 			sh.flushedSize += len(merged) - total
 			if len(merged) == 0 {
 				delete(sh.runs, id)
 			} else {
-				sh.runs[id] = []run{{es: merged, min: merged[0].ts, max: merged[len(merged)-1].ts}}
+				sh.runs[id] = []run{{es: merged, min: merged[0].ts, max: merged[len(merged)-1].ts, seq: rs[len(rs)-1].seq}}
 			}
 		}
-		// Flush keeps series objects in the memtable to reuse their
-		// buffers; compaction is where idle ones are retired, so
-		// expired-only sensors really disappear and dead sensors
-		// stop pinning capacity.
-		for id, s := range sh.mem {
-			if len(s.entries) == 0 {
-				delete(sh.mem, id)
-			}
-		}
-		sh.lastID, sh.last = core.SensorID{}, nil
 		sh.indexOK = false // expired-only sensors disappear
 		sh.mu.Unlock()
+		n.retireIdleSeries(sh)
 	}
+}
+
+// retireIdleSeries drops memtable series with no buffered entries.
+// Flush keeps series objects in the memtable to reuse their buffers;
+// compaction is where idle ones are retired, so expired-only sensors
+// really disappear and dead sensors stop pinning capacity.
+func (n *Node) retireIdleSeries(sh *shard) {
+	sh.mu.Lock()
+	for id, s := range sh.mem {
+		if len(s.entries) == 0 {
+			delete(sh.mem, id)
+			sh.indexOK = false
+		}
+	}
+	sh.lastID, sh.last = core.SensorID{}, nil
+	sh.mu.Unlock()
 }
 
 // Stats reports cumulative insert/query counts and the resident entry
@@ -654,5 +890,66 @@ func (n *Node) SensorIDs() []core.SensorID {
 	return out
 }
 
-// Close implements Backend.
-func (n *Node) Close() error { return nil }
+// Close implements Backend. On durable nodes it stops the background
+// compactor and WAL syncer, flushes the memtable, waits for every
+// spill to reach disk, and closes the WAL segments; further writes
+// return ErrNodeClosed. Memory-only nodes close trivially.
+func (n *Node) Close() error {
+	if !n.durable() {
+		return nil
+	}
+	if n.closed.Swap(true) {
+		return nil
+	}
+	// stopBG is nil when Open failed during shard recovery; there is
+	// nothing running, but the WALs opened so far still need closing.
+	if n.stopBG != nil {
+		close(n.stopBG)
+		n.bgWG.Wait()
+	}
+	if n.opts.ReadOnly {
+		return nil // nothing on disk to settle, and no WALs to close
+	}
+	var firstErr error
+	if n.sp != nil {
+		firstErr = n.Flush()
+		if err := n.sp.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for i := range n.shards {
+		sh := &n.shards[i]
+		sh.mu.Lock()
+		w := sh.disk.wal
+		sh.disk.wal = nil
+		sh.mu.Unlock()
+		if w != nil {
+			if err := w.close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// Sync forces every shard's WAL to disk, making all writes accepted so
+// far durable regardless of the configured SyncInterval.
+func (n *Node) Sync() error {
+	if !n.durable() {
+		return nil
+	}
+	var firstErr error
+	for i := range n.shards {
+		sh := &n.shards[i]
+		sh.mu.RLock()
+		w := sh.disk.wal
+		sh.mu.RUnlock()
+		if w == nil {
+			continue
+		}
+		if err := w.sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

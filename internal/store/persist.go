@@ -36,7 +36,10 @@ func (n *Node) Save(w io.Writer) error {
 	for i := range n.shards {
 		sh := &n.shards[i]
 		sh.mu.Lock()
-		sh.flushLocked()
+		if err := n.flushShardLocked(i); err != nil {
+			sh.mu.Unlock()
+			return err
+		}
 		for id, rs := range sh.runs {
 			for _, r := range rs {
 				merged[id] = append(merged[id], r.es...)
@@ -87,8 +90,12 @@ func (n *Node) Save(w io.Writer) error {
 }
 
 // Load replaces the node's contents with a snapshot previously written
-// by Save.
+// by Save. It is the legacy tool-side restore path and refuses durable
+// nodes, whose contents are owned by their data directory.
 func (n *Node) Load(r io.Reader) error {
+	if n.durable() {
+		return fmt.Errorf("store: cannot Load a snapshot into a durable node (%s)", n.dir)
+	}
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(snapMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {

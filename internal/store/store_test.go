@@ -10,6 +10,7 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+	"unsafe"
 
 	"dcdb/internal/core"
 )
@@ -676,5 +677,14 @@ func TestQuerySortedQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestShardSizeCacheAligned(t *testing.T) {
+	// Shards live in a contiguous array; a size that is not a multiple
+	// of the cache line puts one shard's hot mutex/counters on the same
+	// line as its neighbour's, resurrecting the contention PR 1 removed.
+	if sz := unsafe.Sizeof(shard{}); sz%64 != 0 {
+		t.Fatalf("sizeof(shard) = %d, not a 64-byte multiple — adjust the pad", sz)
 	}
 }

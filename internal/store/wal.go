@@ -1,0 +1,352 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"dcdb/internal/core"
+)
+
+// Write-ahead log: one segment file per shard memtable generation
+// (`shard-<i>/wal-<seq>.log`). Every mutation is appended as a CRC32-
+// framed record before it touches the memtable, so a crash can lose at
+// most the writes since the last fsync (none, with SyncInterval 0).
+// At a flush the segment is closed and a fresh one opened; the closed
+// segment is deleted only once the run file written from that memtable
+// is durable. Recovery replays every surviving segment in sequence
+// order and stops at the first torn or corrupt record, truncating the
+// tail so a half-written record is never served.
+//
+// Record framing (integers big-endian):
+//
+//	u32 payloadLen | u32 crc32(payload) | payload
+//
+// Payloads:
+//
+//	type 1 (insert): u8 1 | sidHi u64 | sidLo u64 | count u32
+//	                 | count × (ts i64 | val f64 | expire i64)
+//	type 2 (delete): u8 2 | sidHi u64 | sidLo u64 | cutoff i64
+
+const (
+	walRecInsert = 1
+	walRecDelete = 2
+
+	// walMaxRecord bounds a record's payload so a corrupt length field
+	// cannot drive a huge allocation during replay.
+	walMaxRecord = 1 << 26
+
+	// walBatchChunk caps the readings per insert record, keeping every
+	// record the write path can produce far below walMaxRecord
+	// (100k × 24 B + header ≈ 2.4 MB).
+	walBatchChunk = 100_000
+)
+
+// walSink is the sink a WAL segment writes through. It is a seam for
+// fault injection: recovery tests swap openWALSink for one that fails
+// or tears writes mid-record.
+type walSink interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// openWALSink creates the segment file. Overridable in tests.
+var openWALSink = func(path string) (walSink, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// wal is one active segment. The shard lock serialises append/rotate;
+// mu additionally guards the buffered writer against the background
+// syncer, and syncMu serialises fsyncs without blocking appends.
+type wal struct {
+	mu     sync.Mutex
+	syncMu sync.Mutex
+	sink   walSink
+	bw     *bufio.Writer
+	path   string
+	seq    uint64
+	broken bool // a write failed; the segment is no longer trusted
+}
+
+func createWAL(dir string, seq uint64) (*wal, error) {
+	path := filepath.Join(dir, fmt.Sprintf("wal-%016x.log", seq))
+	sink, err := openWALSink(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: creating WAL segment: %w", err)
+	}
+	return &wal{sink: sink, bw: bufio.NewWriter(sink), path: path, seq: seq}, nil
+}
+
+func (w *wal) lock()   { w.mu.Lock() }
+func (w *wal) unlock() { w.mu.Unlock() }
+
+// isBroken reports whether a write or sync on the segment has failed.
+func (w *wal) isBroken() bool {
+	w.lock()
+	defer w.unlock()
+	return w.broken
+}
+
+// append frames and buffers one record payload. The write is durable
+// only after sync.
+func (w *wal) append(payload []byte) error {
+	w.lock()
+	defer w.unlock()
+	if w.broken {
+		return fmt.Errorf("store: WAL segment %s is broken", w.path)
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		w.broken = true
+		return err
+	}
+	if _, err := w.bw.Write(payload); err != nil {
+		w.broken = true
+		return err
+	}
+	return nil
+}
+
+// sync flushes buffered records and fsyncs the segment. A write is
+// acknowledged as durable only once sync returns. The buffer flush
+// happens under mu, but the fsync itself runs outside it (serialised
+// by syncMu) so a background sync tick never stalls the shard's
+// appends — and therefore its inserts and queries — for the fsync
+// duration. Syncing a segment a concurrent flush already rotated out
+// succeeds trivially: close flushed and fsynced everything, so the
+// data is durable and the stale handle is not an error.
+func (w *wal) sync() error {
+	w.lock()
+	if w.broken {
+		w.unlock()
+		return fmt.Errorf("store: WAL segment %s is broken", w.path)
+	}
+	if err := w.bw.Flush(); err != nil {
+		if errors.Is(err, os.ErrClosed) {
+			w.unlock()
+			return nil
+		}
+		w.broken = true
+		w.unlock()
+		return err
+	}
+	w.unlock()
+
+	w.syncMu.Lock()
+	err := w.sink.Sync()
+	w.syncMu.Unlock()
+	if err != nil {
+		if errors.Is(err, os.ErrClosed) {
+			return nil
+		}
+		w.lock()
+		w.broken = true
+		w.unlock()
+		return err
+	}
+	return nil
+}
+
+// close flushes, fsyncs and closes the segment file. The file stays on
+// disk until the flush that consumed it is durable.
+func (w *wal) close() error {
+	w.lock()
+	defer w.unlock()
+	ferr := w.bw.Flush()
+	serr := w.sink.Sync()
+	cerr := w.sink.Close()
+	if ferr != nil {
+		return ferr
+	}
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// encodeWALInsert builds a type-1 record payload, reusing buf.
+func encodeWALInsert(buf []byte, id core.SensorID, rs []core.Reading, expire int64) []byte {
+	need := 1 + 16 + 4 + 24*len(rs)
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+	buf[0] = walRecInsert
+	binary.BigEndian.PutUint64(buf[1:], id.Hi)
+	binary.BigEndian.PutUint64(buf[9:], id.Lo)
+	binary.BigEndian.PutUint32(buf[17:], uint32(len(rs)))
+	off := 21
+	for _, r := range rs {
+		binary.BigEndian.PutUint64(buf[off:], uint64(r.Timestamp))
+		binary.BigEndian.PutUint64(buf[off+8:], math.Float64bits(r.Value))
+		binary.BigEndian.PutUint64(buf[off+16:], uint64(expire))
+		off += 24
+	}
+	return buf
+}
+
+// encodeWALInsert1 is encodeWALInsert for the single-reading hot path,
+// avoiding a slice allocation per insert.
+func encodeWALInsert1(buf []byte, id core.SensorID, r core.Reading, expire int64) []byte {
+	const need = 1 + 16 + 4 + 24
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+	buf[0] = walRecInsert
+	binary.BigEndian.PutUint64(buf[1:], id.Hi)
+	binary.BigEndian.PutUint64(buf[9:], id.Lo)
+	binary.BigEndian.PutUint32(buf[17:], 1)
+	binary.BigEndian.PutUint64(buf[21:], uint64(r.Timestamp))
+	binary.BigEndian.PutUint64(buf[29:], math.Float64bits(r.Value))
+	binary.BigEndian.PutUint64(buf[37:], uint64(expire))
+	return buf
+}
+
+// encodeWALDelete builds a type-2 record payload, reusing buf.
+func encodeWALDelete(buf []byte, id core.SensorID, cutoff int64) []byte {
+	const need = 1 + 16 + 8
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+	buf[0] = walRecDelete
+	binary.BigEndian.PutUint64(buf[1:], id.Hi)
+	binary.BigEndian.PutUint64(buf[9:], id.Lo)
+	binary.BigEndian.PutUint64(buf[17:], uint64(cutoff))
+	return buf
+}
+
+// walOp is one replayed mutation.
+type walOp struct {
+	del     bool
+	id      core.SensorID
+	cutoff  int64   // delete only
+	entries []entry // insert only
+}
+
+// decodeWALRecords replays a segment's byte content. It stops silently
+// at the first torn, truncated or corrupt record — the tail beyond it
+// was never acknowledged — and returns how many bytes formed valid
+// records so callers can truncate the file there.
+func decodeWALRecords(data []byte) (ops []walOp, valid int) {
+	off := 0
+	for {
+		if len(data)-off < 8 {
+			return ops, off
+		}
+		plen := int(binary.BigEndian.Uint32(data[off:]))
+		crc := binary.BigEndian.Uint32(data[off+4:])
+		if plen < 1 || plen > walMaxRecord || len(data)-off-8 < plen {
+			return ops, off
+		}
+		payload := data[off+8 : off+8+plen]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return ops, off
+		}
+		op, ok := decodeWALPayload(payload)
+		if !ok {
+			return ops, off
+		}
+		ops = append(ops, op)
+		off += 8 + plen
+	}
+}
+
+func decodeWALPayload(p []byte) (walOp, bool) {
+	switch p[0] {
+	case walRecInsert:
+		if len(p) < 21 {
+			return walOp{}, false
+		}
+		id := core.SensorID{Hi: binary.BigEndian.Uint64(p[1:]), Lo: binary.BigEndian.Uint64(p[9:])}
+		count := int(binary.BigEndian.Uint32(p[17:]))
+		if count < 0 || len(p)-21 != 24*count {
+			return walOp{}, false
+		}
+		es := make([]entry, count)
+		off := 21
+		for i := range es {
+			es[i] = entry{
+				ts:     int64(binary.BigEndian.Uint64(p[off:])),
+				val:    math.Float64frombits(binary.BigEndian.Uint64(p[off+8:])),
+				expire: int64(binary.BigEndian.Uint64(p[off+16:])),
+			}
+			off += 24
+		}
+		return walOp{id: id, entries: es}, true
+	case walRecDelete:
+		if len(p) != 25 {
+			return walOp{}, false
+		}
+		return walOp{
+			del:    true,
+			id:     core.SensorID{Hi: binary.BigEndian.Uint64(p[1:]), Lo: binary.BigEndian.Uint64(p[9:])},
+			cutoff: int64(binary.BigEndian.Uint64(p[17:])),
+		}, true
+	}
+	return walOp{}, false
+}
+
+// walSegSeq extracts the sequence number from a segment file name, or
+// false if the name is not a WAL segment.
+func walSegSeq(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// replaySegment reads one segment from disk. With truncate set, a torn
+// tail is cut off in place so the next open does not re-parse garbage;
+// read-only recovery leaves the file as the crash left it.
+func replaySegment(path string, truncate bool) ([]walOp, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ops, valid := decodeWALRecords(data)
+	if truncate && valid < len(data) {
+		// Failure to truncate is not fatal — replay will stop at the
+		// same offset next time.
+		_ = os.Truncate(path, int64(valid))
+	}
+	return ops, nil
+}
+
+// findWALSegments lists a shard directory's segments in sequence order.
+func findWALSegments(dir string) ([]walSegRef, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []walSegRef
+	for _, de := range des {
+		if seq, ok := walSegSeq(de.Name()); ok {
+			segs = append(segs, walSegRef{seq: seq, path: filepath.Join(dir, de.Name())})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	return segs, nil
+}
+
+type walSegRef struct {
+	seq  uint64
+	path string
+}

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"dcdb/internal/collectagent"
 	"dcdb/internal/core"
 	"dcdb/internal/libdcdb"
 	"dcdb/internal/store"
@@ -110,4 +111,66 @@ func TestOpenMultiNodeSnapshots(t *testing.T) {
 
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestOpenDataDirectory(t *testing.T) {
+	dir := t.TempDir()
+	// Simulate an agent that wrote a durable two-node cluster and then
+	// crashed: node data recovered from run files and WALs.
+	c, err := collectagent.OpenBackend(dir, 2, 1, store.HashPartitioner{}, store.DiskOptions{CompactInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapper := core.NewTopicMapper()
+	topics := []string{"/dc/r1/power", "/dc/r2/power"}
+	for i, tp := range topics {
+		id, _ := mapper.Map(tp)
+		for ts := int64(0); ts < 5; ts++ {
+			if err := c.Insert(id, core.Reading{Timestamp: ts, Value: float64(i)}, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := collectagent.SaveTopics(dir, mapper); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	conn, node, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(node.SensorIDs()); got != 2 {
+		t.Fatalf("merged %d sensors, want 2", got)
+	}
+	for _, tp := range topics {
+		rs, err := conn.Query(tp, 0, 1<<62)
+		if err != nil || len(rs) != 5 {
+			t.Fatalf("topic %q: %d readings, %v", tp, len(rs), err)
+		}
+	}
+
+	// Tool-side edits flow back into the durable layout.
+	if err := conn.PublishSensor(core.Metadata{Topic: "/dc/r1/virt", Virtual: true, Expression: "</dc/r1/power> * 2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(conn, node, dir); err != nil {
+		t.Fatal(err)
+	}
+	conn2, node2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(node2.SensorIDs()); got != 2 {
+		t.Fatalf("re-opened data dir has %d sensors", got)
+	}
+	if _, ok := conn2.Metadata("/dc/r1/virt"); !ok {
+		t.Error("virtual sensor metadata lost in data-dir save")
+	}
+	// Save collapsed the cluster into node0.
+	if _, err := os.Stat(collectagent.NodeDir(dir, 1)); !os.IsNotExist(err) {
+		t.Errorf("stale node1 directory survived Save: %v", err)
+	}
 }
