@@ -28,6 +28,7 @@ import (
 	"dcdb/internal/mqtt"
 	"dcdb/internal/plugins/tester"
 	"dcdb/internal/pusher"
+	"dcdb/internal/rpc"
 	"dcdb/internal/sim/arch"
 	"dcdb/internal/store"
 	"dcdb/internal/vsensor"
@@ -410,6 +411,194 @@ func BenchmarkCacheStoreParallel(b *testing.B) {
 func BenchmarkClusterInsertReplicated(b *testing.B) {
 	nodes := []*store.Node{store.NewNode(0), store.NewNode(0), store.NewNode(0)}
 	c, err := store.NewCluster(nodes, nil, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var worker int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := atomic.AddInt64(&worker, 1)
+		id := core.SensorID{Hi: uint64(w) << 32, Lo: uint64(w)}
+		batch := make([]core.Reading, 64)
+		ts := int64(0)
+		for pb.Next() {
+			for i := range batch {
+				ts++
+				batch[i] = core.Reading{Timestamp: ts, Value: 1}
+			}
+			if err := c.InsertBatch(id, batch, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.SetBytes(64 * 16)
+}
+
+// --- Durable-ingest benchmarks (WAL modes) ---
+
+// BenchmarkDurableInsertSyncEvery measures sync-every ingest (every
+// insert fsynced before it returns) with one writer — the per-fsync
+// floor of the strictest durability mode.
+func BenchmarkDurableInsertSyncEvery(b *testing.B) {
+	n := store.NewNode(0)
+	if err := n.OpenOptions(b.TempDir(), store.DiskOptions{SyncInterval: 0, CompactInterval: -1}); err != nil {
+		b.Fatal(err)
+	}
+	defer n.Close()
+	id := core.SensorID{Hi: 42, Lo: 7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n.Insert(id, core.Reading{Timestamp: int64(i), Value: 1}, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDurableInsertSyncEveryParallel measures sync-every ingest
+// under concurrent writers. WAL group commit batches the writers into
+// one leader-elected fsync, so throughput should rise with writer
+// count instead of serialising one fsync per insert under the shard
+// lock.
+func BenchmarkDurableInsertSyncEveryParallel(b *testing.B) {
+	n := store.NewNode(0)
+	if err := n.OpenOptions(b.TempDir(), store.DiskOptions{SyncInterval: 0, CompactInterval: -1}); err != nil {
+		b.Fatal(err)
+	}
+	defer n.Close()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// All workers share one sensor (one shard) so the group commit
+		// — not mere shard striping — is what's measured.
+		id := core.SensorID{Hi: 42, Lo: 7}
+		ts := int64(0)
+		for pb.Next() {
+			ts++
+			if err := n.Insert(id, core.Reading{Timestamp: ts, Value: 1}, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDurableInsertBatchedWAL measures ingest with fsyncs batched
+// at a 50ms cadence (the agent default): the WAL append is on the hot
+// path, the fsync is not.
+func BenchmarkDurableInsertBatchedWAL(b *testing.B) {
+	n := store.NewNode(0)
+	if err := n.OpenOptions(b.TempDir(), store.DiskOptions{SyncInterval: 50 * time.Millisecond, CompactInterval: -1}); err != nil {
+		b.Fatal(err)
+	}
+	defer n.Close()
+	var worker int64
+	b.RunParallel(func(pb *testing.PB) {
+		w := atomic.AddInt64(&worker, 1)
+		id := core.SensorID{Hi: uint64(w) << 32, Lo: uint64(w)}
+		ts := int64(0)
+		for pb.Next() {
+			ts++
+			if err := n.Insert(id, core.Reading{Timestamp: ts, Value: 1}, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- RPC-path benchmarks (loopback TCP vs in-process) ---
+
+// rpcPair serves a memory node over loopback and returns a client.
+func rpcPair(b *testing.B) (*store.Node, *rpc.Client) {
+	b.Helper()
+	n := store.NewNode(0)
+	srv := rpc.NewServer(n, true)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	cl := rpc.NewClient(srv.Addr(), rpc.ClientOptions{})
+	b.Cleanup(func() { cl.Close() })
+	return n, cl
+}
+
+// BenchmarkRPCInsertLoopback measures one remote insert round trip —
+// the per-reading cost a Collect Agent pays to reach a dcdbnode
+// process, against BenchmarkStoreInsert's in-process baseline.
+func BenchmarkRPCInsertLoopback(b *testing.B) {
+	_, cl := rpcPair(b)
+	id := core.SensorID{Hi: 42, Lo: 7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.Insert(id, core.Reading{Timestamp: int64(i), Value: 1}, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRPCInsertLoopbackParallel measures pipelined remote inserts
+// from concurrent writers sharing the pooled connections.
+func BenchmarkRPCInsertLoopbackParallel(b *testing.B) {
+	_, cl := rpcPair(b)
+	var worker int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := atomic.AddInt64(&worker, 1)
+		id := core.SensorID{Hi: uint64(w) << 32, Lo: uint64(w)}
+		ts := int64(0)
+		for pb.Next() {
+			ts++
+			if err := cl.Insert(id, core.Reading{Timestamp: ts, Value: 1}, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRPCInsertBatchLoopback measures a 64-reading batch per round
+// trip (burst payloads amortise the network frame).
+func BenchmarkRPCInsertBatchLoopback(b *testing.B) {
+	_, cl := rpcPair(b)
+	id := core.SensorID{Hi: 42, Lo: 7}
+	batch := make([]core.Reading, 64)
+	ts := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range batch {
+			ts++
+			batch[j] = core.Reading{Timestamp: ts, Value: 1}
+		}
+		if err := cl.InsertBatch(id, batch, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(64 * 16)
+}
+
+// BenchmarkRPCQueryLoopback measures a 1001-reading range read over
+// RPC, against BenchmarkStoreQuery's in-process baseline.
+func BenchmarkRPCQueryLoopback(b *testing.B) {
+	n, cl := rpcPair(b)
+	id := core.SensorID{Hi: 1, Lo: 1}
+	for i := int64(0); i < 20000; i++ {
+		n.Insert(id, core.Reading{Timestamp: i, Value: float64(i)}, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := cl.Query(id, 5000, 6000)
+		if err != nil || len(rs) != 1001 {
+			b.Fatalf("query: %d, %v", len(rs), err)
+		}
+	}
+}
+
+// BenchmarkClusterInsertRPCReplicated measures replicated cluster
+// writes where every replica is behind loopback RPC — the remote
+// counterpart of BenchmarkClusterInsertReplicated.
+func BenchmarkClusterInsertRPCReplicated(b *testing.B) {
+	var backends []store.NodeBackend
+	for i := 0; i < 3; i++ {
+		_, cl := rpcPair(b)
+		backends = append(backends, cl)
+	}
+	c, err := store.NewClusterOptions(backends, store.ClusterOptions{Replication: 3})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -23,6 +23,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -31,18 +32,38 @@ import (
 	"dcdb/internal/collectagent"
 	"dcdb/internal/core"
 	"dcdb/internal/rest"
+	"dcdb/internal/rpc"
 	"dcdb/internal/store"
 )
+
+// parseNodes interprets the -nodes flag: a bare integer selects an
+// embedded cluster of that many nodes; anything else is a
+// comma-separated host:port list of dcdbnode processes.
+func parseNodes(s string) (count int, addrs []string, desc string) {
+	if n, err := strconv.Atoi(strings.TrimSpace(s)); err == nil {
+		if n < 1 {
+			n = 1
+		}
+		return n, nil, fmt.Sprintf("%d embedded storage node(s)", n)
+	}
+	addrs = rpc.SplitAddrList(s)
+	if len(addrs) == 0 {
+		log.Fatalf("collectagent: -nodes %q is neither a count nor an address list", s)
+	}
+	return 0, addrs, fmt.Sprintf("%d RPC storage node(s) at %s", len(addrs), strings.Join(addrs, ","))
+}
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:1883", "MQTT listen address")
 	restAddr := flag.String("rest", "", "RESTful API listen address (empty = disabled)")
-	nodes := flag.Int("nodes", 1, "storage backend nodes in the cluster")
+	nodes := flag.String("nodes", "1", "storage backend: a node count for the embedded cluster, or a comma-separated host:port list of dcdbnode processes")
 	replication := flag.Int("replication", 1, "copies of each row")
 	partitioner := flag.String("partitioner", "hierarchical", "hierarchical or hash")
 	depth := flag.Int("depth", 4, "hierarchy depth of the partition key")
-	dataDir := flag.String("data", "", "durable data directory (run files + WAL; empty = not durable)")
-	walSync := flag.Duration("wal-sync", 50*time.Millisecond, "WAL fsync batching interval; 0 syncs every write")
+	writeCLFlag := flag.String("write-consistency", "one", "replicas that must ack a write: one or quorum")
+	readCLFlag := flag.String("read-consistency", "one", "replicas a read must reach: one or quorum")
+	dataDir := flag.String("data", "", "durable data directory (embedded: run files + WAL per node; remote: topic map + hinted-handoff queue; empty = not durable)")
+	walSync := flag.Duration("wal-sync", 50*time.Millisecond, "WAL fsync batching interval; 0 syncs every write (embedded cluster only)")
 	snapshot := flag.String("snapshot", "", "legacy snapshot file prefix (empty = no snapshots)")
 	snapEvery := flag.Duration("snapshot-interval", 5*time.Minute, "periodic snapshot / topic-map save interval")
 	flag.Parse()
@@ -60,25 +81,50 @@ func main() {
 	default:
 		log.Fatalf("unknown partitioner %q", *partitioner)
 	}
+	writeCL, ok := store.ParseConsistency(*writeCLFlag)
+	if !ok {
+		log.Fatalf("unknown write consistency %q", *writeCLFlag)
+	}
+	readCL, ok := store.ParseConsistency(*readCLFlag)
+	if !ok {
+		log.Fatalf("unknown read consistency %q", *readCLFlag)
+	}
+	co := store.ClusterOptions{
+		Partitioner:      part,
+		Replication:      *replication,
+		WriteConsistency: writeCL,
+		ReadConsistency:  readCL,
+	}
+
+	// An integer -nodes runs the embedded cluster; an address list
+	// connects to that many dcdbnode processes over RPC.
+	nodeCount, remoteAddrs, nodeDesc := parseNodes(*nodes)
 
 	var cluster *store.Cluster
-	if *dataDir != "" {
-		var err error
-		cluster, err = collectagent.OpenBackend(*dataDir, *nodes, *replication,
-			part, store.DiskOptions{SyncInterval: *walSync})
-		if err != nil {
-			log.Fatal(err)
+	var err error
+	switch {
+	case remoteAddrs != nil:
+		if *dataDir != "" {
+			// The data directory holds no node data in remote mode —
+			// the topic map and the hinted-handoff queue live there.
+			if mkerr := os.MkdirAll(*dataDir, 0o755); mkerr != nil {
+				log.Fatal(mkerr)
+			}
+			co.HintDir = collectagent.HintsDir(*dataDir)
 		}
-	} else {
-		ns := make([]*store.Node, *nodes)
-		for i := range ns {
-			ns[i] = store.NewNode(0)
+		cluster, err = collectagent.OpenRemoteBackend(remoteAddrs, co, rpc.ClientOptions{})
+	case *dataDir != "":
+		cluster, err = collectagent.OpenBackendOptions(*dataDir, nodeCount,
+			store.DiskOptions{SyncInterval: *walSync}, co)
+	default:
+		backends := make([]store.NodeBackend, nodeCount)
+		for i := range backends {
+			backends[i] = store.NewNode(0)
 		}
-		var err error
-		cluster, err = store.NewCluster(ns, part, *replication)
-		if err != nil {
-			log.Fatal(err)
-		}
+		cluster, err = store.NewClusterOptions(backends, co)
+	}
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	var agent *collectagent.Agent
@@ -118,8 +164,8 @@ func main() {
 	if *dataDir != "" {
 		mode = "durable at " + *dataDir
 	}
-	log.Printf("collectagent: MQTT broker on %s, %d storage node(s), %s partitioner, %s",
-		agent.Addr(), *nodes, part.Name(), mode)
+	log.Printf("collectagent: MQTT broker on %s, %s, %s partitioner, write=%s read=%s, %s",
+		agent.Addr(), nodeDesc, part.Name(), writeCL, readCL, mode)
 
 	if *restAddr != "" {
 		api := rest.NewAgentAPI(agent)

@@ -1,7 +1,10 @@
 // Command dcdbquery retrieves sensor data for a specified time period
 // in CSV format, optionally applying analysis operations such as
 // integrals and derivatives (paper §5.2). It operates on the snapshot
-// files persisted by a Collect Agent.
+// files or data directory persisted by a Collect Agent — or, with
+// -nodes, queries a running multi-process storage cluster live over
+// RPC (the topic map still comes from -db, which names the agent's
+// data directory or snapshot prefix).
 //
 // Usage:
 //
@@ -9,6 +12,8 @@
 //	          -to 2019-06-02T00:00:00Z [-op integral|derivative|summary] \
 //	          /topic/one /topic/two
 //	dcdbquery -db ... -list [/subtree]
+//	dcdbquery -db ... -nodes 127.0.0.1:4441,127.0.0.1:4442 \
+//	          -replication 2 -consistency quorum /topic/one
 package main
 
 import (
@@ -19,18 +24,53 @@ import (
 	"time"
 
 	"dcdb/internal/libdcdb"
+	"dcdb/internal/rpc"
+	"dcdb/internal/store"
 	"dcdb/internal/tooldb"
 )
 
 func main() {
-	db := flag.String("db", "dcdb", "snapshot file prefix")
+	db := flag.String("db", "dcdb", "snapshot file prefix or agent data directory")
+	nodesFlag := flag.String("nodes", "", "comma-separated dcdbnode addresses: query the live cluster instead of files")
+	replication := flag.Int("replication", 1, "cluster replication factor (with -nodes; must match the agent)")
+	partitioner := flag.String("partitioner", "hierarchical", "hierarchical or hash (with -nodes; must match the agent)")
+	depth := flag.Int("depth", 4, "hierarchy depth of the partition key (with -nodes)")
+	consistency := flag.String("consistency", "one", "read consistency with -nodes: one or quorum")
 	fromStr := flag.String("from", "", "period start (RFC3339; empty = beginning)")
 	toStr := flag.String("to", "", "period end (RFC3339; empty = now)")
 	op := flag.String("op", "", "analysis operation: integral, derivative or summary")
 	list := flag.Bool("list", false, "list sensors below the given path instead of querying")
 	flag.Parse()
 
-	conn, _, err := tooldb.Open(*db)
+	var conn *libdcdb.Connection
+	var err error
+	if *nodesFlag != "" {
+		var part store.Partitioner
+		switch *partitioner {
+		case "hierarchical":
+			part = store.HierarchicalPartitioner{Depth: *depth}
+		case "hash":
+			part = store.HashPartitioner{}
+		default:
+			log.Fatalf("dcdbquery: unknown partitioner %q", *partitioner)
+		}
+		readCL, ok := store.ParseConsistency(*consistency)
+		if !ok {
+			log.Fatalf("dcdbquery: unknown consistency %q", *consistency)
+		}
+		var cluster *store.Cluster
+		conn, cluster, err = tooldb.OpenRemote(*db, tooldb.RemoteOptions{
+			Addrs:           rpc.SplitAddrList(*nodesFlag),
+			Replication:     *replication,
+			Partitioner:     part,
+			ReadConsistency: readCL,
+		})
+		if err == nil {
+			defer cluster.Close()
+		}
+	} else {
+		conn, _, err = tooldb.Open(*db)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package collectagent
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"dcdb/internal/mqtt"
 	"dcdb/internal/plugins/tester"
 	"dcdb/internal/pusher"
+	"dcdb/internal/rpc"
 	"dcdb/internal/store"
 )
 
@@ -351,5 +353,88 @@ func TestOnNewTopicVetoDropsMessage(t *testing.T) {
 	a.Handle("/veto/me", core.EncodeReadings([]core.Reading{{Timestamp: 3, Value: 4}}))
 	if st := a.Stats(); st.Readings != 2 {
 		t.Fatalf("post-recovery stats = %+v", st)
+	}
+}
+
+func TestOpenBackendOptionsHintedHandoffAcrossAgentRestart(t *testing.T) {
+	// A durable embedded cluster with consistency and hinted handoff
+	// configured through the agent wiring: a replica that misses a
+	// write while down receives it after it comes back, even across a
+	// cluster close/reopen (the hints live under <dir>/hints).
+	dir := t.TempDir()
+	co := store.ClusterOptions{
+		Partitioner: store.HashPartitioner{}, Replication: 2,
+		WriteConsistency:   store.ConsistencyOne,
+		HintReplayInterval: -1,
+	}
+	c, err := OpenBackendOptions(dir, 3, store.DiskOptions{CompactInterval: -1}, co)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := core.SensorID{Hi: 5, Lo: 5}
+	primary := c.Partitioner().NodeFor(id, 3)
+	backup := (primary + 1) % 3
+	c.Nodes()[backup].SetDown(true)
+	if err := c.Insert(id, core.Reading{Timestamp: 1, Value: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if queued, _, _ := c.HintStats(); queued != 1 {
+		t.Fatalf("queued %d hints, want 1", queued)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := OpenBackendOptions(dir, 3, store.DiskOptions{CompactInterval: -1}, co)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := c2.ReplayHints(); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := c2.Nodes()[backup].Query(id, 0, 1<<60)
+	if err != nil || len(rs) != 1 {
+		t.Fatalf("backup replica after restart+replay: %v, %v", rs, err)
+	}
+}
+
+func TestOpenBackendOptionsDisablesHints(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenBackendOptions(dir, 1, store.DiskOptions{CompactInterval: -1},
+		store.ClusterOptions{HintDir: "-"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, statErr := os.Stat(HintsDir(dir)); !os.IsNotExist(statErr) {
+		t.Fatal("hint directory created despite HintDir \"-\"")
+	}
+}
+
+func TestOpenRemoteBackendRoundtrip(t *testing.T) {
+	n := store.NewNode(0)
+	srv := rpc.NewServer(n, true)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := OpenRemoteBackend([]string{srv.Addr()}, store.ClusterOptions{}, rpc.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	a := New(c, nil, Options{Quiet: true})
+	a.Handle("/remote/n1/power", core.EncodeReadings([]core.Reading{{Timestamp: 1, Value: 2}}))
+	if got := a.Stats().Readings; got != 1 {
+		t.Fatalf("agent acked %d readings over RPC, want 1", got)
+	}
+	id, _ := a.Mapper().Lookup("/remote/n1/power")
+	rs, err := n.Query(id, 0, 1<<60)
+	if err != nil || len(rs) != 1 {
+		t.Fatalf("storage node holds %v, %v", rs, err)
+	}
+	if _, err := OpenRemoteBackend(nil, store.ClusterOptions{}, rpc.ClientOptions{}); err == nil {
+		t.Fatal("OpenRemoteBackend with no addresses succeeded")
 	}
 }

@@ -21,6 +21,7 @@ import (
 
 	"dcdb/internal/core"
 	"dcdb/internal/fsutil"
+	"dcdb/internal/rpc"
 	"dcdb/internal/store"
 )
 
@@ -69,11 +70,22 @@ func HealInterruptedSave(dir string) error {
 	return nil
 }
 
+// HintsDir returns the hinted-handoff directory under a data
+// directory.
+func HintsDir(dir string) string { return filepath.Join(dir, "hints") }
+
 // OpenBackend opens (creating on first use) a durable storage cluster
 // rooted at dir with one subdirectory per node. Recovery of each node
 // happens here; the returned cluster must be Closed to flush and
 // detach cleanly.
 func OpenBackend(dir string, nodes, replication int, part store.Partitioner, o store.DiskOptions) (*store.Cluster, error) {
+	return OpenBackendOptions(dir, nodes, o, store.ClusterOptions{Partitioner: part, Replication: replication})
+}
+
+// OpenBackendOptions is OpenBackend with full cluster configuration
+// (consistency levels, hinted handoff). A co.HintDir of "" enables
+// handoff under <dir>/hints; pass "-" to disable it outright.
+func OpenBackendOptions(dir string, nodes int, o store.DiskOptions, co store.ClusterOptions) (*store.Cluster, error) {
 	if nodes < 1 {
 		nodes = 1
 	}
@@ -85,21 +97,50 @@ func OpenBackend(dir string, nodes, replication int, part store.Partitioner, o s
 	if _, err := os.Stat(NodeDir(dir, nodes)); err == nil {
 		return nil, fmt.Errorf("collectagent: %s exists but only %d node(s) requested — the directory holds more nodes than the configuration opens", NodeDir(dir, nodes), nodes)
 	}
-	ns := make([]*store.Node, nodes)
-	for i := range ns {
+	switch co.HintDir {
+	case "":
+		co.HintDir = HintsDir(dir)
+	case "-":
+		co.HintDir = ""
+	}
+	backends := make([]store.NodeBackend, nodes)
+	closeOpened := func(k int) {
+		for _, b := range backends[:k] {
+			b.Close()
+		}
+	}
+	for i := range backends {
 		n := store.NewNode(0)
 		if err := n.OpenOptions(NodeDir(dir, i), o); err != nil {
-			for _, opened := range ns[:i] {
-				opened.Close()
-			}
+			closeOpened(i)
 			return nil, fmt.Errorf("collectagent: opening node %d: %w", i, err)
 		}
-		ns[i] = n
+		backends[i] = n
 	}
-	c, err := store.NewCluster(ns, part, replication)
+	c, err := store.NewClusterOptions(backends, co)
 	if err != nil {
-		for _, n := range ns {
-			n.Close()
+		closeOpened(nodes)
+		return nil, err
+	}
+	return c, nil
+}
+
+// OpenRemoteBackend builds a cluster of RPC storage nodes (one
+// dcdbnode process per address). The agent keeps no node data locally;
+// co.HintDir (when set) holds the durable hinted-handoff queue so
+// writes a down node missed survive an agent restart too.
+func OpenRemoteBackend(addrs []string, co store.ClusterOptions, ro rpc.ClientOptions) (*store.Cluster, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("collectagent: no storage node addresses")
+	}
+	backends := make([]store.NodeBackend, len(addrs))
+	for i, addr := range addrs {
+		backends[i] = rpc.NewClient(addr, ro)
+	}
+	c, err := store.NewClusterOptions(backends, co)
+	if err != nil {
+		for _, b := range backends {
+			b.Close()
 		}
 		return nil, err
 	}

@@ -1,0 +1,425 @@
+package rpc
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dcdb/internal/core"
+	"dcdb/internal/store"
+)
+
+// ClientOptions tune a Client. The zero value selects the defaults.
+type ClientOptions struct {
+	// PoolSize is the number of TCP connections kept to the node;
+	// calls round-robin across them so one slow response never heads
+	// of-line-blocks everything. Default 2.
+	PoolSize int
+	// DialTimeout bounds connection establishment. Default 2s.
+	DialTimeout time.Duration
+	// CallTimeout bounds one request round trip and propagates to the
+	// server as the request deadline, so a node never executes an op
+	// whose caller has already given up. Default 10s.
+	CallTimeout time.Duration
+	// ReconnectBackoff is the initial delay before re-dialing a failed
+	// connection; it doubles per consecutive failure up to MaxBackoff,
+	// and calls during the window fail fast instead of stampeding the
+	// node. Defaults 100ms / 3s.
+	ReconnectBackoff time.Duration
+	MaxBackoff       time.Duration
+}
+
+func (o *ClientOptions) defaults() {
+	if o.PoolSize <= 0 {
+		o.PoolSize = 2
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 10 * time.Second
+	}
+	if o.ReconnectBackoff <= 0 {
+		o.ReconnectBackoff = 100 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 3 * time.Second
+	}
+}
+
+// ErrUnavailable is returned while a node's connections are down and
+// inside their reconnect backoff window.
+var ErrUnavailable = fmt.Errorf("rpc: node unavailable")
+
+// Client is the remote implementation of store.NodeBackend: one
+// storage node reached over TCP through a small connection pool with
+// request pipelining, automatic reconnect and per-call deadlines. It
+// is safe for concurrent use; concurrent calls on one connection are
+// pipelined, not serialised.
+type Client struct {
+	addr   string
+	o      ClientOptions
+	slots  []*clientConn
+	rr     atomic.Uint32
+	closed atomic.Bool
+}
+
+// NewClient creates a client for the node at addr. No connection is
+// made until the first call.
+func NewClient(addr string, o ClientOptions) *Client {
+	o.defaults()
+	c := &Client{addr: addr, o: o, slots: make([]*clientConn, o.PoolSize)}
+	for i := range c.slots {
+		c.slots[i] = &clientConn{cl: c, pending: make(map[uint64]chan respMsg)}
+	}
+	return c
+}
+
+// Addr returns the node address the client targets.
+func (c *Client) Addr() string { return c.addr }
+
+// Close tears down every pooled connection; in-flight calls fail.
+func (c *Client) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	for _, s := range c.slots {
+		s.mu.Lock()
+		nc := s.nc
+		s.mu.Unlock()
+		if nc != nil {
+			s.teardown(nc, fmt.Errorf("rpc: client closed"))
+		}
+	}
+	return nil
+}
+
+// respMsg is one matched response (or the connection's demise).
+type respMsg struct {
+	status byte
+	body   []byte
+	err    error
+}
+
+// clientConn is one pooled connection. mu guards dial state and the
+// write half; the read loop runs unlocked and matches responses to
+// waiters by request id.
+type clientConn struct {
+	cl *Client
+
+	mu       sync.Mutex
+	nc       net.Conn
+	bw       *bufio.Writer
+	lastFail time.Time
+	backoff  time.Duration
+
+	pmu     sync.Mutex
+	pending map[uint64]chan respMsg
+
+	nextID atomic.Uint64
+}
+
+// ensure returns a live connection, dialing if necessary. Calls inside
+// the backoff window after a failure return ErrUnavailable immediately
+// — a down node must cost its callers microseconds, not dial timeouts.
+func (s *clientConn) ensure() (net.Conn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.nc != nil {
+		return s.nc, nil
+	}
+	if s.backoff > 0 && time.Since(s.lastFail) < s.backoff {
+		return nil, fmt.Errorf("%w (%s, retry in %s)", ErrUnavailable, s.cl.addr,
+			(s.backoff - time.Since(s.lastFail)).Round(time.Millisecond))
+	}
+	nc, err := net.DialTimeout("tcp", s.cl.addr, s.cl.o.DialTimeout)
+	if err != nil {
+		s.lastFail = time.Now()
+		if s.backoff == 0 {
+			s.backoff = s.cl.o.ReconnectBackoff
+		} else if s.backoff *= 2; s.backoff > s.cl.o.MaxBackoff {
+			s.backoff = s.cl.o.MaxBackoff
+		}
+		return nil, fmt.Errorf("rpc: dialing %s: %w", s.cl.addr, err)
+	}
+	s.nc = nc
+	s.bw = bufio.NewWriter(nc)
+	s.backoff = 0
+	go s.readLoop(nc)
+	return nc, nil
+}
+
+// teardown closes nc — only if it is still the slot's live connection,
+// so a caller holding a stale handle cannot kill a healthy re-dial —
+// and fails every waiter registered against it.
+func (s *clientConn) teardown(nc net.Conn, err error) {
+	s.mu.Lock()
+	if s.nc != nc {
+		// A newer generation took over (the read loop or another
+		// caller already tore nc down); its pending calls are not
+		// ours to fail.
+		s.mu.Unlock()
+		nc.Close() // idempotent on the already-closed old conn
+		return
+	}
+	s.nc.Close()
+	s.nc = nil
+	s.bw = nil
+	s.lastFail = time.Now()
+	if s.backoff == 0 {
+		s.backoff = s.cl.o.ReconnectBackoff
+	}
+	s.mu.Unlock()
+	s.pmu.Lock()
+	for id, ch := range s.pending {
+		delete(s.pending, id)
+		ch <- respMsg{err: err}
+	}
+	s.pmu.Unlock()
+}
+
+// readLoop matches response frames to waiting calls until the
+// connection dies. nc identifies the generation: teardown ignores the
+// call when a successor has already replaced nc.
+func (s *clientConn) readLoop(nc net.Conn) {
+	br := bufio.NewReader(nc)
+	for {
+		payload, err := readFrame(br)
+		if err != nil {
+			s.teardown(nc, fmt.Errorf("rpc: connection to %s lost: %w", s.cl.addr, err))
+			return
+		}
+		if len(payload) < respHeaderLen {
+			s.teardown(nc, fmt.Errorf("rpc: short response from %s", s.cl.addr))
+			return
+		}
+		id := uint64(payload[0])<<56 | uint64(payload[1])<<48 | uint64(payload[2])<<40 |
+			uint64(payload[3])<<32 | uint64(payload[4])<<24 | uint64(payload[5])<<16 |
+			uint64(payload[6])<<8 | uint64(payload[7])
+		s.pmu.Lock()
+		ch, ok := s.pending[id]
+		delete(s.pending, id)
+		s.pmu.Unlock()
+		if ok {
+			ch <- respMsg{status: payload[8], body: payload[respHeaderLen:]}
+		}
+		// Unmatched ids are responses whose caller timed out; drop.
+	}
+}
+
+// call performs one pipelined request and returns the response body.
+func (s *clientConn) call(op byte, body []byte) ([]byte, error) {
+	nc, err := s.ensure()
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(s.cl.o.CallTimeout)
+
+	id := s.nextID.Add(1)
+	ch := make(chan respMsg, 1)
+	s.pmu.Lock()
+	s.pending[id] = ch
+	s.pmu.Unlock()
+
+	payload := make([]byte, 0, reqHeaderLen+len(body))
+	payload = appendU64(payload, id)
+	payload = append(payload, op)
+	// The relative budget (not the wall-clock deadline) travels to the
+	// server, so coordinator/storage clock skew cannot starve a node.
+	payload = appendI64(payload, int64(s.cl.o.CallTimeout))
+	payload = append(payload, body...)
+
+	s.mu.Lock()
+	if s.nc != nc {
+		s.mu.Unlock()
+		s.pmu.Lock()
+		delete(s.pending, id)
+		s.pmu.Unlock()
+		return nil, fmt.Errorf("rpc: connection to %s lost", s.cl.addr)
+	}
+	nc.SetWriteDeadline(deadline)
+	err = writeFrame(s.bw, payload)
+	if err == nil {
+		err = s.bw.Flush()
+	}
+	s.mu.Unlock()
+	if err != nil {
+		s.teardown(nc, fmt.Errorf("rpc: writing to %s: %w", s.cl.addr, err))
+		// teardown delivered an error to ch (or we raced the read
+		// loop's teardown of the same generation, which did); fall
+		// through to the receive below either way.
+	}
+
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case resp := <-ch:
+		if resp.err != nil {
+			return nil, resp.err
+		}
+		if resp.status != statusOK {
+			return nil, fmt.Errorf("rpc: %s: %s", s.cl.addr, string(resp.body))
+		}
+		return resp.body, nil
+	case <-timer.C:
+		s.pmu.Lock()
+		delete(s.pending, id)
+		s.pmu.Unlock()
+		return nil, fmt.Errorf("rpc: call to %s timed out after %s", s.cl.addr, s.cl.o.CallTimeout)
+	}
+}
+
+// call round-robins across the pool.
+func (c *Client) call(op byte, body []byte) ([]byte, error) {
+	if c.closed.Load() {
+		return nil, fmt.Errorf("rpc: client closed")
+	}
+	slot := c.slots[c.rr.Add(1)%uint32(len(c.slots))]
+	return slot.call(op, body)
+}
+
+// --- store.NodeBackend implementation ---
+
+// Ping implements store.NodeBackend.
+func (c *Client) Ping() error {
+	_, err := c.call(opPing, nil)
+	return err
+}
+
+// Insert implements store.Backend.
+func (c *Client) Insert(id core.SensorID, r core.Reading, ttl time.Duration) error {
+	body := make([]byte, 0, 16+8+16)
+	body = appendSID(body, id)
+	body = appendI64(body, int64(ttl))
+	body = appendI64(body, r.Timestamp)
+	body = appendU64(body, math.Float64bits(r.Value))
+	_, err := c.call(opInsert, body)
+	return err
+}
+
+// InsertBatch implements store.Backend.
+func (c *Client) InsertBatch(id core.SensorID, rs []core.Reading, ttl time.Duration) error {
+	body := make([]byte, 0, 16+8+4+16*len(rs))
+	body = appendSID(body, id)
+	body = appendI64(body, int64(ttl))
+	body = appendReadings(body, rs)
+	_, err := c.call(opInsertBatch, body)
+	return err
+}
+
+// Query implements store.Backend.
+func (c *Client) Query(id core.SensorID, from, to int64) ([]core.Reading, error) {
+	body := make([]byte, 0, 16+16)
+	body = appendSID(body, id)
+	body = appendI64(body, from)
+	body = appendI64(body, to)
+	resp, err := c.call(opQuery, body)
+	if err != nil {
+		return nil, err
+	}
+	cur := &cursor{b: resp}
+	rs := cur.readings()
+	if err := cur.done(); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// QueryPrefix implements store.Backend.
+func (c *Client) QueryPrefix(prefix core.SensorID, depth int, from, to int64) (map[core.SensorID][]core.Reading, error) {
+	body := make([]byte, 0, 16+4+16)
+	body = appendSID(body, prefix)
+	body = appendU32(body, uint32(depth))
+	body = appendI64(body, from)
+	body = appendI64(body, to)
+	resp, err := c.call(opQueryPrefix, body)
+	if err != nil {
+		return nil, err
+	}
+	cur := &cursor{b: resp}
+	n := cur.u32()
+	out := make(map[core.SensorID][]core.Reading, n)
+	for i := uint32(0); i < n && cur.err == nil; i++ {
+		id := cur.sid()
+		out[id] = cur.readings()
+	}
+	if err := cur.done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DeleteBefore implements store.Backend.
+func (c *Client) DeleteBefore(id core.SensorID, cutoff int64) error {
+	body := make([]byte, 0, 16+8)
+	body = appendSID(body, id)
+	body = appendI64(body, cutoff)
+	_, err := c.call(opDeleteBefore, body)
+	return err
+}
+
+// Flush implements store.NodeBackend.
+func (c *Client) Flush() error {
+	_, err := c.call(opFlush, nil)
+	return err
+}
+
+// Sync implements store.NodeBackend.
+func (c *Client) Sync() error {
+	_, err := c.call(opSync, nil)
+	return err
+}
+
+// Compact implements store.NodeBackend. Remote failures are logged,
+// matching the fire-and-forget signature.
+func (c *Client) Compact() {
+	if _, err := c.call(opCompact, nil); err != nil {
+		log.Printf("rpc: compacting %s: %v", c.addr, err)
+	}
+}
+
+// SensorIDs implements store.NodeBackend; nil when the node is
+// unreachable (the listing is advisory).
+func (c *Client) SensorIDs() []core.SensorID {
+	resp, err := c.call(opSensorIDs, nil)
+	if err != nil {
+		return nil
+	}
+	cur := &cursor{b: resp}
+	n := cur.u32()
+	if uint64(n)*16 > uint64(len(resp)) {
+		return nil
+	}
+	ids := make([]core.SensorID, n)
+	for i := range ids {
+		ids[i] = cur.sid()
+	}
+	if cur.done() != nil {
+		return nil
+	}
+	return ids
+}
+
+// Stats implements store.NodeBackend; zeros when the node is
+// unreachable (stats are advisory).
+func (c *Client) Stats() (inserts, queries int64, entries int) {
+	resp, err := c.call(opStats, nil)
+	if err != nil {
+		return 0, 0, 0
+	}
+	cur := &cursor{b: resp}
+	inserts = cur.i64()
+	queries = cur.i64()
+	entries = int(cur.i64())
+	if cur.done() != nil {
+		return 0, 0, 0
+	}
+	return inserts, queries, entries
+}
+
+var _ store.NodeBackend = (*Client)(nil)

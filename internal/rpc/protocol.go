@@ -1,0 +1,239 @@
+// Package rpc carries the full storage-node API over TCP, which is
+// what lets storage nodes run as separate processes from the Collect
+// Agent (paper §4.3: Pushers forward to Collect Agents, which forward
+// to a cluster of database server processes). The protocol is a
+// length-prefixed, CRC-framed binary framing with request pipelining:
+// any number of requests may be in flight on one connection, each
+// carries an id, and responses are matched by id in whatever order the
+// server finishes them.
+//
+// Frame (both directions, integers big-endian):
+//
+//	u32 payloadLen | u32 crc32(payload) | payload
+//
+// Request payload:
+//
+//	u64 reqID | u8 op | i64 timeout (nanos of budget left; 0 = none) | body
+//
+// The timeout is a *relative* budget, not a wall-clock deadline, so it
+// survives clock skew between coordinator and storage hosts: the
+// server anchors it to the frame's local arrival time and refuses to
+// execute an op whose budget was exhausted while it queued.
+//
+// Response payload:
+//
+//	u64 reqID | u8 status | body
+//	status 0 = ok (body is the op's result encoding)
+//	status 1 = application error (body is the error string)
+//
+// A frame whose CRC does not match its payload — a torn write, a
+// corrupted link, a non-DCDB peer — poisons the connection: the reader
+// closes it rather than guess at record boundaries, and the client
+// re-establishes with backoff.
+package rpc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"strings"
+
+	"dcdb/internal/core"
+)
+
+// SplitAddrList parses a comma-separated host:port list the way every
+// CLI flag should: entries are trimmed and empties dropped, so
+// "a:1, b:2," and "a:1,b:2" name the same ring. Sharing this between
+// the agent and the query tools matters — a phantom "" entry would
+// silently shift every replica index.
+func SplitAddrList(s string) []string {
+	var addrs []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
+}
+
+// Ops of the node API. The numbering is part of the wire format.
+const (
+	opPing         = 1
+	opInsert       = 2
+	opInsertBatch  = 3
+	opQuery        = 4
+	opQueryPrefix  = 5
+	opDeleteBefore = 6
+	opFlush        = 7
+	opSync         = 8
+	opCompact      = 9
+	opStats        = 10
+	opSensorIDs    = 11
+)
+
+const (
+	statusOK  = 0
+	statusErr = 1
+)
+
+// frameMax bounds a frame's payload so a corrupt or hostile length
+// field cannot drive a huge allocation. Large batches are chunked by
+// the store layer well below this.
+const frameMax = 1 << 28
+
+// reqHeaderLen is the fixed prefix of a request payload.
+const reqHeaderLen = 8 + 1 + 8
+
+// respHeaderLen is the fixed prefix of a response payload.
+const respHeaderLen = 8 + 1
+
+var errFrameTooLarge = fmt.Errorf("rpc: frame exceeds %d bytes", frameMax)
+
+// errBadCRC poisons a connection: framing can no longer be trusted.
+var errBadCRC = fmt.Errorf("rpc: frame CRC mismatch")
+
+// writeFrame frames payload onto w. The caller flushes.
+func writeFrame(w *bufio.Writer, payload []byte) error {
+	if len(payload) > frameMax {
+		return errFrameTooLarge
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one CRC-checked payload from r. The returned slice
+// is freshly allocated and owned by the caller.
+func readFrame(r *bufio.Reader) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	plen := binary.BigEndian.Uint32(hdr[0:])
+	crc := binary.BigEndian.Uint32(hdr[4:])
+	if plen > frameMax {
+		return nil, errFrameTooLarge
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, errBadCRC
+	}
+	return payload, nil
+}
+
+// --- body encoding helpers (append-style, big-endian) ---
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendI64(b []byte, v int64) []byte { return appendU64(b, uint64(v)) }
+
+func appendSID(b []byte, id core.SensorID) []byte {
+	b = appendU64(b, id.Hi)
+	return appendU64(b, id.Lo)
+}
+
+func appendReadings(b []byte, rs []core.Reading) []byte {
+	b = appendU32(b, uint32(len(rs)))
+	for _, r := range rs {
+		b = appendI64(b, r.Timestamp)
+		b = appendU64(b, math.Float64bits(r.Value))
+	}
+	return b
+}
+
+// cursor is a bounds-checked sequential decoder over one payload.
+type cursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *cursor) u8() byte {
+	if c.err != nil || len(c.b)-c.off < 1 {
+		c.fail()
+		return 0
+	}
+	v := c.b[c.off]
+	c.off++
+	return v
+}
+
+func (c *cursor) u32() uint32 {
+	if c.err != nil || len(c.b)-c.off < 4 {
+		c.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(c.b[c.off:])
+	c.off += 4
+	return v
+}
+
+func (c *cursor) u64() uint64 {
+	if c.err != nil || len(c.b)-c.off < 8 {
+		c.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(c.b[c.off:])
+	c.off += 8
+	return v
+}
+
+func (c *cursor) i64() int64 { return int64(c.u64()) }
+
+func (c *cursor) sid() core.SensorID {
+	return core.SensorID{Hi: c.u64(), Lo: c.u64()}
+}
+
+func (c *cursor) readings() []core.Reading {
+	n := c.u32()
+	if c.err != nil {
+		return nil
+	}
+	// Each reading is 16 bytes; reject counts the payload cannot hold
+	// before allocating.
+	if uint64(n)*16 > uint64(len(c.b)-c.off) {
+		c.fail()
+		return nil
+	}
+	rs := make([]core.Reading, n)
+	for i := range rs {
+		rs[i] = core.Reading{Timestamp: c.i64(), Value: math.Float64frombits(c.u64())}
+	}
+	return rs
+}
+
+func (c *cursor) fail() {
+	if c.err == nil {
+		c.err = fmt.Errorf("rpc: truncated or malformed payload")
+	}
+}
+
+// done errors unless the payload was consumed exactly.
+func (c *cursor) done() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.off != len(c.b) {
+		return fmt.Errorf("rpc: %d trailing bytes in payload", len(c.b)-c.off)
+	}
+	return nil
+}

@@ -1,0 +1,327 @@
+package rpc
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dcdb/internal/core"
+	"dcdb/internal/store"
+)
+
+// maxInFlight bounds the requests one connection may have executing at
+// once; excess pipelined requests queue in the read loop. It trades a
+// little tail latency for not letting one client fork an unbounded
+// goroutine herd.
+const maxInFlight = 64
+
+// writeStallTimeout bounds one response write; a peer that stopped
+// reading loses its connection instead of pinning the writer.
+const writeStallTimeout = 30 * time.Second
+
+// Server serves one storage backend over the wire protocol. One
+// process typically wraps one durable *store.Node (cmd/dcdbnode), but
+// any NodeBackend works — including a whole Cluster, which would make
+// the server a coordinator proxy.
+type Server struct {
+	backend store.NodeBackend
+	quiet   bool
+
+	ln     net.Listener
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	requests atomic.Int64
+}
+
+// NewServer wraps backend. quiet suppresses per-connection logging
+// (tests).
+func NewServer(backend store.NodeBackend, quiet bool) *Server {
+	return &Server{backend: backend, quiet: quiet, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds addr and starts accepting connections.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Requests returns the number of requests served so far.
+func (s *Server) Requests() int64 { return s.requests.Load() }
+
+// Close stops accepting, closes every live connection and waits for
+// the handlers to drain. The backend is not closed — the caller owns
+// its lifecycle.
+func (s *Server) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+// serveConn pumps one connection: the read loop decodes frames and
+// dispatches each request to its own goroutine (bounded by
+// maxInFlight), responses funnel through a single writer goroutine
+// that batches flushes — the server side of request pipelining.
+func (s *Server) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+
+	out := make(chan []byte, maxInFlight)
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		bw := bufio.NewWriter(c)
+		for payload := range out {
+			// A peer that stopped reading must not pin this goroutine
+			// in a blocked Write forever; the deadline turns it into a
+			// closed connection.
+			c.SetWriteDeadline(time.Now().Add(writeStallTimeout))
+			if err := writeFrame(bw, payload); err != nil {
+				break
+			}
+			// Flush only when no response is queued behind this one:
+			// pipelined bursts coalesce into one syscall.
+			if len(out) == 0 {
+				if err := bw.Flush(); err != nil {
+					break
+				}
+			}
+		}
+		// Keep draining after a write error: in-flight handlers block
+		// sending to out, and the read loop joins on them before out
+		// is closed — a dead peer must not wedge the teardown.
+		for range out {
+		}
+	}()
+	defer writerWG.Wait()
+	defer close(out)
+
+	sem := make(chan struct{}, maxInFlight)
+	var handlerWG sync.WaitGroup
+	defer handlerWG.Wait()
+
+	br := bufio.NewReader(c)
+	for {
+		payload, err := readFrame(br)
+		if err != nil {
+			if !s.quiet && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) &&
+				!errors.Is(err, io.ErrUnexpectedEOF) {
+				log.Printf("rpc: closing %s: %v", c.RemoteAddr(), err)
+			}
+			return
+		}
+		if len(payload) < reqHeaderLen {
+			if !s.quiet {
+				log.Printf("rpc: closing %s: short request header", c.RemoteAddr())
+			}
+			return
+		}
+		s.requests.Add(1)
+		arrived := time.Now()
+		sem <- struct{}{}
+		handlerWG.Add(1)
+		go func(payload []byte) {
+			defer handlerWG.Done()
+			defer func() { <-sem }()
+			resp := s.handle(payload, arrived)
+			// The connection may be tearing down; out is closed only
+			// after handlerWG drains, so this send cannot panic.
+			out <- resp
+		}(payload)
+	}
+}
+
+// handle executes one request payload and returns the response
+// payload. arrived anchors the request's relative timeout budget to
+// this host's clock.
+func (s *Server) handle(payload []byte, arrived time.Time) []byte {
+	cur := &cursor{b: payload}
+	id := cur.u64()
+	op := cur.u8()
+	timeout := cur.i64()
+
+	fail := func(err error) []byte {
+		resp := make([]byte, 0, respHeaderLen+len(err.Error()))
+		resp = appendU64(resp, id)
+		resp = append(resp, statusErr)
+		return append(resp, err.Error()...)
+	}
+	if timeout != 0 && time.Since(arrived) > time.Duration(timeout) {
+		// Deadline propagation: the caller's budget ran out while the
+		// request queued behind the in-flight cap; executing the op
+		// would burn the node's time for a dropped response. A
+		// non-positive budget is expired by definition.
+		return fail(fmt.Errorf("rpc: deadline exceeded before execution"))
+	}
+
+	resp := make([]byte, 0, respHeaderLen)
+	resp = appendU64(resp, id)
+	resp = append(resp, statusOK)
+
+	switch op {
+	case opPing:
+		if err := cur.done(); err != nil {
+			return fail(err)
+		}
+		if err := s.backend.Ping(); err != nil {
+			return fail(err)
+		}
+	case opInsert:
+		sid := cur.sid()
+		ttl := cur.i64()
+		ts := cur.i64()
+		val := cur.u64()
+		if err := cur.done(); err != nil {
+			return fail(err)
+		}
+		r := core.Reading{Timestamp: ts, Value: math.Float64frombits(val)}
+		if err := s.backend.Insert(sid, r, time.Duration(ttl)); err != nil {
+			return fail(err)
+		}
+	case opInsertBatch:
+		sid := cur.sid()
+		ttl := cur.i64()
+		rs := cur.readings()
+		if err := cur.done(); err != nil {
+			return fail(err)
+		}
+		if err := s.backend.InsertBatch(sid, rs, time.Duration(ttl)); err != nil {
+			return fail(err)
+		}
+	case opQuery:
+		sid := cur.sid()
+		from, to := cur.i64(), cur.i64()
+		if err := cur.done(); err != nil {
+			return fail(err)
+		}
+		rs, err := s.backend.Query(sid, from, to)
+		if err != nil {
+			return fail(err)
+		}
+		resp = appendReadings(resp, rs)
+	case opQueryPrefix:
+		sid := cur.sid()
+		depth := cur.u32()
+		from, to := cur.i64(), cur.i64()
+		if err := cur.done(); err != nil {
+			return fail(err)
+		}
+		m, err := s.backend.QueryPrefix(sid, int(depth), from, to)
+		if err != nil {
+			return fail(err)
+		}
+		resp = appendU32(resp, uint32(len(m)))
+		for id, rs := range m {
+			resp = appendSID(resp, id)
+			resp = appendReadings(resp, rs)
+		}
+	case opDeleteBefore:
+		sid := cur.sid()
+		cutoff := cur.i64()
+		if err := cur.done(); err != nil {
+			return fail(err)
+		}
+		if err := s.backend.DeleteBefore(sid, cutoff); err != nil {
+			return fail(err)
+		}
+	case opFlush:
+		if err := cur.done(); err != nil {
+			return fail(err)
+		}
+		if err := s.backend.Flush(); err != nil {
+			return fail(err)
+		}
+	case opSync:
+		if err := cur.done(); err != nil {
+			return fail(err)
+		}
+		if err := s.backend.Sync(); err != nil {
+			return fail(err)
+		}
+	case opCompact:
+		if err := cur.done(); err != nil {
+			return fail(err)
+		}
+		s.backend.Compact()
+	case opStats:
+		if err := cur.done(); err != nil {
+			return fail(err)
+		}
+		ins, q, entries := s.backend.Stats()
+		resp = appendI64(resp, ins)
+		resp = appendI64(resp, q)
+		resp = appendI64(resp, int64(entries))
+	case opSensorIDs:
+		if err := cur.done(); err != nil {
+			return fail(err)
+		}
+		ids := s.backend.SensorIDs()
+		resp = appendU32(resp, uint32(len(ids)))
+		for _, id := range ids {
+			resp = appendSID(resp, id)
+		}
+	default:
+		return fail(fmt.Errorf("rpc: unknown op %d", op))
+	}
+	return resp
+}

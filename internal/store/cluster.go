@@ -2,21 +2,19 @@ package store
 
 import (
 	"fmt"
-	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dcdb/internal/core"
 )
 
-// parallelFanout gates goroutine-per-replica fan-out. On a single-CPU
-// host the goroutine handoff costs more than the in-memory node
-// operation it would parallelize, so the sequential path is kept.
-var parallelFanout = runtime.NumCPU() > 1
-
-// parallelBatchMin is the batch size below which a replicated write is
-// performed sequentially even on multicore hosts: spawning goroutines
-// costs more than a couple of memtable appends.
+// parallelBatchMin is the batch size below which a replicated write to
+// purely in-process replicas is performed sequentially: spawning
+// goroutines costs more than a couple of memtable appends. Remote
+// replicas always fan out concurrently — a network round trip dwarfs a
+// goroutine handoff.
 const parallelBatchMin = 16
 
 // Partitioner decides which of n nodes owns a sensor's primary replica.
@@ -90,234 +88,575 @@ func fnvSID(id core.SensorID) uint64 {
 	return h
 }
 
-// Cluster composes several Nodes into one logical Storage Backend with
-// replication, mirroring a multi-server Cassandra cluster.
+// ClusterOptions configure a Cluster beyond its member set.
+type ClusterOptions struct {
+	// Partitioner routes a sensor to its primary. nil defaults to the
+	// hierarchical scheme at depth 4.
+	Partitioner Partitioner
+	// Replication is the total number of copies of each row (1 = no
+	// redundancy); it is capped at the backend count.
+	Replication int
+	// WriteConsistency is the number of replicas that must acknowledge
+	// a write (zero value = ConsistencyOne).
+	WriteConsistency Consistency
+	// ReadConsistency is the number of replicas a read must reach
+	// (zero value = ConsistencyOne). At QUORUM, reads merge the replica
+	// responses newest-wins and repair divergent replicas in the
+	// background.
+	ReadConsistency Consistency
+	// HintDir, when set, enables hinted handoff: a write a replica
+	// missed (while the rest met the consistency level) is durably
+	// queued under this directory and replayed once the replica
+	// answers pings again. Empty disables handoff.
+	HintDir string
+	// HintReplayInterval is the cadence of the background replayer
+	// probing down replicas. 0 selects the default (1s); < 0 disables
+	// the background loop (ReplayHints still works when called).
+	HintReplayInterval time.Duration
+}
+
+// Cluster composes storage backends into one logical Storage Backend
+// with replication, tunable consistency and hinted handoff, mirroring a
+// multi-server Cassandra cluster (paper §4.3). Backends may be
+// in-process (*Node) or remote (rpc.Client), mixed freely.
 type Cluster struct {
-	nodes       []*Node
+	backends    []NodeBackend
+	local       []bool // backends[i] is an in-process *Node
+	allLocal    bool
 	part        Partitioner
 	replication int
+	writeCL     Consistency
+	readCL      Consistency
+
+	hints  *hintQueue
+	stopBG chan struct{}
+	bgWG   sync.WaitGroup
+
+	// repairWG tracks in-flight background read repairs so Close does
+	// not yank backends out from under them.
+	repairWG sync.WaitGroup
+	closed   atomic.Bool
 }
 
-// NewCluster builds a cluster of the given nodes. replication is the
-// total number of copies of each row (1 = no redundancy); it is capped
-// at the node count. A nil partitioner defaults to the hierarchical
-// scheme at depth 4.
+// NewCluster builds a cluster of in-process nodes with consistency
+// level ONE and no hinted handoff — the legacy embedded configuration.
+// A nil partitioner defaults to the hierarchical scheme at depth 4.
 func NewCluster(nodes []*Node, part Partitioner, replication int) (*Cluster, error) {
-	if len(nodes) == 0 {
+	backends := make([]NodeBackend, len(nodes))
+	for i, n := range nodes {
+		backends[i] = n
+	}
+	return NewClusterOptions(backends, ClusterOptions{Partitioner: part, Replication: replication})
+}
+
+// NewClusterOptions builds a cluster of arbitrary backends (local
+// nodes, RPC clients, or a mix).
+func NewClusterOptions(backends []NodeBackend, o ClusterOptions) (*Cluster, error) {
+	if len(backends) == 0 {
 		return nil, fmt.Errorf("store: cluster needs at least one node")
 	}
-	if part == nil {
-		part = HierarchicalPartitioner{Depth: 4}
+	if o.Partitioner == nil {
+		o.Partitioner = HierarchicalPartitioner{Depth: 4}
 	}
-	if replication < 1 {
-		replication = 1
+	if o.Replication < 1 {
+		o.Replication = 1
 	}
-	if replication > len(nodes) {
-		replication = len(nodes)
+	if o.Replication > len(backends) {
+		o.Replication = len(backends)
 	}
-	return &Cluster{nodes: nodes, part: part, replication: replication}, nil
+	if o.WriteConsistency == 0 {
+		o.WriteConsistency = ConsistencyOne
+	}
+	if o.ReadConsistency == 0 {
+		o.ReadConsistency = ConsistencyOne
+	}
+	c := &Cluster{
+		backends:    backends,
+		local:       make([]bool, len(backends)),
+		allLocal:    true,
+		part:        o.Partitioner,
+		replication: o.Replication,
+		writeCL:     o.WriteConsistency,
+		readCL:      o.ReadConsistency,
+	}
+	for i, b := range backends {
+		_, c.local[i] = b.(*Node)
+		if !c.local[i] {
+			c.allLocal = false
+		}
+	}
+	if o.HintDir != "" {
+		hq, err := openHintQueue(o.HintDir, len(backends))
+		if err != nil {
+			return nil, fmt.Errorf("store: opening hint queue: %w", err)
+		}
+		c.hints = hq
+		if o.HintReplayInterval == 0 {
+			o.HintReplayInterval = time.Second
+		}
+		if o.HintReplayInterval > 0 {
+			c.stopBG = make(chan struct{})
+			c.bgWG.Add(1)
+			go c.hintLoop(o.HintReplayInterval)
+		}
+	}
+	return c, nil
 }
 
-// Nodes exposes the member nodes (for stats and failure injection).
-func (c *Cluster) Nodes() []*Node { return c.nodes }
-
-// Partitioner returns the active partitioning scheme.
-func (c *Cluster) Partitioner() Partitioner { return c.part }
-
-// replicasFor yields the node indices holding a sensor, primary first.
-func (c *Cluster) replicasFor(id core.SensorID) []int {
-	primary := c.part.NodeFor(id, len(c.nodes))
-	out := make([]int, 0, c.replication)
-	for i := 0; i < c.replication; i++ {
-		out = append(out, (primary+i)%len(c.nodes))
+// Nodes exposes the in-process member nodes (for stats, snapshots and
+// failure injection); remote backends are skipped.
+func (c *Cluster) Nodes() []*Node {
+	var out []*Node
+	for _, b := range c.backends {
+		if n, ok := b.(*Node); ok {
+			out = append(out, n)
+		}
 	}
 	return out
 }
 
-// Insert implements Backend: the reading is written to every replica.
-// The write succeeds if at least one replica accepts it (consistency
-// level ONE, the common monitoring configuration).
+// Backends exposes every member backend in ring order.
+func (c *Cluster) Backends() []NodeBackend { return c.backends }
+
+// Partitioner returns the active partitioning scheme.
+func (c *Cluster) Partitioner() Partitioner { return c.part }
+
+// Replication returns the configured copies per row.
+func (c *Cluster) Replication() int { return c.replication }
+
+// replicasFor yields the node indices holding a sensor, primary first.
+func (c *Cluster) replicasFor(id core.SensorID) []int {
+	primary := c.part.NodeFor(id, len(c.backends))
+	out := make([]int, 0, c.replication)
+	for i := 0; i < c.replication; i++ {
+		out = append(out, (primary+i)%len(c.backends))
+	}
+	return out
+}
+
+// fanOut runs op for every listed replica, concurrently unless the
+// caller asked for the cheap sequential path, and returns one error
+// slot per replica.
+func (c *Cluster) fanOut(replicas []int, sequential bool, op func(idx int) error) []error {
+	errs := make([]error, len(replicas))
+	if sequential || len(replicas) == 1 {
+		for i, idx := range replicas {
+			errs[i] = op(idx)
+		}
+		return errs
+	}
+	var wg sync.WaitGroup
+	for i, idx := range replicas {
+		wg.Add(1)
+		go func(i, idx int) {
+			defer wg.Done()
+			errs[i] = op(idx)
+		}(i, idx)
+	}
+	wg.Wait()
+	return errs
+}
+
+// localOnly reports whether every listed replica is in-process.
+func (c *Cluster) localOnly(replicas []int) bool {
+	if c.allLocal {
+		return true
+	}
+	for _, idx := range replicas {
+		if !c.local[idx] {
+			return false
+		}
+	}
+	return true
+}
+
+// Insert implements Backend: the reading is written to every replica
+// at the configured write consistency.
 func (c *Cluster) Insert(id core.SensorID, r core.Reading, ttl time.Duration) error {
 	return c.InsertBatch(id, []core.Reading{r}, ttl)
 }
 
-// InsertBatch implements Backend. Large batches are written to the
-// replicas concurrently; the write succeeds once any replica accepts
-// it.
+// InsertBatch implements Backend. Every replica is written; the write
+// is acknowledged once WriteConsistency replicas accepted it. Replicas
+// that missed an acknowledged write get a durable hint (when handoff is
+// enabled) replayed after they return.
 func (c *Cluster) InsertBatch(id core.SensorID, rs []core.Reading, ttl time.Duration) error {
+	if len(rs) == 0 {
+		return nil
+	}
 	replicas := c.replicasFor(id)
+	sequential := len(rs) < parallelBatchMin && c.localOnly(replicas)
+	errs := c.fanOut(replicas, sequential, func(idx int) error {
+		return c.backends[idx].InsertBatch(id, rs, ttl)
+	})
+	required := c.writeCL.required(len(replicas))
+	acked := 0
 	var lastErr error
-	if parallelFanout && len(replicas) > 1 && len(rs) >= parallelBatchMin {
-		errs := make([]error, len(replicas))
-		var wg sync.WaitGroup
-		for i, idx := range replicas {
-			wg.Add(1)
-			go func(i, idx int) {
-				defer wg.Done()
-				errs[i] = c.nodes[idx].InsertBatch(id, rs, ttl)
-			}(i, idx)
+	for _, err := range errs {
+		if err == nil {
+			acked++
+		} else {
+			lastErr = err
 		}
-		wg.Wait()
-		for _, err := range errs {
+	}
+	if acked < required {
+		return fmt.Errorf("store: write consistency %s not met (%d/%d replicas): %w",
+			c.writeCL, acked, required, lastErr)
+	}
+	if c.hints != nil && acked < len(replicas) {
+		expire := TTLToExpire(ttl)
+		for i, idx := range replicas {
+			if errs[i] != nil {
+				c.hintInsert(idx, id, rs, expire)
+			}
+		}
+	}
+	return nil
+}
+
+// Query implements Backend. At consistency ONE the primary is
+// consulted first, then the remaining replicas on failure. At QUORUM
+// all replicas are read concurrently, at least a quorum must respond,
+// the responses are merged newest-wins, and replicas that missed
+// writes are repaired in the background with the merged result.
+func (c *Cluster) Query(id core.SensorID, from, to int64) ([]core.Reading, error) {
+	replicas := c.replicasFor(id)
+	if c.readCL.required(len(replicas)) == 1 && len(replicas) >= 1 {
+		var lastErr error
+		for _, idx := range replicas {
+			rs, err := c.backends[idx].Query(id, from, to)
 			if err == nil {
-				return nil
+				return rs, nil
 			}
 			lastErr = err
 		}
-	} else {
-		acked := false
-		for _, idx := range replicas {
-			if err := c.nodes[idx].InsertBatch(id, rs, ttl); err != nil {
-				lastErr = err
-			} else {
-				acked = true
-			}
-		}
-		if acked {
-			return nil
+		return nil, fmt.Errorf("store: all replicas failed: %w", lastErr)
+	}
+	results := make([][]core.Reading, len(replicas))
+	errs := make([]error, len(replicas))
+	var wg sync.WaitGroup
+	for i, idx := range replicas {
+		wg.Add(1)
+		go func(i, idx int) {
+			defer wg.Done()
+			results[i], errs[i] = c.backends[idx].Query(id, from, to)
+		}(i, idx)
+	}
+	wg.Wait()
+	required := c.readCL.required(len(replicas))
+	ok := 0
+	var lastErr error
+	for _, err := range errs {
+		if err == nil {
+			ok++
+		} else {
+			lastErr = err
 		}
 	}
-	return fmt.Errorf("store: no replica accepted write: %w", lastErr)
+	if ok < required {
+		return nil, fmt.Errorf("store: read consistency %s not met (%d/%d replicas): %w",
+			c.readCL, ok, required, lastErr)
+	}
+	merged := results[0]
+	first := true
+	for i, err := range errs {
+		if err != nil {
+			continue
+		}
+		if first {
+			merged = results[i]
+			first = false
+			continue
+		}
+		merged = mergeReplicaReadings(merged, results[i])
+	}
+	c.readRepair(id, replicas, results, errs, merged)
+	return merged, nil
 }
 
-// Query implements Backend: the primary is consulted first, then the
-// remaining replicas on failure.
-func (c *Cluster) Query(id core.SensorID, from, to int64) ([]core.Reading, error) {
-	var lastErr error
-	for _, idx := range c.replicasFor(id) {
-		rs, err := c.nodes[idx].Query(id, from, to)
-		if err == nil {
-			return rs, nil
-		}
-		lastErr = err
+// mergeReplicaReadings merges two time-sorted replica responses
+// newest-wins: the union of timestamps (a write one replica missed is
+// newer than its absence there), with a's value winning where both hold
+// the same timestamp (a accumulates from the primary outward, matching
+// the single-replica read path).
+func mergeReplicaReadings(a, b []core.Reading) []core.Reading {
+	if len(b) == 0 {
+		return a
 	}
-	return nil, fmt.Errorf("store: all replicas failed: %w", lastErr)
+	if len(a) == 0 {
+		return b
+	}
+	out := make([]core.Reading, 0, len(a))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Timestamp < b[j].Timestamp:
+			out = append(out, a[i])
+			i++
+		case a[i].Timestamp > b[j].Timestamp:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// repairDelta returns the merged readings a replica's response is
+// missing or holds a different value for.
+func repairDelta(merged, have []core.Reading) []core.Reading {
+	var delta []core.Reading
+	j := 0
+	for _, m := range merged {
+		for j < len(have) && have[j].Timestamp < m.Timestamp {
+			j++
+		}
+		if j < len(have) && have[j].Timestamp == m.Timestamp && have[j].Value == m.Value {
+			continue
+		}
+		delta = append(delta, m)
+	}
+	return delta
+}
+
+// readRepair writes the merged result's missing readings back to every
+// replica that answered with less, in the background: convergence is
+// opportunistic, the caller's read latency is not taxed. A re-inserted
+// duplicate timestamp wins at the replica's query-time dedup (newest
+// run wins), so diverged values converge to the merged result.
+func (c *Cluster) readRepair(id core.SensorID, replicas []int, results [][]core.Reading, errs []error, merged []core.Reading) {
+	for i, idx := range replicas {
+		if errs[i] != nil {
+			continue
+		}
+		delta := repairDelta(merged, results[i])
+		if len(delta) == 0 {
+			continue
+		}
+		b := c.backends[idx]
+		c.repairWG.Add(1)
+		go func() {
+			defer c.repairWG.Done()
+			_ = b.InsertBatch(id, delta, 0) // best effort; the next read retries
+		}()
+	}
 }
 
 // QueryPrefix implements Backend. With the hierarchical partitioner the
 // whole subtree lives on one replica set; with the hash partitioner the
-// query fans out to all nodes and results are merged.
-// All nodes are queried concurrently and the per-node result maps are
-// merged afterwards, keeping the first replica's copy of each sensor.
+// query fans out to all nodes and results are merged. All nodes are
+// queried concurrently; a sensor present on several replicas has its
+// copies merged newest-wins. At read consistency QUORUM the query
+// fails if any replica window (any possible replica set) has fewer
+// than a quorum of its members responding — a conservative, exact
+// bound over every sensor the prefix could own.
 func (c *Cluster) QueryPrefix(prefix core.SensorID, depth int, from, to int64) (map[core.SensorID][]core.Reading, error) {
-	maps := make([]map[core.SensorID][]core.Reading, len(c.nodes))
-	errs := make([]error, len(c.nodes))
-	if !parallelFanout || len(c.nodes) == 1 {
-		for i, n := range c.nodes {
-			maps[i], errs[i] = n.QueryPrefix(prefix, depth, from, to)
-		}
+	maps := make([]map[core.SensorID][]core.Reading, len(c.backends))
+	errs := make([]error, len(c.backends))
+	if len(c.backends) == 1 {
+		maps[0], errs[0] = c.backends[0].QueryPrefix(prefix, depth, from, to)
 	} else {
 		var wg sync.WaitGroup
-		for i, n := range c.nodes {
+		for i, b := range c.backends {
 			wg.Add(1)
-			go func(i int, n *Node) {
+			go func(i int, b NodeBackend) {
 				defer wg.Done()
-				maps[i], errs[i] = n.QueryPrefix(prefix, depth, from, to)
-			}(i, n)
+				maps[i], errs[i] = b.QueryPrefix(prefix, depth, from, to)
+			}(i, b)
 		}
 		wg.Wait()
 	}
-	out := make(map[core.SensorID][]core.Reading)
 	var firstErr error
-	reached := false
-	for i := range c.nodes {
+	failed := 0
+	for i := range c.backends {
 		if errs[i] != nil {
+			failed++
 			if firstErr == nil {
 				firstErr = errs[i]
 			}
+		}
+	}
+	if failed == len(c.backends) {
+		return nil, fmt.Errorf("store: all nodes failed: %w", firstErr)
+	}
+	required := c.readCL.required(c.replication)
+	if required > 1 && failed > 0 {
+		// Replica sets are contiguous windows of the ring; check every
+		// window a primary could start.
+		for p := 0; p < len(c.backends); p++ {
+			ok := 0
+			for r := 0; r < c.replication; r++ {
+				if errs[(p+r)%len(c.backends)] == nil {
+					ok++
+				}
+			}
+			if ok < required {
+				return nil, fmt.Errorf("store: read consistency %s not met for replica set at node %d (%d/%d): %w",
+					c.readCL, p, ok, required, firstErr)
+			}
+		}
+	}
+	out := make(map[core.SensorID][]core.Reading)
+	for i := range c.backends {
+		if errs[i] != nil {
 			continue
 		}
-		reached = true
 		for id, rs := range maps[i] {
-			if _, dup := out[id]; !dup {
+			if prev, dup := out[id]; dup {
+				out[id] = mergeReplicaReadings(prev, rs)
+			} else {
 				out[id] = rs
 			}
 		}
 	}
-	if !reached {
-		return nil, fmt.Errorf("store: all nodes failed: %w", firstErr)
-	}
 	return out, nil
 }
 
-// DeleteBefore implements Backend; replicas are cleaned concurrently.
+// DeleteBefore implements Backend; replicas are cleaned concurrently at
+// the write consistency level, with hints queued for replicas that
+// missed the delete.
 func (c *Cluster) DeleteBefore(id core.SensorID, cutoff int64) error {
 	replicas := c.replicasFor(id)
-	errs := make([]error, len(replicas))
-	if !parallelFanout || len(replicas) == 1 {
-		for i, idx := range replicas {
-			errs[i] = c.nodes[idx].DeleteBefore(id, cutoff)
-		}
-	} else {
-		var wg sync.WaitGroup
-		for i, idx := range replicas {
-			wg.Add(1)
-			go func(i, idx int) {
-				defer wg.Done()
-				errs[i] = c.nodes[idx].DeleteBefore(id, cutoff)
-			}(i, idx)
-		}
-		wg.Wait()
-	}
+	errs := c.fanOut(replicas, c.localOnly(replicas), func(idx int) error {
+		return c.backends[idx].DeleteBefore(id, cutoff)
+	})
+	required := c.writeCL.required(len(replicas))
+	acked := 0
 	var lastErr error
 	for _, err := range errs {
 		if err == nil {
-			return nil
+			acked++
+		} else {
+			lastErr = err
 		}
-		lastErr = err
 	}
-	return lastErr
+	if acked < required {
+		return fmt.Errorf("store: write consistency %s not met (%d/%d replicas): %w",
+			c.writeCL, acked, required, lastErr)
+	}
+	if c.hints != nil && acked < len(replicas) {
+		for i, idx := range replicas {
+			if errs[i] != nil {
+				c.hintDelete(idx, id, cutoff)
+			}
+		}
+	}
+	return nil
 }
 
-// Compact compacts every node.
+// Compact compacts every backend.
 func (c *Cluster) Compact() {
-	for _, n := range c.nodes {
-		n.Compact()
+	for _, b := range c.backends {
+		b.Compact()
 	}
 }
 
-// Flush forces every node's memtable into sorted runs (durable nodes
-// spill them to disk in the background).
+// Flush forces every backend's memtable into sorted runs (durable nodes
+// spill them to disk in the background). Backends flush concurrently —
+// with remote nodes a sequential pass would serialise network round
+// trips.
 func (c *Cluster) Flush() error {
-	var firstErr error
-	for _, n := range c.nodes {
-		if err := n.Flush(); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	return firstErr
+	return firstError(c.eachBackend(func(b NodeBackend) error { return b.Flush() }))
 }
 
-// Sync forces every node's WAL to disk.
+// Sync forces every backend's WAL to disk, concurrently.
 func (c *Cluster) Sync() error {
-	var firstErr error
-	for _, n := range c.nodes {
-		if err := n.Sync(); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	return firstErr
+	return firstError(c.eachBackend(func(b NodeBackend) error { return b.Sync() }))
 }
 
-// Close implements Backend. Durable member nodes flush and detach from
-// their data directories; the first failure is reported after every
-// node has been closed.
+func (c *Cluster) eachBackend(op func(NodeBackend) error) []error {
+	errs := make([]error, len(c.backends))
+	if len(c.backends) == 1 {
+		errs[0] = op(c.backends[0])
+		return errs
+	}
+	var wg sync.WaitGroup
+	for i, b := range c.backends {
+		wg.Add(1)
+		go func(i int, b NodeBackend) {
+			defer wg.Done()
+			errs[i] = op(b)
+		}(i, b)
+	}
+	wg.Wait()
+	return errs
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements Backend. The hint replayer and in-flight read
+// repairs are stopped first, then every backend is closed; the first
+// failure is reported after every backend has been closed.
 func (c *Cluster) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	if c.stopBG != nil {
+		close(c.stopBG)
+		c.bgWG.Wait()
+	}
+	c.repairWG.Wait()
 	var firstErr error
-	for _, n := range c.nodes {
-		if err := n.Close(); err != nil && firstErr == nil {
+	for _, b := range c.backends {
+		if err := b.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if c.hints != nil {
+		if err := c.hints.close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
 	return firstErr
 }
 
-// TotalInserts sums the insert counters of all nodes (replication makes
-// this larger than the number of logical writes).
+// SensorIDs lists every SID present on any backend, deduplicated and
+// sorted. Backends are listed concurrently — sequential round trips
+// would serialize per-node latency (or a dead node's dial timeout) at
+// every tool startup.
+func (c *Cluster) SensorIDs() []core.SensorID {
+	lists := make([][]core.SensorID, len(c.backends))
+	var wg sync.WaitGroup
+	for i, b := range c.backends {
+		wg.Add(1)
+		go func(i int, b NodeBackend) {
+			defer wg.Done()
+			lists[i] = b.SensorIDs()
+		}(i, b)
+	}
+	wg.Wait()
+	seen := make(map[core.SensorID]struct{})
+	for _, ids := range lists {
+		for _, id := range ids {
+			seen[id] = struct{}{}
+		}
+	}
+	out := make([]core.SensorID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// TotalInserts sums the insert counters of all backends (replication
+// makes this larger than the number of logical writes).
 func (c *Cluster) TotalInserts() int64 {
 	var total int64
-	for _, n := range c.nodes {
-		ins, _, _ := n.Stats()
+	for _, b := range c.backends {
+		ins, _, _ := b.Stats()
 		total += ins
 	}
 	return total

@@ -1,0 +1,315 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dcdb/internal/core"
+)
+
+// Hinted handoff: when a replica misses a write that the rest of its
+// set acknowledged, the coordinator durably queues the mutation under
+// <hintDir>/node<i>/hint-<seq>.log and replays it once the replica
+// answers pings again — so a node that was down (or is being replaced
+// behind the same address) converges without a full re-replication.
+//
+// Hint files reuse the WAL framing exactly: CRC32-framed records whose
+// payloads are the WAL's type-1 insert (with the expiry already
+// resolved to an absolute timestamp at coordination time) and type-2
+// delete. Replay is at-least-once — a replay interrupted mid-file
+// re-applies the whole file on the next attempt; duplicates collapse
+// at the replica's query-time dedup.
+//
+// Ordering caveat: the store carries no per-write version, so a
+// replayed hint is indistinguishable from a fresh write. If a sensor's
+// value at an *existing* timestamp is rewritten between the hint being
+// queued and replayed, the replay can reinstate the older value on
+// that replica (and read repair spread it). Monitoring ingest is
+// append-only in practice — each timestamp is written once — so the
+// window is theoretical here; closing it for rewrite workloads needs
+// engine-wide write versions / anti-entropy (see ROADMAP).
+
+// hintFileMax rotates the per-node append file so one outage does not
+// grow a single unbounded segment; replay deletes whole files as they
+// are delivered.
+const hintFileMax = 4 << 20
+
+// hintQueue is a Cluster's durable per-replica hint store.
+type hintQueue struct {
+	dir      string
+	nodes    []*nodeHints
+	queued   atomic.Int64 // mutations queued (lifetime)
+	replayed atomic.Int64 // mutations delivered (lifetime)
+}
+
+// nodeHints is the hint state of one replica index. mu serialises
+// enqueue against replay; has is a lock-free "anything pending?" check
+// so the replay loop's idle tick stays free.
+type nodeHints struct {
+	mu   sync.Mutex
+	dir  string
+	seq  uint64
+	f    *os.File
+	size int64
+	has  atomic.Bool
+}
+
+// openHintQueue scans (creating on first use) the hint directory for n
+// replicas, recovering hints a previous coordinator run left behind.
+func openHintQueue(dir string, n int) (*hintQueue, error) {
+	q := &hintQueue{dir: dir, nodes: make([]*nodeHints, n)}
+	for i := range q.nodes {
+		nh := &nodeHints{dir: filepath.Join(dir, fmt.Sprintf("node%d", i))}
+		if err := os.MkdirAll(nh.dir, 0o755); err != nil {
+			return nil, err
+		}
+		segs, err := findHintFiles(nh.dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(segs) > 0 {
+			nh.seq = segs[len(segs)-1].seq + 1
+			nh.has.Store(true)
+		}
+		q.nodes[i] = nh
+	}
+	return q, nil
+}
+
+// hintSegSeq parses a hint file name, or false for other files.
+func hintSegSeq(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "hint-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "hint-"), ".log"), 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// findHintFiles lists a node's hint files in sequence order.
+func findHintFiles(dir string) ([]walSegRef, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []walSegRef
+	for _, de := range des {
+		if seq, ok := hintSegSeq(de.Name()); ok {
+			segs = append(segs, walSegRef{seq: seq, path: filepath.Join(dir, de.Name())})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	return segs, nil
+}
+
+// enqueue durably appends one framed mutation for replica node. The
+// hint is fsynced before enqueue returns: a coordinator crash cannot
+// silently drop a handoff it decided to make.
+func (q *hintQueue) enqueue(node int, payload []byte) error {
+	nh := q.nodes[node]
+	nh.mu.Lock()
+	defer nh.mu.Unlock()
+	if nh.f == nil || nh.size >= hintFileMax {
+		if nh.f != nil {
+			nh.f.Close()
+		}
+		path := filepath.Join(nh.dir, fmt.Sprintf("hint-%016x.log", nh.seq))
+		nh.seq++
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			nh.f = nil
+			return err
+		}
+		nh.f = f
+		nh.size = 0
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := nh.f.Write(hdr[:]); err != nil {
+		nh.f.Close()
+		nh.f = nil // a torn frame ends the file; rotate to a fresh one
+		return err
+	}
+	if _, err := nh.f.Write(payload); err != nil {
+		nh.f.Close()
+		nh.f = nil
+		return err
+	}
+	if err := nh.f.Sync(); err != nil {
+		nh.f.Close()
+		nh.f = nil
+		return err
+	}
+	nh.size += int64(8 + len(payload))
+	nh.has.Store(true)
+	q.queued.Add(1)
+	return nil
+}
+
+// replay delivers every queued hint of replica node to b, deleting
+// hint files as they complete. On failure the current file is kept and
+// the next attempt re-applies it from the start (at-least-once).
+func (q *hintQueue) replay(node int, b NodeBackend) error {
+	nh := q.nodes[node]
+	nh.mu.Lock()
+	defer nh.mu.Unlock()
+	if nh.f != nil {
+		// Freeze the file set: concurrent enqueues open a fresh file.
+		nh.f.Close()
+		nh.f = nil
+	}
+	segs, err := findHintFiles(nh.dir)
+	if err != nil {
+		return err
+	}
+	for _, seg := range segs {
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			return err
+		}
+		// A torn tail is a crash mid-enqueue: the write behind it was
+		// never recorded as hinted, so dropping it is correct.
+		ops, _ := decodeWALRecords(data)
+		for _, op := range ops {
+			if op.del {
+				if err := b.DeleteBefore(op.id, op.cutoff); err != nil {
+					return err
+				}
+				q.replayed.Add(1)
+				continue
+			}
+			if len(op.entries) == 0 {
+				continue
+			}
+			ttl, ok := expireToTTL(op.entries[0].expire)
+			if !ok {
+				continue // the hinted readings already expired
+			}
+			rs := make([]core.Reading, len(op.entries))
+			for i, e := range op.entries {
+				rs[i] = core.Reading{Timestamp: e.ts, Value: e.val}
+			}
+			if err := b.InsertBatch(op.id, rs, ttl); err != nil {
+				return err
+			}
+			q.replayed.Add(1)
+		}
+		if err := os.Remove(seg.path); err != nil {
+			return err
+		}
+	}
+	nh.has.Store(false)
+	return nil
+}
+
+// pending reports how many replicas still have queued hints.
+func (q *hintQueue) pending() int {
+	n := 0
+	for _, nh := range q.nodes {
+		if nh.has.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// close releases the open append files; queued hints stay on disk for
+// the next coordinator run.
+func (q *hintQueue) close() error {
+	var firstErr error
+	for _, nh := range q.nodes {
+		nh.mu.Lock()
+		if nh.f != nil {
+			if err := nh.f.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			nh.f = nil
+		}
+		nh.mu.Unlock()
+	}
+	return firstErr
+}
+
+// --- Cluster-side plumbing ---
+
+// hintInsert queues an insert hint, chunked like the WAL so replay
+// never sees an oversized record.
+func (c *Cluster) hintInsert(node int, id core.SensorID, rs []core.Reading, expire int64) {
+	for off := 0; off < len(rs); off += walBatchChunk {
+		chunk := rs[off:min(off+walBatchChunk, len(rs))]
+		if err := c.hints.enqueue(node, encodeWALInsert(nil, id, chunk, expire)); err != nil {
+			log.Printf("store: hint for node %d lost: %v", node, err)
+			return
+		}
+	}
+}
+
+// hintDelete queues a delete hint.
+func (c *Cluster) hintDelete(node int, id core.SensorID, cutoff int64) {
+	if err := c.hints.enqueue(node, encodeWALDelete(nil, id, cutoff)); err != nil {
+		log.Printf("store: hint for node %d lost: %v", node, err)
+	}
+}
+
+// hintLoop probes down replicas at the configured cadence and replays
+// their hints when they answer again.
+func (c *Cluster) hintLoop(interval time.Duration) {
+	defer c.bgWG.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopBG:
+			return
+		case <-t.C:
+			if err := c.ReplayHints(); err != nil {
+				log.Printf("store: hint replay: %v", err)
+			}
+		}
+	}
+}
+
+// ReplayHints makes one synchronous delivery attempt for every replica
+// with queued hints that currently answers pings. The background loop
+// calls it on a timer; tests and operators may call it directly.
+func (c *Cluster) ReplayHints() error {
+	if c.hints == nil {
+		return nil
+	}
+	var firstErr error
+	for i, b := range c.backends {
+		if !c.hints.nodes[i].has.Load() {
+			continue
+		}
+		if err := b.Ping(); err != nil {
+			continue // still down; keep the hints
+		}
+		if err := c.hints.replay(i, b); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// HintStats reports hinted-handoff counters: mutations queued and
+// delivered over the cluster's lifetime, and how many replicas still
+// have hints waiting. Zero values when handoff is disabled.
+func (c *Cluster) HintStats() (queued, replayed int64, pendingNodes int) {
+	if c.hints == nil {
+		return 0, 0, 0
+	}
+	return c.hints.queued.Load(), c.hints.replayed.Load(), c.hints.pending()
+}

@@ -238,19 +238,31 @@ var ErrNodeClosed = fmt.Errorf("store: node is closed")
 // ErrNodeReadOnly is returned by writes to a node opened read-only.
 var ErrNodeReadOnly = fmt.Errorf("store: node is read-only")
 
-// logDurable appends a WAL record for the mutation and, in sync-every
-// mode, makes it durable before the caller mutates the memtable.
-// Caller holds sh.mu exclusively. No-op on memory-only nodes.
-func (n *Node) logDurable(i int, encode func([]byte) []byte) error {
+// walPend is a sync-every write's durability obligation: the WAL
+// segment and record position that must be fsynced (via syncTo's group
+// commit) before the write is acknowledged. Zero when no sync is owed
+// (memory-only node or batched sync mode).
+type walPend struct {
+	w   *wal
+	pos uint64
+}
+
+// logDurable appends a WAL record for the mutation. In sync-every mode
+// it returns the record's durability obligation; the caller settles it
+// with syncTo after releasing the shard lock, so concurrent writers
+// group-commit into one fsync instead of serialising an fsync each
+// under the lock. Caller holds sh.mu exclusively. No-op on memory-only
+// nodes.
+func (n *Node) logDurable(i int, encode func([]byte) []byte) (walPend, error) {
 	sh := &n.shards[i]
 	if !n.durable() {
-		return nil
+		return walPend{}, nil
 	}
 	if n.opts.ReadOnly {
-		return ErrNodeReadOnly
+		return walPend{}, ErrNodeReadOnly
 	}
 	if sh.disk.wal == nil {
-		return ErrNodeClosed
+		return walPend{}, ErrNodeClosed
 	}
 	if sh.disk.wal.isBroken() {
 		// Self-heal after a transient write/fsync failure: every
@@ -260,18 +272,19 @@ func (n *Node) logDurable(i int, encode func([]byte) []byte) error {
 		// until then recovery replays them) lets a fresh segment take
 		// over instead of wedging the shard until restart.
 		if err := n.rotateBrokenWALLocked(i); err != nil {
-			return err
+			return walPend{}, err
 		}
 		log.Printf("store: shard %d rotated a broken WAL segment", i)
 	}
 	sh.disk.walBuf = encode(sh.disk.walBuf)
-	if err := sh.disk.wal.append(sh.disk.walBuf); err != nil {
-		return err
+	pos, err := sh.disk.wal.append(sh.disk.walBuf)
+	if err != nil {
+		return walPend{}, err
 	}
 	if n.opts.SyncInterval == 0 {
-		return sh.disk.wal.sync()
+		return walPend{w: sh.disk.wal, pos: pos}, nil
 	}
-	return nil
+	return walPend{}, nil
 }
 
 // rotateBrokenWALLocked retires the active (broken) segment into the
@@ -296,6 +309,13 @@ func (n *Node) rotateBrokenWALLocked(i int) error {
 
 // Insert implements Backend. It is the per-message hot path, so it
 // avoids the slice round-trip through InsertBatch.
+//
+// In sync-every mode the record is applied to the memtable before its
+// fsync: the fsync happens outside the shard lock (group-committed
+// across concurrent writers) and the insert returns only once it
+// succeeded, so the acknowledgement guarantee is unchanged. A sync
+// failure leaves the entry in the memtable unacknowledged — the same
+// may-replay-after-crash status any in-flight write has.
 func (n *Node) Insert(id core.SensorID, r core.Reading, ttl time.Duration) error {
 	if n.down.Load() {
 		return ErrNodeDown
@@ -307,10 +327,11 @@ func (n *Node) Insert(id core.SensorID, r core.Reading, ttl time.Duration) error
 	i := shardIndex(id)
 	sh := &n.shards[i]
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if err := n.logDurable(i, func(buf []byte) []byte {
+	pend, err := n.logDurable(i, func(buf []byte) []byte {
 		return encodeWALInsert1(buf, id, r, expire)
-	}); err != nil {
+	})
+	if err != nil {
+		sh.mu.Unlock()
 		return err
 	}
 	s := sh.seriesFor(id)
@@ -320,10 +341,17 @@ func (n *Node) Insert(id core.SensorID, r core.Reading, ttl time.Duration) error
 	s.entries = append(s.entries, entry{ts: r.Timestamp, val: r.Value, expire: expire})
 	sh.memSize++
 	sh.inserts++
+	var ferr error
 	if sh.memSize >= n.flushSize {
-		return n.flushShardLocked(i)
+		ferr = n.flushShardLocked(i)
 	}
-	return nil
+	sh.mu.Unlock()
+	if pend.w != nil {
+		if serr := pend.w.syncTo(pend.pos); serr != nil {
+			return serr
+		}
+	}
+	return ferr
 }
 
 // InsertBatch implements Backend.
@@ -342,19 +370,31 @@ func (n *Node) InsertBatch(id core.SensorID, rs []core.Reading, ttl time.Duratio
 	i := shardIndex(id)
 	sh := &n.shards[i]
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	// Batches are chunked so no record exceeds the replay-side bound
 	// (walMaxRecord) — an oversized record would be rejected at
-	// recovery and truncate every later record in the segment.
+	// recovery and truncate every later record in the segment. All
+	// chunks normally land in one segment; a mid-batch rotation of a
+	// broken segment adds a second pend, and each owed segment is
+	// synced below before the batch is acknowledged.
+	var pends []walPend
 	for off := 0; off < len(rs); off += walBatchChunk {
 		chunk := rs[off:min(off+walBatchChunk, len(rs))]
-		if err := n.logDurable(i, func(buf []byte) []byte {
+		pend, err := n.logDurable(i, func(buf []byte) []byte {
 			return encodeWALInsert(buf, id, chunk, expire)
-		}); err != nil {
+		})
+		if err != nil {
 			// Nothing was applied to the memtable: the write is not
 			// acknowledged (earlier chunks may replay after a crash,
 			// like any unacknowledged write in flight).
+			sh.mu.Unlock()
 			return err
+		}
+		if pend.w != nil {
+			if len(pends) > 0 && pends[len(pends)-1].w == pend.w {
+				pends[len(pends)-1].pos = pend.pos
+			} else {
+				pends = append(pends, pend)
+			}
 		}
 	}
 	s := sh.seriesFor(id)
@@ -366,10 +406,17 @@ func (n *Node) InsertBatch(id core.SensorID, rs []core.Reading, ttl time.Duratio
 	}
 	sh.memSize += len(rs)
 	sh.inserts += int64(len(rs))
+	var ferr error
 	if sh.memSize >= n.flushSize {
-		return n.flushShardLocked(i)
+		ferr = n.flushShardLocked(i)
 	}
-	return nil
+	sh.mu.Unlock()
+	for _, pend := range pends {
+		if serr := pend.w.syncTo(pend.pos); serr != nil {
+			return serr
+		}
+	}
+	return ferr
 }
 
 // Flush forces every shard's memtable into a sorted run. On durable
@@ -727,10 +774,11 @@ func (n *Node) DeleteBefore(id core.SensorID, cutoff int64) error {
 	i := shardIndex(id)
 	sh := &n.shards[i]
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if err := n.logDurable(i, func(buf []byte) []byte {
+	pend, err := n.logDurable(i, func(buf []byte) []byte {
 		return encodeWALDelete(buf, id, cutoff)
-	}); err != nil {
+	})
+	if err != nil {
+		sh.mu.Unlock()
 		return err
 	}
 	if n.durable() {
@@ -746,6 +794,10 @@ func (n *Node) DeleteBefore(id core.SensorID, cutoff int64) error {
 	sh.disk.delVer++
 	sh.cutMemLocked(id, cutoff)
 	sh.cutRunsLocked(id, cutoff, ^uint64(0))
+	sh.mu.Unlock()
+	if pend.w != nil {
+		return pend.w.syncTo(pend.pos)
+	}
 	return nil
 }
 

@@ -305,12 +305,8 @@ func TestNodeConcurrentMixedOps(t *testing.T) {
 }
 
 func TestClusterConcurrentReplicatedOps(t *testing.T) {
-	// Force the goroutine-per-replica fan-out even on single-CPU test
-	// hosts so the race detector covers the parallel paths.
-	old := parallelFanout
-	parallelFanout = true
-	defer func() { parallelFanout = old }()
-
+	// Fan-out is always goroutine-per-replica for batches at or above
+	// parallelBatchMin, so the race detector covers the parallel paths.
 	nodes := []*Node{NewNode(128), NewNode(128), NewNode(128)}
 	c, err := NewCluster(nodes, HashPartitioner{}, 2)
 	if err != nil {

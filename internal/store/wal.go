@@ -68,14 +68,23 @@ var openWALSink = func(path string) (walSink, error) {
 // wal is one active segment. The shard lock serialises append/rotate;
 // mu additionally guards the buffered writer against the background
 // syncer, and syncMu serialises fsyncs without blocking appends.
+//
+// appended/synced implement group commit for sync-every mode: append
+// hands each record a position, and syncTo(pos) makes everything up to
+// pos durable with one fsync shared by every writer whose record was
+// already buffered when the fsync's leader flushed. Writers queue on
+// syncMu; by the time a follower acquires it, the leader's fsync has
+// usually covered its record and it returns without touching the disk.
 type wal struct {
-	mu     sync.Mutex
-	syncMu sync.Mutex
-	sink   walSink
-	bw     *bufio.Writer
-	path   string
-	seq    uint64
-	broken bool // a write failed; the segment is no longer trusted
+	mu       sync.Mutex
+	syncMu   sync.Mutex
+	sink     walSink
+	bw       *bufio.Writer
+	path     string
+	seq      uint64
+	broken   bool   // a write failed; the segment is no longer trusted
+	appended uint64 // records appended so far (under mu)
+	synced   uint64 // records known durable (under mu)
 }
 
 func createWAL(dir string, seq uint64) (*wal, error) {
@@ -97,38 +106,73 @@ func (w *wal) isBroken() bool {
 	return w.broken
 }
 
-// append frames and buffers one record payload. The write is durable
-// only after sync.
-func (w *wal) append(payload []byte) error {
+// append frames and buffers one record payload, returning the record's
+// position for syncTo. The write is durable only after a sync covering
+// the position.
+func (w *wal) append(payload []byte) (uint64, error) {
 	w.lock()
 	defer w.unlock()
 	if w.broken {
-		return fmt.Errorf("store: WAL segment %s is broken", w.path)
+		return 0, fmt.Errorf("store: WAL segment %s is broken", w.path)
 	}
 	var hdr [8]byte
 	binary.BigEndian.PutUint32(hdr[0:], uint32(len(payload)))
 	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
 	if _, err := w.bw.Write(hdr[:]); err != nil {
 		w.broken = true
-		return err
+		return 0, err
 	}
 	if _, err := w.bw.Write(payload); err != nil {
 		w.broken = true
-		return err
+		return 0, err
 	}
-	return nil
+	w.appended++
+	return w.appended, nil
 }
 
-// sync flushes buffered records and fsyncs the segment. A write is
-// acknowledged as durable only once sync returns. The buffer flush
-// happens under mu, but the fsync itself runs outside it (serialised
-// by syncMu) so a background sync tick never stalls the shard's
-// appends — and therefore its inserts and queries — for the fsync
-// duration. Syncing a segment a concurrent flush already rotated out
-// succeeds trivially: close flushed and fsynced everything, so the
-// data is durable and the stale handle is not an error.
+// sync makes every record appended so far durable.
 func (w *wal) sync() error {
 	w.lock()
+	pos := w.appended
+	w.unlock()
+	return w.syncTo(pos)
+}
+
+// syncTo makes the record at position pos (and everything before it)
+// durable, group-committing concurrent writers: the first writer
+// through syncMu becomes the fsync leader; it flushes the buffer —
+// capturing every record appended by then, including the followers
+// queued behind it — and fsyncs once. A follower acquiring syncMu
+// afterwards observes synced >= pos and returns without touching the
+// disk, so N concurrent sync-every writers pay ~1 fsync, not N.
+//
+// The buffer flush happens under mu, but the fsync itself runs outside
+// it (serialised by syncMu) so a sync never stalls the shard's appends
+// — and therefore its inserts and queries — for the fsync duration.
+// Syncing a segment a concurrent flush already rotated out succeeds
+// trivially: close flushed and fsynced everything, so the data is
+// durable and the stale handle is not an error.
+func (w *wal) syncTo(pos uint64) error {
+	// Records at or below synced were fsynced before any later failure,
+	// so they are durable even on a segment since marked broken.
+	w.lock()
+	if w.synced >= pos {
+		w.unlock()
+		return nil
+	}
+	if w.broken {
+		w.unlock()
+		return fmt.Errorf("store: WAL segment %s is broken", w.path)
+	}
+	w.unlock()
+
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	w.lock()
+	if w.synced >= pos {
+		w.unlock()
+		return nil
+	}
 	if w.broken {
 		w.unlock()
 		return fmt.Errorf("store: WAL segment %s is broken", w.path)
@@ -142,11 +186,10 @@ func (w *wal) sync() error {
 		w.unlock()
 		return err
 	}
+	target := w.appended
 	w.unlock()
 
-	w.syncMu.Lock()
 	err := w.sink.Sync()
-	w.syncMu.Unlock()
 	if err != nil {
 		if errors.Is(err, os.ErrClosed) {
 			return nil
@@ -156,17 +199,27 @@ func (w *wal) sync() error {
 		w.unlock()
 		return err
 	}
+	w.lock()
+	if target > w.synced {
+		w.synced = target
+	}
+	w.unlock()
 	return nil
 }
 
 // close flushes, fsyncs and closes the segment file. The file stays on
-// disk until the flush that consumed it is durable.
+// disk until the flush that consumed it is durable. On success every
+// appended record is durable, which lets an in-flight syncTo on the
+// rotated-out handle take its fast path.
 func (w *wal) close() error {
 	w.lock()
 	defer w.unlock()
 	ferr := w.bw.Flush()
 	serr := w.sink.Sync()
 	cerr := w.sink.Close()
+	if ferr == nil && serr == nil {
+		w.synced = w.appended
+	}
 	if ferr != nil {
 		return ferr
 	}

@@ -17,6 +17,7 @@ import (
 	"dcdb/internal/core"
 	"dcdb/internal/fsutil"
 	"dcdb/internal/libdcdb"
+	"dcdb/internal/rpc"
 	"dcdb/internal/store"
 )
 
@@ -115,6 +116,57 @@ func finish(node *store.Node, topicsPath, metaPath string) (*libdcdb.Connection,
 		return nil, nil, fmt.Errorf("tooldb: metadata: %w", err)
 	}
 	return conn, node, nil
+}
+
+// RemoteOptions configure a live-cluster connection for the tools.
+type RemoteOptions struct {
+	// Addrs are the dcdbnode RPC addresses, in the same ring order the
+	// Collect Agent uses.
+	Addrs []string
+	// Replication and Partitioner must match the agent's configuration
+	// or queries route to the wrong replicas.
+	Replication int
+	Partitioner store.Partitioner
+	// ReadConsistency for queries (zero value = ONE).
+	ReadConsistency store.Consistency
+}
+
+// OpenRemote connects to a running multi-process storage cluster
+// instead of loading persisted files. Topic names live with the agent,
+// not the storage tier, so topicsSource — an agent data directory or a
+// snapshot prefix — supplies the topic map; readings are queried live
+// from the nodes. Close the connection's backend when done.
+func OpenRemote(topicsSource string, o RemoteOptions) (*libdcdb.Connection, *store.Cluster, error) {
+	cluster, err := collectagent.OpenRemoteBackend(o.Addrs, store.ClusterOptions{
+		Partitioner:     o.Partitioner,
+		Replication:     o.Replication,
+		ReadConsistency: o.ReadConsistency,
+	}, rpc.ClientOptions{})
+	if err != nil {
+		return nil, nil, err
+	}
+	mapper := core.NewTopicMapper()
+	topicsPath := topicsSource + ".topics"
+	if st, serr := os.Stat(topicsSource); serr == nil && st.IsDir() {
+		topicsPath = collectagent.TopicsPath(topicsSource)
+	}
+	if err := collectagent.LoadTopicsFile(topicsPath, mapper); err != nil {
+		cluster.Close()
+		return nil, nil, fmt.Errorf("tooldb: topic map: %w", err)
+	}
+	conn := libdcdb.Connect(cluster, mapper)
+	// Register every stored sensor in the hierarchy so listing works,
+	// exactly as the file-backed open does — the SID set comes from the
+	// live nodes instead of recovered files.
+	for _, id := range cluster.SensorIDs() {
+		if topic, ok := mapper.Reverse(id); ok {
+			if err := conn.RegisterTopic(topic); err != nil {
+				cluster.Close()
+				return nil, nil, err
+			}
+		}
+	}
+	return conn, cluster, nil
 }
 
 // Save persists the tool-side node and metadata back under prefix. For

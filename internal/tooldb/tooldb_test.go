@@ -8,6 +8,7 @@ import (
 	"dcdb/internal/collectagent"
 	"dcdb/internal/core"
 	"dcdb/internal/libdcdb"
+	"dcdb/internal/rpc"
 	"dcdb/internal/store"
 )
 
@@ -172,5 +173,76 @@ func TestOpenDataDirectory(t *testing.T) {
 	// Save collapsed the cluster into node0.
 	if _, err := os.Stat(collectagent.NodeDir(dir, 1)); !os.IsNotExist(err) {
 		t.Errorf("stale node1 directory survived Save: %v", err)
+	}
+}
+
+func TestOpenRemoteQueriesLiveCluster(t *testing.T) {
+	// A "multi-process" cluster in miniature: two storage nodes behind
+	// loopback RPC servers, a topics file where the agent would keep
+	// it, and a tool connection querying the live nodes.
+	mapper := core.NewTopicMapper()
+	topics := []string{"/dc/r1/power", "/dc/r1/temp", "/dc/r2/power"}
+	part := store.HierarchicalPartitioner{Depth: 2}
+
+	nodes := []*store.Node{store.NewNode(0), store.NewNode(0)}
+	var addrs []string
+	for _, n := range nodes {
+		srv := rpc.NewServer(n, true)
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		addrs = append(addrs, srv.Addr())
+	}
+	// Populate through a writer cluster the way the agent would, so
+	// placement matches what OpenRemote's reader cluster expects.
+	var writers []store.NodeBackend
+	for _, addr := range addrs {
+		writers = append(writers, rpc.NewClient(addr, rpc.ClientOptions{}))
+	}
+	wc, err := store.NewClusterOptions(writers, store.ClusterOptions{Partitioner: part, Replication: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tp := range topics {
+		id, merr := mapper.Map(tp)
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		for ts := int64(1); ts <= 4; ts++ {
+			if err := wc.Insert(id, core.Reading{Timestamp: ts, Value: float64(i)}, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	dir := t.TempDir()
+	if err := collectagent.SaveTopics(dir, mapper); err != nil {
+		t.Fatal(err)
+	}
+	conn, cluster, err := OpenRemote(dir, RemoteOptions{
+		Addrs: addrs, Replication: 1, Partitioner: part,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if got := conn.ListSensors(""); len(got) != len(topics) {
+		t.Fatalf("remote connection lists %v, want %d sensors", got, len(topics))
+	}
+	for _, tp := range topics {
+		rs, err := conn.Query(tp, 0, 1<<62)
+		if err != nil || len(rs) != 4 {
+			t.Fatalf("remote query %q: %d readings, %v", tp, len(rs), err)
+		}
+	}
+	if err := wc.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenRemoteRejectsEmptyAddrs(t *testing.T) {
+	if _, _, err := OpenRemote(t.TempDir(), RemoteOptions{}); err == nil {
+		t.Fatal("OpenRemote with no addresses succeeded")
 	}
 }
