@@ -622,6 +622,148 @@ func BenchmarkClusterInsertRPCReplicated(b *testing.B) {
 	b.SetBytes(64 * 16)
 }
 
+// --- bounded-memory engine benchmarks (cold reads, streaming RPC,
+// cold compaction) ---
+
+// coldBenchNode builds a durable node with a small block cache and
+// total readings spilled to cold v2 run files, so queries decode
+// blocks from disk through the cache.
+func coldBenchNode(b *testing.B, total int, cacheBytes int64) (*store.Node, core.SensorID) {
+	b.Helper()
+	n := store.NewNode(0)
+	o := store.DiskOptions{SyncInterval: -1, CompactInterval: -1, CacheBytes: cacheBytes}
+	if err := n.OpenOptions(b.TempDir(), o); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { n.Close() })
+	id := core.SensorID{Hi: 6, Lo: 6}
+	batch := make([]core.Reading, 1000)
+	for base := 0; base < total; base += len(batch) {
+		for i := range batch {
+			batch[i] = core.Reading{Timestamp: int64(base + i), Value: float64((base + i) % 977)}
+		}
+		if err := n.InsertBatch(id, batch, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := n.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	n.Compact() // waits for spills, merges into one cold v2 file
+	return n, id
+}
+
+// BenchmarkQueryCold measures a 1001-reading range read served from
+// evicted (cold) run data: per-series block-index rejection, block
+// reads + CRC + decode through the cache. The cache is deliberately
+// smaller than the working set so misses dominate — the worst case
+// eviction can inflict — to be compared with BenchmarkStoreQuery's
+// fully-resident baseline.
+func BenchmarkQueryCold(b *testing.B) {
+	n, id := coldBenchNode(b, 200_000, 64<<10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := int64(i*4093) % 199_000
+		rs, err := n.Query(id, from, from+1000)
+		if err != nil || len(rs) != 1001 {
+			b.Fatalf("query: %d, %v", len(rs), err)
+		}
+	}
+}
+
+// BenchmarkQueryColdCacheHit is the same read with a cache large
+// enough for the whole working set — the steady state when the hot
+// window fits CacheBytes, costing only cache lookups over the
+// fully-resident baseline.
+func BenchmarkQueryColdCacheHit(b *testing.B) {
+	n, id := coldBenchNode(b, 200_000, 16<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := int64(i*4093) % 199_000
+		rs, err := n.Query(id, from, from+1000)
+		if err != nil || len(rs) != 1001 {
+			b.Fatalf("query: %d, %v", len(rs), err)
+		}
+	}
+}
+
+// BenchmarkQueryStreamRPC measures an 8K-reading range read streamed
+// over loopback RPC in chunk frames from a cold node — the end-to-end
+// path a long-retention analytics query takes (cold blocks decode
+// server-side, bounded chunks cross the wire, client reassembles).
+func BenchmarkQueryStreamRPC(b *testing.B) {
+	n, id := coldBenchNode(b, 200_000, 1<<20)
+	srv := rpc.NewServer(n, true)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	cl := rpc.NewClient(srv.Addr(), rpc.ClientOptions{})
+	b.Cleanup(func() { cl.Close() })
+	const span = 2*store.StreamChunkReadings + 100
+	b.SetBytes(span * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := int64(i*8191) % 190_000
+		st, err := cl.QueryStream(id, from, from+span-1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		count := 0
+		for {
+			rs, err := st.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			count += len(rs)
+		}
+		st.Close()
+		if count != span {
+			b.Fatalf("stream returned %d readings, want %d", count, span)
+		}
+	}
+}
+
+// BenchmarkColdCompactionThroughput measures the streaming merge of
+// cold run files: blocks decode one at a time, merge through the
+// k-way heap, and re-encode into the output writer — compaction memory
+// stays O(blocks) while throughput is reported in bytes of entry data
+// per second.
+func BenchmarkColdCompactionThroughput(b *testing.B) {
+	const total = 200_000
+	b.SetBytes(total * 24)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		n := store.NewNode(1 << 14) // ~1K entries per shard flush: many runs
+		o := store.DiskOptions{SyncInterval: -1, CompactInterval: -1, CacheBytes: 1 << 20}
+		if err := n.OpenOptions(b.TempDir(), o); err != nil {
+			b.Fatal(err)
+		}
+		id := core.SensorID{Hi: 9, Lo: 9}
+		batch := make([]core.Reading, 1000)
+		for base := 0; base < total; base += len(batch) {
+			for j := range batch {
+				batch[j] = core.Reading{Timestamp: int64(base + j), Value: float64(base + j)}
+			}
+			if err := n.InsertBatch(id, batch, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := n.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		n.Sync()
+		b.StartTimer()
+		n.Compact()
+		b.StopTimer()
+		n.Close()
+		b.StartTimer()
+	}
+}
+
 // BenchmarkStoreQuery measures range reads across memtable + SSTables.
 func BenchmarkStoreQuery(b *testing.B) {
 	n := store.NewNode(1 << 12)

@@ -64,6 +64,7 @@ func main() {
 	readCLFlag := flag.String("read-consistency", "one", "replicas a read must reach: one or quorum")
 	dataDir := flag.String("data", "", "durable data directory (embedded: run files + WAL per node; remote: topic map + hinted-handoff queue; empty = not durable)")
 	walSync := flag.Duration("wal-sync", 50*time.Millisecond, "WAL fsync batching interval; 0 syncs every write (embedded cluster only)")
+	cacheBytes := flag.String("cache-bytes", "0", "per-node block cache budget (e.g. 256MB) for the embedded durable cluster: bounds resident run data; 0 keeps all runs resident")
 	snapshot := flag.String("snapshot", "", "legacy snapshot file prefix (empty = no snapshots)")
 	snapEvery := flag.Duration("snapshot-interval", 5*time.Minute, "periodic snapshot / topic-map save interval")
 	flag.Parse()
@@ -114,8 +115,12 @@ func main() {
 		}
 		cluster, err = collectagent.OpenRemoteBackend(remoteAddrs, co, rpc.ClientOptions{})
 	case *dataDir != "":
+		var cache int64
+		if cache, err = store.ParseByteSize(*cacheBytes); err != nil {
+			log.Fatalf("collectagent: -cache-bytes: %v", err)
+		}
 		cluster, err = collectagent.OpenBackendOptions(*dataDir, nodeCount,
-			store.DiskOptions{SyncInterval: *walSync}, co)
+			store.DiskOptions{SyncInterval: *walSync, CacheBytes: cache}, co)
 	default:
 		backends := make([]store.NodeBackend, nodeCount)
 		for i := range backends {

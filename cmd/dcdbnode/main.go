@@ -33,15 +33,20 @@ func main() {
 	dataDir := flag.String("data", "", "durable data directory (required)")
 	walSync := flag.Duration("wal-sync", 0, "WAL fsync batching interval; 0 syncs every write (safest for a storage tier that acknowledges to remote coordinators)")
 	flushSize := flag.Int("flush-size", 0, "memtable entries per flush (0 = default)")
+	cacheBytes := flag.String("cache-bytes", "0", "block cache budget (e.g. 256MB): bounds resident run data — memory stays O(cache), retention is limited by disk; 0 keeps all runs resident")
 	flag.Parse()
 
 	if *dataDir == "" {
 		log.Fatal("dcdbnode: -data is required; a storage node without a data directory would lose everything it acknowledged")
 	}
+	cache, err := store.ParseByteSize(*cacheBytes)
+	if err != nil {
+		log.Fatalf("dcdbnode: -cache-bytes: %v", err)
+	}
 
 	node := store.NewNode(*flushSize)
 	start := time.Now()
-	if err := node.OpenOptions(*dataDir, store.DiskOptions{SyncInterval: *walSync}); err != nil {
+	if err := node.OpenOptions(*dataDir, store.DiskOptions{SyncInterval: *walSync, CacheBytes: cache}); err != nil {
 		log.Fatalf("dcdbnode: opening %s: %v", *dataDir, err)
 	}
 	_, _, entries := node.Stats()

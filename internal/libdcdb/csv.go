@@ -15,27 +15,50 @@ import (
 // with RFC3339Nano timestamps.
 
 // ExportCSV writes the readings of the given sensors over [from, to].
+// Rows are streamed: each sensor's result arrives in bounded chunks
+// (over RPC, chunk frames) and is printed as it lands, so exporting a
+// long retention never materializes it — in memory here or on the
+// serving node.
 func (c *Connection) ExportCSV(w io.Writer, topics []string, from, to int64) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"sensor", "timestamp", "value"}); err != nil {
 		return err
 	}
 	for _, topic := range topics {
-		rs, err := c.Query(topic, from, to)
+		st, err := c.QueryStream(topic, from, to)
 		if err != nil {
 			return fmt.Errorf("libdcdb: exporting %q: %w", topic, err)
 		}
 		t, _ := core.CanonicalTopic(topic)
-		for _, r := range rs {
-			rec := []string{
-				t,
-				r.Time().UTC().Format(time.RFC3339Nano),
-				strconv.FormatFloat(r.Value, 'g', -1, 64),
+		for {
+			rs, err := st.Next()
+			if err == io.EOF {
+				break
 			}
-			if err := cw.Write(rec); err != nil {
+			if err != nil {
+				st.Close()
+				return fmt.Errorf("libdcdb: exporting %q: %w", topic, err)
+			}
+			for _, r := range rs {
+				rec := []string{
+					t,
+					r.Time().UTC().Format(time.RFC3339Nano),
+					strconv.FormatFloat(r.Value, 'g', -1, 64),
+				}
+				if err := cw.Write(rec); err != nil {
+					st.Close()
+					return err
+				}
+			}
+			// Hand rows to the terminal as they arrive rather than
+			// buffering the whole export.
+			cw.Flush()
+			if err := cw.Error(); err != nil {
+				st.Close()
 				return err
 			}
 		}
+		st.Close()
 	}
 	cw.Flush()
 	return cw.Error()

@@ -13,6 +13,7 @@ package libdcdb
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"time"
@@ -182,6 +183,90 @@ func (c *Connection) InsertBatch(topic string, rs []core.Reading) error {
 // write-back caching).
 func (c *Connection) Query(topic string, from, to int64) ([]core.Reading, error) {
 	return c.query(topic, from, to, nil)
+}
+
+// queryStreamer is the streaming-read capability of a Storage Backend.
+// Node, Cluster and the RPC client all provide it; exotic backends
+// fall back to a materialized query.
+type queryStreamer interface {
+	QueryStream(id core.SensorID, from, to int64) (store.ReadingStream, error)
+}
+
+// sliceStream adapts a materialized result to the stream API for
+// backends (or sensor kinds) without native streaming.
+type sliceStream struct {
+	rs   []core.Reading
+	done bool
+}
+
+func (s *sliceStream) Next() ([]core.Reading, error) {
+	if s.done || len(s.rs) == 0 {
+		return nil, io.EOF
+	}
+	s.done = true
+	return s.rs, nil
+}
+
+func (s *sliceStream) Close() error { s.done = true; return nil }
+
+// scaledStream applies a sensor's configured scale chunk by chunk.
+type scaledStream struct {
+	st    store.ReadingStream
+	scale float64
+	buf   []core.Reading
+}
+
+func (s *scaledStream) Next() ([]core.Reading, error) {
+	rs, err := s.st.Next()
+	if err != nil {
+		return nil, err
+	}
+	if cap(s.buf) < len(rs) {
+		s.buf = make([]core.Reading, len(rs))
+	}
+	s.buf = s.buf[:len(rs)]
+	for i, r := range rs {
+		s.buf[i] = core.Reading{Timestamp: r.Timestamp, Value: r.Value * s.scale}
+	}
+	return s.buf, nil
+}
+
+func (s *scaledStream) Close() error { return s.st.Close() }
+
+// QueryStream is the streaming form of Query: readings arrive in
+// bounded chunks pulled from the backend (over RPC, chunk frames), so
+// exporting a long retention holds O(chunk) memory end to end.
+// Virtual sensors are evaluated materialized (their expressions need
+// whole operand windows) and streamed from the result; the stream must
+// be closed.
+func (c *Connection) QueryStream(topic string, from, to int64) (store.ReadingStream, error) {
+	t, err := core.CanonicalTopic(topic)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.RLock()
+	m, hasMeta := c.meta[t]
+	c.mu.RUnlock()
+	streamer, ok := c.backend.(queryStreamer)
+	if !ok || (hasMeta && m.Virtual) {
+		rs, err := c.Query(topic, from, to)
+		if err != nil {
+			return nil, err
+		}
+		return &sliceStream{rs: rs}, nil
+	}
+	id, ok := c.mapper.Lookup(t)
+	if !ok {
+		return nil, fmt.Errorf("libdcdb: unknown sensor %q", topic)
+	}
+	st, err := streamer.QueryStream(id, from, to)
+	if err != nil {
+		return nil, err
+	}
+	if hasMeta && m.EffectiveScale() != 1 {
+		return &scaledStream{st: st, scale: m.EffectiveScale()}, nil
+	}
+	return st, nil
 }
 
 // query implements Query with an evaluation stack for cycle detection

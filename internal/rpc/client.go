@@ -2,7 +2,9 @@ package rpc
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"net"
@@ -108,7 +110,8 @@ type respMsg struct {
 
 // clientConn is one pooled connection. mu guards dial state and the
 // write half; the read loop runs unlocked and matches responses to
-// waiters by request id.
+// waiters by request id — unary calls in pending, open streams in
+// streams.
 type clientConn struct {
 	cl *Client
 
@@ -120,6 +123,7 @@ type clientConn struct {
 
 	pmu     sync.Mutex
 	pending map[uint64]chan respMsg
+	streams map[uint64]*clientStream
 
 	nextID atomic.Uint64
 }
@@ -180,17 +184,28 @@ func (s *clientConn) teardown(nc net.Conn, err error) {
 		delete(s.pending, id)
 		ch <- respMsg{err: err}
 	}
+	for id, st := range s.streams {
+		delete(s.streams, id)
+		st.terminate(err)
+	}
 	s.pmu.Unlock()
 }
 
 // readLoop matches response frames to waiting calls until the
 // connection dies. nc identifies the generation: teardown ignores the
-// call when a successor has already replaced nc.
+// call when a successor has already replaced nc. readFrame enforces
+// the frame bound on this side too — an oversized or corrupt length
+// prefix from a misbehaving server poisons the connection instead of
+// driving a huge allocation — and stream chunks are held to the much
+// tighter streamChunkMaxBytes.
 func (s *clientConn) readLoop(nc net.Conn) {
 	br := bufio.NewReader(nc)
 	for {
 		payload, err := readFrame(br)
 		if err != nil {
+			if errors.Is(err, errFrameTooLarge) {
+				err = fmt.Errorf("rpc: %s sent an oversized frame (corrupt or hostile length prefix); poisoning connection: %w", s.cl.addr, err)
+			}
 			s.teardown(nc, fmt.Errorf("rpc: connection to %s lost: %w", s.cl.addr, err))
 			return
 		}
@@ -201,15 +216,69 @@ func (s *clientConn) readLoop(nc net.Conn) {
 		id := uint64(payload[0])<<56 | uint64(payload[1])<<48 | uint64(payload[2])<<40 |
 			uint64(payload[3])<<32 | uint64(payload[4])<<24 | uint64(payload[5])<<16 |
 			uint64(payload[6])<<8 | uint64(payload[7])
+		status := payload[8]
 		s.pmu.Lock()
-		ch, ok := s.pending[id]
-		delete(s.pending, id)
-		s.pmu.Unlock()
-		if ok {
-			ch <- respMsg{status: payload[8], body: payload[respHeaderLen:]}
+		if ch, ok := s.pending[id]; ok {
+			delete(s.pending, id)
+			s.pmu.Unlock()
+			ch <- respMsg{status: status, body: payload[respHeaderLen:]}
+			continue
 		}
-		// Unmatched ids are responses whose caller timed out; drop.
+		st, isStream := s.streams[id]
+		if isStream && (status == statusChunk || status == statusStreamEnd || status == statusErr) {
+			terminal := status != statusChunk
+			if terminal {
+				delete(s.streams, id)
+			}
+			s.pmu.Unlock()
+			if err := s.routeStreamFrame(st, status, payload); err != nil {
+				s.teardown(nc, err)
+				return
+			}
+			continue
+		}
+		s.pmu.Unlock()
+		// Unmatched ids are responses whose caller timed out or streams
+		// already closed; drop.
 	}
+}
+
+// routeStreamFrame validates and delivers one stream frame. A sequence
+// gap or an oversized chunk means the peer (or the path to it) can no
+// longer be trusted with framing — the whole connection is poisoned.
+func (s *clientConn) routeStreamFrame(st *clientStream, status byte, payload []byte) error {
+	switch status {
+	case statusErr:
+		st.deliver(streamMsg{err: fmt.Errorf("rpc: %s: %s", s.cl.addr, string(payload[respHeaderLen:]))})
+		return nil
+	case statusChunk:
+		if len(payload) > streamChunkMaxBytes {
+			err := fmt.Errorf("rpc: %s sent a %d-byte stream chunk (bound %d); poisoning connection",
+				s.cl.addr, len(payload), streamChunkMaxBytes)
+			st.deliver(streamMsg{err: err})
+			return err
+		}
+	}
+	if len(payload) < respHeaderLen+4 {
+		err := fmt.Errorf("rpc: short stream frame from %s", s.cl.addr)
+		st.deliver(streamMsg{err: err})
+		return err
+	}
+	seq := uint32(payload[respHeaderLen])<<24 | uint32(payload[respHeaderLen+1])<<16 |
+		uint32(payload[respHeaderLen+2])<<8 | uint32(payload[respHeaderLen+3])
+	if seq != st.expectSeq {
+		err := fmt.Errorf("rpc: %s stream frame out of sequence (got %d, want %d); poisoning connection",
+			s.cl.addr, seq, st.expectSeq)
+		st.deliver(streamMsg{err: err})
+		return err
+	}
+	st.expectSeq++
+	if status == statusStreamEnd {
+		st.deliver(streamMsg{end: true})
+		return nil
+	}
+	st.deliver(streamMsg{body: payload[respHeaderLen+4:]})
+	return nil
 }
 
 // call performs one pipelined request and returns the response body.
@@ -420,6 +489,248 @@ func (c *Client) Stats() (inserts, queries int64, entries int) {
 		return 0, 0, 0
 	}
 	return inserts, queries, entries
+}
+
+// --- streaming reads ---
+
+// streamMsg is one delivered stream event: a chunk body (after the
+// sequence number), the end-of-stream marker, or a mid-stream error.
+type streamMsg struct {
+	body []byte
+	end  bool
+	err  error
+}
+
+// clientStream is the client half of one streaming request. Chunk
+// frames flow from the read loop through ch in order; term carries
+// connection-level failure out of band; done is the cancel-on-close
+// signal. Backpressure is physical: when the consumer stops pulling,
+// ch fills, the read loop blocks, the kernel's receive window fills,
+// and the server's ack-gated writer stalls — no side buffers more than
+// a few chunks.
+type clientStream struct {
+	s  *clientConn
+	nc net.Conn
+	id uint64
+
+	ch   chan streamMsg
+	done chan struct{}
+
+	term     chan struct{}
+	termErr  error
+	termOnce sync.Once
+
+	expectSeq uint32 // owned by the read loop
+	closed    atomic.Bool
+	finished  bool // terminal event consumed (owned by the consumer)
+}
+
+// terminate fails the stream out of band (connection death).
+func (st *clientStream) terminate(err error) {
+	st.termOnce.Do(func() {
+		st.termErr = err
+		close(st.term)
+	})
+}
+
+// deliver hands one in-order event to the consumer, giving up if the
+// stream was closed or terminated (the read loop must never block on
+// an abandoned stream).
+func (st *clientStream) deliver(m streamMsg) {
+	select {
+	case st.ch <- m:
+	case <-st.done:
+	case <-st.term:
+	}
+}
+
+// nextMsg pulls the next chunk, bounding the wait per chunk by the
+// client's call timeout (a stalled stream is closed and reported).
+func (st *clientStream) nextMsg() (streamMsg, error) {
+	if st.finished {
+		return streamMsg{}, io.EOF
+	}
+	timer := time.NewTimer(st.s.cl.o.CallTimeout)
+	defer timer.Stop()
+	select {
+	case m := <-st.ch:
+		if m.err != nil {
+			st.finished = true
+			return streamMsg{}, m.err
+		}
+		if m.end {
+			st.finished = true
+			return streamMsg{}, io.EOF
+		}
+		return m, nil
+	case <-st.term:
+		st.finished = true
+		return streamMsg{}, st.termErr
+	case <-st.done:
+		return streamMsg{}, fmt.Errorf("rpc: stream closed")
+	case <-timer.C:
+		st.Close()
+		return streamMsg{}, fmt.Errorf("rpc: stream from %s stalled beyond %s", st.s.cl.addr, st.s.cl.o.CallTimeout)
+	}
+}
+
+// Close cancels the stream: the consumer stops, the read loop stops
+// routing to it, and a best-effort cancel op tells the server to stop
+// producing. Idempotent.
+func (st *clientStream) Close() error {
+	if st.closed.Swap(true) {
+		return nil
+	}
+	close(st.done)
+	st.s.pmu.Lock()
+	delete(st.s.streams, st.id)
+	st.s.pmu.Unlock()
+	if !st.finished {
+		st.s.sendCancel(st.nc, st.id)
+	}
+	return nil
+}
+
+// sendCancel writes a best-effort opCancelStream for target on nc (if
+// it is still the live connection). No response is expected.
+func (s *clientConn) sendCancel(nc net.Conn, target uint64) {
+	id := s.nextID.Add(1)
+	payload := make([]byte, 0, reqHeaderLen+8)
+	payload = appendU64(payload, id)
+	payload = append(payload, opCancelStream)
+	payload = appendI64(payload, 0)
+	payload = appendU64(payload, target)
+	s.mu.Lock()
+	if s.nc == nc && s.bw != nil {
+		nc.SetWriteDeadline(time.Now().Add(s.cl.o.CallTimeout))
+		if writeFrame(s.bw, payload) == nil {
+			s.bw.Flush() // best effort; failure surfaces on the next call
+		}
+	}
+	s.mu.Unlock()
+}
+
+// openStream registers and launches one streaming request.
+func (s *clientConn) openStream(op byte, body []byte) (*clientStream, error) {
+	nc, err := s.ensure()
+	if err != nil {
+		return nil, err
+	}
+	id := s.nextID.Add(1)
+	st := &clientStream{
+		s: s, nc: nc, id: id,
+		ch:   make(chan streamMsg, 4),
+		done: make(chan struct{}),
+		term: make(chan struct{}),
+	}
+	s.pmu.Lock()
+	if s.streams == nil {
+		s.streams = make(map[uint64]*clientStream)
+	}
+	s.streams[id] = st
+	s.pmu.Unlock()
+
+	payload := make([]byte, 0, reqHeaderLen+len(body))
+	payload = appendU64(payload, id)
+	payload = append(payload, op)
+	payload = appendI64(payload, int64(s.cl.o.CallTimeout))
+	payload = append(payload, body...)
+
+	s.mu.Lock()
+	if s.nc != nc {
+		s.mu.Unlock()
+		s.pmu.Lock()
+		delete(s.streams, id)
+		s.pmu.Unlock()
+		return nil, fmt.Errorf("rpc: connection to %s lost", s.cl.addr)
+	}
+	nc.SetWriteDeadline(time.Now().Add(s.cl.o.CallTimeout))
+	err = writeFrame(s.bw, payload)
+	if err == nil {
+		err = s.bw.Flush()
+	}
+	s.mu.Unlock()
+	if err != nil {
+		s.teardown(nc, fmt.Errorf("rpc: writing to %s: %w", s.cl.addr, err))
+		return nil, err
+	}
+	return st, nil
+}
+
+// readingStream adapts a clientStream to store.ReadingStream.
+type readingStream struct{ st *clientStream }
+
+func (r *readingStream) Next() ([]core.Reading, error) {
+	m, err := r.st.nextMsg()
+	if err != nil {
+		return nil, err
+	}
+	cur := &cursor{b: m.body}
+	rs := cur.readings()
+	if err := cur.done(); err != nil {
+		r.st.Close()
+		return nil, err
+	}
+	return rs, nil
+}
+
+func (r *readingStream) Close() error { return r.st.Close() }
+
+// keyedStream adapts a clientStream to store.KeyedReadingStream.
+type keyedStream struct{ st *clientStream }
+
+func (k *keyedStream) Next() (core.SensorID, []core.Reading, error) {
+	m, err := k.st.nextMsg()
+	if err != nil {
+		return core.SensorID{}, nil, err
+	}
+	cur := &cursor{b: m.body}
+	id := cur.sid()
+	rs := cur.readings()
+	if err := cur.done(); err != nil {
+		k.st.Close()
+		return core.SensorID{}, nil, err
+	}
+	return id, rs, nil
+}
+
+func (k *keyedStream) Close() error { return k.st.Close() }
+
+// QueryStream implements store.NodeBackend: the query result arrives
+// as sequence-checked chunk frames; Close cancels server-side
+// production.
+func (c *Client) QueryStream(id core.SensorID, from, to int64) (store.ReadingStream, error) {
+	if c.closed.Load() {
+		return nil, fmt.Errorf("rpc: client closed")
+	}
+	body := make([]byte, 0, 16+16)
+	body = appendSID(body, id)
+	body = appendI64(body, from)
+	body = appendI64(body, to)
+	slot := c.slots[c.rr.Add(1)%uint32(len(c.slots))]
+	st, err := slot.openStream(opQueryStream, body)
+	if err != nil {
+		return nil, err
+	}
+	return &readingStream{st: st}, nil
+}
+
+// QueryPrefixStream implements store.NodeBackend.
+func (c *Client) QueryPrefixStream(prefix core.SensorID, depth int, from, to int64) (store.KeyedReadingStream, error) {
+	if c.closed.Load() {
+		return nil, fmt.Errorf("rpc: client closed")
+	}
+	body := make([]byte, 0, 16+4+16)
+	body = appendSID(body, prefix)
+	body = appendU32(body, uint32(depth))
+	body = appendI64(body, from)
+	body = appendI64(body, to)
+	slot := c.slots[c.rr.Add(1)%uint32(len(c.slots))]
+	st, err := slot.openStream(opQueryPrefixStream, body)
+	if err != nil {
+		return nil, err
+	}
+	return &keyedStream{st: st}, nil
 }
 
 var _ store.NodeBackend = (*Client)(nil)

@@ -59,7 +59,9 @@ func SplitAddrList(s string) []string {
 	return addrs
 }
 
-// Ops of the node API. The numbering is part of the wire format.
+// Ops of the node API. The numbering is part of the wire format. The
+// legacy one-frame opQuery/opQueryPrefix remain served for wire
+// compatibility with older clients; new clients stream.
 const (
 	opPing         = 1
 	opInsert       = 2
@@ -72,17 +74,48 @@ const (
 	opCompact      = 9
 	opStats        = 10
 	opSensorIDs    = 11
+	// opQueryStream / opQueryPrefixStream answer with a sequence of
+	// chunk frames sharing the request id (see the status bytes below)
+	// instead of one materialized response frame.
+	opQueryStream       = 12
+	opQueryPrefixStream = 13
+	// opCancelStream carries the request id of an in-flight stream the
+	// client abandoned; the server stops producing. No response frame.
+	opCancelStream = 14
 )
 
 const (
 	statusOK  = 0
 	statusErr = 1
+	// statusChunk is one continuation frame of a streaming response:
+	//   u64 reqID | u8 statusChunk | u32 seq | body
+	// seq counts from 0 per stream; a gap means frames were lost or
+	// reordered and poisons the connection. For opQueryStream the body
+	// is a readings block; for opQueryPrefixStream it is
+	// sid | readings (a sensor may repeat across consecutive chunks).
+	statusChunk = 2
+	// statusStreamEnd terminates a stream successfully:
+	//   u64 reqID | u8 statusStreamEnd | u32 seq
+	statusStreamEnd = 3
+	// A mid-stream failure arrives as a plain statusErr frame for the
+	// stream's request id and terminates it.
 )
 
 // frameMax bounds a frame's payload so a corrupt or hostile length
-// field cannot drive a huge allocation. Large batches are chunked by
-// the store layer well below this.
+// field cannot drive a huge allocation — enforced on BOTH decode
+// paths: the server's read loop and the client's (a misbehaving or
+// corrupt server must not drive the coordinator into a giant
+// allocation either; see readFrame and the client's stream chunk
+// bound). Large batches are chunked by the store layer well below
+// this.
 const frameMax = 1 << 28
+
+// streamChunkMaxBytes bounds one stream chunk frame on the client
+// decode path. The server chunks at store.StreamChunkReadings (~64
+// KB); anything over this bound means the peer is not honouring the
+// protocol and the connection is poisoned rather than trusted with
+// large allocations.
+const streamChunkMaxBytes = 1 << 20
 
 // reqHeaderLen is the fixed prefix of a request payload.
 const reqHeaderLen = 8 + 1 + 8

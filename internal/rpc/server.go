@@ -112,10 +112,78 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// outFrame is one queued response frame. wrote, when non-nil, is
+// closed once the frame has been handed to the kernel (or the
+// connection found dead) — stream producers wait on it before building
+// the next chunk, so the server never buffers more than one queued
+// chunk (plus the one being built) per in-flight stream.
+type outFrame struct {
+	payload []byte
+	wrote   chan struct{}
+}
+
+// serverConn is the per-connection state shared between the read loop,
+// the writer and the stream producers.
+type serverConn struct {
+	out  chan outFrame
+	dead atomic.Bool // writer failed; producers stop early
+
+	mu      sync.Mutex
+	streams map[uint64]chan struct{} // reqID -> cancel channel
+}
+
+// cancelStream stops the producer of one stream (client abandon).
+func (sc *serverConn) cancelStream(id uint64) {
+	sc.mu.Lock()
+	if ch, ok := sc.streams[id]; ok {
+		delete(sc.streams, id)
+		close(ch)
+	}
+	sc.mu.Unlock()
+}
+
+// registerStream creates the cancel channel of a new stream.
+func (sc *serverConn) registerStream(id uint64) chan struct{} {
+	ch := make(chan struct{})
+	sc.mu.Lock()
+	if sc.streams == nil {
+		sc.streams = make(map[uint64]chan struct{})
+	}
+	// A duplicate id would orphan the previous channel; ids come from
+	// the client's counter, so just replace.
+	if old, ok := sc.streams[id]; ok {
+		close(old)
+	}
+	sc.streams[id] = ch
+	sc.mu.Unlock()
+	return ch
+}
+
+// finishStream removes a completed stream's cancel channel.
+func (sc *serverConn) finishStream(id uint64) {
+	sc.mu.Lock()
+	delete(sc.streams, id)
+	sc.mu.Unlock()
+}
+
+// cancelAll fires every stream's cancel channel (connection teardown),
+// so producer goroutines stop promptly instead of streaming a long
+// retention into a drain loop.
+func (sc *serverConn) cancelAll() {
+	sc.mu.Lock()
+	for id, ch := range sc.streams {
+		delete(sc.streams, id)
+		close(ch)
+	}
+	sc.mu.Unlock()
+}
+
 // serveConn pumps one connection: the read loop decodes frames and
 // dispatches each request to its own goroutine (bounded by
 // maxInFlight), responses funnel through a single writer goroutine
 // that batches flushes — the server side of request pipelining.
+// Streaming requests hold their handler goroutine for the stream's
+// lifetime, producing one ack-gated chunk at a time.
 func (s *Server) serveConn(c net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -125,32 +193,42 @@ func (s *Server) serveConn(c net.Conn) {
 		c.Close()
 	}()
 
-	out := make(chan []byte, maxInFlight)
+	sc := &serverConn{out: make(chan outFrame, maxInFlight)}
+	out := sc.out
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
 	go func() {
 		defer writerWG.Done()
 		bw := bufio.NewWriter(c)
-		for payload := range out {
-			// A peer that stopped reading must not pin this goroutine
-			// in a blocked Write forever; the deadline turns it into a
-			// closed connection.
-			c.SetWriteDeadline(time.Now().Add(writeStallTimeout))
-			if err := writeFrame(bw, payload); err != nil {
-				break
-			}
-			// Flush only when no response is queued behind this one:
-			// pipelined bursts coalesce into one syscall.
-			if len(out) == 0 {
-				if err := bw.Flush(); err != nil {
-					break
+		failed := false
+		for f := range out {
+			if !failed {
+				// A peer that stopped reading must not pin this
+				// goroutine in a blocked Write forever; the deadline
+				// turns it into a closed connection.
+				c.SetWriteDeadline(time.Now().Add(writeStallTimeout))
+				if err := writeFrame(bw, f.payload); err != nil {
+					failed = true
+				} else if len(out) == 0 {
+					// Flush only when no response is queued behind this
+					// one: pipelined bursts coalesce into one syscall.
+					if err := bw.Flush(); err != nil {
+						failed = true
+					}
+				}
+				if failed {
+					// Keep draining after a write error: in-flight
+					// handlers block sending to out, and the read loop
+					// joins on them before out is closed — a dead peer
+					// must not wedge the teardown. The dead flag stops
+					// stream producers at their next chunk.
+					sc.dead.Store(true)
+					sc.cancelAll()
 				}
 			}
-		}
-		// Keep draining after a write error: in-flight handlers block
-		// sending to out, and the read loop joins on them before out
-		// is closed — a dead peer must not wedge the teardown.
-		for range out {
+			if f.wrote != nil {
+				close(f.wrote)
+			}
 		}
 	}()
 	defer writerWG.Wait()
@@ -159,6 +237,9 @@ func (s *Server) serveConn(c net.Conn) {
 	sem := make(chan struct{}, maxInFlight)
 	var handlerWG sync.WaitGroup
 	defer handlerWG.Wait()
+	// Fire cancels before joining the handlers: an in-flight stream
+	// must notice teardown now, not after it finishes on its own.
+	defer sc.cancelAll()
 
 	br := bufio.NewReader(c)
 	for {
@@ -178,17 +259,167 @@ func (s *Server) serveConn(c net.Conn) {
 		}
 		s.requests.Add(1)
 		arrived := time.Now()
+		// Cancels must not queue behind the in-flight cap: the whole
+		// point is releasing a slot.
+		if op := payload[8]; op == opCancelStream {
+			cur := &cursor{b: payload, off: reqHeaderLen}
+			target := cur.u64()
+			if cur.done() == nil {
+				sc.cancelStream(target)
+			}
+			continue
+		}
 		sem <- struct{}{}
 		handlerWG.Add(1)
 		go func(payload []byte) {
 			defer handlerWG.Done()
 			defer func() { <-sem }()
+			if op := payload[8]; op == opQueryStream || op == opQueryPrefixStream {
+				s.handleStream(sc, payload, arrived)
+				return
+			}
 			resp := s.handle(payload, arrived)
 			// The connection may be tearing down; out is closed only
 			// after handlerWG drains, so this send cannot panic.
-			out <- resp
+			out <- outFrame{payload: resp}
 		}(payload)
 	}
+}
+
+// send queues one frame; when gated, it waits until the writer has
+// actually written (or abandoned) it before returning, bounding the
+// per-stream buffering at one queued chunk.
+func (sc *serverConn) send(payload []byte, gated bool) {
+	if !gated {
+		sc.out <- outFrame{payload: payload}
+		return
+	}
+	wrote := make(chan struct{})
+	sc.out <- outFrame{payload: payload, wrote: wrote}
+	<-wrote
+}
+
+// handleStream executes one streaming request: chunks are produced
+// pull-wise from the backend stream and written ack-gated, so at any
+// moment at most one chunk is queued and one is being built. The
+// stream ends with a statusStreamEnd frame, or a statusErr frame on a
+// mid-stream backend failure; a client cancel (or connection death)
+// stops production at the next chunk boundary.
+func (s *Server) handleStream(sc *serverConn, payload []byte, arrived time.Time) {
+	cur := &cursor{b: payload}
+	id := cur.u64()
+	op := cur.u8()
+	timeout := cur.i64()
+
+	fail := func(err error) {
+		resp := make([]byte, 0, respHeaderLen+len(err.Error()))
+		resp = appendU64(resp, id)
+		resp = append(resp, statusErr)
+		sc.send(append(resp, err.Error()...), false)
+	}
+	if timeout != 0 && time.Since(arrived) > time.Duration(timeout) {
+		fail(fmt.Errorf("rpc: deadline exceeded before execution"))
+		return
+	}
+
+	cancel := sc.registerStream(id)
+	defer sc.finishStream(id)
+
+	canceled := func() bool {
+		if sc.dead.Load() {
+			return true
+		}
+		select {
+		case <-cancel:
+			return true
+		default:
+			return false
+		}
+	}
+
+	seq := uint32(0)
+	emit := func(body func([]byte) []byte) bool {
+		chunk := make([]byte, 0, respHeaderLen+4+16*store.StreamChunkReadings/2)
+		chunk = appendU64(chunk, id)
+		chunk = append(chunk, statusChunk)
+		chunk = appendU32(chunk, seq)
+		seq++
+		sc.send(body(chunk), true)
+		return !canceled()
+	}
+
+	switch op {
+	case opQueryStream:
+		sid := cur.sid()
+		from, to := cur.i64(), cur.i64()
+		if err := cur.done(); err != nil {
+			fail(err)
+			return
+		}
+		st, err := s.backend.QueryStream(sid, from, to)
+		if err != nil {
+			fail(err)
+			return
+		}
+		defer st.Close()
+		for {
+			if canceled() {
+				return
+			}
+			rs, err := st.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				fail(err)
+				return
+			}
+			if !emit(func(b []byte) []byte { return appendReadings(b, rs) }) {
+				return
+			}
+		}
+	case opQueryPrefixStream:
+		sid := cur.sid()
+		depth := cur.u32()
+		from, to := cur.i64(), cur.i64()
+		if err := cur.done(); err != nil {
+			fail(err)
+			return
+		}
+		st, err := s.backend.QueryPrefixStream(sid, int(depth), from, to)
+		if err != nil {
+			fail(err)
+			return
+		}
+		defer st.Close()
+		for {
+			if canceled() {
+				return
+			}
+			kid, rs, err := st.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				fail(err)
+				return
+			}
+			if !emit(func(b []byte) []byte {
+				b = appendSID(b, kid)
+				return appendReadings(b, rs)
+			}) {
+				return
+			}
+		}
+	}
+	if canceled() {
+		return
+	}
+	end := make([]byte, 0, respHeaderLen+4)
+	end = appendU64(end, id)
+	end = append(end, statusStreamEnd)
+	end = appendU32(end, seq)
+	sc.send(end, false)
 }
 
 // handle executes one request payload and returns the response

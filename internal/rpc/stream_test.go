@@ -1,0 +1,389 @@
+package rpc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"dcdb/internal/core"
+	"dcdb/internal/store"
+)
+
+// Streaming RPC tests: chunked roundtrips, cancel-on-close releasing
+// the server's producer goroutine, mid-stream error frames, and the
+// client-side framing bounds (oversized frames and sequence gaps must
+// poison the connection, not be trusted).
+
+func fillSensor(t *testing.T, n *store.Node, id core.SensorID, total int) {
+	t.Helper()
+	buf := make([]core.Reading, 1000)
+	for base := 0; base < total; base += len(buf) {
+		batch := buf
+		if rem := total - base; rem < len(batch) {
+			batch = batch[:rem]
+		}
+		for i := range batch {
+			batch[i] = core.Reading{Timestamp: int64(base + i), Value: float64(base + i)}
+		}
+		if err := n.InsertBatch(id, batch, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStreamQueryRoundtrip(t *testing.T) {
+	n, _, cl := testPair(t, ClientOptions{})
+	id := sid(1, 2)
+	total := 3*store.StreamChunkReadings + 11
+	fillSensor(t, n, id, total)
+
+	st, err := cl.QueryStream(id, -1<<62, 1<<62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var got []core.Reading
+	chunks := 0
+	for {
+		rs, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, rs...)
+		chunks++
+	}
+	if chunks < 3 {
+		t.Fatalf("expected several chunk frames, got %d", chunks)
+	}
+	want, err := n.Query(id, -1<<62, 1<<62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stream %d readings, direct %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: stream %v direct %v", i, got[i], want[i])
+		}
+	}
+	// The connection still serves unary calls after the stream.
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("Ping after stream: %v", err)
+	}
+}
+
+func TestStreamPrefixRoundtrip(t *testing.T) {
+	n, _, cl := testPair(t, ClientOptions{})
+	prefix := core.SensorID{Hi: 0x000a_000b_000c_000d}
+	for s := uint64(0); s < 4; s++ {
+		id := prefix
+		id.Lo = s << 16
+		fillSensor(t, n, id, store.StreamChunkReadings+100)
+	}
+	st, err := cl.QueryPrefixStream(prefix, 4, -1<<62, 1<<62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	got := make(map[core.SensorID]int)
+	var last core.SensorID
+	first := true
+	for {
+		id, rs, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !first && id.Compare(last) < 0 {
+			t.Fatalf("keyed stream went backwards: %v after %v", id, last)
+		}
+		last, first = id, false
+		got[id] += len(rs)
+	}
+	want, err := n.QueryPrefix(prefix, 4, -1<<62, 1<<62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stream saw %d sensors, direct %d", len(got), len(want))
+	}
+	for id, rs := range want {
+		if got[id] != len(rs) {
+			t.Fatalf("sensor %v: stream %d readings, direct %d", id, got[id], len(rs))
+		}
+	}
+}
+
+// TestStreamCancelReleasesServer closes a stream after one chunk; the
+// server's producer goroutine must stop promptly (not stream the whole
+// retention into the void) and the connection must keep serving.
+func TestStreamCancelReleasesServer(t *testing.T) {
+	// One pooled connection, so the stream rides the connection the
+	// baseline Ping below already established.
+	n, srv, cl := testPair(t, ClientOptions{PoolSize: 1})
+	id := sid(9, 9)
+	fillSensor(t, n, id, 50*store.StreamChunkReadings)
+
+	// Establish the pooled connection first so the baseline includes
+	// its long-lived reader/writer goroutines.
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	st, err := cl.QueryStream(id, -1<<62, 1<<62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The producer notices the cancel at its next chunk boundary.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before+2 || time.Now().After(deadline) {
+			if g > before+2 {
+				t.Fatalf("server goroutines not released after cancel: %d now, %d before", g, before)
+			}
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Stream slots freed: more streams and unary calls work.
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("Ping after cancel: %v", err)
+	}
+	st2, err := cl.QueryStream(id, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.Next(); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	st2.Close()
+	_ = srv
+}
+
+// errAfterOneStream yields one chunk, then a mid-stream failure.
+type errAfterOneStream struct{ sent bool }
+
+func (s *errAfterOneStream) Next() ([]core.Reading, error) {
+	if s.sent {
+		return nil, fmt.Errorf("disk exploded mid-stream")
+	}
+	s.sent = true
+	return []core.Reading{{Timestamp: 1, Value: 2}}, nil
+}
+func (s *errAfterOneStream) Close() error { return nil }
+
+// errStreamBackend wraps a node, failing QueryStream after one chunk.
+type errStreamBackend struct{ store.NodeBackend }
+
+func (b errStreamBackend) QueryStream(core.SensorID, int64, int64) (store.ReadingStream, error) {
+	return &errAfterOneStream{}, nil
+}
+
+func TestStreamMidStreamErrorFrame(t *testing.T) {
+	srv := NewServer(errStreamBackend{store.NewNode(0)}, true)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := NewClient(srv.Addr(), ClientOptions{})
+	defer cl.Close()
+
+	st, err := cl.QueryStream(sid(1, 1), 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	rs, err := st.Next()
+	if err != nil || len(rs) != 1 {
+		t.Fatalf("first chunk: %v %v", rs, err)
+	}
+	if _, err := st.Next(); err == nil || !strings.Contains(err.Error(), "disk exploded") {
+		t.Fatalf("mid-stream error not delivered: %v", err)
+	}
+	// The error is scoped to the stream; the connection survives.
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("Ping after stream error: %v", err)
+	}
+}
+
+// rawServer accepts one connection and lets the test hand-craft
+// response frames.
+func rawServer(t *testing.T, respond func(t *testing.T, c net.Conn, br *bufio.Reader)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		respond(t, c, bufio.NewReader(c))
+	}()
+	return ln.Addr().String()
+}
+
+// readReqID parses the request id of one inbound frame.
+func readReqID(t *testing.T, br *bufio.Reader) uint64 {
+	t.Helper()
+	payload, err := readFrame(br)
+	if err != nil {
+		t.Errorf("raw server read: %v", err)
+		return 0
+	}
+	return binary.BigEndian.Uint64(payload)
+}
+
+// TestClientRejectsOversizedFrame is the client-side max-frame bound: a
+// corrupt or hostile length prefix from the server must fail the call
+// with a clear error and poison the connection — not drive a 4 GB
+// allocation.
+func TestClientRejectsOversizedFrame(t *testing.T) {
+	addr := rawServer(t, func(t *testing.T, c net.Conn, br *bufio.Reader) {
+		readReqID(t, br)
+		var hdr [8]byte
+		binary.BigEndian.PutUint32(hdr[0:], uint32(frameMax+1))
+		binary.BigEndian.PutUint32(hdr[4:], 0xdeadbeef)
+		c.Write(hdr[:])
+		time.Sleep(200 * time.Millisecond)
+	})
+	cl := NewClient(addr, ClientOptions{CallTimeout: time.Second})
+	defer cl.Close()
+	err := cl.Ping()
+	if err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	if !strings.Contains(err.Error(), "oversized") && !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("error does not name the frame bound: %v", err)
+	}
+	// The connection is poisoned: the next call fails fast inside the
+	// reconnect backoff window rather than trusting the old socket.
+	if err := cl.Ping(); err == nil {
+		t.Fatal("poisoned connection kept serving")
+	}
+}
+
+// TestStreamSeqGapPoisonsConnection forges a chunk with the wrong
+// sequence number; the client must refuse to reorder and poison the
+// connection.
+func TestStreamSeqGapPoisonsConnection(t *testing.T) {
+	addr := rawServer(t, func(t *testing.T, c net.Conn, br *bufio.Reader) {
+		id := readReqID(t, br)
+		bw := bufio.NewWriter(c)
+		chunk := make([]byte, 0, 32)
+		chunk = appendU64(chunk, id)
+		chunk = append(chunk, statusChunk)
+		chunk = appendU32(chunk, 5) // stream must start at seq 0
+		chunk = appendU32(chunk, 0) // zero readings
+		writeFrame(bw, chunk)
+		bw.Flush()
+		time.Sleep(200 * time.Millisecond)
+	})
+	cl := NewClient(addr, ClientOptions{CallTimeout: time.Second})
+	defer cl.Close()
+	st, err := cl.QueryStream(sid(1, 1), 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.Next(); err == nil || !strings.Contains(err.Error(), "sequence") {
+		t.Fatalf("sequence gap not rejected: %v", err)
+	}
+}
+
+// TestStreamChunkBoundEnforced forges an in-sequence chunk larger than
+// the stream bound; the client must poison the connection rather than
+// buffer it.
+func TestStreamChunkBoundEnforced(t *testing.T) {
+	addr := rawServer(t, func(t *testing.T, c net.Conn, br *bufio.Reader) {
+		id := readReqID(t, br)
+		huge := make([]byte, streamChunkMaxBytes+1024)
+		binary.BigEndian.PutUint64(huge[0:], id)
+		huge[8] = statusChunk
+		// seq 0, then garbage readings payload
+		var hdr [8]byte
+		binary.BigEndian.PutUint32(hdr[0:], uint32(len(huge)))
+		binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(huge))
+		c.Write(hdr[:])
+		c.Write(huge)
+		time.Sleep(200 * time.Millisecond)
+	})
+	cl := NewClient(addr, ClientOptions{CallTimeout: time.Second})
+	defer cl.Close()
+	st, err := cl.QueryStream(sid(1, 1), 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.Next(); err == nil || !strings.Contains(err.Error(), "chunk") {
+		t.Fatalf("oversized chunk not rejected: %v", err)
+	}
+}
+
+// TestRPCStreamColdNode runs the streaming path against a durable,
+// cache-bounded node over loopback — the full tentpole stack in one
+// test: cold blocks decode server-side, chunks stream over the wire,
+// and the client reassembles the exact result.
+func TestRPCStreamColdNode(t *testing.T) {
+	dir := t.TempDir()
+	n := store.NewNode(0)
+	if err := n.OpenOptions(dir, store.DiskOptions{SyncInterval: -1, CompactInterval: -1, CacheBytes: 1 << 16}); err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	id := sid(8, 8)
+	fillSensor(t, n, id, 2*store.StreamChunkReadings+7)
+	if err := n.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := NewServer(n, true)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := NewClient(srv.Addr(), ClientOptions{})
+	defer cl.Close()
+
+	st, err := cl.QueryStream(id, -1<<62, 1<<62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	count := 0
+	for {
+		rs, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		count += len(rs)
+	}
+	if want := 2*store.StreamChunkReadings + 7; count != want {
+		t.Fatalf("cold RPC stream returned %d readings, want %d", count, want)
+	}
+}

@@ -34,6 +34,16 @@ type NodeBackend interface {
 	// Ping probes liveness cheaply; the hinted-handoff replayer uses it
 	// to decide when a replica is back.
 	Ping() error
+
+	// QueryStream is the streaming form of Query: the result arrives
+	// in bounded chunks pulled on demand, so neither the node nor the
+	// caller ever materializes a long retention's worth of readings.
+	// The stream must be closed (closing early cancels it).
+	QueryStream(id core.SensorID, from, to int64) (ReadingStream, error)
+	// QueryPrefixStream is the streaming form of QueryPrefix: sensors
+	// arrive in ascending SID order, each sensor's readings chunked in
+	// timestamp order (a sensor may span consecutive chunks).
+	QueryPrefixStream(prefix core.SensorID, depth int, from, to int64) (KeyedReadingStream, error)
 }
 
 // Consistency is the number-of-replicas contract of a cluster

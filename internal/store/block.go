@@ -1,0 +1,343 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// Block codec of run-file format v2. A block holds up to blockEntries
+// consecutive entries of one series, compressed so a cold read pays
+// I/O and decode cost proportional to the queried window, not the
+// retention:
+//
+//	byte 0  : flags (bit 0: block carries a non-zero expire section)
+//	ts      : zigzag-varint first timestamp, zigzag-varint first delta,
+//	          then zigzag-varint delta-of-deltas (monitoring sensors
+//	          sample on a fixed period, so almost every dod is 0 = 1 byte)
+//	expires : (only with flag bit 0) zigzag-varint first expire, then
+//	          zigzag-varint deltas — omitted entirely for the common
+//	          "keep forever" block
+//	values  : Gorilla-style XOR bit stream, starting byte-aligned after
+//	          the expire section and padded with zero bits to a byte
+//	          boundary at the end
+//
+// The entry count is not part of the block: it lives in the run file's
+// block index next to the block's [minTs,maxTs] bounds and CRC, and the
+// decoder takes it as an argument. Corruption is caught by the caller's
+// CRC check first; the decoder itself must still survive arbitrary
+// bytes (fuzzed) by erroring instead of panicking or over-reading.
+
+// blockEntries is the target entry count per block. 512 entries keep a
+// block a few KB — small enough that a point query decodes little,
+// large enough that varint/XOR compression amortizes.
+const blockEntries = 512
+
+const blockFlagExpire = 1
+
+// zigzag encodes a signed delta so small magnitudes of either sign
+// become small unsigned varints.
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// bitWriter packs the XOR value stream MSB-first.
+type bitWriter struct {
+	buf   []byte
+	acc   uint64
+	nbits uint
+}
+
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	for n > 0 {
+		take := 8 - w.nbits%8
+		if take > n {
+			take = n
+		}
+		w.acc = w.acc<<take | (v>>(n-take))&(1<<take-1)
+		w.nbits += take
+		n -= take
+		if w.nbits%8 == 0 {
+			w.buf = append(w.buf, byte(w.acc))
+			w.acc = 0
+		}
+	}
+}
+
+func (w *bitWriter) writeBit(b uint64) { w.writeBits(b, 1) }
+
+// finish pads the tail with zero bits to a byte boundary.
+func (w *bitWriter) finish() []byte {
+	if rem := w.nbits % 8; rem != 0 {
+		w.buf = append(w.buf, byte(w.acc<<(8-rem)))
+		w.acc = 0
+	}
+	return w.buf
+}
+
+// bitReader consumes the XOR value stream. acc holds at most one
+// byte's worth of unconsumed bits (its low `have` bits), so a 64-bit
+// read from any alignment never overflows the accumulator. Reads past
+// the end set err instead of panicking; the decoder checks err once
+// per entry.
+type bitReader struct {
+	buf  []byte
+	pos  int  // next byte
+	have uint // live bits in acc (the low bits)
+	acc  uint64
+	err  error
+}
+
+func (r *bitReader) readBits(n uint) uint64 {
+	var v uint64
+	for n > 0 {
+		if r.have == 0 {
+			if r.pos >= len(r.buf) {
+				if r.err == nil {
+					r.err = fmt.Errorf("store: block value stream truncated")
+				}
+				return 0
+			}
+			r.acc = uint64(r.buf[r.pos])
+			r.pos++
+			r.have = 8
+		}
+		take := r.have
+		if take > n {
+			take = n
+		}
+		v = v<<take | (r.acc>>(r.have-take))&(1<<take-1)
+		r.have -= take
+		n -= take
+	}
+	return v
+}
+
+func (r *bitReader) readBit() uint64 { return r.readBits(1) }
+
+// encodeBlock appends the encoded form of es (sorted by timestamp, at
+// most blockEntries long) to dst and returns it. The caller records
+// len(es) and the [minTs,maxTs] bounds in the block index.
+func encodeBlock(dst []byte, es []entry) []byte {
+	var flags byte
+	for _, e := range es {
+		if e.expire != 0 {
+			flags |= blockFlagExpire
+			break
+		}
+	}
+	dst = append(dst, flags)
+
+	// Timestamps: first raw, first delta, then delta-of-deltas.
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		dst = append(dst, tmp[:binary.PutUvarint(tmp[:], v)]...)
+	}
+	prevTS, prevDelta := int64(0), int64(0)
+	for i, e := range es {
+		switch i {
+		case 0:
+			put(zigzag(e.ts))
+		case 1:
+			prevDelta = e.ts - prevTS
+			put(zigzag(prevDelta))
+		default:
+			d := e.ts - prevTS
+			put(zigzag(d - prevDelta))
+			prevDelta = d
+		}
+		prevTS = e.ts
+	}
+
+	if flags&blockFlagExpire != 0 {
+		prev := int64(0)
+		for i, e := range es {
+			if i == 0 {
+				put(zigzag(e.expire))
+			} else {
+				put(zigzag(e.expire - prev))
+			}
+			prev = e.expire
+		}
+	}
+
+	// Values: Gorilla XOR. Control bit 0 = same value; 10 = meaningful
+	// bits fit the previous window; 11 = new window (5 bits leading
+	// zeros, 6 bits significant-bit count minus one).
+	bw := bitWriter{buf: dst}
+	var prevBits uint64
+	prevLead, prevSig := uint(0xff), uint(0)
+	for i, e := range es {
+		cur := math.Float64bits(e.val)
+		if i == 0 {
+			bw.writeBits(cur, 64)
+			prevBits = cur
+			continue
+		}
+		xor := prevBits ^ cur
+		prevBits = cur
+		if xor == 0 {
+			bw.writeBit(0)
+			continue
+		}
+		lead := uint(bits.LeadingZeros64(xor))
+		if lead > 31 {
+			lead = 31 // 5-bit field; extra leading zeros ride in the payload
+		}
+		trail := uint(bits.TrailingZeros64(xor))
+		sig := 64 - lead - trail
+		if prevLead != 0xff && lead >= prevLead && trail >= 64-prevLead-prevSig {
+			// Reuse the previous window: cheaper than re-describing it
+			// when the meaningful bits still fit inside it.
+			bw.writeBits(0b10, 2)
+			bw.writeBits(xor>>(64-prevLead-prevSig), prevSig)
+			continue
+		}
+		bw.writeBits(0b11, 2)
+		bw.writeBits(uint64(lead), 5)
+		bw.writeBits(uint64(sig-1), 6)
+		bw.writeBits(xor>>trail, sig)
+		prevLead, prevSig = lead, sig
+	}
+	return bw.finish()
+}
+
+// blockScratch pools decode output buffers: every cold block decode
+// needs a []entry of up to blockEntries, which would otherwise be a
+// fresh allocation per block on the query path.
+var blockScratch = sync.Pool{
+	New: func() any { s := make([]entry, 0, blockEntries); return &s },
+}
+
+func getBlockScratch() *[]entry { return blockScratch.Get().(*[]entry) }
+
+func putBlockScratch(s *[]entry) {
+	if cap(*s) <= 4*blockEntries { // don't pool oversized one-offs
+		*s = (*s)[:0]
+		blockScratch.Put(s)
+	}
+}
+
+// decodeBlock decodes a block of exactly count entries into dst
+// (appending) and returns it. It validates that the encoding is fully
+// consumed (only zero-bit padding may remain), that timestamps are
+// sorted, and errors — never panics — on any malformed input. The
+// caller is expected to have verified the block's CRC first, so an
+// error here means either rot the CRC missed or a software bug; both
+// must reject the block rather than serve wrong data.
+func decodeBlock(dst []byte, count int, out *[]entry) error {
+	if count <= 0 {
+		return fmt.Errorf("store: block entry count %d invalid", count)
+	}
+	if len(dst) < 1 {
+		return fmt.Errorf("store: block truncated")
+	}
+	// Every entry costs at least one byte in the timestamp stream, so
+	// a count beyond the payload length is forged — reject before the
+	// output allocation, not after it.
+	if count > len(dst) {
+		return fmt.Errorf("store: block entry count %d exceeds %d payload bytes", count, len(dst))
+	}
+	flags := dst[0]
+	if flags&^byte(blockFlagExpire) != 0 {
+		return fmt.Errorf("store: block has unknown flags %#x", flags)
+	}
+	data := dst[1:]
+	off := 0
+	get := func() (uint64, bool) {
+		v, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return 0, false
+		}
+		off += n
+		return v, true
+	}
+
+	base := len(*out)
+	*out = append(*out, make([]entry, count)...)
+	es := (*out)[base:]
+
+	prevTS, prevDelta := int64(0), int64(0)
+	for i := range es {
+		u, ok := get()
+		if !ok {
+			*out = (*out)[:base]
+			return fmt.Errorf("store: block timestamp stream truncated")
+		}
+		switch i {
+		case 0:
+			prevTS = unzigzag(u)
+		case 1:
+			prevDelta = unzigzag(u)
+			prevTS += prevDelta
+		default:
+			prevDelta += unzigzag(u)
+			prevTS += prevDelta
+		}
+		es[i].ts = prevTS
+		if i > 0 && es[i].ts < es[i-1].ts {
+			*out = (*out)[:base]
+			return fmt.Errorf("store: block timestamps unsorted")
+		}
+	}
+
+	if flags&blockFlagExpire != 0 {
+		prev := int64(0)
+		for i := range es {
+			u, ok := get()
+			if !ok {
+				*out = (*out)[:base]
+				return fmt.Errorf("store: block expire stream truncated")
+			}
+			if i == 0 {
+				prev = unzigzag(u)
+			} else {
+				prev += unzigzag(u)
+			}
+			es[i].expire = prev
+		}
+	}
+
+	br := bitReader{buf: data[off:]}
+	var prevBits uint64
+	prevLead, prevSig := uint(0xff), uint(0)
+	for i := range es {
+		if i == 0 {
+			prevBits = br.readBits(64)
+		} else if br.readBit() == 1 {
+			if br.readBit() == 0 {
+				if prevLead == 0xff {
+					*out = (*out)[:base]
+					return fmt.Errorf("store: block value stream reuses window before defining one")
+				}
+				prevBits ^= br.readBits(prevSig) << (64 - prevLead - prevSig)
+			} else {
+				lead := uint(br.readBits(5))
+				sig := uint(br.readBits(6)) + 1
+				if lead+sig > 64 {
+					*out = (*out)[:base]
+					return fmt.Errorf("store: block value window overflows 64 bits")
+				}
+				prevBits ^= br.readBits(sig) << (64 - lead - sig)
+				prevLead, prevSig = lead, sig
+			}
+		}
+		if br.err != nil {
+			*out = (*out)[:base]
+			return br.err
+		}
+		es[i].val = math.Float64frombits(prevBits)
+	}
+	// Only zero padding may remain: a partial trailing byte of zeros
+	// from finish(), and nothing beyond it.
+	if br.pos < len(br.buf) {
+		*out = (*out)[:base]
+		return fmt.Errorf("store: %d trailing bytes after block values", len(br.buf)-br.pos)
+	}
+	if br.have > 0 && br.acc&(1<<br.have-1) != 0 {
+		*out = (*out)[:base]
+		return fmt.Errorf("store: block value padding bits not zero")
+	}
+	return nil
+}

@@ -1,0 +1,463 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"dcdb/internal/core"
+)
+
+// Streaming cluster reads: the coordinator consumes its replicas'
+// streams incrementally — chunks are pulled, merged newest-wins and
+// handed to the caller without the coordinator ever materializing a
+// whole replica response. Read repair is batched: divergent readings
+// accumulate per replica and are re-inserted in the background once a
+// batch fills (or the stream ends), so repairing a long-diverged
+// replica costs bounded coordinator memory too.
+
+// repairBatchReadings is the per-replica read-repair batch size: a
+// replica found missing this many readings is repaired in flight, and
+// the accumulator reset, so repair memory never grows with the result.
+const repairBatchReadings = StreamChunkReadings
+
+// replicaCursor tracks one replica's stream inside a quorum merge.
+type replicaCursor struct {
+	st     ReadingStream
+	buf    []core.Reading
+	pos    int
+	eof    bool
+	failed error
+
+	repair []core.Reading
+}
+
+// head returns the cursor's current reading, refilling from the stream
+// when the chunk is drained. ok is false at EOF or after a failure.
+func (rc *replicaCursor) head() (core.Reading, bool) {
+	for {
+		if rc.failed != nil || rc.eof {
+			return core.Reading{}, false
+		}
+		if rc.pos < len(rc.buf) {
+			return rc.buf[rc.pos], true
+		}
+		chunk, err := rc.st.Next()
+		if err == io.EOF {
+			rc.eof = true
+			return core.Reading{}, false
+		}
+		if err != nil {
+			rc.failed = err
+			return core.Reading{}, false
+		}
+		rc.buf, rc.pos = chunk, 0
+	}
+}
+
+// quorumStream merges k replica streams newest-wins.
+type quorumStream struct {
+	c        *Cluster
+	id       core.SensorID
+	cursors  []*replicaCursor
+	backends []int // backend index per cursor
+	required int
+	buf      []core.Reading
+	done     bool
+}
+
+// QueryStream implements the cluster's streaming read at the configured
+// read consistency. At ONE the first replica whose stream opens serves
+// the result alone; at QUORUM every replica's stream is merged
+// incrementally (union of timestamps, primary-most replica's value on
+// ties) and divergent replicas are repaired in batches in the
+// background. The stream must be closed.
+func (c *Cluster) QueryStream(id core.SensorID, from, to int64) (ReadingStream, error) {
+	replicas := c.replicasFor(id)
+	if c.readCL.required(len(replicas)) == 1 {
+		var lastErr error
+		for _, idx := range replicas {
+			st, err := c.backends[idx].QueryStream(id, from, to)
+			if err == nil {
+				return st, nil
+			}
+			lastErr = err
+		}
+		return nil, fmt.Errorf("store: all replicas failed: %w", lastErr)
+	}
+	streams := make([]ReadingStream, len(replicas))
+	errs := make([]error, len(replicas))
+	var wg sync.WaitGroup
+	for i, idx := range replicas {
+		wg.Add(1)
+		go func(i, idx int) {
+			defer wg.Done()
+			streams[i], errs[i] = c.backends[idx].QueryStream(id, from, to)
+		}(i, idx)
+	}
+	wg.Wait()
+	required := c.readCL.required(len(replicas))
+	qs := &quorumStream{c: c, id: id, required: required}
+	ok := 0
+	var lastErr error
+	for i := range streams {
+		if errs[i] != nil {
+			lastErr = errs[i]
+			continue
+		}
+		ok++
+		qs.cursors = append(qs.cursors, &replicaCursor{st: streams[i]})
+		qs.backends = append(qs.backends, replicas[i])
+	}
+	if ok < required {
+		qs.Close()
+		return nil, fmt.Errorf("store: read consistency %s not met (%d/%d replicas): %w",
+			c.readCL, ok, required, lastErr)
+	}
+	return qs, nil
+}
+
+// Next merges the next chunk. Replicas that miss a timestamp the merge
+// emits (or hold a different value for it) accumulate that reading in
+// their repair batch.
+func (s *quorumStream) Next() ([]core.Reading, error) {
+	if s.done {
+		return nil, io.EOF
+	}
+	if s.buf == nil {
+		s.buf = make([]core.Reading, 0, StreamChunkReadings)
+	}
+	s.buf = s.buf[:0]
+	for len(s.buf) < StreamChunkReadings {
+		// Find the smallest pending timestamp across live cursors; the
+		// first (primary-most) cursor holding it supplies the value.
+		var out core.Reading
+		found := false
+		for _, rc := range s.cursors {
+			h, ok := rc.head()
+			if !ok {
+				continue
+			}
+			if !found || h.Timestamp < out.Timestamp {
+				out, found = h, true
+			}
+		}
+		if !found {
+			// Every cursor is at EOF or failed; enforce the quorum
+			// before declaring the result complete.
+			live := 0
+			var lastErr error
+			for _, rc := range s.cursors {
+				if rc.failed != nil {
+					lastErr = rc.failed
+				} else {
+					live++
+				}
+			}
+			if live < s.required {
+				s.Close()
+				return nil, fmt.Errorf("store: read consistency %s lost mid-stream (%d/%d replicas): %w",
+					s.c.readCL, live, s.required, lastErr)
+			}
+			s.finishRepair()
+			s.done = true
+			for _, rc := range s.cursors {
+				rc.st.Close()
+			}
+			if len(s.buf) == 0 {
+				return nil, io.EOF
+			}
+			return s.buf, nil
+		}
+		// Advance every cursor holding this timestamp; the rest owe a
+		// repair for it.
+		for _, rc := range s.cursors {
+			h, ok := rc.head()
+			if !ok {
+				if rc.failed == nil {
+					s.addRepair(rc, out)
+				}
+				continue
+			}
+			if h.Timestamp == out.Timestamp {
+				if h.Value != out.Value {
+					s.addRepair(rc, out)
+				}
+				rc.pos++
+			} else {
+				s.addRepair(rc, out)
+			}
+		}
+		s.buf = append(s.buf, out)
+	}
+	return s.buf, nil
+}
+
+// addRepair accumulates one divergent reading for a replica, flushing
+// the batch in the background when it fills.
+func (s *quorumStream) addRepair(rc *replicaCursor, r core.Reading) {
+	rc.repair = append(rc.repair, r)
+	if len(rc.repair) >= repairBatchReadings {
+		s.flushRepair(rc)
+	}
+}
+
+func (s *quorumStream) flushRepair(rc *replicaCursor) {
+	if len(rc.repair) == 0 {
+		return
+	}
+	batch := rc.repair
+	rc.repair = nil
+	idx := 0
+	for i, c := range s.cursors {
+		if c == rc {
+			idx = s.backends[i]
+			break
+		}
+	}
+	b := s.c.backends[idx]
+	id := s.id
+	s.c.repairWG.Add(1)
+	go func() {
+		defer s.c.repairWG.Done()
+		_ = b.InsertBatch(id, batch, 0) // best effort; the next read retries
+	}()
+}
+
+func (s *quorumStream) finishRepair() {
+	for _, rc := range s.cursors {
+		if rc.failed == nil {
+			s.flushRepair(rc)
+		}
+	}
+}
+
+// Close implements ReadingStream; closing early cancels every replica
+// stream and flushes accumulated repairs — the divergence already
+// observed is real regardless of how far the consumer read.
+func (s *quorumStream) Close() error {
+	if s.done {
+		return nil
+	}
+	s.done = true
+	s.finishRepair()
+	for _, rc := range s.cursors {
+		rc.st.Close()
+	}
+	return nil
+}
+
+// keyedCursor tracks one backend's prefix stream: the current sensor is
+// accumulated fully (bounded by one sensor's window, not the prefix
+// result) so sensors can be merged across backends in SID order.
+type keyedCursor struct {
+	st     KeyedReadingStream
+	id     core.SensorID
+	rs     []core.Reading
+	have   bool
+	eof    bool
+	failed error
+
+	pendID core.SensorID
+	pendRS []core.Reading
+	pend   bool
+}
+
+// advance accumulates the next complete sensor from the stream.
+func (kc *keyedCursor) advance() {
+	if kc.eof || kc.failed != nil {
+		kc.have = false
+		return
+	}
+	kc.id, kc.rs, kc.have = core.SensorID{}, nil, false
+	if kc.pend {
+		kc.id = kc.pendID
+		kc.rs = append(kc.rs, kc.pendRS...)
+		kc.pend = false
+		kc.have = true
+	}
+	for {
+		id, chunk, err := kc.st.Next()
+		if err == io.EOF {
+			kc.eof = true
+			return
+		}
+		if err != nil {
+			kc.failed = err
+			kc.have = false
+			return
+		}
+		if !kc.have {
+			kc.id, kc.have = id, true
+		} else if id != kc.id {
+			// First chunk of the next sensor: hold it back.
+			kc.pendID = id
+			kc.pendRS = append(kc.pendRS[:0], chunk...)
+			kc.pend = true
+			return
+		}
+		kc.rs = append(kc.rs, chunk...)
+	}
+}
+
+// prefixMergeStream merges per-backend keyed streams in SID order,
+// deduplicating replicated sensors newest-wins.
+type prefixMergeStream struct {
+	c       *Cluster
+	cursors []*keyedCursor
+	started bool
+	done    bool
+
+	// current merged sensor, emitted in chunks
+	curID core.SensorID
+	curRS []core.Reading
+	pos   int
+}
+
+// QueryPrefixStream implements the cluster's streaming subtree read.
+// Every backend is consulted (the prefix may span partitions); each
+// yields its sensors in ascending SID order, so the coordinator merges
+// sensor-at-a-time — memory is bounded by one sensor's result per
+// backend, never the whole subtree. At QUORUM the stream fails unless
+// every possible replica window retains a quorum of live streams, the
+// same conservative bound as the materializing QueryPrefix.
+func (c *Cluster) QueryPrefixStream(prefix core.SensorID, depth int, from, to int64) (KeyedReadingStream, error) {
+	streams := make([]KeyedReadingStream, len(c.backends))
+	errs := make([]error, len(c.backends))
+	if len(c.backends) == 1 {
+		streams[0], errs[0] = c.backends[0].QueryPrefixStream(prefix, depth, from, to)
+	} else {
+		var wg sync.WaitGroup
+		for i, b := range c.backends {
+			wg.Add(1)
+			go func(i int, b NodeBackend) {
+				defer wg.Done()
+				streams[i], errs[i] = b.QueryPrefixStream(prefix, depth, from, to)
+			}(i, b)
+		}
+		wg.Wait()
+	}
+	var firstErr error
+	failed := 0
+	for i := range c.backends {
+		if errs[i] != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = errs[i]
+			}
+		}
+	}
+	closeAll := func() {
+		for _, st := range streams {
+			if st != nil {
+				st.Close()
+			}
+		}
+	}
+	if failed == len(c.backends) {
+		return nil, fmt.Errorf("store: all nodes failed: %w", firstErr)
+	}
+	required := c.readCL.required(c.replication)
+	if required > 1 && failed > 0 {
+		for p := 0; p < len(c.backends); p++ {
+			ok := 0
+			for r := 0; r < c.replication; r++ {
+				if errs[(p+r)%len(c.backends)] == nil {
+					ok++
+				}
+			}
+			if ok < required {
+				closeAll()
+				return nil, fmt.Errorf("store: read consistency %s not met for replica set at node %d (%d/%d): %w",
+					c.readCL, p, ok, required, firstErr)
+			}
+		}
+	}
+	ms := &prefixMergeStream{c: c}
+	for i := range streams {
+		if streams[i] != nil {
+			ms.cursors = append(ms.cursors, &keyedCursor{st: streams[i]})
+		}
+	}
+	return ms, nil
+}
+
+func (s *prefixMergeStream) Next() (core.SensorID, []core.Reading, error) {
+	if s.done {
+		return core.SensorID{}, nil, io.EOF
+	}
+	if !s.started {
+		s.started = true
+		for _, kc := range s.cursors {
+			kc.advance()
+			if kc.failed != nil {
+				err := kc.failed
+				s.Close()
+				return core.SensorID{}, nil, fmt.Errorf("store: prefix stream replica failed: %w", err)
+			}
+		}
+	}
+	for {
+		if s.pos < len(s.curRS) {
+			hi := s.pos + StreamChunkReadings
+			if hi > len(s.curRS) {
+				hi = len(s.curRS)
+			}
+			chunk := s.curRS[s.pos:hi]
+			id := s.curID
+			s.pos = hi
+			return id, chunk, nil
+		}
+		// Pick the smallest pending SID across cursors and merge every
+		// copy of it newest-wins.
+		var minID core.SensorID
+		found := false
+		for _, kc := range s.cursors {
+			if kc.have && (!found || kc.id.Compare(minID) < 0) {
+				minID, found = kc.id, true
+			}
+		}
+		if !found {
+			s.Close()
+			return core.SensorID{}, nil, io.EOF
+		}
+		var merged []core.Reading
+		first := true
+		for _, kc := range s.cursors {
+			if !kc.have || kc.id != minID {
+				continue
+			}
+			if first {
+				merged = kc.rs
+				first = false
+			} else {
+				merged = mergeReplicaReadings(merged, kc.rs)
+			}
+		}
+		for _, kc := range s.cursors {
+			if kc.have && kc.id == minID {
+				kc.advance()
+				if kc.failed != nil {
+					err := kc.failed
+					s.Close()
+					return core.SensorID{}, nil, fmt.Errorf("store: prefix stream replica failed: %w", err)
+				}
+			}
+		}
+		if len(merged) == 0 {
+			continue
+		}
+		s.curID, s.curRS, s.pos = minID, merged, 0
+	}
+}
+
+func (s *prefixMergeStream) Close() error {
+	if s.done {
+		return nil
+	}
+	s.done = true
+	for _, kc := range s.cursors {
+		kc.st.Close()
+	}
+	return nil
+}

@@ -161,23 +161,84 @@ func (s *spiller) close() error {
 	return err
 }
 
-// spillOne writes one flush's run file and retires the WAL segments it
-// covers. On failure the segments are kept: the data stays recoverable
-// from the WAL and the in-memory run keeps serving queries.
+// spillOne writes one flush's run file (format v2) and retires the WAL
+// segments it covers. On failure the segments are kept: the data stays
+// recoverable from the WAL and the in-memory run keeps serving queries.
+//
+// On a cache-bounded node the freshly spilled run is immediately
+// swapped cold: the flushed memtable arrays are dropped under the shard
+// lock and later reads decode blocks from the just-written file through
+// the cache. This is the eviction half of the resident-set bound — a
+// node's memory stops growing the moment data reaches disk.
 func (n *Node) spillOne(j spillJob) error {
 	sh := &n.shards[j.shard]
-	meta, err := writeRunFile(sh.disk.dir, j.seq, j.seq, j.series, j.tombs)
+	meta, idx, err := writeRunFileV2(sh.disk.dir, j.seq, j.seq, j.series, j.tombs)
 	if err != nil {
 		return err
 	}
 	meta.tombs = j.tombs
+	if n.cache != nil {
+		if rf, err := openRunFileHandle(meta.path, idx.dataLen, n.cache); err != nil {
+			// The file is durable; only eviction is lost. Keep the run
+			// hot rather than fail the spill.
+			log.Printf("store: opening %s for cold reads: %v (run stays resident)", meta.path, err)
+		} else {
+			meta.rf = rf
+		}
+	}
 	sh.mu.Lock()
 	sh.disk.files = append(sh.disk.files, meta)
+	if meta.rf != nil {
+		n.evictSpilledLocked(sh, j.seq, idx, meta.rf)
+	}
 	sh.mu.Unlock()
 	for _, p := range j.covered {
 		os.Remove(p)
 	}
 	return nil
+}
+
+// evictSpilledLocked swaps the hot in-memory runs of one just-spilled
+// flush generation to cold block-indexed form, releasing their entry
+// arrays. A DeleteBefore may have trimmed (or removed) a hot run since
+// the flush snapshot was taken — the file holds the pre-delete rows, so
+// the cold run inherits the hot run's surviving min as its cut and
+// drops wholly-deleted blocks. Caller holds sh.mu exclusively.
+func (n *Node) evictSpilledLocked(sh *shard, seq uint64, idx *runIndex, rf *runFile) {
+	for _, se := range idx.series {
+		rs, ok := sh.runs[se.id]
+		if !ok {
+			continue // the whole run was deleted while spilling
+		}
+		for k := range rs {
+			if rs[k].seq != seq || rs[k].cold != nil {
+				continue
+			}
+			cut := rs[k].min
+			blocks := se.blocks
+			count := int(se.count)
+			if len(rs[k].es) != count {
+				// Trimmed by a delete: skip blocks the cut covers.
+				lo := sort.Search(len(blocks), func(i int) bool { return blocks[i].max >= cut })
+				for _, m := range blocks[:lo] {
+					count -= int(m.count)
+				}
+				blocks = blocks[lo:]
+				// The cold run's block-granular count keeps the
+				// straddling block's already-deleted entries that the
+				// delete subtracted from flushedSize; re-add the
+				// difference so the run's later retirement (which
+				// subtracts the full cold count) balances to zero.
+				sh.flushedSize += count - len(rs[k].es)
+			}
+			rs[k] = run{
+				min: rs[k].min, max: rs[k].max, seq: seq,
+				cold: &coldRun{rf: rf, blocks: blocks, count: count},
+				cut:  cut,
+			}
+			break
+		}
+	}
 }
 
 // compactLoop is the background compaction scheduler: every tick it
@@ -272,14 +333,85 @@ func mergeParts(parts [][]entry, now int64) []entry {
 	return merged
 }
 
+// windowRun is one snapshotted merge input of a compaction: either a
+// hot run's immutable entry slice or a cold run's retained file handle
+// plus block index.
+type windowRun struct {
+	es     []entry
+	cold   *coldRun
+	cut    int64
+	minSeq uint64 // the run's seq, for diagnostics
+}
+
+// mergeWindowRuns streams one sensor's window runs (oldest first)
+// through a k-way merge, dropping entries expired at now, and feeds
+// each surviving entry to emit in timestamp order (duplicates kept,
+// oldest first — query-time dedup stays newest-wins). Cold runs are
+// read block-at-a-time with pooled scratch, bypassing the query cache
+// so a background merge cannot flush the hot working set.
+func mergeWindowRuns(refs []windowRun, now int64, emit func(entry) error) error {
+	srcs := make([]iterSource, 0, len(refs))
+	var retained []*runFile
+	defer func() {
+		for _, s := range srcs {
+			s.it.close()
+		}
+		for _, rf := range retained {
+			rf.release()
+		}
+	}()
+	for _, r := range refs {
+		if r.cold != nil {
+			r.cold.rf.retain()
+			retained = append(retained, r.cold.rf)
+			from := r.cut
+			ci := makeColdIter(r.cold, nil, from, 1<<62)
+			it := &ci
+			if len(it.blocks) == 0 {
+				continue
+			}
+			min, max := it.blocks[0].min, it.blocks[len(it.blocks)-1].max
+			if from > min {
+				min = from
+			}
+			srcs = append(srcs, iterSource{it: it, min: min, max: max})
+			continue
+		}
+		if len(r.es) == 0 {
+			continue
+		}
+		srcs = append(srcs, iterSource{it: &sliceIter{es: r.es}, min: r.es[0].ts, max: r.es[len(r.es)-1].ts})
+	}
+	if len(srcs) == 0 {
+		return nil
+	}
+	m := newEntryMerge(srcs)
+	for {
+		e, ok := m.next()
+		if !ok {
+			break
+		}
+		if e.expire != 0 && e.expire <= now {
+			continue
+		}
+		if err := emit(e); err != nil {
+			return err
+		}
+	}
+	return m.iterErr()
+}
+
 // compactWindow merges one window of shard i's run files copy-aside:
-// the inputs are snapshotted under a read lock, merged and written to a
-// new run file with no lock held, and swapped in under a brief write
-// lock; the old files are deleted afterwards (write-new, rename,
-// delete-old). A DeleteBefore racing with the merge bumps the shard's
-// delVer and the merge aborts rather than resurrect deleted rows.
-// full selects every file (Compact); otherwise pickWindow decides.
-// Caller holds sh.disk.cmu.
+// the inputs are snapshotted under a read lock, merged and streamed
+// into a new v2 run file with no lock held, and swapped in under a
+// brief write lock; the old files are deleted afterwards (write-new,
+// rename, delete-old). On a cache-bounded node the merge is cold
+// end-to-end — input blocks are decoded one at a time and output blocks
+// stream through the v2 writer, so compaction memory is O(blocks), not
+// O(window) — and the merged run is registered cold. A DeleteBefore
+// racing with the merge bumps the shard's delVer and the merge aborts
+// rather than resurrect deleted rows. full selects every file
+// (Compact); otherwise pickWindow decides. Caller holds sh.disk.cmu.
 func (n *Node) compactWindow(i int, full bool) {
 	sh := &n.shards[i]
 	now := time.Now().UnixNano()
@@ -298,15 +430,16 @@ func (n *Node) compactWindow(i int, full bool) {
 	window := append([]runFileMeta(nil), sh.disk.files[lo:hi]...)
 	minSeq, maxSeq := window[0].minSeq, window[len(window)-1].maxSeq
 	inWindow := func(seq uint64) bool { return seq >= minSeq && seq <= maxSeq }
-	// Snapshot the window's per-sensor entry slices. Runs are
-	// immutable once flushed, so they are safe to read without the
-	// lock; the delVer check below catches the one mutation that
-	// re-slices them (DeleteBefore).
-	series := make(map[core.SensorID][][]entry)
+	// Snapshot the window's per-sensor merge inputs. Hot runs are
+	// immutable once flushed and cold runs' files are retained inside
+	// mergeWindowRuns, so both are safe to read without the lock; the
+	// delVer check below catches the one mutation that re-slices them
+	// (DeleteBefore).
+	series := make(map[core.SensorID][]windowRun)
 	for id, rs := range sh.runs {
 		for _, r := range rs {
 			if inWindow(r.seq) {
-				series[id] = append(series[id], r.es)
+				series[id] = append(series[id], windowRun{es: r.es, cold: r.cold, cut: r.cut, minSeq: r.seq})
 			}
 		}
 	}
@@ -328,28 +461,94 @@ func (n *Node) compactWindow(i int, full bool) {
 	delVer0 := sh.disk.delVer
 	sh.mu.RUnlock()
 
-	merged := make(map[core.SensorID][]entry, len(series))
-	for id, parts := range series {
-		if es := mergeParts(parts, now); len(es) > 0 {
-			merged[id] = es
+	ids := sortedIDs(len(series), func(yield func(core.SensorID)) {
+		for id := range series {
+			yield(id)
+		}
+	})
+
+	cold := n.cache != nil
+	// Hot mode keeps the merged entries to register resident runs; cold
+	// mode registers block indexes from the writer instead and never
+	// materializes a series.
+	var merged map[core.SensorID][]entry
+	if !cold {
+		merged = make(map[core.SensorID][]entry, len(series))
+	}
+	w, err := newRunFileWriter(sh.disk.dir, minSeq, maxSeq)
+	if err != nil {
+		return // inputs untouched; retried next tick
+	}
+	counts := make(map[core.SensorID]int, len(series))
+	for _, id := range ids {
+		var buf []entry
+		open := false
+		err := mergeWindowRuns(series[id], now, func(e entry) error {
+			if cold {
+				if !open {
+					if err := w.beginSeries(id); err != nil {
+						return err
+					}
+					open = true
+				}
+				counts[id]++
+				return w.add(e)
+			}
+			buf = append(buf, e)
+			return nil
+		})
+		if err == nil && open {
+			err = w.endSeries()
+		}
+		if err == nil && !cold && len(buf) > 0 {
+			if err = w.addSeries(id, buf); err == nil {
+				merged[id] = buf
+				counts[id] = len(buf)
+			}
+		}
+		if err != nil {
+			w.abort()
+			return
 		}
 	}
-
 	var newMeta runFileMeta
+	var newIdx *runIndex
 	wrote := false
-	if len(merged) > 0 || len(tombs) > 0 {
-		var err error
-		newMeta, err = writeRunFile(sh.disk.dir, minSeq, maxSeq, merged, tombs)
+	if len(counts) > 0 || len(tombs) > 0 {
+		newMeta, newIdx, err = w.finish(tombs)
 		if err != nil {
 			return // inputs untouched; retried next tick
 		}
-		newMeta.tombs = tombs
 		wrote = true
+	} else {
+		w.abort() // everything expired and no residual tombstones
+	}
+	var newRF *runFile
+	if wrote && cold {
+		if newRF, err = openRunFileHandle(newMeta.path, newIdx.dataLen, n.cache); err != nil {
+			log.Printf("store: opening %s for cold reads: %v (aborting swap)", newMeta.path, err)
+			// The old files remain live and the merged file's span
+			// covers theirs; recovery would retire them, but without a
+			// read handle the merged data is unreachable now, so drop
+			// the output and retry next tick.
+			os.Remove(newMeta.path)
+			return
+		}
+		newMeta.rf = newRF
+	}
+	newCold := make(map[core.SensorID]*coldRun)
+	if newRF != nil {
+		for _, se := range newIdx.series {
+			newCold[se.id] = &coldRun{rf: newRF, blocks: se.blocks, count: int(se.count)}
+		}
 	}
 
 	sh.mu.Lock()
 	if sh.disk.delVer != delVer0 {
 		sh.mu.Unlock()
+		if newRF != nil {
+			newRF.release()
+		}
 		if wrote {
 			// A single-file window was rewritten in place (same span,
 			// same path): the rename already replaced the live input,
@@ -377,14 +576,27 @@ func (n *Node) compactWindow(i int, full bool) {
 		kept := make([]run, 0, len(old))
 		for _, r := range old {
 			if inWindow(r.seq) {
-				adj -= len(r.es)
+				if r.cold != nil {
+					adj -= r.cold.count
+				} else {
+					adj -= len(r.es)
+				}
 				continue
 			}
 			kept = append(kept, r)
 		}
-		if es, ok := merged[id]; ok {
+		var mr run
+		haveMerged := false
+		if c, ok := newCold[id]; ok {
+			mr = run{min: c.blocks[0].min, max: c.blocks[len(c.blocks)-1].max, seq: maxSeq, cold: c}
+			adj += c.count
+			haveMerged = true
+		} else if es, ok := merged[id]; ok {
+			mr = run{es: es, min: es[0].ts, max: es[len(es)-1].ts, seq: maxSeq}
 			adj += len(es)
-			mr := run{es: es, min: es[0].ts, max: es[len(es)-1].ts, seq: maxSeq}
+			haveMerged = true
+		}
+		if haveMerged {
 			pos := sort.Search(len(kept), func(k int) bool { return kept[k].seq > maxSeq })
 			kept = append(kept, run{})
 			copy(kept[pos+1:], kept[pos:])
@@ -413,7 +625,12 @@ func (n *Node) compactWindow(i int, full bool) {
 	for _, m := range window {
 		// A single-file window (full compaction rewriting expired
 		// entries away) produces the same span and therefore the same
-		// path: the rename already replaced it, so it must survive.
+		// path: the rename already replaced it, so it must survive on
+		// disk — but its old read handle now names a replaced inode and
+		// is released like the rest.
+		if m.rf != nil {
+			m.rf.release()
+		}
 		if wrote && m.path == newMeta.path {
 			continue
 		}

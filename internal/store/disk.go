@@ -48,12 +48,17 @@ const runVersion = 1
 
 // runFileMeta describes one durable run file of a shard. tombs mirrors
 // the file's tombstone section so a compaction can carry the residual
-// cutoffs into its merged output without re-reading the inputs.
+// cutoffs into its merged output without re-reading the inputs. rf is
+// the refcounted cold-read handle (nil when the file's contents are
+// fully resident — v1 files, or a node running without a cache); the
+// meta holds the owning reference, released when compaction retires
+// the file or the node closes.
 type runFileMeta struct {
 	path           string
 	minSeq, maxSeq uint64
 	size           int64 // file size in bytes, drives size-tiered compaction
 	tombs          map[core.SensorID]int64
+	rf             *runFile
 }
 
 // runFileName builds the canonical file name for a sequence span.
@@ -195,13 +200,18 @@ func sortedIDs(n int, iter func(func(core.SensorID))) []core.SensorID {
 	return ids
 }
 
-// decodeRunFile parses run-file bytes. Counts are validated against the
-// remaining length before any allocation, so corrupt headers error out
-// instead of panicking or OOMing; a CRC mismatch rejects the whole
-// file. Series whose entries arrive unsorted are sorted defensively
-// (stable, preserving file order for duplicate timestamps) because the
-// merge-read path requires sorted runs.
+// decodeRunFile parses run-file bytes of either format version: the
+// magic string dispatches between the v1 whole-file decoder below and
+// the block-indexed v2 decoder (diskv2.go). Counts are validated
+// against the remaining length before any allocation, so corrupt
+// headers error out instead of panicking or OOMing; a CRC mismatch
+// rejects the whole file. Series whose entries arrive unsorted are
+// sorted defensively (stable, preserving file order for duplicate
+// timestamps) because the merge-read path requires sorted runs.
 func decodeRunFile(data []byte) (*runContents, error) {
+	if len(data) >= len(runMagic2) && string(data[:len(runMagic2)]) == string(runMagic2) {
+		return decodeRunFileV2(data)
+	}
 	if len(data) < len(runMagic)+4+32+4 {
 		return nil, fmt.Errorf("store: run file truncated")
 	}
@@ -373,6 +383,14 @@ type DiskOptions struct {
 	// spilled or compacted, and writes fail with ErrNodeReadOnly.
 	// For tools inspecting a (possibly crashed) agent's directory.
 	ReadOnly bool
+	// CacheBytes > 0 bounds the node's resident run data: spilled and
+	// recovered v2 run files keep only their per-series [min,max] span
+	// headers and block indexes in memory, and decoded blocks are
+	// cached node-wide up to this budget with clock eviction. 0 keeps
+	// every run fully resident (the legacy behaviour — memory grows
+	// with retention). Legacy v1 files stay resident either way until
+	// compaction rewrites them as v2.
+	CacheBytes int64
 }
 
 const (
@@ -411,6 +429,9 @@ func (n *Node) OpenOptions(dir string, o DiskOptions) error {
 	}
 	n.opts = o
 	n.dir = dir
+	if o.CacheBytes > 0 {
+		n.cache = newBlockCache(o.CacheBytes)
+	}
 	for i := range n.shards {
 		sh := &n.shards[i]
 		sh.disk.dir = filepath.Join(dir, fmt.Sprintf("shard-%02d", i))
@@ -473,6 +494,42 @@ func (n *Node) recoverShard(i int) error {
 	}
 	for mi := range metas {
 		m := &metas[mi]
+		if n.cache != nil {
+			// Resident-set-bounded recovery: v2 files contribute only
+			// their index (per-series bounds + block index); the data
+			// section stays on disk until a query pulls blocks through
+			// the cache. v1 files fall through to the full load below
+			// and stay resident until compaction rewrites them.
+			idx, err := readRunIndexFile(m.path)
+			if err == nil {
+				if idx.minSeq != m.minSeq || idx.maxSeq != m.maxSeq {
+					return fmt.Errorf("store: %s: header span [%d,%d] contradicts name", m.path, idx.minSeq, idx.maxSeq)
+				}
+				rf, err := openRunFileHandle(m.path, idx.dataLen, n.cache)
+				if err != nil {
+					return err
+				}
+				for id, cutoff := range idx.tombs {
+					sh.cutRunsLocked(id, cutoff, m.minSeq)
+				}
+				m.tombs = idx.tombs
+				m.rf = rf
+				for _, se := range idx.series {
+					sh.runs[se.id] = append(sh.runs[se.id], run{
+						min: se.min, max: se.max, seq: m.maxSeq,
+						cold: &coldRun{rf: rf, blocks: se.blocks, count: int(se.count)},
+					})
+					sh.flushedSize += int(se.count)
+				}
+				sh.disk.files = append(sh.disk.files, *m)
+				if m.maxSeq >= sh.disk.nextSeq {
+					sh.disk.nextSeq = m.maxSeq + 1
+				}
+				continue
+			} else if !isNotV2(err) {
+				return err
+			}
+		}
 		rc, err := readRunFile(m.path)
 		if err != nil {
 			return err

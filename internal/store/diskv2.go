@@ -1,0 +1,523 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"dcdb/internal/core"
+)
+
+// Run-file format v2: the block-indexed, compressed, cold-readable
+// successor of v1. Data comes first so the writer can stream blocks as
+// a merge produces them; the index lives at the tail, closed by a
+// fixed-size footer, so recovery reads O(index) bytes — not the data —
+// and a cold query reads only the blocks whose [minTs,maxTs] overlap
+// its window:
+//
+//	magic "DCDBRUN2"
+//	data   : concatenated blocks (see block.go), offsets absolute
+//	index  : minSeq u64 | maxSeq u64 | tombCount u64 | seriesCount u64
+//	         tombs  : tombCount × (sidHi u64 | sidLo u64 | cutoff i64)
+//	         series : seriesCount × header + block index, sorted by SID
+//	           header : sidHi u64 | sidLo u64 | count u64 | min i64 | max i64 | blockCount u32
+//	           block  : off u64 | len u32 | count u32 | min i64 | max i64 | crc u32
+//	footer : indexOff u64 | indexLen u32 | crc32(index) u32
+//
+// Integrity is layered: the footer CRC covers the index, and every
+// block carries its own CRC in the index, so a cold read verifies
+// exactly what it touches. v1 files (whole-file CRC, uncompressed, no
+// blocks) still decode — existing directories open unchanged and tools
+// keep reading both.
+
+var runMagic2 = []byte("DCDBRUN2")
+
+// errNotV2 marks a run file carrying the v1 magic; recovery falls back
+// to the fully-resident v1 load path.
+var errNotV2 = errors.New("not a v2 run file")
+
+func isNotV2(err error) bool { return errors.Is(err, errNotV2) }
+
+const (
+	runVersion2      = 2
+	v2FooterLen      = 16
+	v2BlockMetaLen   = 36
+	v2SeriesHdrLen   = 44
+	v2IndexFixedLen  = 32
+	v2TombLen        = 24
+	v2MaxSeriesCount = 1 << 40 // sanity bound long before allocation
+)
+
+// blockMeta locates one block inside a run file and carries the
+// always-resident rejection data: entry count, [min,max] timestamp
+// bounds, and the block's CRC.
+type blockMeta struct {
+	off      uint64
+	length   uint32
+	count    uint32
+	min, max int64
+	crc      uint32
+}
+
+// seriesIndex is one series' slice of a run file's index.
+type seriesIndex struct {
+	id       core.SensorID
+	count    uint64
+	min, max int64
+	blocks   []blockMeta
+}
+
+// runIndex is a decoded v2 index: everything recovery keeps resident
+// for a cold file.
+type runIndex struct {
+	minSeq, maxSeq uint64
+	tombs          map[core.SensorID]int64
+	series         []seriesIndex // sorted by SID
+	dataLen        int64         // bytes before the index (block bounds)
+}
+
+// runFileWriter streams a v2 run file: blocks are written as the caller
+// produces entries, the index accumulates in memory (a few bytes per
+// block), and finish seals index + footer and commits with the same
+// write-fsync-rename discipline as v1. Series must be added in
+// ascending SID order with entries sorted by timestamp.
+type runFileWriter struct {
+	f          *os.File
+	bw         *bufio.Writer
+	tmp, final string
+	dir        string
+	off        uint64 // absolute file offset of the next byte
+
+	minSeq, maxSeq uint64
+	series         []seriesIndex
+
+	cur      seriesIndex
+	open     bool
+	buf      []entry // pending entries of the open series (≤ blockEntries)
+	blockBuf []byte  // encode scratch, reused across blocks
+}
+
+func newRunFileWriter(dir string, minSeq, maxSeq uint64) (*runFileWriter, error) {
+	final := filepath.Join(dir, runFileName(minSeq, maxSeq))
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, err
+	}
+	w := &runFileWriter{
+		f: f, bw: bufio.NewWriterSize(f, 1<<16), tmp: tmp, final: final, dir: dir,
+		minSeq: minSeq, maxSeq: maxSeq,
+		buf: make([]entry, 0, blockEntries),
+	}
+	if _, err := w.bw.Write(runMagic2); err != nil {
+		w.abort()
+		return nil, err
+	}
+	w.off = uint64(len(runMagic2))
+	return w, nil
+}
+
+// abort discards the temp file. Safe after any failure.
+func (w *runFileWriter) abort() {
+	w.f.Close()
+	os.Remove(w.tmp)
+}
+
+// beginSeries starts a new series. IDs must arrive in ascending order.
+func (w *runFileWriter) beginSeries(id core.SensorID) error {
+	if w.open {
+		return fmt.Errorf("store: beginSeries with a series open")
+	}
+	if len(w.series) > 0 && w.series[len(w.series)-1].id.Compare(id) >= 0 {
+		return fmt.Errorf("store: run file series out of order")
+	}
+	w.cur = seriesIndex{id: id}
+	w.open = true
+	return nil
+}
+
+// add appends one entry (timestamp order within the series).
+func (w *runFileWriter) add(e entry) error {
+	w.buf = append(w.buf, e)
+	if len(w.buf) >= blockEntries {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+func (w *runFileWriter) flushBlock() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	w.blockBuf = encodeBlock(w.blockBuf[:0], w.buf)
+	m := blockMeta{
+		off:    w.off,
+		length: uint32(len(w.blockBuf)),
+		count:  uint32(len(w.buf)),
+		min:    w.buf[0].ts,
+		max:    w.buf[len(w.buf)-1].ts,
+		crc:    crc32.ChecksumIEEE(w.blockBuf),
+	}
+	if _, err := w.bw.Write(w.blockBuf); err != nil {
+		return err
+	}
+	w.off += uint64(len(w.blockBuf))
+	if w.cur.count == 0 {
+		w.cur.min = m.min
+	}
+	w.cur.max = m.max
+	w.cur.count += uint64(m.count)
+	w.cur.blocks = append(w.cur.blocks, m)
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// endSeries seals the open series into the index.
+func (w *runFileWriter) endSeries() error {
+	if !w.open {
+		return fmt.Errorf("store: endSeries without beginSeries")
+	}
+	if err := w.flushBlock(); err != nil {
+		return err
+	}
+	w.open = false
+	if w.cur.count == 0 {
+		return fmt.Errorf("store: run file series %v has no entries", w.cur.id)
+	}
+	w.series = append(w.series, w.cur)
+	return nil
+}
+
+// addSeries writes one whole series from a sorted slice (the spill
+// path's convenience over begin/add/end).
+func (w *runFileWriter) addSeries(id core.SensorID, es []entry) error {
+	if err := w.beginSeries(id); err != nil {
+		return err
+	}
+	for _, e := range es {
+		if err := w.add(e); err != nil {
+			return err
+		}
+	}
+	return w.endSeries()
+}
+
+// finish writes the index and footer, fsyncs, renames into place and
+// fsyncs the directory. On success the returned meta and index describe
+// the committed file.
+func (w *runFileWriter) finish(tombs map[core.SensorID]int64) (runFileMeta, *runIndex, error) {
+	if w.open {
+		return runFileMeta{}, nil, fmt.Errorf("store: finish with a series open")
+	}
+	fail := func(err error) (runFileMeta, *runIndex, error) {
+		w.abort()
+		return runFileMeta{}, nil, err
+	}
+	idx := &runIndex{minSeq: w.minSeq, maxSeq: w.maxSeq, tombs: tombs, series: w.series, dataLen: int64(w.off)}
+	indexBytes := appendRunIndex(nil, idx)
+	if _, err := w.bw.Write(indexBytes); err != nil {
+		return fail(err)
+	}
+	var footer [v2FooterLen]byte
+	binary.BigEndian.PutUint64(footer[0:], w.off)
+	binary.BigEndian.PutUint32(footer[8:], uint32(len(indexBytes)))
+	binary.BigEndian.PutUint32(footer[12:], crc32.ChecksumIEEE(indexBytes))
+	if _, err := w.bw.Write(footer[:]); err != nil {
+		return fail(err)
+	}
+	if err := w.bw.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fail(err)
+	}
+	st, err := w.f.Stat()
+	if err != nil {
+		return fail(err)
+	}
+	if err := w.f.Close(); err != nil {
+		os.Remove(w.tmp)
+		return runFileMeta{}, nil, err
+	}
+	if err := os.Rename(w.tmp, w.final); err != nil {
+		os.Remove(w.tmp)
+		return runFileMeta{}, nil, err
+	}
+	syncDir(w.dir)
+	return runFileMeta{path: w.final, minSeq: w.minSeq, maxSeq: w.maxSeq, size: st.Size(), tombs: tombs}, idx, nil
+}
+
+// appendRunIndex serialises a v2 index section.
+func appendRunIndex(b []byte, idx *runIndex) []byte {
+	var s [8]byte
+	u64 := func(v uint64) {
+		binary.BigEndian.PutUint64(s[:], v)
+		b = append(b, s[:8]...)
+	}
+	u32 := func(v uint32) {
+		binary.BigEndian.PutUint32(s[:4], v)
+		b = append(b, s[:4]...)
+	}
+	u64(idx.minSeq)
+	u64(idx.maxSeq)
+	u64(uint64(len(idx.tombs)))
+	u64(uint64(len(idx.series)))
+	tombIDs := sortedIDs(len(idx.tombs), func(yield func(core.SensorID)) {
+		for id := range idx.tombs {
+			yield(id)
+		}
+	})
+	for _, id := range tombIDs {
+		u64(id.Hi)
+		u64(id.Lo)
+		u64(uint64(idx.tombs[id]))
+	}
+	for _, se := range idx.series {
+		u64(se.id.Hi)
+		u64(se.id.Lo)
+		u64(se.count)
+		u64(uint64(se.min))
+		u64(uint64(se.max))
+		u32(uint32(len(se.blocks)))
+		for _, m := range se.blocks {
+			u64(m.off)
+			u32(m.length)
+			u32(m.count)
+			u64(uint64(m.min))
+			u64(uint64(m.max))
+			u32(m.crc)
+		}
+	}
+	return b
+}
+
+// parseRunIndex decodes and validates a v2 index section. dataLen is
+// the file offset where the index begins (every block must fit below
+// it).
+func parseRunIndex(b []byte, dataLen int64) (*runIndex, error) {
+	if len(b) < v2IndexFixedLen {
+		return nil, fmt.Errorf("store: run index truncated")
+	}
+	idx := &runIndex{
+		minSeq:  binary.BigEndian.Uint64(b[0:]),
+		maxSeq:  binary.BigEndian.Uint64(b[8:]),
+		dataLen: dataLen,
+	}
+	if idx.minSeq > idx.maxSeq {
+		return nil, fmt.Errorf("store: run index span inverted")
+	}
+	tombCount := binary.BigEndian.Uint64(b[16:])
+	seriesCount := binary.BigEndian.Uint64(b[24:])
+	off := v2IndexFixedLen
+	rest := uint64(len(b) - off)
+	if tombCount > rest/v2TombLen {
+		return nil, fmt.Errorf("store: run index tombstone count overflows index")
+	}
+	if tombCount > 0 {
+		idx.tombs = make(map[core.SensorID]int64, tombCount)
+		for i := uint64(0); i < tombCount; i++ {
+			id := core.SensorID{Hi: binary.BigEndian.Uint64(b[off:]), Lo: binary.BigEndian.Uint64(b[off+8:])}
+			idx.tombs[id] = int64(binary.BigEndian.Uint64(b[off+16:]))
+			off += v2TombLen
+		}
+	}
+	if seriesCount > uint64(len(b)-off)/v2SeriesHdrLen || seriesCount > v2MaxSeriesCount {
+		return nil, fmt.Errorf("store: run index series count overflows index")
+	}
+	idx.series = make([]seriesIndex, 0, seriesCount)
+	var prev core.SensorID
+	for i := uint64(0); i < seriesCount; i++ {
+		if len(b)-off < v2SeriesHdrLen {
+			return nil, fmt.Errorf("store: run index truncated in series header")
+		}
+		se := seriesIndex{
+			id:    core.SensorID{Hi: binary.BigEndian.Uint64(b[off:]), Lo: binary.BigEndian.Uint64(b[off+8:])},
+			count: binary.BigEndian.Uint64(b[off+16:]),
+			min:   int64(binary.BigEndian.Uint64(b[off+24:])),
+			max:   int64(binary.BigEndian.Uint64(b[off+32:])),
+		}
+		blockCount := binary.BigEndian.Uint32(b[off+40:])
+		off += v2SeriesHdrLen
+		if i > 0 && prev.Compare(se.id) >= 0 {
+			return nil, fmt.Errorf("store: run index series out of order")
+		}
+		prev = se.id
+		if se.count == 0 || blockCount == 0 {
+			return nil, fmt.Errorf("store: run index has empty series")
+		}
+		if uint64(blockCount) > uint64(len(b)-off)/v2BlockMetaLen {
+			return nil, fmt.Errorf("store: run index block count overflows index")
+		}
+		if se.min > se.max {
+			return nil, fmt.Errorf("store: run index series bounds inverted")
+		}
+		se.blocks = make([]blockMeta, blockCount)
+		var total uint64
+		for j := range se.blocks {
+			m := blockMeta{
+				off:    binary.BigEndian.Uint64(b[off:]),
+				length: binary.BigEndian.Uint32(b[off+8:]),
+				count:  binary.BigEndian.Uint32(b[off+12:]),
+				min:    int64(binary.BigEndian.Uint64(b[off+16:])),
+				max:    int64(binary.BigEndian.Uint64(b[off+24:])),
+				crc:    binary.BigEndian.Uint32(b[off+32:]),
+			}
+			off += v2BlockMetaLen
+			if m.count == 0 || m.min > m.max {
+				return nil, fmt.Errorf("store: run index block bounds invalid")
+			}
+			// Subtraction form: the additive check would wrap uint64 for
+			// a hostile off near 2^64 and falsely pass.
+			if m.off < uint64(len(runMagic2)) || m.off > uint64(dataLen) ||
+				uint64(m.length) > uint64(dataLen)-m.off {
+				return nil, fmt.Errorf("store: run index block overflows data section")
+			}
+			// Every entry costs at least one timestamp-varint byte, so a
+			// block can never hold more entries than payload bytes —
+			// without this, a forged count drives a huge allocation at
+			// decode (the v1 decoder's count-vs-length invariant).
+			if uint64(m.count) > uint64(m.length) {
+				return nil, fmt.Errorf("store: run index block count %d exceeds block length %d", m.count, m.length)
+			}
+			if j > 0 && m.min < se.blocks[j-1].max {
+				return nil, fmt.Errorf("store: run index blocks out of order")
+			}
+			total += uint64(m.count)
+			se.blocks[j] = m
+		}
+		if total != se.count {
+			return nil, fmt.Errorf("store: run index series count %d contradicts blocks (%d)", se.count, total)
+		}
+		idx.series = append(idx.series, se)
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("store: run index has %d trailing bytes", len(b)-off)
+	}
+	return idx, nil
+}
+
+// readRunIndexFile reads only a v2 file's footer and index — the cold
+// open path. The data section is not touched.
+func readRunIndexFile(path string) (*runIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < int64(len(runMagic2))+v2FooterLen {
+		return nil, fmt.Errorf("store: %s: run file truncated", path)
+	}
+	var magic [8]byte
+	if _, err := f.ReadAt(magic[:], 0); err != nil {
+		return nil, err
+	}
+	if string(magic[:]) != string(runMagic2) {
+		return nil, fmt.Errorf("store: %s: %w", path, errNotV2)
+	}
+	var footer [v2FooterLen]byte
+	if _, err := f.ReadAt(footer[:], size-v2FooterLen); err != nil {
+		return nil, err
+	}
+	indexOff := binary.BigEndian.Uint64(footer[0:])
+	indexLen := binary.BigEndian.Uint32(footer[8:])
+	indexCRC := binary.BigEndian.Uint32(footer[12:])
+	// Subtraction form: additive off+len would wrap for hostile
+	// offsets and pass, then drive a giant allocation or bad ReadAt.
+	if indexOff < uint64(len(runMagic2)) || indexOff > uint64(size-v2FooterLen) ||
+		uint64(indexLen) != uint64(size-v2FooterLen)-indexOff {
+		return nil, fmt.Errorf("store: %s: run file footer inconsistent", path)
+	}
+	indexBytes := make([]byte, indexLen)
+	if _, err := f.ReadAt(indexBytes, int64(indexOff)); err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(indexBytes) != indexCRC {
+		return nil, fmt.Errorf("store: %s: run index CRC mismatch", path)
+	}
+	idx, err := parseRunIndex(indexBytes, int64(indexOff))
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	return idx, nil
+}
+
+// decodeRunFileV2 decodes a whole v2 file held in memory — the fuzz
+// surface and the hot (cache-less) recovery path.
+func decodeRunFileV2(data []byte) (*runContents, error) {
+	if len(data) < len(runMagic2)+v2FooterLen {
+		return nil, fmt.Errorf("store: run file truncated")
+	}
+	footer := data[len(data)-v2FooterLen:]
+	indexOff := binary.BigEndian.Uint64(footer[0:])
+	indexLen := binary.BigEndian.Uint32(footer[8:])
+	indexCRC := binary.BigEndian.Uint32(footer[12:])
+	if indexOff < uint64(len(runMagic2)) || indexOff > uint64(len(data)-v2FooterLen) ||
+		uint64(indexLen) != uint64(len(data)-v2FooterLen)-indexOff {
+		return nil, fmt.Errorf("store: run file footer inconsistent")
+	}
+	indexBytes := data[indexOff : indexOff+uint64(indexLen)]
+	if crc32.ChecksumIEEE(indexBytes) != indexCRC {
+		return nil, fmt.Errorf("store: run index CRC mismatch")
+	}
+	idx, err := parseRunIndex(indexBytes, int64(indexOff))
+	if err != nil {
+		return nil, err
+	}
+	rc := &runContents{
+		minSeq: idx.minSeq, maxSeq: idx.maxSeq, tombs: idx.tombs,
+		series: make(map[core.SensorID][]entry, len(idx.series)),
+	}
+	for _, se := range idx.series {
+		es := make([]entry, 0, se.count)
+		for _, m := range se.blocks {
+			raw := data[m.off : m.off+uint64(m.length)]
+			if crc32.ChecksumIEEE(raw) != m.crc {
+				return nil, fmt.Errorf("store: block at %d CRC mismatch", m.off)
+			}
+			if err := decodeBlock(raw, int(m.count), &es); err != nil {
+				return nil, err
+			}
+		}
+		// The index's per-series bounds are the always-resident
+		// rejection data; they must agree with the decoded payload.
+		if es[0].ts != se.min || es[len(es)-1].ts != se.max {
+			return nil, fmt.Errorf("store: series %v bounds contradict blocks", se.id)
+		}
+		rc.series[se.id] = es
+	}
+	return rc, nil
+}
+
+// writeRunFileV2 persists a spill's series map as a v2 file, returning
+// the committed meta and index (the index lets the caller swap hot runs
+// cold without re-reading the file).
+func writeRunFileV2(dir string, minSeq, maxSeq uint64, series map[core.SensorID][]entry, tombs map[core.SensorID]int64) (runFileMeta, *runIndex, error) {
+	w, err := newRunFileWriter(dir, minSeq, maxSeq)
+	if err != nil {
+		return runFileMeta{}, nil, err
+	}
+	ids := sortedIDs(len(series), func(yield func(core.SensorID)) {
+		for id := range series {
+			yield(id)
+		}
+	})
+	for _, id := range ids {
+		if len(series[id]) == 0 {
+			continue
+		}
+		if err := w.addSeries(id, series[id]); err != nil {
+			w.abort()
+			return runFileMeta{}, nil, err
+		}
+	}
+	return w.finish(tombs)
+}

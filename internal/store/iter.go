@@ -1,0 +1,711 @@
+package store
+
+import (
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"dcdb/internal/core"
+)
+
+// The pull-based read path: queries no longer materialize whole runs.
+// Each source of a sensor's entries — the memtable, a hot (resident)
+// run, a cold (evicted, file-backed) run — is wrapped in an iterator,
+// and a k-way merge pulls from them in timestamp order, so the memory
+// a query holds is O(one block per cold source + the memtable window),
+// not O(result). Node.Query drains the merge into a slice for the
+// legacy API; Node.QueryStream hands it out in bounded chunks, which
+// is what the streaming RPC path forwards frame by frame.
+
+// iterator yields one series' entries in timestamp order.
+type iterator interface {
+	next() (entry, bool)
+	// close releases pooled buffers. The iterator must not be used
+	// afterwards.
+	close()
+}
+
+// entryBufPool recycles the memtable-window copies and bypass decode
+// buffers of the query path.
+var entryBufPool = sync.Pool{
+	New: func() any { s := make([]entry, 0, blockEntries); return &s },
+}
+
+func getEntryBuf() *[]entry { return entryBufPool.Get().(*[]entry) }
+
+func putEntryBuf(s *[]entry) {
+	if cap(*s) <= 1<<16 {
+		*s = (*s)[:0]
+		entryBufPool.Put(s)
+	}
+}
+
+// sliceIter walks an immutable, sorted entry slice. pooled, when set,
+// is returned to the buffer pool on close (memtable copies).
+type sliceIter struct {
+	es     []entry
+	pos    int
+	pooled *[]entry
+}
+
+func (it *sliceIter) next() (entry, bool) {
+	if it.pos >= len(it.es) {
+		return entry{}, false
+	}
+	e := it.es[it.pos]
+	it.pos++
+	return e, true
+}
+
+func (it *sliceIter) close() {
+	if it.pooled != nil {
+		putEntryBuf(it.pooled)
+		it.pooled = nil
+	}
+	it.es = nil
+}
+
+// coldIter walks the window-overlapping blocks of a cold run, decoding
+// one block at a time. With a cache, decoded blocks are shared
+// node-wide and charged against CacheBytes; without one (compaction's
+// bypass mode) each block is decoded into a pooled scratch buffer so a
+// merge never thrashes the query cache. Entries below cut (deleted) or
+// outside [from, to] are skipped. The iterator does not own a file
+// reference — the caller retains rf across the iterator's lifetime.
+type coldIter struct {
+	rf     *runFile
+	blocks []blockMeta
+	cache  *blockCache
+	from   int64
+	to     int64
+
+	bi      int
+	cur     []entry
+	pos     int
+	scratch *[]entry // bypass decode buffer (pooled)
+	raw     []byte   // raw block read buffer (bypass / cache miss)
+	err     error
+}
+
+// makeColdIter narrows the run's block index to [from, to] (cut
+// already folded into from by the caller). Returned by value so
+// callers can arena-allocate.
+func makeColdIter(c *coldRun, cache *blockCache, from, to int64) coldIter {
+	bs := c.blocks
+	lo := sort.Search(len(bs), func(i int) bool { return bs[i].max >= from })
+	hi := sort.Search(len(bs), func(i int) bool { return bs[i].min > to })
+	if lo > hi {
+		hi = lo
+	}
+	return coldIter{rf: c.rf, blocks: bs[lo:hi], cache: cache, from: from, to: to}
+}
+
+func (it *coldIter) loadNext() bool {
+	for it.bi < len(it.blocks) {
+		m := it.blocks[it.bi]
+		it.bi++
+		var es []entry
+		if it.cache != nil {
+			k := blockKey{rf: it.rf, off: m.off}
+			if cached, ok := it.cache.get(k); ok {
+				es = cached
+			} else {
+				// Decode into a fresh slice: the cache shares it with
+				// every later reader, so it cannot come from a pool.
+				es = make([]entry, 0, m.count)
+				var err error
+				it.raw, err = it.rf.decodeBlockAt(m, it.raw, &es)
+				if err != nil {
+					it.err = err
+					return false
+				}
+				it.cache.add(k, es)
+			}
+		} else {
+			if it.scratch == nil {
+				it.scratch = getBlockScratch()
+			}
+			*it.scratch = (*it.scratch)[:0]
+			var err error
+			it.raw, err = it.rf.decodeBlockAt(m, it.raw, it.scratch)
+			if err != nil {
+				it.err = err
+				return false
+			}
+			es = *it.scratch
+		}
+		// Narrow to the window; the first and last blocks may straddle.
+		lo := sort.Search(len(es), func(i int) bool { return es[i].ts >= it.from })
+		hi := sort.Search(len(es), func(i int) bool { return es[i].ts > it.to })
+		if lo < hi {
+			it.cur, it.pos = es, lo
+			it.blocksHi(hi)
+			return true
+		}
+	}
+	return false
+}
+
+// blocksHi clamps the current block's readable range.
+func (it *coldIter) blocksHi(hi int) { it.cur = it.cur[:hi] }
+
+func (it *coldIter) next() (entry, bool) {
+	for it.pos >= len(it.cur) {
+		if !it.loadNext() {
+			return entry{}, false
+		}
+	}
+	e := it.cur[it.pos]
+	it.pos++
+	return e, true
+}
+
+func (it *coldIter) close() {
+	if it.scratch != nil {
+		putBlockScratch(it.scratch)
+		it.scratch = nil
+	}
+	it.cur = nil
+	it.raw = nil
+}
+
+// iterSource pairs an iterator with the clamped bounds of what it can
+// emit, for the sequential-concatenation fast path, and its run order
+// (older sources first; the memtable is newest).
+type iterSource struct {
+	it       iterator
+	min, max int64
+}
+
+// mergeCursor is one heap slot of the k-way merge.
+type mergeCursor struct {
+	it  iterator
+	e   entry
+	idx int // run order; equal timestamps pop oldest first
+}
+
+// entryMerge merges k iterators in timestamp order. When the sources'
+// clamped bounds do not overlap (the common case: sensors emit
+// monotonically increasing timestamps, so consecutive runs abut), it
+// concatenates instead of heapifying. Duplicate timestamps are emitted
+// in source order (oldest first), so a consumer keeping the last value
+// per timestamp implements newest-wins — exactly the dedup the old
+// materializing merge performed.
+type entryMerge struct {
+	sequential bool
+	srcs       []iterSource // sequential mode: drained in order
+	si         int
+	h          []mergeCursor // heap mode
+
+	closers []iterator
+}
+
+func newEntryMerge(srcs []iterSource) *entryMerge {
+	m := &entryMerge{srcs: srcs, sequential: true}
+	m.closers = make([]iterator, len(srcs))
+	for i, s := range srcs {
+		m.closers[i] = s.it
+	}
+	for i := 1; i < len(srcs); i++ {
+		if srcs[i-1].max > srcs[i].min {
+			m.sequential = false
+			break
+		}
+	}
+	if !m.sequential {
+		m.h = make([]mergeCursor, 0, len(srcs))
+		for i, s := range srcs {
+			if e, ok := s.it.next(); ok {
+				m.push(mergeCursor{it: s.it, e: e, idx: i})
+			}
+		}
+	}
+	return m
+}
+
+func (m *entryMerge) less(a, b mergeCursor) bool {
+	return a.e.ts < b.e.ts || (a.e.ts == b.e.ts && a.idx < b.idx)
+}
+
+func (m *entryMerge) push(c mergeCursor) {
+	m.h = append(m.h, c)
+	for i := len(m.h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !m.less(m.h[i], m.h[p]) {
+			break
+		}
+		m.h[i], m.h[p] = m.h[p], m.h[i]
+		i = p
+	}
+}
+
+func (m *entryMerge) siftDown() {
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < len(m.h) && m.less(m.h[l], m.h[s]) {
+			s = l
+		}
+		if r < len(m.h) && m.less(m.h[r], m.h[s]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		m.h[i], m.h[s] = m.h[s], m.h[i]
+		i = s
+	}
+}
+
+// nextSlice returns the next contiguous batch of merged entries when
+// the merge is sequential (non-overlapping sources): whole hot-run
+// windows or decoded cold blocks at a time, with no per-entry dynamic
+// dispatch. ok is false when exhausted or when the merge needs the
+// heap (caller falls back to next()).
+func (m *entryMerge) nextSlice() ([]entry, bool) {
+	if !m.sequential {
+		return nil, false
+	}
+	for m.si < len(m.srcs) {
+		switch it := m.srcs[m.si].it.(type) {
+		case *sliceIter:
+			if it.pos < len(it.es) {
+				es := it.es[it.pos:]
+				it.pos = len(it.es)
+				return es, true
+			}
+			m.si++
+		case *coldIter:
+			if it.pos < len(it.cur) {
+				es := it.cur[it.pos:]
+				it.pos = len(it.cur)
+				return es, true
+			}
+			if !it.loadNext() {
+				m.si++
+			}
+		default:
+			// Unknown iterator kind: hand the rest to the per-entry
+			// path (next() resumes from m.si).
+			return nil, false
+		}
+	}
+	return nil, false
+}
+
+func (m *entryMerge) next() (entry, bool) {
+	if m.sequential {
+		for m.si < len(m.srcs) {
+			if e, ok := m.srcs[m.si].it.next(); ok {
+				return e, true
+			}
+			m.si++
+		}
+		return entry{}, false
+	}
+	if len(m.h) == 0 {
+		return entry{}, false
+	}
+	c := m.h[0]
+	if e, ok := c.it.next(); ok {
+		m.h[0].e = e
+		m.siftDown()
+	} else {
+		m.h[0] = m.h[len(m.h)-1]
+		m.h = m.h[:len(m.h)-1]
+		m.siftDown()
+	}
+	return c.e, true
+}
+
+// iterErr surfaces a cold iterator's read failure, if any.
+func (m *entryMerge) iterErr() error {
+	for _, it := range m.closers {
+		if ci, ok := it.(*coldIter); ok && ci.err != nil {
+			return ci.err
+		}
+	}
+	return nil
+}
+
+func (m *entryMerge) close() {
+	for _, it := range m.closers {
+		it.close()
+	}
+	m.closers = nil
+	m.h = nil
+	m.srcs = nil
+}
+
+// sensorIters snapshots one sensor's merge inputs under the shard's
+// read lock: hot runs are referenced in place (immutable once flushed),
+// cold runs get their file retained and their block index narrowed, and
+// the memtable window is copied out (memtable arrays are mutated by
+// later inserts, sorts and deletes, so they cannot be read unlocked).
+// sizeHint upper-bounds the merged entry count (pre-dedup/expiry) so
+// callers can size their output once. The caller must invoke the
+// returned release exactly once after draining. Caller holds sh.mu at
+// least shared.
+func (n *Node) sensorItersLocked(sh *shard, id core.SensorID, from, to int64) (srcs []iterSource, retained []*runFile, sizeHint int) {
+	rs := sh.runs[id]
+	// First pass over the compact header array: how many sources
+	// overlap, so the iterator arena and source list allocate exactly
+	// once each at the right size.
+	nHot, nCold := 0, 0
+	for _, r := range rs {
+		if r.min > to || r.max < from {
+			continue
+		}
+		if r.cold != nil {
+			nCold++
+		} else {
+			nHot++
+		}
+	}
+	srcs = make([]iterSource, 0, nHot+nCold+1)
+	hotArena := make([]sliceIter, 0, nHot+1)
+	var coldArena []coldIter
+	if nCold > 0 {
+		coldArena = make([]coldIter, 0, nCold)
+		retained = make([]*runFile, 0, nCold)
+	}
+	for _, r := range rs {
+		if r.min > to || r.max < from {
+			continue
+		}
+		lo2 := from
+		if r.cut > lo2 {
+			lo2 = r.cut
+		}
+		if r.cold != nil {
+			coldArena = append(coldArena, makeColdIter(r.cold, n.cache, lo2, to))
+			it := &coldArena[len(coldArena)-1]
+			if len(it.blocks) == 0 {
+				coldArena = coldArena[:len(coldArena)-1]
+				continue
+			}
+			r.cold.rf.retain()
+			retained = append(retained, r.cold.rf)
+			min, max := it.blocks[0].min, it.blocks[len(it.blocks)-1].max
+			if min < lo2 {
+				min = lo2
+			}
+			if max > to {
+				max = to
+			}
+			for _, m := range it.blocks {
+				sizeHint += int(m.count)
+			}
+			srcs = append(srcs, iterSource{it: it, min: min, max: max})
+			continue
+		}
+		es := r.es
+		lo := sort.Search(len(es), func(i int) bool { return es[i].ts >= lo2 })
+		hi := sort.Search(len(es), func(i int) bool { return es[i].ts > to })
+		if lo < hi {
+			hotArena = append(hotArena, sliceIter{es: es[lo:hi]})
+			srcs = append(srcs, iterSource{it: &hotArena[len(hotArena)-1], min: es[lo].ts, max: es[hi-1].ts})
+			sizeHint += hi - lo
+		}
+	}
+	if s, ok := sh.mem[id]; ok && len(s.entries) > 0 {
+		buf := getEntryBuf()
+		if s.sorted {
+			es := s.entries
+			lo := sort.Search(len(es), func(i int) bool { return es[i].ts >= from })
+			hi := sort.Search(len(es), func(i int) bool { return es[i].ts > to })
+			*buf = append((*buf)[:0], es[lo:hi]...)
+		} else {
+			*buf = append((*buf)[:0], s.entries...)
+			sort.SliceStable(*buf, func(i, j int) bool { return (*buf)[i].ts < (*buf)[j].ts })
+			es := *buf
+			lo := sort.Search(len(es), func(i int) bool { return es[i].ts >= from })
+			hi := sort.Search(len(es), func(i int) bool { return es[i].ts > to })
+			// Compact the window to the buffer's front so the pooled
+			// allocation keeps its full capacity for reuse.
+			copy(es, es[lo:hi])
+			*buf = es[:hi-lo]
+		}
+		if len(*buf) > 0 {
+			es := *buf
+			hotArena = append(hotArena, sliceIter{es: es, pooled: buf})
+			srcs = append(srcs, iterSource{it: &hotArena[len(hotArena)-1], min: es[0].ts, max: es[len(es)-1].ts})
+			sizeHint += len(es)
+		} else {
+			putEntryBuf(buf)
+		}
+	}
+	return srcs, retained, sizeHint
+}
+
+// sensorMerge builds the merged, deduplicating cursor over one sensor.
+// The release closure closes iterators and drops file references; it
+// must be called exactly once.
+func (n *Node) sensorMerge(id core.SensorID, from, to int64) (*entryMerge, func(), int) {
+	sh := n.shardOf(id)
+	sh.mu.RLock()
+	srcs, retained, sizeHint := n.sensorItersLocked(sh, id, from, to)
+	sh.mu.RUnlock()
+	m := newEntryMerge(srcs)
+	release := func() {
+		m.close()
+		for _, rf := range retained {
+			rf.release()
+		}
+	}
+	return m, release, sizeHint
+}
+
+// ReadingStream is a pull-based stream of one sensor's query result in
+// timestamp order. Next returns the next chunk, or io.EOF when the
+// stream is exhausted; the returned slice is only valid until the next
+// call. Close releases the stream's resources and may be called at any
+// point (cancel-on-close); it is idempotent.
+type ReadingStream interface {
+	Next() ([]core.Reading, error)
+	Close() error
+}
+
+// KeyedReadingStream streams a prefix query: chunks of one sensor's
+// readings at a time, sensors in ascending SID order. A sensor's
+// readings may span several consecutive chunks (same id repeated).
+// Next returns io.EOF when done; the slice is valid until the next
+// call.
+type KeyedReadingStream interface {
+	Next() (core.SensorID, []core.Reading, error)
+	Close() error
+}
+
+// StreamChunkReadings is the number of readings a stream yields per
+// Next call (and the server-side RPC chunk size): 4096 readings ≈ 64
+// KB on the wire, small enough that neither side ever buffers a
+// meaningful fraction of a long-retention result.
+const StreamChunkReadings = 4096
+
+// nodeStream adapts an entryMerge to the chunked ReadingStream API,
+// applying expiry filtering and newest-wins timestamp dedup. The
+// held-back pending reading guarantees a duplicate timestamp can never
+// straddle a chunk boundary half-resolved.
+type nodeStream struct {
+	m       *entryMerge
+	release func()
+	now     int64
+	buf     []core.Reading
+	pending core.Reading
+	havePnd bool
+	done    bool
+}
+
+func newNodeStream(m *entryMerge, release func(), now int64) *nodeStream {
+	return &nodeStream{m: m, release: release, now: now}
+}
+
+func (s *nodeStream) Next() ([]core.Reading, error) {
+	if s.done {
+		return nil, io.EOF
+	}
+	if s.buf == nil {
+		s.buf = make([]core.Reading, 0, StreamChunkReadings)
+	}
+	s.buf = s.buf[:0]
+	for len(s.buf) < StreamChunkReadings {
+		e, ok := s.m.next()
+		if !ok {
+			if err := s.m.iterErr(); err != nil {
+				s.close()
+				return nil, err
+			}
+			if s.havePnd {
+				s.buf = append(s.buf, s.pending)
+				s.havePnd = false
+			}
+			s.close()
+			if len(s.buf) == 0 {
+				return nil, io.EOF
+			}
+			return s.buf, nil
+		}
+		if e.expire != 0 && e.expire <= s.now {
+			continue
+		}
+		if s.havePnd && s.pending.Timestamp == e.ts {
+			s.pending.Value = e.val // newer run wins
+			continue
+		}
+		if s.havePnd {
+			s.buf = append(s.buf, s.pending)
+		}
+		s.pending = core.Reading{Timestamp: e.ts, Value: e.val}
+		s.havePnd = true
+	}
+	return s.buf, nil
+}
+
+func (s *nodeStream) close() {
+	if !s.done {
+		s.done = true
+		if s.release != nil {
+			s.release()
+			s.release = nil
+		}
+	}
+}
+
+func (s *nodeStream) Close() error {
+	s.close()
+	return nil
+}
+
+// QueryStream implements NodeBackend: the streaming form of Query.
+// Chunks are produced on demand from the pull-based merge, so the
+// node's memory per open stream is one chunk plus one decoded block
+// per cold source — independent of the result size.
+func (n *Node) QueryStream(id core.SensorID, from, to int64) (ReadingStream, error) {
+	if n.down.Load() {
+		return nil, ErrNodeDown
+	}
+	n.shardOf(id).queries.Add(1)
+	m, release, _ := n.sensorMerge(id, from, to)
+	return newNodeStream(m, release, time.Now().UnixNano()), nil
+}
+
+// queryAll drains one sensor's merge into a slice (the legacy
+// materializing API). The output is sized once from the snapshot's
+// entry-count hint, and sequential merges (the monotonic-sensor common
+// case) drain whole run windows and decoded blocks at a time instead
+// of paying a dynamic dispatch per entry.
+func (n *Node) queryAll(id core.SensorID, from, to, now int64) ([]core.Reading, error) {
+	m, release, sizeHint := n.sensorMerge(id, from, to)
+	defer release()
+	if sizeHint == 0 {
+		return nil, nil
+	}
+	out := make([]core.Reading, 0, sizeHint)
+	var pending core.Reading
+	have := false
+	emit := func(e entry) {
+		if e.expire != 0 && e.expire <= now {
+			return
+		}
+		if have && pending.Timestamp == e.ts {
+			pending.Value = e.val // newer source wins
+			return
+		}
+		if have {
+			out = append(out, pending)
+		}
+		pending = core.Reading{Timestamp: e.ts, Value: e.val}
+		have = true
+	}
+	for {
+		es, ok := m.nextSlice()
+		if !ok {
+			break
+		}
+		for _, e := range es {
+			emit(e)
+		}
+	}
+	for {
+		e, ok := m.next()
+		if !ok {
+			break
+		}
+		emit(e)
+	}
+	if err := m.iterErr(); err != nil {
+		return nil, err
+	}
+	if have {
+		out = append(out, pending)
+	}
+	return out, nil
+}
+
+// prefixSIDs lists the node's SIDs inside the prefix subtree, in
+// ascending SID order (the order every keyed stream promises).
+func (n *Node) prefixSIDs(prefix core.SensorID, depth int) []core.SensorID {
+	lo, hi, bounded := prefixRange(prefix, depth)
+	var out []core.SensorID
+	for i := range n.shards {
+		sh := &n.shards[i]
+		idx := sh.snapshotIndex()
+		start := sort.Search(len(idx), func(i int) bool { return idx[i].Compare(lo) >= 0 })
+		end := len(idx)
+		if bounded {
+			end = sort.Search(len(idx), func(i int) bool { return idx[i].Compare(hi) >= 0 })
+		}
+		out = append(out, idx[start:end]...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// prefixStream walks the subtree's sensors one at a time, streaming
+// each sensor's merge in chunks. Only one sensor's merge is open at any
+// moment.
+type prefixStream struct {
+	n        *Node
+	ids      []core.SensorID
+	from, to int64
+	now      int64
+
+	cur  *nodeStream
+	curI int
+	done bool
+}
+
+func (s *prefixStream) Next() (core.SensorID, []core.Reading, error) {
+	for {
+		if s.done {
+			return core.SensorID{}, nil, io.EOF
+		}
+		if s.cur == nil {
+			if s.curI >= len(s.ids) {
+				s.done = true
+				return core.SensorID{}, nil, io.EOF
+			}
+			m, release, _ := s.n.sensorMerge(s.ids[s.curI], s.from, s.to)
+			s.cur = newNodeStream(m, release, s.now)
+		}
+		chunk, err := s.cur.Next()
+		if err == io.EOF {
+			s.cur = nil
+			s.curI++
+			continue
+		}
+		if err != nil {
+			s.Close()
+			return core.SensorID{}, nil, err
+		}
+		return s.ids[s.curI], chunk, nil
+	}
+}
+
+func (s *prefixStream) Close() error {
+	if s.cur != nil {
+		s.cur.Close()
+		s.cur = nil
+	}
+	s.done = true
+	return nil
+}
+
+// QueryPrefixStream implements NodeBackend: the streaming form of
+// QueryPrefix. Sensors arrive in ascending SID order, each sensor's
+// readings chunked in timestamp order.
+func (n *Node) QueryPrefixStream(prefix core.SensorID, depth int, from, to int64) (KeyedReadingStream, error) {
+	if n.down.Load() {
+		return nil, ErrNodeDown
+	}
+	if prefix.Prefix(depth) != prefix {
+		return &prefixStream{done: true}, nil
+	}
+	n.prefixQueries.Add(1)
+	return &prefixStream{
+		n: n, ids: n.prefixSIDs(prefix, depth), from: from, to: to,
+		now: time.Now().UnixNano(),
+	}, nil
+}

@@ -72,10 +72,28 @@ type memSeries struct {
 // seq is the flush sequence that produced the run and ties it to the
 // run file holding the same entries on durable nodes; per-sensor run
 // lists are ordered by ascending seq (oldest first).
+//
+// A run is either hot (es resident, read in place) or cold (es nil,
+// cold describing the v2 run-file blocks holding the entries; reads go
+// through the node's block cache). Only the [min,max] bounds and the
+// per-block index stay resident for a cold run — that is the
+// resident-set bound. cut records a DeleteBefore applied to a cold run:
+// the file still holds the deleted rows, so readers skip entries below
+// it (hot runs are resliced instead and keep cut zero).
 type run struct {
 	es       []entry
 	min, max int64
 	seq      uint64
+	cold     *coldRun
+	cut      int64
+}
+
+// coldRun is the resident description of an evicted run: the refcounted
+// file handle and this series' slice of the block index.
+type coldRun struct {
+	rf     *runFile
+	blocks []blockMeta
+	count  int
 }
 
 // numShards is the lock-stripe count of a Node's memtable. A power of
@@ -182,6 +200,12 @@ type Node struct {
 	stopBG chan struct{}
 	bgWG   sync.WaitGroup
 	closed atomic.Bool
+
+	// cache is the node-wide decoded-block cache; non-nil exactly when
+	// the node runs with a resident-set bound (DiskOptions.CacheBytes >
+	// 0), in which case run data is evictable and cold reads decode
+	// only the blocks a query touches.
+	cache *blockCache
 }
 
 // durable reports whether the node is backed by a data directory.
@@ -503,162 +527,19 @@ func (n *Node) flushShardLocked(i int) error {
 	return cerr
 }
 
-// Query implements Backend.
+// Query implements Backend. The merge is pull-based (iter.go): the
+// sensor's sources are snapshotted under the shard's read lock, then
+// drained without it, so a cold run's disk reads never stall the
+// shard's writers.
 func (n *Node) Query(id core.SensorID, from, to int64) ([]core.Reading, error) {
 	if n.down.Load() {
 		return nil, ErrNodeDown
 	}
-	now := time.Now().UnixNano()
-	sh := n.shardOf(id)
-	sh.queries.Add(1)
-	sh.mu.RLock()
-	out := sh.queryLocked(id, from, to, now)
-	sh.mu.RUnlock()
-	return out, nil
-}
-
-// queryLocked merges the sorted runs of one sensor. Caller holds at
-// least a read lock on the shard.
-func (sh *shard) queryLocked(id core.SensorID, from, to, now int64) []core.Reading {
-	var mem []entry
-	if s, ok := sh.mem[id]; ok && len(s.entries) > 0 {
-		mem = s.entries
-		if !s.sorted {
-			mem = append([]entry(nil), s.entries...)
-			// Stable for the same reason as the flush path: equal
-			// timestamps must stay in insertion order.
-			sort.SliceStable(mem, func(i, j int) bool { return mem[i].ts < mem[j].ts })
-		}
-	}
-	return mergeRuns(sh.runs[id], mem, from, to, now)
-}
-
-// mergeRuns performs a k-way heap merge over time-sorted runs, dropping
-// expired entries and collapsing duplicate timestamps so the newest run
-// (highest index — flushed runs are ordered oldest first, the memtable
-// run is newest) wins. Each run is first narrowed to [from, to] by
-// binary search; flushed is read-only and never copied, and runs whose
-// cached [min, max] bounds miss the window are rejected from the
-// header scan alone.
-func mergeRuns(flushed []run, mem []entry, from, to, now int64) []core.Reading {
-	total := 0
-	var narrowed [][]entry
-	narrow := func(es []entry) {
-		lo := sort.Search(len(es), func(i int) bool { return es[i].ts >= from })
-		hi := sort.Search(len(es), func(i int) bool { return es[i].ts > to })
-		if lo < hi {
-			narrowed = append(narrowed, es[lo:hi])
-			total += hi - lo
-		}
-	}
-	for _, r := range flushed {
-		if r.min > to || r.max < from {
-			continue
-		}
-		narrow(r.es)
-	}
-	if len(mem) > 0 && mem[0].ts <= to && mem[len(mem)-1].ts >= from {
-		narrow(mem)
-	}
-	if len(narrowed) == 0 {
-		return nil
-	}
-	// Sensors usually emit monotonically increasing timestamps, so
-	// consecutive runs rarely overlap: when every run ends at or
-	// before the next one starts, plain concatenation yields sorted
-	// output and the heap is skipped entirely.
-	sequential := true
-	for i := 1; i < len(narrowed); i++ {
-		prev := narrowed[i-1]
-		if prev[len(prev)-1].ts > narrowed[i][0].ts {
-			sequential = false
-			break
-		}
-	}
-	if sequential {
-		out := make([]core.Reading, 0, total)
-		for _, es := range narrowed {
-			for _, e := range es {
-				if e.expire != 0 && e.expire <= now {
-					continue
-				}
-				if len(out) > 0 && out[len(out)-1].Timestamp == e.ts {
-					out[len(out)-1] = core.Reading{Timestamp: e.ts, Value: e.val}
-				} else {
-					out = append(out, core.Reading{Timestamp: e.ts, Value: e.val})
-				}
-			}
-		}
-		return out
-	}
-
-	// cursor walks one run; the heap orders cursors by (next
-	// timestamp, run index) so equal timestamps pop oldest-run first
-	// and the overwrite below leaves the newest run's value.
-	type cursor struct {
-		es  []entry
-		pos int
-		run int
-	}
-	h := make([]cursor, 0, len(narrowed))
-	less := func(a, b cursor) bool {
-		at, bt := a.es[a.pos].ts, b.es[b.pos].ts
-		return at < bt || (at == bt && a.run < b.run)
-	}
-	push := func(c cursor) {
-		h = append(h, c)
-		for i := len(h) - 1; i > 0; {
-			p := (i - 1) / 2
-			if !less(h[i], h[p]) {
-				break
-			}
-			h[i], h[p] = h[p], h[i]
-			i = p
-		}
-	}
-	siftDown := func() {
-		i := 0
-		for {
-			l, r := 2*i+1, 2*i+2
-			s := i
-			if l < len(h) && less(h[l], h[s]) {
-				s = l
-			}
-			if r < len(h) && less(h[r], h[s]) {
-				s = r
-			}
-			if s == i {
-				break
-			}
-			h[i], h[s] = h[s], h[i]
-			i = s
-		}
-	}
-	for run, es := range narrowed {
-		push(cursor{es: es, run: run})
-	}
-	out := make([]core.Reading, 0, total)
-	for len(h) > 0 {
-		c := h[0]
-		e := c.es[c.pos]
-		if c.pos+1 < len(c.es) {
-			h[0].pos++
-			siftDown()
-		} else {
-			h[0] = h[len(h)-1]
-			h = h[:len(h)-1]
-			siftDown()
-		}
-		if e.expire != 0 && e.expire <= now {
-			continue
-		}
-		if len(out) > 0 && out[len(out)-1].Timestamp == e.ts {
-			out[len(out)-1] = core.Reading{Timestamp: e.ts, Value: e.val}
-		} else {
-			out = append(out, core.Reading{Timestamp: e.ts, Value: e.val})
-		}
-	}
-	return out
+	// The per-shard counter ticks once per Query call; QueryPrefix has
+	// its own counter and its per-sensor queryAll calls stay silent,
+	// matching the pre-streaming accounting.
+	n.shardOf(id).queries.Add(1)
+	return n.queryAll(id, from, to, time.Now().UnixNano())
 }
 
 // snapshotIndex returns the shard's sorted SID list, rebuilding it if
@@ -751,13 +632,15 @@ func (n *Node) QueryPrefix(prefix core.SensorID, depth int, from, to int64) (map
 		if start >= end {
 			continue
 		}
-		sh.mu.RLock()
 		for _, id := range idx[start:end] {
-			if rs := sh.queryLocked(id, from, to, now); len(rs) > 0 {
+			rs, err := n.queryAll(id, from, to, now)
+			if err != nil {
+				return nil, err
+			}
+			if len(rs) > 0 {
 				out[id] = rs
 			}
 		}
-		sh.mu.RUnlock()
 	}
 	n.prefixQueries.Add(1)
 	return out, nil
@@ -833,7 +716,39 @@ func (sh *shard) cutRunsLocked(id core.SensorID, cutoff int64, beforeSeq uint64)
 			kept = append(kept, r)
 			continue
 		}
-		// Runs are sorted: everything before the cutoff is a
+		if r.cold != nil {
+			// The file keeps the deleted rows; drop wholly-covered
+			// blocks from the resident index and record the cutoff so
+			// readers skip the straddling block's older entries.
+			bs := r.cold.blocks
+			lo := sort.Search(len(bs), func(i int) bool { return bs[i].max >= cutoff })
+			if lo == len(bs) {
+				sh.flushedSize -= r.cold.count
+				continue // every block deleted: the run disappears
+			}
+			if lo > 0 || cutoff > r.cut {
+				dropped := 0
+				for _, m := range bs[:lo] {
+					dropped += int(m.count)
+				}
+				sh.flushedSize -= dropped
+				nc := &coldRun{rf: r.cold.rf, blocks: bs[lo:], count: r.cold.count - dropped}
+				min := r.min
+				if cutoff > min {
+					// cutoff is a valid lower bound for the surviving
+					// entries, keeping window rejection safe.
+					min = cutoff
+				}
+				cut := r.cut
+				if cutoff > cut {
+					cut = cutoff
+				}
+				r = run{min: min, max: r.max, seq: r.seq, cold: nc, cut: cut}
+			}
+			kept = append(kept, r)
+			continue
+		}
+		// Hot runs are sorted: everything before the cutoff is a
 		// prefix, dropped by reslicing without copying.
 		lo := sort.Search(len(r.es), func(i int) bool { return r.es[i].ts >= cutoff })
 		sh.flushedSize -= lo
@@ -857,7 +772,12 @@ func (sh *shard) cutRunsLocked(id core.SensorID, cutoff int64, beforeSeq uint64)
 // incremental size-tiered merges additionally run continuously in the
 // background without being asked.
 func (n *Node) Compact() {
-	if n.durable() && !n.opts.ReadOnly {
+	if n.durable() && n.opts.ReadOnly {
+		// A read-only node must not rewrite files — and its cold runs
+		// have no resident entries to merge in memory either.
+		return
+	}
+	if n.durable() {
 		// Wait for pending spills so the full window covers every
 		// flushed run; runs created by flushes racing past this point
 		// keep their own files and are picked up by the next merge.
@@ -960,6 +880,7 @@ func (n *Node) Close() error {
 		n.bgWG.Wait()
 	}
 	if n.opts.ReadOnly {
+		n.releaseRunFiles()
 		return nil // nothing on disk to settle, and no WALs to close
 	}
 	var firstErr error
@@ -981,7 +902,25 @@ func (n *Node) Close() error {
 			}
 		}
 	}
+	n.releaseRunFiles()
 	return firstErr
+}
+
+// releaseRunFiles drops the owning reference of every cold run-file
+// handle. In-flight streams holding their own references keep reading
+// until they close; no new reads start — the node is closed.
+func (n *Node) releaseRunFiles() {
+	for i := range n.shards {
+		sh := &n.shards[i]
+		sh.mu.Lock()
+		for fi := range sh.disk.files {
+			if rf := sh.disk.files[fi].rf; rf != nil {
+				sh.disk.files[fi].rf = nil
+				rf.release()
+			}
+		}
+		sh.mu.Unlock()
+	}
 }
 
 // Sync forces every shard's WAL to disk, making all writes accepted so

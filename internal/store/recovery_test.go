@@ -42,6 +42,9 @@ func (n *Node) crash() {
 			w.unlock()
 		}
 	}
+	// A killed process loses its descriptors too; without this, long
+	// crash-loop tests would exhaust fds on cold nodes.
+	n.releaseRunFiles()
 }
 
 // abort stops the spiller without draining pending jobs (crash
@@ -506,19 +509,32 @@ func TestBackgroundCompactionBoundsRunFilesUnderIngest(t *testing.T) {
 	}
 
 	// Once ingest stops, the compactor must settle the shard at or
-	// below its size-tiered trigger.
+	// below its size-tiered trigger. The node is still live, so the
+	// poll must be non-destructive (scanRunFiles would delete the
+	// spiller's and compactor's in-flight .tmp files) and tolerate
+	// files vanishing between listing and counting.
+	if err := n.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	n.sp.waitIdle()
 	shardDir := filepath.Join(dir, fmt.Sprintf("shard-%02d", shardIndex(id)))
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		metas, err := scanRunFiles(shardDir)
+		des, err := os.ReadDir(shardDir)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(metas) <= o.MaxRuns {
+		count := 0
+		for _, de := range des {
+			if _, _, ok := runFileSpan(de.Name()); ok {
+				count++
+			}
+		}
+		if count <= o.MaxRuns {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("compaction never settled: %d run files (trigger %d)", len(metas), o.MaxRuns)
+			t.Fatalf("compaction never settled: %d run files (trigger %d)", count, o.MaxRuns)
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
