@@ -1,0 +1,130 @@
+package backoff
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDelaySchedule(t *testing.T) {
+	p := Policy{Initial: 100 * time.Millisecond, Max: time.Second, Multiplier: 2}
+	want := []time.Duration{
+		0, // 0 failures
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		time.Second, // capped
+		time.Second,
+	}
+	for failures, d := range want {
+		if got := p.Delay(failures); got != d {
+			t.Fatalf("Delay(%d) = %v, want %v", failures, got, d)
+		}
+	}
+	if got := p.Delay(-3); got != 0 {
+		t.Fatalf("Delay(-3) = %v, want 0", got)
+	}
+	if got := (Policy{}).Delay(5); got != 0 {
+		t.Fatalf("zero policy Delay(5) = %v, want 0", got)
+	}
+}
+
+func TestDelayDefaultsAndJitter(t *testing.T) {
+	// Multiplier < 1 selects the default of 2.
+	p := Policy{Initial: 10 * time.Millisecond, Multiplier: 0.5}
+	if got := p.Delay(2); got != 20*time.Millisecond {
+		t.Fatalf("Delay(2) with sub-1 multiplier = %v, want 20ms", got)
+	}
+	// No Max: keeps doubling.
+	if got := p.Delay(10); got != 10*time.Millisecond<<9 {
+		t.Fatalf("uncapped Delay(10) = %v", got)
+	}
+	// Jitter stays inside [d*(1-Jitter), d] and actually varies.
+	j := Policy{Initial: time.Second, Multiplier: 2, Jitter: 0.5}
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 64; i++ {
+		d := j.Delay(1)
+		if d < 500*time.Millisecond || d > time.Second {
+			t.Fatalf("jittered delay %v outside [500ms, 1s]", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("jitter produced a constant delay")
+	}
+	if d := Default().Delay(1); d <= 0 || d > 100*time.Millisecond {
+		t.Fatalf("Default first delay %v", d)
+	}
+}
+
+func TestRetryBudget(t *testing.T) {
+	p := Policy{Initial: time.Microsecond, Multiplier: 2}
+	boom := errors.New("boom")
+	calls := 0
+	err := Retry(context.Background(), p, 3, func() error { calls++; return boom })
+	if !errors.Is(err, boom) || calls != 3 {
+		t.Fatalf("Retry exhausted: err %v after %d calls", err, calls)
+	}
+	calls = 0
+	err = Retry(context.Background(), p, 5, func() error {
+		calls++
+		if calls < 3 {
+			return boom
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Retry success: err %v after %d calls", err, calls)
+	}
+}
+
+func TestRetryUnlimitedAndCancel(t *testing.T) {
+	p := Policy{Initial: time.Microsecond, Multiplier: 2, Max: time.Microsecond}
+	calls := 0
+	if err := Retry(context.Background(), p, 0, func() error {
+		calls++
+		if calls < 50 {
+			return errors.New("again")
+		}
+		return nil
+	}); err != nil || calls != 50 {
+		t.Fatalf("unlimited Retry: err %v after %d calls", err, calls)
+	}
+	// Cancellation interrupts the sleep, not the op.
+	ctx, cancel := context.WithCancel(context.Background())
+	slow := Policy{Initial: time.Hour}
+	calls = 0
+	done := make(chan error, 1)
+	go func() {
+		done <- Retry(ctx, slow, 0, func() error { calls++; return errors.New("down") })
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) || calls != 1 {
+		t.Fatalf("cancelled Retry: err %v after %d calls", err, calls)
+	}
+}
+
+func TestSleep(t *testing.T) {
+	if err := Sleep(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A cancelled context is honoured even for a zero sleep.
+	if err := Sleep(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep(cancelled, 0) = %v", err)
+	}
+	if err := Sleep(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep(cancelled, 1h) = %v", err)
+	}
+	start := time.Now()
+	if err := Sleep(context.Background(), time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("Sleep returned early")
+	}
+}

@@ -1,0 +1,30 @@
+// Package chaos is the scripted fault suite of the storage cluster:
+// whole-system scenarios that run a real coordinator against real
+// nodes (in-process RPC servers, or separate dcdbnode processes) while
+// a deterministic fault plan — asymmetric partitions flapping during
+// hinted handoff, disks slowing down and filling up under ingest,
+// coordinator/node clock skew, replicas dying mid-stream — plays out
+// against them.
+//
+// Every scenario derives its entire fault schedule (victims, toggle
+// timings, fault points) from one seed via faults.New(seed) and
+// DeriveRand, and logs that seed, so a CI failure reproduces with:
+//
+//	go test ./internal/chaos -run 'TestChaos<Scenario>' -seed=<n>
+//
+// Goroutine and process interleaving still varies between runs, so
+// scenarios assert the system's contracts — writes acknowledged at
+// ONE/QUORUM are never lost, QUORUM reads return the merged truth,
+// streams survive replica loss with an identical reading sequence —
+// rather than exact event orders.
+package chaos
+
+import "flag"
+
+// seedFlag drives every scenario's fault plan. The default is fixed so
+// plain `go test` (and the chaos-smoke CI job) is reproducible;
+// override with -seed=<n> to explore or to replay a failure.
+var seedFlag = flag.Int64("seed", 1, "chaos scenario seed; every fault schedule derives from it")
+
+// seed returns the suite's scenario seed.
+func seed() int64 { return *seedFlag }

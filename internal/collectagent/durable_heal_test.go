@@ -1,0 +1,70 @@
+package collectagent
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestHealInterruptedSaveCommitsReady(t *testing.T) {
+	dir := t.TempDir()
+	// A completed rewrite whose final swap was interrupted: node0.ready
+	// holds the new contents; the stale node0 and a higher-numbered
+	// node1 it meant to remove are still present, as is an incomplete
+	// node0.building from an even earlier attempt.
+	mk := func(name, marker string) {
+		p := filepath.Join(dir, name)
+		if err := os.MkdirAll(p, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(p, marker), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("node0", "stale")
+	mk("node1", "stale")
+	mk(ReadyDir, "fresh")
+	mk(BuildingDir, "half")
+
+	if err := HealInterruptedSave(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(NodeDir(dir, 0), "fresh")); err != nil {
+		t.Fatalf("ready contents not committed to node0: %v", err)
+	}
+	for _, gone := range []string{filepath.Join(dir, "node1"), filepath.Join(dir, ReadyDir), filepath.Join(dir, BuildingDir)} {
+		if _, err := os.Stat(gone); !os.IsNotExist(err) {
+			t.Fatalf("%s survived the heal: %v", gone, err)
+		}
+	}
+
+	// Idempotent: healing a healthy directory changes nothing.
+	if err := HealInterruptedSave(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(NodeDir(dir, 0), "fresh")); err != nil {
+		t.Fatalf("second heal disturbed node0: %v", err)
+	}
+}
+
+func TestHealInterruptedSaveDiscardsBuilding(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, BuildingDir), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(NodeDir(dir, 0)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(NodeDir(dir, 0), "keep"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := HealInterruptedSave(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, BuildingDir)); !os.IsNotExist(err) {
+		t.Fatal("incomplete building dir survived")
+	}
+	if _, err := os.Stat(filepath.Join(NodeDir(dir, 0), "keep")); err != nil {
+		t.Fatalf("original node0 disturbed with no ready dir: %v", err)
+	}
+}

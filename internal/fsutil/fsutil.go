@@ -1,6 +1,9 @@
 // Package fsutil holds the small filesystem rituals the durable paths
 // share, so the write-temp/fsync/rename/fsync-dir dance lives in one
-// place instead of diverging across savers.
+// place instead of diverging across savers — and the single seam
+// (Disk) every durable writer opens files through, so fault injection
+// can make one node's disk slow, full, or lying without touching the
+// code under test.
 package fsutil
 
 import (
@@ -8,6 +11,41 @@ import (
 	"os"
 	"path/filepath"
 )
+
+// File is the writable-file surface the durable paths use: WAL
+// segments, run files, hint files, snapshots. It is the subset of
+// *os.File they actually touch, which is what lets a fault injector
+// interpose on writes and fsyncs.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+	Name() string
+	Stat() (os.FileInfo, error)
+}
+
+// FS opens files for writing. The package-level Disk instance is the
+// seam: production code always goes through it, tests swap it to
+// inject slow writes, ENOSPC, or torn fsyncs on matching paths.
+type FS interface {
+	Create(name string) (File, error)
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+func (OSFS) Create(name string) (File, error) { return os.Create(name) }
+func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (OSFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+// Disk is the FS every durable writer opens files through. Swap it
+// (and restore it) only in tests that own the process — it is global
+// state, the same trade the store's WAL sink seam already makes.
+var Disk FS = OSFS{}
 
 // WriteFileAtomic replaces path with the bytes produced by write,
 // atomically and durably: the content goes to a uniquely named temp
@@ -17,7 +55,7 @@ import (
 // keep concurrent savers of the same path from interleaving; the last
 // rename wins.
 func WriteFileAtomic(path string, write func(io.Writer) error) error {
-	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	f, err := Disk.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,113 @@
+package libdcdb
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dcdb/internal/core"
+	"dcdb/internal/store"
+)
+
+func TestMetadataFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "metadata")
+
+	c := newConn(t)
+	if err := c.PublishSensor(core.Metadata{Topic: "/n1/energy", Unit: "mJ", Scale: 0.001}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PublishSensor(core.Metadata{Topic: "/n1/temp", Unit: "C"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SaveMetadataFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// A stale temp from a crashed save must be cleaned by the load.
+	if err := os.WriteFile(path+".tmp999", []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := Connect(store.NewNode(0), nil)
+	if err := c2.LoadMetadataFile(path); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := c2.Metadata("/n1/energy")
+	if !ok || m.Unit != "mJ" || m.Scale != 0.001 {
+		t.Fatalf("restored metadata %+v, %v", m, ok)
+	}
+	if _, ok := c2.Metadata("/n1/temp"); !ok {
+		t.Fatal("second sensor lost")
+	}
+	if left, _ := filepath.Glob(path + ".tmp*"); len(left) != 0 {
+		t.Fatalf("stale temps survived the load: %v", left)
+	}
+
+	// A missing file is a fresh database, not an error.
+	c3 := Connect(store.NewNode(0), nil)
+	if err := c3.LoadMetadataFile(filepath.Join(dir, "absent")); err != nil {
+		t.Fatalf("missing metadata file: %v", err)
+	}
+}
+
+func TestRegisterTopic(t *testing.T) {
+	c := newConn(t)
+	if err := c.RegisterTopic("/rack1/node0/power"); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range c.ListSensors("/rack1") {
+		if s == "/rack1/node0/power" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered topic not visible in the hierarchy")
+	}
+	if _, ok := c.Metadata("/rack1/node0/power"); ok {
+		t.Fatal("RegisterTopic must not attach metadata")
+	}
+	if err := c.RegisterTopic("//bad"); err == nil {
+		t.Fatal("bad topic accepted")
+	}
+}
+
+func TestQueryStreamScaled(t *testing.T) {
+	c := newConn(t)
+	if err := c.PublishSensor(core.Metadata{Topic: "/n1/energy", Unit: "mJ", Scale: 0.001}); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 10; i++ {
+		if err := c.Insert("/n1/energy", rd(i, float64(i)*1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := c.QueryStream("/n1/energy", 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var got []core.Reading
+	for {
+		rs, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, rs...)
+	}
+	if len(got) != 10 {
+		t.Fatalf("streamed %d readings, want 10", len(got))
+	}
+	for i, r := range got {
+		if r.Value != float64(i) {
+			t.Fatalf("reading %d not scaled: %+v", i, r)
+		}
+	}
+	if _, err := st.Next(); err != io.EOF {
+		t.Fatalf("drained stream Next: %v", err)
+	}
+}

@@ -12,16 +12,24 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dcdb/internal/backoff"
 	"dcdb/internal/core"
 	"dcdb/internal/store"
 )
 
 // ClientOptions tune a Client. The zero value selects the defaults.
 type ClientOptions struct {
-	// PoolSize is the number of TCP connections kept to the node;
-	// calls round-robin across them so one slow response never heads
-	// of-line-blocks everything. Default 2.
+	// PoolSize is the number of TCP connections kept to the node for
+	// unary calls; calls round-robin across them so one slow response
+	// never head-of-line-blocks everything. Default 2.
 	PoolSize int
+	// StreamPoolSize is the number of dedicated connections for
+	// streaming reads. Streams never share a connection with unary
+	// calls: a stalled stream consumer blocks its own connection's read
+	// loop (by design — backpressure is physical), and on a shared
+	// connection that would also starve unary responses queued behind
+	// it. Default: PoolSize.
+	StreamPoolSize int
 	// DialTimeout bounds connection establishment. Default 2s.
 	DialTimeout time.Duration
 	// CallTimeout bounds one request round trip and propagates to the
@@ -29,16 +37,27 @@ type ClientOptions struct {
 	// whose caller has already given up. Default 10s.
 	CallTimeout time.Duration
 	// ReconnectBackoff is the initial delay before re-dialing a failed
-	// connection; it doubles per consecutive failure up to MaxBackoff,
-	// and calls during the window fail fast instead of stampeding the
-	// node. Defaults 100ms / 3s.
+	// connection; it grows exponentially (jittered) per consecutive
+	// failure up to MaxBackoff, and calls during the window fail fast
+	// instead of stampeding the node. Defaults 100ms / 3s.
 	ReconnectBackoff time.Duration
 	MaxBackoff       time.Duration
+	// Dial establishes the transport connection. Default: TCP via
+	// net.DialTimeout. Fault injection interposes here (faults.Dial).
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+	// Now is the client's wall clock, a seam for injecting clock skew.
+	// Only bookkeeping reads it — every timeout that crosses the wire
+	// travels as a relative budget, which is what keeps the protocol
+	// skew-immune. Default time.Now.
+	Now func() time.Time
 }
 
 func (o *ClientOptions) defaults() {
 	if o.PoolSize <= 0 {
 		o.PoolSize = 2
+	}
+	if o.StreamPoolSize <= 0 {
+		o.StreamPoolSize = o.PoolSize
 	}
 	if o.DialTimeout <= 0 {
 		o.DialTimeout = 2 * time.Second
@@ -52,6 +71,14 @@ func (o *ClientOptions) defaults() {
 	if o.MaxBackoff <= 0 {
 		o.MaxBackoff = 3 * time.Second
 	}
+	if o.Dial == nil {
+		o.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
 }
 
 // ErrUnavailable is returned while a node's connections are down and
@@ -64,10 +91,16 @@ var ErrUnavailable = fmt.Errorf("rpc: node unavailable")
 // is safe for concurrent use; concurrent calls on one connection are
 // pipelined, not serialised.
 type Client struct {
-	addr   string
-	o      ClientOptions
-	slots  []*clientConn
-	rr     atomic.Uint32
+	addr string
+	o    ClientOptions
+	pol  backoff.Policy
+
+	slots []*clientConn // unary calls
+	rr    atomic.Uint32
+
+	streamSlots []*clientConn // streaming reads, isolated from unary traffic
+	srr         atomic.Uint32
+
 	closed atomic.Bool
 }
 
@@ -75,9 +108,17 @@ type Client struct {
 // made until the first call.
 func NewClient(addr string, o ClientOptions) *Client {
 	o.defaults()
-	c := &Client{addr: addr, o: o, slots: make([]*clientConn, o.PoolSize)}
+	c := &Client{
+		addr: addr, o: o,
+		pol:         backoff.Policy{Initial: o.ReconnectBackoff, Max: o.MaxBackoff, Multiplier: 2, Jitter: 0.2},
+		slots:       make([]*clientConn, o.PoolSize),
+		streamSlots: make([]*clientConn, o.StreamPoolSize),
+	}
 	for i := range c.slots {
 		c.slots[i] = &clientConn{cl: c, pending: make(map[uint64]chan respMsg)}
+	}
+	for i := range c.streamSlots {
+		c.streamSlots[i] = &clientConn{cl: c, pending: make(map[uint64]chan respMsg)}
 	}
 	return c
 }
@@ -90,12 +131,14 @@ func (c *Client) Close() error {
 	if c.closed.Swap(true) {
 		return nil
 	}
-	for _, s := range c.slots {
-		s.mu.Lock()
-		nc := s.nc
-		s.mu.Unlock()
-		if nc != nil {
-			s.teardown(nc, fmt.Errorf("rpc: client closed"))
+	for _, pool := range [][]*clientConn{c.slots, c.streamSlots} {
+		for _, s := range pool {
+			s.mu.Lock()
+			nc := s.nc
+			s.mu.Unlock()
+			if nc != nil {
+				s.teardown(nc, fmt.Errorf("rpc: client closed"))
+			}
 		}
 	}
 	return nil
@@ -115,11 +158,11 @@ type respMsg struct {
 type clientConn struct {
 	cl *Client
 
-	mu       sync.Mutex
-	nc       net.Conn
-	bw       *bufio.Writer
-	lastFail time.Time
-	backoff  time.Duration
+	mu      sync.Mutex
+	nc      net.Conn
+	bw      *bufio.Writer
+	fails   int       // consecutive failures, drives the backoff policy
+	retryAt time.Time // next dial allowed at (fail-fast before then)
 
 	pmu     sync.Mutex
 	pending map[uint64]chan respMsg
@@ -137,23 +180,21 @@ func (s *clientConn) ensure() (net.Conn, error) {
 	if s.nc != nil {
 		return s.nc, nil
 	}
-	if s.backoff > 0 && time.Since(s.lastFail) < s.backoff {
-		return nil, fmt.Errorf("%w (%s, retry in %s)", ErrUnavailable, s.cl.addr,
-			(s.backoff - time.Since(s.lastFail)).Round(time.Millisecond))
-	}
-	nc, err := net.DialTimeout("tcp", s.cl.addr, s.cl.o.DialTimeout)
-	if err != nil {
-		s.lastFail = time.Now()
-		if s.backoff == 0 {
-			s.backoff = s.cl.o.ReconnectBackoff
-		} else if s.backoff *= 2; s.backoff > s.cl.o.MaxBackoff {
-			s.backoff = s.cl.o.MaxBackoff
+	if s.fails > 0 {
+		if wait := s.retryAt.Sub(s.cl.o.Now()); wait > 0 {
+			return nil, fmt.Errorf("%w (%s, retry in %s)", ErrUnavailable, s.cl.addr,
+				wait.Round(time.Millisecond))
 		}
+	}
+	nc, err := s.cl.o.Dial(s.cl.addr, s.cl.o.DialTimeout)
+	if err != nil {
+		s.fails++
+		s.retryAt = s.cl.o.Now().Add(s.cl.pol.Delay(s.fails))
 		return nil, fmt.Errorf("rpc: dialing %s: %w", s.cl.addr, err)
 	}
 	s.nc = nc
 	s.bw = bufio.NewWriter(nc)
-	s.backoff = 0
+	s.fails = 0
 	go s.readLoop(nc)
 	return nc, nil
 }
@@ -174,10 +215,8 @@ func (s *clientConn) teardown(nc net.Conn, err error) {
 	s.nc.Close()
 	s.nc = nil
 	s.bw = nil
-	s.lastFail = time.Now()
-	if s.backoff == 0 {
-		s.backoff = s.cl.o.ReconnectBackoff
-	}
+	s.fails++
+	s.retryAt = s.cl.o.Now().Add(s.cl.pol.Delay(s.fails))
 	s.mu.Unlock()
 	s.pmu.Lock()
 	for id, ch := range s.pending {
@@ -507,7 +546,9 @@ type streamMsg struct {
 // signal. Backpressure is physical: when the consumer stops pulling,
 // ch fills, the read loop blocks, the kernel's receive window fills,
 // and the server's ack-gated writer stalls — no side buffers more than
-// a few chunks.
+// a few chunks. That stalled read loop is why streams live on the
+// client's dedicated stream connections: on a shared one it would also
+// starve unary responses queued behind the stuck chunk.
 type clientStream struct {
 	s  *clientConn
 	nc net.Conn
@@ -707,7 +748,7 @@ func (c *Client) QueryStream(id core.SensorID, from, to int64) (store.ReadingStr
 	body = appendSID(body, id)
 	body = appendI64(body, from)
 	body = appendI64(body, to)
-	slot := c.slots[c.rr.Add(1)%uint32(len(c.slots))]
+	slot := c.streamSlots[c.srr.Add(1)%uint32(len(c.streamSlots))]
 	st, err := slot.openStream(opQueryStream, body)
 	if err != nil {
 		return nil, err
@@ -725,7 +766,7 @@ func (c *Client) QueryPrefixStream(prefix core.SensorID, depth int, from, to int
 	body = appendU32(body, uint32(depth))
 	body = appendI64(body, from)
 	body = appendI64(body, to)
-	slot := c.slots[c.rr.Add(1)%uint32(len(c.slots))]
+	slot := c.streamSlots[c.srr.Add(1)%uint32(len(c.streamSlots))]
 	st, err := slot.openStream(opQueryPrefixStream, body)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,45 @@
+package rpc
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"dcdb/internal/store"
+)
+
+func TestSplitAddrList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"a:1,b:2", []string{"a:1", "b:2"}},
+		{" a:1 , b:2 ,", []string{"a:1", "b:2"}},
+		{",,", nil},
+		{"", nil},
+		{"one:4441", []string{"one:4441"}},
+	}
+	for _, c := range cases {
+		if got := SplitAddrList(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("SplitAddrList(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestServerSetNow(t *testing.T) {
+	n := store.NewNode(0)
+	defer n.Close()
+	srv := NewServer(n, true)
+	skewed := func() time.Time { return time.Now().Add(3 * time.Hour) }
+	srv.SetNow(skewed)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := NewClient(srv.Addr(), ClientOptions{CallTimeout: 2 * time.Second})
+	defer cl.Close()
+	// Relative timeout budgets make the server's skewed clock harmless.
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("ping against a skewed server: %v", err)
+	}
+}

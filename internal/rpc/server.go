@@ -33,6 +33,7 @@ const writeStallTimeout = 30 * time.Second
 type Server struct {
 	backend store.NodeBackend
 	quiet   bool
+	now     func() time.Time
 
 	ln     net.Listener
 	mu     sync.Mutex
@@ -46,8 +47,14 @@ type Server struct {
 // NewServer wraps backend. quiet suppresses per-connection logging
 // (tests).
 func NewServer(backend store.NodeBackend, quiet bool) *Server {
-	return &Server{backend: backend, quiet: quiet, conns: make(map[net.Conn]struct{})}
+	return &Server{backend: backend, quiet: quiet, now: time.Now, conns: make(map[net.Conn]struct{})}
 }
+
+// SetNow replaces the server's wall clock — a seam for injecting clock
+// skew in tests. Request deadlines arrive as relative budgets and are
+// anchored to this clock at arrival, so a skewed server stays correct;
+// the hook exists to prove exactly that. Call before Listen.
+func (s *Server) SetNow(now func() time.Time) { s.now = now }
 
 // Listen binds addr and starts accepting connections.
 func (s *Server) Listen(addr string) error {
@@ -258,7 +265,7 @@ func (s *Server) serveConn(c net.Conn) {
 			return
 		}
 		s.requests.Add(1)
-		arrived := time.Now()
+		arrived := s.now()
 		// Cancels must not queue behind the in-flight cap: the whole
 		// point is releasing a slot.
 		if op := payload[8]; op == opCancelStream {
@@ -317,7 +324,7 @@ func (s *Server) handleStream(sc *serverConn, payload []byte, arrived time.Time)
 		resp = append(resp, statusErr)
 		sc.send(append(resp, err.Error()...), false)
 	}
-	if timeout != 0 && time.Since(arrived) > time.Duration(timeout) {
+	if timeout != 0 && s.now().Sub(arrived) > time.Duration(timeout) {
 		fail(fmt.Errorf("rpc: deadline exceeded before execution"))
 		return
 	}
@@ -437,7 +444,7 @@ func (s *Server) handle(payload []byte, arrived time.Time) []byte {
 		resp = append(resp, statusErr)
 		return append(resp, err.Error()...)
 	}
-	if timeout != 0 && time.Since(arrived) > time.Duration(timeout) {
+	if timeout != 0 && s.now().Sub(arrived) > time.Duration(timeout) {
 		// Deadline propagation: the caller's budget ran out while the
 		// request queued behind the in-flight cap; executing the op
 		// would burn the node's time for a dropped response. A

@@ -137,11 +137,23 @@ func TestStreamCancelReleasesServer(t *testing.T) {
 	id := sid(9, 9)
 	fillSensor(t, n, id, 50*store.StreamChunkReadings)
 
-	// Establish the pooled connection first so the baseline includes
-	// its long-lived reader/writer goroutines.
+	// Establish the pooled connections first so the baseline includes
+	// their long-lived reader/writer goroutines: Ping dials the unary
+	// connection, a drained throwaway stream dials the dedicated stream
+	// connection.
 	if err := cl.Ping(); err != nil {
 		t.Fatal(err)
 	}
+	warm, err := cl.QueryStream(id, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := warm.Next(); err != nil {
+			break
+		}
+	}
+	warm.Close()
 	before := runtime.NumGoroutine()
 	st, err := cl.QueryStream(id, -1<<62, 1<<62)
 	if err != nil {
@@ -385,5 +397,44 @@ func TestRPCStreamColdNode(t *testing.T) {
 	}
 	if want := 2*store.StreamChunkReadings + 7; count != want {
 		t.Fatalf("cold RPC stream returned %d readings, want %d", count, want)
+	}
+}
+
+// TestStreamStallDoesNotBlockUnary: a consumer that opens a stream and
+// stops pulling stalls its connection's read loop by design (physical
+// backpressure). That stall must be contained to the dedicated stream
+// connections — concurrent unary calls on the same client must keep
+// completing at full speed. Regression test for streams and unary
+// calls sharing a connection pool.
+func TestStreamStallDoesNotBlockUnary(t *testing.T) {
+	n, _, cl := testPair(t, ClientOptions{PoolSize: 1, StreamPoolSize: 1, CallTimeout: 2 * time.Second})
+	id := sid(9, 9)
+	// Enough chunks that the abandoned stream fills the client-side
+	// delivery buffer and wedges its connection's read loop.
+	fillSensor(t, n, id, 12*store.StreamChunkReadings)
+
+	st, err := cl.QueryStream(id, -1<<62, 1<<62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	// Injected stall: pull one chunk, then abandon the stream with the
+	// server mid-production.
+	if _, err := st.Next(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // let chunks pile into the stalled conn
+
+	start := time.Now()
+	for i := 0; i < 50; i++ {
+		if err := cl.Ping(); err != nil {
+			t.Fatalf("unary call %d failed behind a stalled stream: %v", i, err)
+		}
+		if err := cl.Insert(id, rd(int64(1e9+i), 1), 0); err != nil {
+			t.Fatalf("unary insert %d failed behind a stalled stream: %v", i, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("unary calls took %s behind a stalled stream; stream backpressure leaked into the unary pool", elapsed)
 	}
 }

@@ -22,12 +22,19 @@ import (
 const repairBatchReadings = StreamChunkReadings
 
 // replicaCursor tracks one replica's stream inside a quorum merge.
+// A failed cursor is not final: the merge tries to re-open the
+// replica's stream at the merge horizon (tries bounds the attempts
+// between emissions; dead marks a replica that stayed unreachable).
+// The repair batch survives a re-open — divergence already observed is
+// real regardless of the transport's fate.
 type replicaCursor struct {
 	st     ReadingStream
 	buf    []core.Reading
 	pos    int
 	eof    bool
 	failed error
+	dead   bool
+	tries  int // reopen attempts since the merge last advanced
 
 	repair []core.Reading
 }
@@ -55,31 +62,46 @@ func (rc *replicaCursor) head() (core.Reading, bool) {
 	}
 }
 
-// quorumStream merges k replica streams newest-wins.
+// quorumStream merges k replica streams newest-wins. from/to and the
+// merge horizon (lastTS, the last emitted timestamp) are kept so a
+// replica lost mid-stream can be resumed exactly where the merge
+// stands: every timestamp <= lastTS has been emitted, every cursor
+// position is >= lastTS, so re-opening the replica's stream at
+// lastTS+1 loses nothing and repeats nothing.
 type quorumStream struct {
 	c        *Cluster
 	id       core.SensorID
+	from, to int64
 	cursors  []*replicaCursor
 	backends []int // backend index per cursor
 	required int
 	buf      []core.Reading
 	done     bool
+	lastTS   int64
+	emitted  bool
 }
 
 // QueryStream implements the cluster's streaming read at the configured
 // read consistency. At ONE the first replica whose stream opens serves
-// the result alone; at QUORUM every replica's stream is merged
-// incrementally (union of timestamps, primary-most replica's value on
-// ties) and divergent replicas are repaired in batches in the
-// background. The stream must be closed.
+// the result, and a replica lost mid-stream fails over to the next one
+// (resuming past the last emitted timestamp) instead of erroring. At
+// QUORUM every replica's stream is merged incrementally (union of
+// timestamps, primary-most replica's value on ties), divergent replicas
+// are repaired in batches in the background, and a replica lost
+// mid-stream is re-opened at the merge horizon — the stream only fails
+// if a quorum is genuinely unreachable past the last merged timestamp.
+// The stream must be closed.
 func (c *Cluster) QueryStream(id core.SensorID, from, to int64) (ReadingStream, error) {
 	replicas := c.replicasFor(id)
 	if c.readCL.required(len(replicas)) == 1 {
 		var lastErr error
-		for _, idx := range replicas {
+		for i, idx := range replicas {
 			st, err := c.backends[idx].QueryStream(id, from, to)
 			if err == nil {
-				return st, nil
+				return &failoverStream{
+					c: c, id: id, from: from, to: to,
+					st: st, rest: replicas[i+1:],
+				}, nil
 			}
 			lastErr = err
 		}
@@ -97,7 +119,7 @@ func (c *Cluster) QueryStream(id core.SensorID, from, to int64) (ReadingStream, 
 	}
 	wg.Wait()
 	required := c.readCL.required(len(replicas))
-	qs := &quorumStream{c: c, id: id, required: required}
+	qs := &quorumStream{c: c, id: id, from: from, to: to, required: required}
 	ok := 0
 	var lastErr error
 	for i := range streams {
@@ -117,6 +139,52 @@ func (c *Cluster) QueryStream(id core.SensorID, from, to int64) (ReadingStream, 
 	return qs, nil
 }
 
+// reopen resumes cursor i's replica stream past the merge horizon,
+// keeping its accumulated repair batch. Reports whether the replica
+// answered.
+func (s *quorumStream) reopen(i int) bool {
+	rc := s.cursors[i]
+	rc.st.Close()
+	from := s.from
+	if s.emitted {
+		from = s.lastTS + 1
+	}
+	st, err := s.c.backends[s.backends[i]].QueryStream(s.id, from, s.to)
+	if err != nil {
+		return false
+	}
+	rc.st = st
+	rc.failed = nil
+	rc.dead = false
+	rc.buf, rc.pos, rc.eof = nil, 0, false
+	return true
+}
+
+// cursorHead is head() plus failure handling: a cursor that fails
+// mid-stream gets one immediate re-open at the merge horizon before it
+// is declared dead (the barrier in Next grants one more). The budget
+// resets whenever the merge advances, so a replica may drop and rejoin
+// repeatedly across a long stream — but a replica flapping on the spot
+// cannot spin the merge.
+func (s *quorumStream) cursorHead(i int) (core.Reading, bool) {
+	rc := s.cursors[i]
+	for {
+		h, ok := rc.head()
+		if ok || rc.failed == nil {
+			return h, ok
+		}
+		if rc.dead || rc.tries >= 1 {
+			rc.dead = true
+			return core.Reading{}, false
+		}
+		rc.tries++
+		if !s.reopen(i) {
+			rc.dead = true
+			return core.Reading{}, false
+		}
+	}
+}
+
 // Next merges the next chunk. Replicas that miss a timestamp the merge
 // emits (or hold a different value for it) accumulate that reading in
 // their repair batch.
@@ -133,8 +201,8 @@ func (s *quorumStream) Next() ([]core.Reading, error) {
 		// first (primary-most) cursor holding it supplies the value.
 		var out core.Reading
 		found := false
-		for _, rc := range s.cursors {
-			h, ok := rc.head()
+		for i := range s.cursors {
+			h, ok := s.cursorHead(i)
 			if !ok {
 				continue
 			}
@@ -143,8 +211,24 @@ func (s *quorumStream) Next() ([]core.Reading, error) {
 			}
 		}
 		if !found {
-			// Every cursor is at EOF or failed; enforce the quorum
-			// before declaring the result complete.
+			// Every cursor is at EOF or dead. Mid-stream loss is only
+			// fatal if the replica stays unreachable past the merge
+			// horizon: grant each dead cursor one last resume attempt
+			// before judging the quorum. (tries >= 2 means both the
+			// inline and the barrier attempt failed without progress in
+			// between — that replica is spent.)
+			revived := false
+			for i, rc := range s.cursors {
+				if rc.dead && rc.tries < 2 {
+					rc.tries++
+					if s.reopen(i) {
+						revived = true
+					}
+				}
+			}
+			if revived {
+				continue
+			}
 			live := 0
 			var lastErr error
 			for _, rc := range s.cursors {
@@ -169,9 +253,16 @@ func (s *quorumStream) Next() ([]core.Reading, error) {
 			}
 			return s.buf, nil
 		}
+		// The merge advances: record the horizon first, so a cursor
+		// failing in the loop below resumes after out, and refresh the
+		// reopen budget of every replica still in the game.
+		s.lastTS, s.emitted = out.Timestamp, true
 		// Advance every cursor holding this timestamp; the rest owe a
 		// repair for it.
 		for _, rc := range s.cursors {
+			if !rc.dead {
+				rc.tries = 0
+			}
 			h, ok := rc.head()
 			if !ok {
 				if rc.failed == nil {
@@ -247,7 +338,71 @@ func (s *quorumStream) Close() error {
 	return nil
 }
 
-// keyedCursor tracks one backend's prefix stream: the current sensor is
+// failoverStream serves a ONE-consistency streaming read: it rides a
+// single replica's stream and, when that replica fails mid-stream,
+// re-opens the tail on the next replica in the set (resuming past the
+// last emitted timestamp) instead of surfacing the error — availability
+// over completeness, the same trade ONE makes at open time. Readings
+// already emitted are never repeated; readings at or before the
+// failover point that only the surviving replicas hold are skipped,
+// which ONE never promised to return.
+type failoverStream struct {
+	c        *Cluster
+	id       core.SensorID
+	from, to int64
+	st       ReadingStream
+	rest     []int // replicas not yet tried, in ring order
+	lastTS   int64
+	emitted  bool
+	closed   bool
+}
+
+func (f *failoverStream) Next() ([]core.Reading, error) {
+	for {
+		chunk, err := f.st.Next()
+		if err == nil {
+			if len(chunk) > 0 {
+				f.lastTS = chunk[len(chunk)-1].Timestamp
+				f.emitted = true
+			}
+			return chunk, nil
+		}
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		// Mid-stream failure: resume past everything already delivered
+		// on the next replica that answers. The replacement stream may
+		// itself fail over again while replicas remain.
+		f.st.Close()
+		from := f.from
+		if f.emitted {
+			from = f.lastTS + 1
+		}
+		replaced := false
+		for len(f.rest) > 0 {
+			idx := f.rest[0]
+			f.rest = f.rest[1:]
+			st, oerr := f.c.backends[idx].QueryStream(f.id, from, f.to)
+			if oerr == nil {
+				f.st = st
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			return nil, err
+		}
+	}
+}
+
+func (f *failoverStream) Close() error {
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	return f.st.Close()
+}
+
 // accumulated fully (bounded by one sensor's window, not the prefix
 // result) so sensors can be merged across backends in SID order.
 type keyedCursor struct {

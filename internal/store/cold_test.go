@@ -324,8 +324,8 @@ func TestColdEqualsHotDirect(t *testing.T) {
 }
 
 // TestV1FilesRecoverUnderCache writes a legacy v1 run file into a shard
-// directory and opens the node with a cache: the v1 file must recover
-// (resident) and serve alongside new v2 data.
+// directory and opens the node with a cache: Open migrates the file to
+// v2 in place (verified rewrite), and it serves alongside new data.
 func TestV1FilesRecoverUnderCache(t *testing.T) {
 	dir := t.TempDir()
 	id := sid(3, 3)
@@ -333,13 +333,17 @@ func TestV1FilesRecoverUnderCache(t *testing.T) {
 	if err := os.MkdirAll(shardDir, 0o755); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := writeRunFile(shardDir, 1, 1, map[core.SensorID][]entry{
+	meta, err := writeRunFile(shardDir, 1, 1, map[core.SensorID][]entry{
 		id: {{ts: 10, val: 1}, {ts: 20, val: 2}},
-	}, nil); err != nil {
+	}, nil)
+	if err != nil {
 		t.Fatal(err)
 	}
 	n := openedNode(t, dir, 0, coldOptions)
 	defer n.Close()
+	if head, err := os.ReadFile(meta.path); err != nil || string(head[:8]) != string(runMagic2) {
+		t.Fatalf("v1 file not migrated to v2 at open (err=%v magic=%q)", err, head[:8])
+	}
 	if err := n.Insert(id, core.Reading{Timestamp: 30, Value: 3}, 0); err != nil {
 		t.Fatal(err)
 	}

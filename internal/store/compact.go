@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"dcdb/internal/backoff"
 	"dcdb/internal/core"
 )
 
@@ -32,11 +33,13 @@ type spillJob struct {
 // silently degrade the node for its lifetime) and logged every time;
 // after the last attempt the job is dropped — its data stays
 // recoverable from the WAL segments, which are only deleted on
-// success.
-const (
-	spillMaxAttempts = 5
-	spillRetryDelay  = 500 * time.Millisecond
-)
+// success. Retries use the shared jittered policy, growing from 500ms
+// so a persistently sick disk is probed, not hammered.
+const spillMaxAttempts = 5
+
+var spillRetryPolicy = backoff.Policy{
+	Initial: 500 * time.Millisecond, Max: 5 * time.Second, Multiplier: 2, Jitter: 0.25,
+}
 
 // spiller is the single background writer of run files. One goroutine
 // keeps spills in per-shard sequence order (FIFO) so a shard's file
@@ -127,7 +130,7 @@ func (s *spiller) loop() {
 				// Back at the front so per-shard order holds; the
 				// deadline lets other shards' spills proceed in the
 				// meantime.
-				j.notBefore = time.Now().Add(spillRetryDelay)
+				j.notBefore = time.Now().Add(spillRetryPolicy.Delay(j.attempts))
 				s.queue = append([]spillJob{j}, s.queue...)
 			} else if s.err == nil {
 				s.err = err

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log"
 	"math"
 	"os"
 	"path/filepath"
@@ -93,7 +94,7 @@ type runContents struct {
 func writeRunFile(dir string, minSeq, maxSeq uint64, series map[core.SensorID][]entry, tombs map[core.SensorID]int64) (runFileMeta, error) {
 	final := filepath.Join(dir, runFileName(minSeq, maxSeq))
 	tmp := final + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsutil.Disk.Create(tmp)
 	if err != nil {
 		return runFileMeta{}, err
 	}
@@ -482,10 +483,98 @@ func (n *Node) OpenOptions(dir string, o DiskOptions) error {
 	return nil
 }
 
+// migrateRunFileV1 rewrites a legacy v1 run file in format v2 so the
+// directory gets bounded-memory cold reads immediately, instead of
+// waiting for compaction to happen to rewrite it. The v2 copy is
+// written to a scratch directory next to the original, decoded back
+// and compared entry-for-entry against the v1 contents (every byte
+// re-read passes the v2 CRCs), and only then renamed over the v1 file
+// — a crash at any point leaves either the old file or the new one.
+// Reports whether a migration happened; a v2 file is a no-op.
+func migrateRunFileV1(m *runFileMeta) (bool, error) {
+	f, err := os.Open(m.path)
+	if err != nil {
+		return false, err
+	}
+	var magic [8]byte
+	_, rerr := io.ReadFull(f, magic[:])
+	f.Close()
+	scratch := m.path + ".migrate"
+	if rerr == nil && string(magic[:]) == string(runMagic2) {
+		// Already v2; clear any scratch a crashed migration left.
+		os.RemoveAll(scratch)
+		return false, nil
+	}
+	data, err := os.ReadFile(m.path)
+	if err != nil {
+		return false, err
+	}
+	rc, err := decodeRunFile(data)
+	if err != nil {
+		return false, fmt.Errorf("store: migrating %s: %w", m.path, err)
+	}
+	os.RemoveAll(scratch)
+	if err := os.MkdirAll(scratch, 0o755); err != nil {
+		return false, err
+	}
+	defer os.RemoveAll(scratch)
+	meta2, _, err := writeRunFileV2(scratch, rc.minSeq, rc.maxSeq, rc.series, rc.tombs)
+	if err != nil {
+		return false, err
+	}
+	// Verify the rewrite before retiring the v1 original.
+	rc2, err := readRunFile(meta2.path)
+	if err != nil {
+		return false, fmt.Errorf("store: verifying migrated %s: %w", m.path, err)
+	}
+	if err := runContentsEqual(rc, rc2); err != nil {
+		return false, fmt.Errorf("store: migrated %s diverges from original: %w", m.path, err)
+	}
+	if err := os.Rename(meta2.path, m.path); err != nil {
+		return false, err
+	}
+	syncDir(filepath.Dir(m.path))
+	m.size = meta2.size
+	return true, nil
+}
+
+// runContentsEqual compares two decoded run files entry-for-entry.
+func runContentsEqual(a, b *runContents) error {
+	if a.minSeq != b.minSeq || a.maxSeq != b.maxSeq {
+		return fmt.Errorf("span [%d,%d] != [%d,%d]", a.minSeq, a.maxSeq, b.minSeq, b.maxSeq)
+	}
+	if len(a.tombs) != len(b.tombs) {
+		return fmt.Errorf("%d tombstones != %d", len(a.tombs), len(b.tombs))
+	}
+	for id, cutoff := range a.tombs {
+		if b.tombs[id] != cutoff {
+			return fmt.Errorf("tombstone %v: %d != %d", id, cutoff, b.tombs[id])
+		}
+	}
+	if len(a.series) != len(b.series) {
+		return fmt.Errorf("%d series != %d", len(a.series), len(b.series))
+	}
+	for id, es := range a.series {
+		es2, ok := b.series[id]
+		if !ok || len(es) != len(es2) {
+			return fmt.Errorf("series %v: %d entries != %d", id, len(es), len(es2))
+		}
+		for i := range es {
+			if es[i] != es2[i] {
+				return fmt.Errorf("series %v entry %d: %+v != %+v", id, i, es[i], es2[i])
+			}
+		}
+	}
+	return nil
+}
+
 // recoverShard rebuilds shard i from its directory: run files first
 // (oldest to newest, applying each file's tombstones to the older
-// files' rows), then WAL segment replay into the memtable. Single
-// threaded; no locks needed.
+// files' rows), then WAL segment replay into the memtable. Legacy v1
+// files are migrated to v2 first (verified rewrite; see
+// migrateRunFileV1) unless the node is read-only — a migration failure
+// is logged and the v1 file served resident, the pre-migration
+// behaviour. Single threaded; no locks needed.
 func (n *Node) recoverShard(i int) error {
 	sh := &n.shards[i]
 	metas, err := scanRunFiles(sh.disk.dir)
@@ -494,6 +583,11 @@ func (n *Node) recoverShard(i int) error {
 	}
 	for mi := range metas {
 		m := &metas[mi]
+		if !n.opts.ReadOnly {
+			if _, err := migrateRunFileV1(m); err != nil {
+				log.Printf("store: run-file migration: %v (serving v1 original)", err)
+			}
+		}
 		if n.cache != nil {
 			// Resident-set-bounded recovery: v2 files contribute only
 			// their index (per-series bounds + block index); the data

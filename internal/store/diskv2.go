@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 
 	"dcdb/internal/core"
+	"dcdb/internal/fsutil"
 )
 
 // Run-file format v2: the block-indexed, compressed, cold-readable
@@ -86,7 +87,7 @@ type runIndex struct {
 // write-fsync-rename discipline as v1. Series must be added in
 // ascending SID order with entries sorted by timestamp.
 type runFileWriter struct {
-	f          *os.File
+	f          fsutil.File
 	bw         *bufio.Writer
 	tmp, final string
 	dir        string
@@ -104,7 +105,7 @@ type runFileWriter struct {
 func newRunFileWriter(dir string, minSeq, maxSeq uint64) (*runFileWriter, error) {
 	final := filepath.Join(dir, runFileName(minSeq, maxSeq))
 	tmp := final + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsutil.Disk.Create(tmp)
 	if err != nil {
 		return nil, err
 	}

@@ -14,7 +14,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dcdb/internal/backoff"
 	"dcdb/internal/core"
+	"dcdb/internal/fsutil"
 )
 
 // Hinted handoff: when a replica misses a write that the rest of its
@@ -59,7 +61,7 @@ type nodeHints struct {
 	mu   sync.Mutex
 	dir  string
 	seq  uint64
-	f    *os.File
+	f    fsutil.File
 	size int64
 	has  atomic.Bool
 }
@@ -127,7 +129,7 @@ func (q *hintQueue) enqueue(node int, payload []byte) error {
 		}
 		path := filepath.Join(nh.dir, fmt.Sprintf("hint-%016x.log", nh.seq))
 		nh.seq++
-		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := fsutil.Disk.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			nh.f = nil
 			return err
@@ -264,10 +266,16 @@ func (c *Cluster) hintDelete(node int, id core.SensorID, cutoff int64) {
 	}
 }
 
-// hintLoop probes down replicas at the configured cadence and replays
-// their hints when they answer again.
+// hintLoop probes down replicas and replays their hints when they
+// answer again. Each replica backs off independently (shared jittered
+// policy): a node that stays down is probed at a decaying cadence
+// instead of every tick, and a failed replay does not delay another
+// replica's delivery.
 func (c *Cluster) hintLoop(interval time.Duration) {
 	defer c.bgWG.Done()
+	pol := backoff.Policy{Initial: interval, Max: 16 * interval, Multiplier: 2, Jitter: 0.25}
+	fails := make([]int, len(c.backends))
+	retryAt := make([]time.Time, len(c.backends))
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {
@@ -275,8 +283,23 @@ func (c *Cluster) hintLoop(interval time.Duration) {
 		case <-c.stopBG:
 			return
 		case <-t.C:
-			if err := c.ReplayHints(); err != nil {
-				log.Printf("store: hint replay: %v", err)
+			now := time.Now()
+			for i, b := range c.backends {
+				if !c.hints.nodes[i].has.Load() || now.Before(retryAt[i]) {
+					continue
+				}
+				if err := b.Ping(); err != nil {
+					fails[i]++
+					retryAt[i] = now.Add(pol.Delay(fails[i]))
+					continue
+				}
+				if err := c.hints.replay(i, b); err != nil {
+					log.Printf("store: hint replay node %d: %v", i, err)
+					fails[i]++
+					retryAt[i] = now.Add(pol.Delay(fails[i]))
+					continue
+				}
+				fails[i], retryAt[i] = 0, time.Time{}
 			}
 		}
 	}

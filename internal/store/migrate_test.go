@@ -1,0 +1,204 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dcdb/internal/core"
+	"dcdb/internal/faults"
+	"dcdb/internal/fsutil"
+)
+
+// TestV1MigrationPreservesContents opens a node over legacy v1 run
+// files and requires the one-shot migration to leave byte-verified v2
+// files serving exactly the original data — including multi-block
+// series, duplicate timestamps, and tombstone sections — and to be
+// idempotent across reopens.
+func TestV1MigrationPreservesContents(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(42))
+	id := sid(7, 7)
+	shardDir := filepath.Join(dir, fmt.Sprintf("shard-%02d", shardIndex(id)))
+	if err := os.MkdirAll(shardDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	es := make([]entry, blockEntries*3+17) // force multiple v2 blocks
+	for i := range es {
+		es[i] = entry{ts: int64(i * 10), val: float64(i)}
+	}
+	// A second series with duplicate timestamps, expiries, and messy
+	// values exercises migration fidelity without query-time dedup.
+	messy := randomEntries(rng, blockEntries+9)
+	meta, err := writeRunFile(shardDir, 1, 2,
+		map[core.SensorID][]entry{id: es, sid(8, 8): messy},
+		map[core.SensorID]int64{sid(9, 9): 123})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := readRunFile(meta.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A stale scratch directory from a crashed migration must not block
+	// the retry.
+	scratch := meta.path + ".migrate"
+	if err := os.MkdirAll(scratch, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(scratch, "junk"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(o DiskOptions) {
+		t.Helper()
+		n := openedNode(t, dir, 0, o)
+		defer n.Close()
+		if head, err := os.ReadFile(meta.path); err != nil || string(head[:8]) != string(runMagic2) {
+			t.Fatalf("expected v2 magic after open (err=%v)", err)
+		}
+		if _, err := os.Stat(scratch); !os.IsNotExist(err) {
+			t.Fatalf("migration scratch dir left behind: %v", err)
+		}
+		got, err := readRunFile(meta.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := runContentsEqual(want, got); err != nil {
+			t.Fatalf("migrated contents diverge: %v", err)
+		}
+		rs, err := n.Query(id, -1<<62, 1<<62)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs) != len(es) {
+			t.Fatalf("query served %d readings, want %d", len(rs), len(es))
+		}
+		for i, r := range rs {
+			if r.Timestamp != es[i].ts || r.Value != es[i].val {
+				t.Fatalf("reading %d: got %+v want %+v", i, r, es[i])
+			}
+		}
+	}
+	check(coldOptions) // migrates, then cold-loads
+	check(noCompact)   // second open is a no-op, resident load
+}
+
+// TestV1MigrationFailureServesOriginal injects a disk fault into the
+// migration's scratch rewrite and requires the open to degrade — the
+// v1 file stays authoritative and fully served — instead of failing.
+func TestV1MigrationFailureServesOriginal(t *testing.T) {
+	inj := faults.New(1)
+	orig := fsutil.Disk
+	fsutil.Disk = inj.FS(orig)
+	defer func() { fsutil.Disk = orig }()
+
+	dir := t.TempDir()
+	id := sid(5, 5)
+	shardDir := filepath.Join(dir, fmt.Sprintf("shard-%02d", shardIndex(id)))
+	if err := os.MkdirAll(shardDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := writeRunFile(shardDir, 1, 1, map[core.SensorID][]entry{
+		id: {{ts: 5, val: 1}, {ts: 6, val: 2}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.AddRule(&faults.Rule{Ops: faults.FSOpen | faults.FSWrite, Match: ".migrate", Err: faults.ErrInjected})
+	n := openedNode(t, dir, 0, noCompact)
+	defer n.Close()
+	if head, err := os.ReadFile(meta.path); err != nil || string(head[:8]) != string(runMagic) {
+		t.Fatalf("failed migration must leave the v1 file authoritative (err=%v)", err)
+	}
+	rs, err := n.Query(id, 0, 100)
+	if err != nil || len(rs) != 2 {
+		t.Fatalf("v1 fallback query: %v %v", rs, err)
+	}
+}
+
+// TestRunContentsEqualDetectsDivergence drives the migration verifier
+// through every mismatch class: a silent pass here is what would let a
+// bad rewrite retire a good v1 file.
+func TestRunContentsEqualDetectsDivergence(t *testing.T) {
+	base := func() *runContents {
+		return &runContents{
+			minSeq: 1, maxSeq: 3,
+			tombs:  map[core.SensorID]int64{sid(9, 9): 50},
+			series: map[core.SensorID][]entry{sid(1, 1): {{ts: 1, val: 1}, {ts: 2, val: 2}}},
+		}
+	}
+	if err := runContentsEqual(base(), base()); err != nil {
+		t.Fatalf("identical contents compared unequal: %v", err)
+	}
+	mutations := map[string]func(*runContents){
+		"span":            func(rc *runContents) { rc.maxSeq = 4 },
+		"tombstone count": func(rc *runContents) { rc.tombs[sid(8, 8)] = 1 },
+		"tombstone value": func(rc *runContents) { rc.tombs[sid(9, 9)] = 51 },
+		"series count":    func(rc *runContents) { rc.series[sid(2, 2)] = []entry{{ts: 1}} },
+		"entry count":     func(rc *runContents) { rc.series[sid(1, 1)] = rc.series[sid(1, 1)][:1] },
+		"entry value":     func(rc *runContents) { rc.series[sid(1, 1)][1].val = 9 },
+	}
+	for name, mutate := range mutations {
+		b := base()
+		mutate(b)
+		if err := runContentsEqual(base(), b); err == nil {
+			t.Fatalf("%s divergence not detected", name)
+		}
+	}
+}
+
+// TestBatchedSyncLoopDurability exercises the background fsync loop
+// (SyncInterval > 0): after one interval elapses, a write survives
+// reopen even though the writer itself never waited on an fsync.
+func TestBatchedSyncLoopDurability(t *testing.T) {
+	dir := t.TempDir()
+	o := noCompact
+	o.SyncInterval = 2 * time.Millisecond
+	n := openedNode(t, dir, 0, o)
+	id := sid(3, 3)
+	if err := n.Insert(id, core.Reading{Timestamp: 1, Value: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond) // several ticker fires
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n2 := openedNode(t, dir, 0, noCompact)
+	defer n2.Close()
+	rs, err := n2.Query(id, 0, 10)
+	if err != nil || len(rs) != 1 {
+		t.Fatalf("batched-sync write lost: %v %v", rs, err)
+	}
+}
+
+// TestV1MigrationSkippedReadOnly requires a read-only open to serve v1
+// files as-is without rewriting anything.
+func TestV1MigrationSkippedReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	id := sid(4, 4)
+	shardDir := filepath.Join(dir, fmt.Sprintf("shard-%02d", shardIndex(id)))
+	if err := os.MkdirAll(shardDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := writeRunFile(shardDir, 1, 1, map[core.SensorID][]entry{
+		id: {{ts: 5, val: 1}, {ts: 6, val: 2}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := noCompact
+	o.ReadOnly = true
+	n := openedNode(t, dir, 0, o)
+	defer n.Close()
+	if head, err := os.ReadFile(meta.path); err != nil || string(head[:8]) != string(runMagic) {
+		t.Fatalf("read-only open rewrote the v1 file (err=%v)", err)
+	}
+	rs, err := n.Query(id, 0, 100)
+	if err != nil || len(rs) != 2 {
+		t.Fatalf("read-only v1 query: %v %v", rs, err)
+	}
+}

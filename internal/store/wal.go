@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"dcdb/internal/core"
+	"dcdb/internal/fsutil"
 )
 
 // Write-ahead log: one segment file per shard memtable generation
@@ -60,9 +61,11 @@ type walSink interface {
 	Close() error
 }
 
-// openWALSink creates the segment file. Overridable in tests.
+// openWALSink creates the segment file. Overridable in tests; the
+// default goes through fsutil.Disk so fault injection can target WAL
+// writes and fsyncs by path.
 var openWALSink = func(path string) (walSink, error) {
-	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	return fsutil.Disk.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 }
 
 // wal is one active segment. The shard lock serialises append/rotate;
