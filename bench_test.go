@@ -24,6 +24,7 @@ import (
 	"dcdb/internal/collectagent"
 	"dcdb/internal/config"
 	"dcdb/internal/core"
+	"dcdb/internal/fold"
 	"dcdb/internal/libdcdb"
 	"dcdb/internal/mqtt"
 	"dcdb/internal/plugins/tester"
@@ -723,6 +724,34 @@ func BenchmarkQueryStreamRPC(b *testing.B) {
 		st.Close()
 		if count != span {
 			b.Fatalf("stream returned %d readings, want %d", count, span)
+		}
+	}
+}
+
+// BenchmarkSummaryPushdown measures a 200K-reading cold-range summary
+// pushed down over loopback RPC: the fold runs next to the data and
+// one ~100-byte state crosses the wire — to be compared with
+// BenchmarkQueryStreamRPC, which pays 16 bytes per reading for the
+// same range.
+func BenchmarkSummaryPushdown(b *testing.B) {
+	n, id := coldBenchNode(b, 200_000, 1<<20)
+	srv := rpc.NewServer(n, true)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	cl := rpc.NewClient(srv.Addr(), rpc.ClientOptions{})
+	b.Cleanup(func() { cl.Close() })
+	spec := fold.Spec{Op: fold.OpSummary, From: 0, To: 1 << 50}
+	b.SetBytes(200_000 * 16) // readings summarised per op, for ops/s comparison
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := cl.Aggregate(id, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Count() != 200_000 {
+			b.Fatalf("aggregate count = %d", st.Count())
 		}
 	}
 }

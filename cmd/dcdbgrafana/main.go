@@ -13,6 +13,14 @@
 // Usage:
 //
 //	dcdbgrafana -db /var/lib/dcdb/agent -listen :3001
+//	dcdbgrafana -db /var/lib/dcdb/agent -nodes host1:8482,host2:8482 \
+//	            -replication 2 -consistency quorum -listen :3001
+//
+// With -nodes the readings come from remote dcdbnode processes (the
+// -db directory still supplies the topic map and hierarchy), and
+// maxDataPoints-limited queries run as downsample folds pushed to the
+// storage nodes, so a wide dashboard range moves O(maxDataPoints)
+// values per sensor, not the raw readings.
 package main
 
 import (
@@ -23,7 +31,10 @@ import (
 	"net/http"
 	"time"
 
+	"dcdb/internal/core"
 	"dcdb/internal/libdcdb"
+	"dcdb/internal/rpc"
+	"dcdb/internal/store"
 	"dcdb/internal/tooldb"
 )
 
@@ -50,8 +61,31 @@ type series struct {
 func main() {
 	db := flag.String("db", "dcdb", "snapshot file prefix")
 	listen := flag.String("listen", "127.0.0.1:3001", "HTTP listen address")
+	nodesFlag := flag.String("nodes", "", "comma-separated dcdbnode addresses: serve from the live cluster instead of files")
+	replication := flag.Int("replication", 1, "cluster replication factor (with -nodes; must match the agent)")
+	depth := flag.Int("depth", 4, "hierarchy depth of the partition key (with -nodes)")
+	consistency := flag.String("consistency", "one", "read consistency with -nodes: one or quorum")
 	flag.Parse()
-	conn, _, err := tooldb.Open(*db)
+	var conn *libdcdb.Connection
+	var err error
+	if *nodesFlag != "" {
+		readCL, ok := store.ParseConsistency(*consistency)
+		if !ok {
+			log.Fatalf("dcdbgrafana: unknown consistency %q", *consistency)
+		}
+		var cluster *store.Cluster
+		conn, cluster, err = tooldb.OpenRemote(*db, tooldb.RemoteOptions{
+			Addrs:           rpc.SplitAddrList(*nodesFlag),
+			Replication:     *replication,
+			Partitioner:     store.HierarchicalPartitioner{Depth: *depth},
+			ReadConsistency: readCL,
+		})
+		if err == nil {
+			defer cluster.Close()
+		}
+	} else {
+		conn, _, err = tooldb.Open(*db)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -81,13 +115,22 @@ func main() {
 		}
 		var out []series
 		for _, tgt := range req.Targets {
-			rs, err := conn.Query(tgt.Target, req.Range.From.UnixNano(), req.Range.To.UnixNano())
+			from, to := req.Range.From.UnixNano(), req.Range.To.UnixNano()
+			var rs []core.Reading
+			var err error
+			if req.MaxDataPoints > 0 {
+				// Streaming downsample: one pass over the range, pushed
+				// down to the storage nodes for unscaled physical
+				// sensors, so a wide dashboard range never materializes
+				// on this server. The bucket grid spans the request
+				// range, so panels bucket consistently while scrolling.
+				rs, err = conn.QueryDownsample(tgt.Target, from, to, req.MaxDataPoints)
+			} else {
+				rs, err = conn.Query(tgt.Target, from, to)
+			}
 			if err != nil {
 				http.Error(w, fmt.Sprintf("query %q: %v", tgt.Target, err), http.StatusBadRequest)
 				return
-			}
-			if req.MaxDataPoints > 0 {
-				rs = libdcdb.Downsample(rs, req.MaxDataPoints)
 			}
 			s := series{Target: tgt.Target}
 			for _, rd := range rs {

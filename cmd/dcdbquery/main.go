@@ -6,6 +6,12 @@
 // RPC (the topic map still comes from -db, which names the agent's
 // data directory or snapshot prefix).
 //
+// Analysis ops run as single-pass streaming folds; on a live cluster
+// they are pushed down to the storage nodes, which answer with one
+// fold state per sensor instead of the readings. A summary over many
+// topics keeps going past empty ones (printing count=0) and exits
+// non-zero only when every topic fails.
+//
 // Usage:
 //
 //	dcdbquery -db /var/lib/dcdb/agent -from 2019-06-01T00:00:00Z \
@@ -19,6 +25,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
@@ -109,34 +116,58 @@ func main() {
 			log.Fatal(err)
 		}
 	case "integral":
+		// Single-pass streaming fold, pushed down to the storage nodes
+		// for unscaled physical sensors: the coordinator never holds the
+		// queried window.
 		for _, topic := range flag.Args() {
-			rs, err := conn.Query(topic, from, to)
+			v, err := conn.QueryIntegral(topic, from, to)
 			if err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("%s,integral,%g\n", topic, libdcdb.Integral(rs))
+			fmt.Printf("%s,integral,%g\n", topic, v)
 		}
 	case "derivative":
 		for _, topic := range flag.Args() {
-			rs, err := conn.Query(topic, from, to)
+			st, err := conn.DerivativeStream(topic, from, to)
 			if err != nil {
 				log.Fatal(err)
 			}
-			for _, d := range libdcdb.Derivative(rs) {
-				fmt.Printf("%s,%s\n", topic, d)
+			for {
+				chunk, err := st.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					st.Close()
+					log.Fatal(err)
+				}
+				for _, d := range chunk {
+					fmt.Printf("%s,%s\n", topic, d)
+				}
 			}
+			st.Close()
 		}
 	case "summary":
+		// One empty or failing topic must not abort the rest of the
+		// run: an empty window prints a count=0 row, a real failure is
+		// reported and skipped, and the exit status is non-zero only
+		// when every topic failed.
+		failed := 0
 		for _, topic := range flag.Args() {
-			rs, err := conn.Query(topic, from, to)
+			a, err := conn.QuerySummary(topic, from, to)
 			if err != nil {
-				log.Fatal(err)
+				fmt.Fprintf(os.Stderr, "dcdbquery: %s: %v\n", topic, err)
+				failed++
+				continue
 			}
-			a, err := libdcdb.Summarize(rs)
-			if err != nil {
-				log.Fatal(err)
+			if a.Count == 0 {
+				fmt.Printf("%s,count=0\n", topic)
+				continue
 			}
 			fmt.Printf("%s,count=%d,min=%g,max=%g,mean=%g\n", topic, a.Count, a.Min, a.Max, a.Mean)
+		}
+		if failed == flag.NArg() {
+			log.Fatal("dcdbquery: all topics failed")
 		}
 	default:
 		log.Fatalf("dcdbquery: unknown operation %q", *op)

@@ -236,9 +236,11 @@ func (s *scaledStream) Close() error { return s.st.Close() }
 // QueryStream is the streaming form of Query: readings arrive in
 // bounded chunks pulled from the backend (over RPC, chunk frames), so
 // exporting a long retention holds O(chunk) memory end to end.
-// Virtual sensors are evaluated materialized (their expressions need
-// whole operand windows) and streamed from the result; the stream must
-// be closed.
+// Virtual sensors whose expressions reference only physical sensors
+// are evaluated incrementally with one reading of lookahead per
+// operand (vsensor.EvaluateStream); expressions over other virtual
+// sensors fall back to materialized evaluation and are streamed from
+// the result. The stream must be closed.
 func (c *Connection) QueryStream(topic string, from, to int64) (store.ReadingStream, error) {
 	t, err := core.CanonicalTopic(topic)
 	if err != nil {
@@ -248,6 +250,11 @@ func (c *Connection) QueryStream(topic string, from, to int64) (store.ReadingStr
 	m, hasMeta := c.meta[t]
 	c.mu.RUnlock()
 	streamer, ok := c.backend.(queryStreamer)
+	if ok && hasMeta && m.Virtual {
+		if st, handled, err := c.queryVirtualStream(t, m, from, to); handled {
+			return st, err
+		}
+	}
 	if !ok || (hasMeta && m.Virtual) {
 		rs, err := c.Query(topic, from, to)
 		if err != nil {
@@ -337,6 +344,96 @@ func (c *Connection) queryVirtual(topic string, m core.Metadata, from, to int64,
 	c.vcache[topic] = mergeIntervals(append(c.vcache[topic], interval{from, to}))
 	c.mu.Unlock()
 	return rs, nil
+}
+
+// queryVirtualStream is the streaming evaluation path for a virtual
+// sensor: operands stream from the backend and the expression is
+// evaluated with one reading of lookahead per operand, bit-identical
+// to the materialized evaluation. handled is false when the expression
+// is not streamable — it references other virtual sensors, whose
+// evaluation needs the write-back and cycle-detection machinery of the
+// materialized path. Streamed results are not written back (there is
+// no materialized result to cache); materialized Query still caches,
+// and a period it already cached streams straight from the backend.
+func (c *Connection) queryVirtualStream(topic string, m core.Metadata, from, to int64) (store.ReadingStream, bool, error) {
+	c.mu.RLock()
+	covered := intervalCovered(c.vcache[topic], from, to)
+	c.mu.RUnlock()
+	if covered {
+		if id, ok := c.mapper.Lookup(topic); ok {
+			st, err := c.backend.(queryStreamer).QueryStream(id, from, to)
+			return st, true, err
+		}
+	}
+	expr, err := vsensor.Parse(m.Expression)
+	if err != nil {
+		return nil, true, err
+	}
+	if !c.streamable(expr, topic) {
+		return nil, false, nil
+	}
+	st, err := vsensor.EvaluateStream(expr, &connStreamSource{c: c, exclude: topic}, from, to)
+	if err != nil {
+		return nil, true, err
+	}
+	return st, true, nil
+}
+
+// streamable reports whether every sensor the expression references —
+// wildcard matches included, the expression's own topic excluded —
+// is physical.
+func (c *Connection) streamable(e *vsensor.Expr, root string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, ref := range e.Refs() {
+		if len(ref) > 2 && ref[len(ref)-2:] == "/*" {
+			for _, t := range c.hierarchy.Sensors(ref[:len(ref)-2]) {
+				if t == root {
+					continue
+				}
+				if m, ok := c.meta[t]; ok && m.Virtual {
+					return false
+				}
+			}
+			continue
+		}
+		if m, ok := c.meta[ref]; ok && m.Virtual {
+			return false
+		}
+	}
+	return true
+}
+
+// connStreamSource adapts Connection to vsensor.StreamSource for the
+// streaming evaluation of one virtual sensor, excluding that sensor
+// from wildcard expansion (the same self-reference guard connSource
+// applies through the evaluation stack).
+type connStreamSource struct {
+	c       *Connection
+	exclude string
+}
+
+func (s *connStreamSource) Stream(topic string, from, to int64) (vsensor.Stream, string, error) {
+	st, err := s.c.QueryStream(topic, from, to)
+	if err != nil {
+		return nil, "", err
+	}
+	unit := ""
+	if m, ok := s.c.Metadata(topic); ok {
+		unit = m.Unit
+	}
+	return st, unit, nil
+}
+
+func (s *connStreamSource) Expand(prefix string) ([]string, error) {
+	all := s.c.ListSensors(prefix)
+	out := make([]string, 0, len(all))
+	for _, t := range all {
+		if t != s.exclude {
+			out = append(out, t)
+		}
+	}
+	return out, nil
 }
 
 // InvalidateVirtual drops the cached periods of a virtual sensor,

@@ -4,111 +4,127 @@ import (
 	"fmt"
 
 	"dcdb/internal/core"
+	"dcdb/internal/fold"
 )
 
 // Analysis operations offered by the dcdbquery tool (paper §5.2):
 // integrals and derivatives of sensor time series, plus simple
-// aggregates. They operate on readings already retrieved via Query.
+// aggregates. The materialized forms below operate on readings already
+// retrieved via Query; each is a thin wrapper over the corresponding
+// incremental fold in internal/fold, so a fold consumed chunk by chunk
+// from a ReadingStream is bit-identical to the materialized op over
+// the concatenated chunks. Connection-level streaming/pushdown
+// variants live in fold.go.
+//
+// NaN/Inf handling (all ops): non-finite values are skipped rather
+// than poisoning sums, means and bucket averages; the folds count them
+// (Skipped), and Summarize surfaces the count in Aggregate.Skipped.
+
+// The fold types re-exported under their libdcdb names. See
+// internal/fold for the semantics; the streaming analysis layer
+// (Connection.QuerySummary and friends) consumes these chunkwise so a
+// month-long operation never holds more than one stream chunk.
+type (
+	// SummaryFold incrementally computes count/min/max/mean plus the
+	// first and last readings. Construct with NewSummaryFold.
+	SummaryFold = fold.Summary
+	// IntegralFold incrementally computes the trapezoid-rule time
+	// integral. Construct with NewIntegralFold.
+	IntegralFold = fold.Integral
+	// DerivativeFold incrementally emits the discrete time derivative.
+	// The zero value is ready.
+	DerivativeFold = fold.Derivative
+	// DownsampleFold incrementally averages equal time buckets over a
+	// fixed grid. Construct with NewDownsampleFold.
+	DownsampleFold = fold.Downsample
+)
+
+// NewSummaryFold returns an empty summary fold.
+func NewSummaryFold() *SummaryFold { return fold.NewSummary() }
+
+// NewIntegralFold returns an empty integral fold.
+func NewIntegralFold() *IntegralFold { return fold.NewIntegral() }
+
+// NewDownsampleFold returns an empty downsample fold over the bucket
+// grid [from, to] with at most nmax output points.
+func NewDownsampleFold(from, to int64, nmax int) *DownsampleFold {
+	return fold.NewDownsample(from, to, nmax)
+}
 
 // Integral computes the time integral of a series using the trapezoid
 // rule, in value-units × seconds. An energy counter in W integrates to
-// Joules.
+// Joules. Non-finite values are skipped, and pairs with non-positive
+// dt (duplicate or reordered timestamps) contribute no area — the same
+// guard Derivative applies. Empty (or all-skipped) input integrates to
+// zero.
 func Integral(rs []core.Reading) float64 {
-	var sum float64
-	for i := 1; i < len(rs); i++ {
-		dt := float64(rs[i].Timestamp-rs[i-1].Timestamp) / 1e9
-		sum += dt * (rs[i].Value + rs[i-1].Value) / 2
-	}
-	return sum
+	g := fold.NewIntegral()
+	g.Add(rs)
+	return g.Value()
 }
 
 // Derivative computes the discrete time derivative of a series in
-// value-units per second. The result has one reading per input pair,
-// stamped at the later point. Monotonic counters (Metadata.Integrable)
-// turn into rates this way.
+// value-units per second. The result has one reading per consecutive
+// pair of finite inputs, stamped at the later point; non-finite values
+// are skipped, as are pairs with non-positive dt. Monotonic counters
+// (Metadata.Integrable) turn into rates this way. Fewer than two
+// usable readings yield nil.
 func Derivative(rs []core.Reading) []core.Reading {
-	if len(rs) < 2 {
-		return nil
-	}
-	out := make([]core.Reading, 0, len(rs)-1)
-	for i := 1; i < len(rs); i++ {
-		dt := float64(rs[i].Timestamp-rs[i-1].Timestamp) / 1e9
-		if dt <= 0 {
-			continue
-		}
-		out = append(out, core.Reading{
-			Timestamp: rs[i].Timestamp,
-			Value:     (rs[i].Value - rs[i-1].Value) / dt,
-		})
-	}
-	return out
+	var d fold.Derivative
+	return d.Add(nil, rs)
 }
 
-// Aggregate summarises a series.
+// Aggregate summarises a series. Skipped counts non-finite readings
+// excluded from every statistic; First and Last are the first and last
+// finite readings.
 type Aggregate struct {
 	Count    int
+	Skipped  int
 	Min, Max float64
 	Mean     float64
 	First    core.Reading
 	Last     core.Reading
 }
 
-// Summarize computes an Aggregate over the series.
-func Summarize(rs []core.Reading) (Aggregate, error) {
-	if len(rs) == 0 {
-		return Aggregate{}, fmt.Errorf("libdcdb: cannot summarise empty series")
-	}
+// aggregateFromFold converts a finished summary fold.
+func aggregateFromFold(s *fold.Summary) Aggregate {
 	a := Aggregate{
-		Count: len(rs),
-		Min:   rs[0].Value,
-		Max:   rs[0].Value,
-		First: rs[0],
-		Last:  rs[len(rs)-1],
+		Count:   int(s.N),
+		Skipped: int(s.Skip),
 	}
-	var sum float64
-	for _, r := range rs {
-		if r.Value < a.Min {
-			a.Min = r.Value
-		}
-		if r.Value > a.Max {
-			a.Max = r.Value
-		}
-		sum += r.Value
+	if s.N > 0 {
+		a.Min, a.Max, a.Mean = s.Min, s.Max, s.Mean()
+		a.First, a.Last = s.First, s.Last
 	}
-	a.Mean = sum / float64(len(rs))
-	return a, nil
+	return a
+}
+
+// Summarize computes an Aggregate over the series. A series with no
+// finite readings is an error here (the CLI-facing streaming variant,
+// Connection.QuerySummary, reports an empty window as Count == 0
+// instead so one empty topic cannot abort a multi-topic run).
+func Summarize(rs []core.Reading) (Aggregate, error) {
+	s := fold.NewSummary()
+	s.Add(rs)
+	if s.N == 0 {
+		return Aggregate{Skipped: int(s.Skip)}, fmt.Errorf("libdcdb: cannot summarise empty series")
+	}
+	return aggregateFromFold(s), nil
 }
 
 // Downsample reduces a series to at most n points by averaging equal
 // time buckets, used by the Grafana data source for wide time ranges.
+// A series of n points or fewer passes through untouched. Bucketed
+// output skips non-finite values, and every emitted timestamp lies
+// within [first, last] of the input — a bucket midpoint is clamped to
+// the series end rather than stamped past it. A zero-width series
+// (every reading at one timestamp) collapses to a single averaged
+// point.
 func Downsample(rs []core.Reading, n int) []core.Reading {
 	if n <= 0 || len(rs) <= n {
 		return rs
 	}
-	from := rs[0].Timestamp
-	to := rs[len(rs)-1].Timestamp
-	if to == from {
-		return rs[:1]
-	}
-	width := (to - from + int64(n)) / int64(n)
-	out := make([]core.Reading, 0, n)
-	var bucketSum float64
-	var bucketN int
-	bucketStart := from
-	flush := func(ts int64) {
-		if bucketN > 0 {
-			out = append(out, core.Reading{Timestamp: ts, Value: bucketSum / float64(bucketN)})
-		}
-		bucketSum, bucketN = 0, 0
-	}
-	for _, r := range rs {
-		for r.Timestamp >= bucketStart+width {
-			flush(bucketStart + width/2)
-			bucketStart += width
-		}
-		bucketSum += r.Value
-		bucketN++
-	}
-	flush(bucketStart + width/2)
-	return out
+	d := fold.NewDownsample(rs[0].Timestamp, rs[len(rs)-1].Timestamp, n)
+	d.Add(rs)
+	return d.Result()
 }

@@ -1,0 +1,124 @@
+package rpc
+
+import (
+	"io"
+	"testing"
+
+	"dcdb/internal/core"
+	"dcdb/internal/fold"
+)
+
+// TestRPCAggregateRoundtrip: a pushed-down fold over the wire is
+// bit-identical to the node's own fold.
+func TestRPCAggregateRoundtrip(t *testing.T) {
+	n, _, cl := testPair(t, ClientOptions{})
+	id := sid(4, 2)
+	var rs []core.Reading
+	for i := int64(1); i <= 1000; i++ {
+		rs = append(rs, rd(i*1000, float64(i%17)))
+	}
+	if err := n.InsertBatch(id, rs, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []fold.Spec{
+		{Op: fold.OpSummary, From: 0, To: 1 << 50},
+		{Op: fold.OpIntegral, From: 0, To: 1 << 50},
+		{Op: fold.OpDownsample, From: 1000, To: 1000 * 1000, Buckets: 20},
+	} {
+		remote, err := cl.Aggregate(id, spec)
+		if err != nil {
+			t.Fatalf("%s over RPC: %v", spec.Op, err)
+		}
+		direct, err := n.Aggregate(id, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(fold.Append(nil, remote)) != string(fold.Append(nil, direct)) {
+			t.Fatalf("%s: remote aggregate differs from the node's fold", spec.Op)
+		}
+	}
+
+	// An aggregate over an empty sensor is a Count()==0 state, not an
+	// error (empty is a caller-level policy).
+	st, err := cl.Aggregate(sid(9, 9), fold.Spec{Op: fold.OpSummary, From: 0, To: 10})
+	if err != nil {
+		t.Fatalf("empty aggregate: %v", err)
+	}
+	if st.Count() != 0 {
+		t.Fatalf("empty aggregate count = %d", st.Count())
+	}
+
+	// Invalid specs fail loudly on the server.
+	if _, err := cl.Aggregate(id, fold.Spec{Op: fold.OpDownsample, From: 0, To: 10, Buckets: 0}); err == nil {
+		t.Fatal("invalid spec accepted over RPC")
+	}
+}
+
+// TestSummaryPushdownResponseBytes is the wire-cost contract of the
+// pushdown: summarising a cold range over RPC must move O(1) response
+// bytes per sensor, where streaming the same range moves O(readings).
+func TestSummaryPushdownResponseBytes(t *testing.T) {
+	n, _, cl := testPair(t, ClientOptions{})
+	id := sid(1, 1)
+	const count = 20000
+	var rs []core.Reading
+	for i := int64(1); i <= count; i++ {
+		rs = append(rs, rd(i*1000, float64(i)))
+	}
+	if err := n.InsertBatch(id, rs, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := fold.Spec{Op: fold.OpSummary, From: 0, To: 1 << 50}
+	read0, _ := cl.NetBytes()
+	st, err := cl.Aggregate(id, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	read1, _ := cl.NetBytes()
+	if st.Count() != count {
+		t.Fatalf("aggregate count = %d, want %d", st.Count(), count)
+	}
+	aggBytes := read1 - read0
+	// One summary state is ~100 bytes; leave generous headroom while
+	// staying far below the 16 bytes/reading a streamed read costs.
+	if aggBytes <= 0 || aggBytes > 1024 {
+		t.Fatalf("summary pushdown moved %d response bytes, want (0, 1024]", aggBytes)
+	}
+
+	// The streamed read of the same range, for scale: it must dwarf
+	// the aggregate response.
+	stream, err := cl.QueryStream(id, 0, 1<<50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for {
+		chunk, err := stream.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(chunk)
+	}
+	stream.Close()
+	read2, _ := cl.NetBytes()
+	streamBytes := read2 - read1
+	if total != count {
+		t.Fatalf("streamed %d readings, want %d", total, count)
+	}
+	if streamBytes < int64(count)*16 {
+		t.Fatalf("streamed read moved %d bytes, expected at least %d", streamBytes, count*16)
+	}
+	if aggBytes*100 > streamBytes {
+		t.Fatalf("pushdown (%d B) is not at least 100x cheaper than streaming (%d B)", aggBytes, streamBytes)
+	}
+}

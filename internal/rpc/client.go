@@ -14,6 +14,7 @@ import (
 
 	"dcdb/internal/backoff"
 	"dcdb/internal/core"
+	"dcdb/internal/fold"
 	"dcdb/internal/store"
 )
 
@@ -101,6 +102,13 @@ type Client struct {
 	streamSlots []*clientConn // streaming reads, isolated from unary traffic
 	srr         atomic.Uint32
 
+	// Cumulative frame bytes (payload + frame header) moved over this
+	// client's connections, for observability: the aggregation-pushdown
+	// CI smoke asserts a cold-range summary answers in O(sensors)
+	// response bytes rather than O(readings).
+	netRead    atomic.Int64
+	netWritten atomic.Int64
+
 	closed atomic.Bool
 }
 
@@ -125,6 +133,13 @@ func NewClient(addr string, o ClientOptions) *Client {
 
 // Addr returns the node address the client targets.
 func (c *Client) Addr() string { return c.addr }
+
+// NetBytes reports the cumulative bytes received and sent across the
+// client's connections (frame headers included). Monotonic; safe for
+// concurrent use.
+func (c *Client) NetBytes() (read, written int64) {
+	return c.netRead.Load(), c.netWritten.Load()
+}
 
 // Close tears down every pooled connection; in-flight calls fail.
 func (c *Client) Close() error {
@@ -241,6 +256,9 @@ func (s *clientConn) readLoop(nc net.Conn) {
 	br := bufio.NewReader(nc)
 	for {
 		payload, err := readFrame(br)
+		if err == nil {
+			s.cl.netRead.Add(int64(len(payload)) + 8)
+		}
 		if err != nil {
 			if errors.Is(err, errFrameTooLarge) {
 				err = fmt.Errorf("rpc: %s sent an oversized frame (corrupt or hostile length prefix); poisoning connection: %w", s.cl.addr, err)
@@ -361,6 +379,8 @@ func (s *clientConn) call(op byte, body []byte) ([]byte, error) {
 		// teardown delivered an error to ch (or we raced the read
 		// loop's teardown of the same generation, which did); fall
 		// through to the receive below either way.
+	} else {
+		s.cl.netWritten.Add(int64(len(payload)) + 8)
 	}
 
 	timer := time.NewTimer(time.Until(deadline))
@@ -436,6 +456,24 @@ func (c *Client) Query(id core.SensorID, from, to int64) ([]core.Reading, error)
 		return nil, err
 	}
 	return rs, nil
+}
+
+// Aggregate implements store.NodeBackend: the fold runs on the
+// storage node over its streaming read path and only the finished
+// state crosses the wire, so the response is O(1) in the range length
+// (O(buckets) for a downsample).
+func (c *Client) Aggregate(id core.SensorID, spec fold.Spec) (fold.State, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	body := make([]byte, 0, 16+21)
+	body = appendSID(body, id)
+	body = fold.AppendSpec(body, spec)
+	resp, err := c.call(opAggregate, body)
+	if err != nil {
+		return nil, err
+	}
+	return fold.Decode(resp)
 }
 
 // QueryPrefix implements store.Backend.
@@ -646,6 +684,7 @@ func (s *clientConn) sendCancel(nc net.Conn, target uint64) {
 		nc.SetWriteDeadline(time.Now().Add(s.cl.o.CallTimeout))
 		if writeFrame(s.bw, payload) == nil {
 			s.bw.Flush() // best effort; failure surfaces on the next call
+			s.cl.netWritten.Add(int64(len(payload)) + 8)
 		}
 	}
 	s.mu.Unlock()
@@ -695,6 +734,7 @@ func (s *clientConn) openStream(op byte, body []byte) (*clientStream, error) {
 		s.teardown(nc, fmt.Errorf("rpc: writing to %s: %w", s.cl.addr, err))
 		return nil, err
 	}
+	s.cl.netWritten.Add(int64(len(payload)) + 8)
 	return st, nil
 }
 

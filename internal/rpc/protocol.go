@@ -82,6 +82,12 @@ const (
 	// opCancelStream carries the request id of an in-flight stream the
 	// client abandoned; the server stops producing. No response frame.
 	opCancelStream = 14
+	// opAggregate pushes an analysis fold down to the node: the request
+	// body is a fold.Spec (sid | spec), the response body one encoded
+	// fold.State. The node folds its streaming read path, so a
+	// month-long range answers with O(1) response bytes instead of
+	// millions of readings.
+	opAggregate = 15
 )
 
 const (

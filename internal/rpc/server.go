@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"dcdb/internal/core"
+	"dcdb/internal/fold"
 	"dcdb/internal/store"
 )
 
@@ -549,6 +550,20 @@ func (s *Server) handle(payload []byte, arrived time.Time) []byte {
 		resp = appendI64(resp, ins)
 		resp = appendI64(resp, q)
 		resp = appendI64(resp, int64(entries))
+	case opAggregate:
+		sid := cur.sid()
+		spec := fold.Spec{Op: fold.Op(cur.u8())}
+		spec.From = cur.i64()
+		spec.To = cur.i64()
+		spec.Buckets = int(cur.u32())
+		if err := cur.done(); err != nil {
+			return fail(err)
+		}
+		st, err := s.backend.Aggregate(sid, spec)
+		if err != nil {
+			return fail(err)
+		}
+		resp = fold.Append(resp, st)
 	case opSensorIDs:
 		if err := cur.done(); err != nil {
 			return fail(err)

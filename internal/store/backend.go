@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"dcdb/internal/core"
+	"dcdb/internal/fold"
 )
 
 // NodeBackend is the full API of one storage node as the Cluster sees
@@ -44,6 +45,13 @@ type NodeBackend interface {
 	// arrive in ascending SID order, each sensor's readings chunked in
 	// timestamp order (a sensor may span consecutive chunks).
 	QueryPrefixStream(prefix core.SensorID, depth int, from, to int64) (KeyedReadingStream, error)
+
+	// Aggregate runs an analysis fold (internal/fold) over the
+	// sensor's readings in the spec's range where the data lives and
+	// returns only the finished state — the aggregation pushdown path.
+	// The state is bit-identical to folding the node's QueryStream
+	// client-side.
+	Aggregate(id core.SensorID, spec fold.Spec) (fold.State, error)
 }
 
 // Consistency is the number-of-replicas contract of a cluster

@@ -1,0 +1,289 @@
+package vsensor
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"dcdb/internal/core"
+)
+
+// dualSource serves the same data through both evaluator interfaces —
+// materialized Source and streaming StreamSource — with deterministic
+// (sorted) wildcard expansion, so the two paths see identical inputs
+// in identical order. chunk controls the stream chunk size, letting
+// tests sweep chunk boundaries across readings.
+type dualSource struct {
+	data  map[string][]core.Reading
+	units map[string]string
+	chunk int
+}
+
+func (f *dualSource) window(topic string, from, to int64) ([]core.Reading, error) {
+	rs, ok := f.data[topic]
+	if !ok {
+		return nil, fmt.Errorf("unknown sensor %q", topic)
+	}
+	var out []core.Reading
+	for _, r := range rs {
+		if r.Timestamp >= from && r.Timestamp <= to {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+func (f *dualSource) Readings(topic string, from, to int64) ([]core.Reading, string, error) {
+	rs, err := f.window(topic, from, to)
+	if err != nil {
+		return nil, "", err
+	}
+	return rs, f.units[topic], nil
+}
+
+func (f *dualSource) Stream(topic string, from, to int64) (Stream, string, error) {
+	rs, err := f.window(topic, from, to)
+	if err != nil {
+		return nil, "", err
+	}
+	return &chunkedStream{rs: rs, chunk: f.chunk}, f.units[topic], nil
+}
+
+func (f *dualSource) Expand(prefix string) ([]string, error) {
+	var out []string
+	for t := range f.data {
+		if strings.HasPrefix(t, prefix+"/") {
+			out = append(out, t)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+type chunkedStream struct {
+	rs     []core.Reading
+	chunk  int
+	closed bool
+}
+
+func (s *chunkedStream) Next() ([]core.Reading, error) {
+	if len(s.rs) == 0 {
+		return nil, io.EOF
+	}
+	n := s.chunk
+	if n <= 0 || n > len(s.rs) {
+		n = len(s.rs)
+	}
+	out := s.rs[:n]
+	s.rs = s.rs[n:]
+	return out, nil
+}
+
+func (s *chunkedStream) Close() error { s.closed = true; return nil }
+
+func drain(t *testing.T, st Stream) []core.Reading {
+	t.Helper()
+	defer st.Close()
+	var out []core.Reading
+	for {
+		chunk, err := st.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("stream error: %v", err)
+		}
+		out = append(out, chunk...)
+	}
+}
+
+func sameSeries(a, b []core.Reading) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Timestamp != b[i].Timestamp ||
+			math.Float64bits(a[i].Value) != math.Float64bits(b[i].Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEvaluateStreamMatchesEvaluate: the streaming evaluator must be
+// bit-identical to the materialized one — same union timebase, same
+// interpolation, same unit conversion, same wildcard sum — across
+// misaligned series, duplicate timestamps and every chunking.
+func TestEvaluateStreamMatchesEvaluate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	exprs := []string{
+		"</a/one>",
+		"</a/one> + </a/two>",
+		"2 * </a/one> - </a/two> / 4",
+		"</w/*> + 1",
+		"</a/one> * </w/*>",
+	}
+	for trial := 0; trial < 60; trial++ {
+		src := &dualSource{
+			data: map[string][]core.Reading{
+				"/a/one": randSeries(rng, 1+rng.Intn(40)),
+				"/a/two": randSeries(rng, 1+rng.Intn(40)),
+				"/w/p":   randSeries(rng, 1+rng.Intn(40)),
+				"/w/q":   randSeries(rng, 1+rng.Intn(40)),
+			},
+			units: map[string]string{"/a/two": "mW", "/w/q": "kW"},
+		}
+		for _, es := range exprs {
+			e, err := Parse(es)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Evaluate(e, src, 0, 1<<50)
+			if err != nil {
+				t.Fatalf("Evaluate(%q): %v", es, err)
+			}
+			for _, chunk := range []int{1, 3, 4096} {
+				src.chunk = chunk
+				st, err := EvaluateStream(e, src, 0, 1<<50)
+				if err != nil {
+					t.Fatalf("EvaluateStream(%q, chunk %d): %v", es, chunk, err)
+				}
+				got := drain(t, st)
+				if !sameSeries(want, got) {
+					t.Fatalf("trial %d %q chunk %d: stream diverges from materialized\nwant %v\ngot  %v",
+						trial, es, chunk, want, got)
+				}
+			}
+		}
+	}
+}
+
+func randSeries(rng *rand.Rand, n int) []core.Reading {
+	rs := make([]core.Reading, 0, n)
+	ts := int64(rng.Intn(1000))
+	for i := 0; i < n; i++ {
+		if i > 0 && rng.Intn(8) != 0 {
+			ts += int64(rng.Intn(2000)) + 1
+		} // else duplicate timestamp
+		rs = append(rs, core.Reading{Timestamp: ts, Value: rng.NormFloat64() * 50})
+	}
+	return rs
+}
+
+// TestEvaluateStreamErrorParity: the open-time errors must match the
+// materialized evaluator's, string for string.
+func TestEvaluateStreamErrorParity(t *testing.T) {
+	src := &dualSource{
+		data: map[string][]core.Reading{
+			"/a/one":   series(1, 2, 3),
+			"/a/empty": nil,
+			"/w/empty": nil,
+		},
+		units: map[string]string{},
+	}
+	cases := []string{
+		"</a/empty>",  // referenced sensor with no data
+		"</nosuch/*>", // wildcard matching nothing
+		"</w/*>",      // wildcard whose matches are all empty
+		"</a/one> + </a/empty>",
+	}
+	for _, es := range cases {
+		e, err := Parse(es)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, wantErr := Evaluate(e, src, 0, 1<<50)
+		if wantErr == nil {
+			t.Fatalf("Evaluate(%q) unexpectedly succeeded", es)
+		}
+		_, gotErr := EvaluateStream(e, src, 0, 1<<50)
+		if gotErr == nil {
+			t.Fatalf("EvaluateStream(%q) unexpectedly succeeded", es)
+		}
+		if wantErr.Error() != gotErr.Error() {
+			t.Fatalf("error parity for %q:\nmaterialized: %v\nstreamed:     %v", es, wantErr, gotErr)
+		}
+	}
+}
+
+// TestEvaluateStreamConstant: a pure-constant expression emits one
+// reading at the period start, as Evaluate does.
+func TestEvaluateStreamConstant(t *testing.T) {
+	e, err := Parse("2*21")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &dualSource{data: map[string][]core.Reading{}, units: map[string]string{}}
+	st, err := EvaluateStream(e, src, 12345, 99999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, st)
+	if len(got) != 1 || got[0].Timestamp != 12345 || got[0].Value != 42 {
+		t.Fatalf("constant stream = %v, want [(12345, 42)]", got)
+	}
+}
+
+// TestEvaluateStreamClosesOperands: closing the evaluation stream (or
+// failing at open) must close every operand stream it opened.
+func TestEvaluateStreamClosesOperands(t *testing.T) {
+	opened := []*chunkedStream{}
+	src := &trackingSource{
+		dual: &dualSource{
+			data: map[string][]core.Reading{
+				"/a/one": series(1, 2),
+				"/a/two": series(3, 4),
+			},
+			units: map[string]string{},
+		},
+		opened: &opened,
+	}
+	e, err := Parse("</a/one> + </a/two>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := EvaluateStream(e, src, 0, 1<<50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	for i, cs := range opened {
+		if !cs.closed {
+			t.Fatalf("operand stream %d left open after Close", i)
+		}
+	}
+
+	// Open failure path: the second operand is empty, so open errors —
+	// the first operand's stream must still be closed.
+	opened = opened[:0]
+	src.dual.data["/a/two"] = nil
+	if _, err := EvaluateStream(e, src, 0, 1<<50); err == nil {
+		t.Fatal("expected open error")
+	}
+	for i, cs := range opened {
+		if !cs.closed {
+			t.Fatalf("operand stream %d leaked after failed open", i)
+		}
+	}
+}
+
+type trackingSource struct {
+	dual   *dualSource
+	opened *[]*chunkedStream
+}
+
+func (s *trackingSource) Stream(topic string, from, to int64) (Stream, string, error) {
+	st, unit, err := s.dual.Stream(topic, from, to)
+	if err != nil {
+		return nil, "", err
+	}
+	cs := st.(*chunkedStream)
+	*s.opened = append(*s.opened, cs)
+	return cs, unit, nil
+}
+
+func (s *trackingSource) Expand(prefix string) ([]string, error) { return s.dual.Expand(prefix) }
