@@ -15,6 +15,16 @@
 //
 //	collectagent -listen :1883 -rest :8080 -nodes 2 -replication 1 \
 //	             -data /var/lib/dcdb/agent
+//	collectagent ... -metrics-addr 127.0.0.1:9090 [-pprof] [-self-monitor 10s]
+//
+// With -metrics-addr (or -rest; both expose /metrics) the process
+// serves its Prometheus exposition: agent ingest counters, cluster
+// coordinator metrics, per-backend store or RPC-client metrics with a
+// node="<i>" label, and process runtime metrics. -pprof mounts
+// net/http/pprof on the -metrics-addr listener. -self-monitor
+// additionally publishes the same metrics into the store itself every
+// interval as /dcdb/self/<host>/... sensors (paper §6's dog-fooded
+// monitoring-of-the-monitoring), queryable with the ordinary tools.
 package main
 
 import (
@@ -31,6 +41,7 @@ import (
 
 	"dcdb/internal/collectagent"
 	"dcdb/internal/core"
+	"dcdb/internal/metrics"
 	"dcdb/internal/rest"
 	"dcdb/internal/rpc"
 	"dcdb/internal/store"
@@ -67,6 +78,9 @@ func main() {
 	cacheBytes := flag.String("cache-bytes", "0", "per-node block cache budget (e.g. 256MB) for the embedded durable cluster: bounds resident run data; 0 keeps all runs resident")
 	snapshot := flag.String("snapshot", "", "legacy snapshot file prefix (empty = no snapshots)")
 	snapEvery := flag.Duration("snapshot-interval", 5*time.Minute, "periodic snapshot / topic-map save interval")
+	metricsAddr := flag.String("metrics-addr", "", "Prometheus /metrics listen address (empty = disabled; the -rest API also serves /metrics)")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof on the -metrics-addr listener")
+	selfMonitor := flag.Duration("self-monitor", 0, "publish the agent's own metrics into the store as /dcdb/self/<host>/... sensors every interval (0 = disabled)")
 	flag.Parse()
 
 	if *dataDir != "" && *snapshot != "" {
@@ -172,14 +186,52 @@ func main() {
 	log.Printf("collectagent: MQTT broker on %s, %s, %s partitioner, write=%s read=%s, %s",
 		agent.Addr(), nodeDesc, part.Name(), writeCL, readCL, mode)
 
+	// One exposition for the whole process: ingest counters, the
+	// cluster coordinator, and every backend (embedded store node or
+	// RPC client) with a node label telling them apart.
+	parts := []metrics.Part{{Reg: agent.Metrics()}, {Reg: cluster.Metrics()}}
+	for i, b := range cluster.Backends() {
+		label := fmt.Sprintf(`node="%d"`, i)
+		switch be := b.(type) {
+		case *store.Node:
+			parts = append(parts, metrics.Part{Reg: be.Metrics(), Labels: label})
+		case *rpc.Client:
+			parts = append(parts, metrics.Part{Reg: be.Metrics(), Labels: label})
+		}
+	}
+
 	if *restAddr != "" {
 		api := rest.NewAgentAPI(agent)
+		api.MetricsParts = parts[1:] // Routes already includes the agent registry
 		if err := api.Listen(*restAddr); err != nil {
 			cluster.Close()
 			log.Fatal(err)
 		}
 		defer api.Close()
 		log.Printf("collectagent: REST API on %s", api.Addr())
+	}
+
+	if *metricsAddr != "" {
+		msrv, mln, err := metrics.Serve(*metricsAddr, *pprofFlag,
+			append(parts, metrics.Part{Reg: metrics.Runtime()})...)
+		if err != nil {
+			cluster.Close()
+			log.Fatalf("collectagent: metrics on %s: %v", *metricsAddr, err)
+		}
+		defer msrv.Close()
+		log.Printf("collectagent: metrics on %s", mln.Addr())
+	}
+
+	stopSelf := func() {}
+	if *selfMonitor > 0 {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "agent"
+		}
+		stopSelf = agent.StartSelfMonitor(host, *selfMonitor,
+			append(parts, metrics.Part{Reg: metrics.Runtime()})...)
+		log.Printf("collectagent: self-monitoring as %s/%s every %s",
+			collectagent.SelfTopicPrefix, host, *selfMonitor)
 	}
 
 	persistTick := func() {
@@ -203,6 +255,7 @@ func main() {
 		case <-tick.C:
 			persistTick()
 		case <-stop:
+			stopSelf() // no self-publishes once the backend starts closing
 			persistTick()
 			if err := cluster.Close(); err != nil {
 				log.Printf("collectagent: closing backend: %v", err)

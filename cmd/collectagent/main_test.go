@@ -1,0 +1,143 @@
+package main
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dcdb/internal/collectagent"
+	"dcdb/internal/core"
+	"dcdb/internal/store"
+)
+
+func TestParseNodes(t *testing.T) {
+	count, addrs, desc := parseNodes("3")
+	if count != 3 || addrs != nil {
+		t.Errorf("parseNodes(3) = %d, %v", count, addrs)
+	}
+	if desc == "" {
+		t.Error("empty description for a node count")
+	}
+
+	count, addrs, _ = parseNodes(" 0 ")
+	if count != 1 || addrs != nil {
+		t.Errorf("parseNodes(0) = %d, %v — counts clamp to 1", count, addrs)
+	}
+
+	count, addrs, desc = parseNodes("127.0.0.1:4441, 127.0.0.1:4442")
+	if count != 0 || len(addrs) != 2 || addrs[0] != "127.0.0.1:4441" || addrs[1] != "127.0.0.1:4442" {
+		t.Errorf("parseNodes(addr list) = %d, %v", count, addrs)
+	}
+	if desc == "" {
+		t.Error("empty description for an address list")
+	}
+}
+
+// TestSnapshotRoundTrip saves node snapshots plus the topic map and
+// restores them into a fresh agent/node set — the legacy -snapshot
+// persistence path.
+func TestSnapshotRoundTrip(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "snap")
+	n := store.NewNode(0)
+	agent := collectagent.New(n, nil, collectagent.Options{Quiet: true})
+	agent.Handle("/rack0/chassis0/server0/power",
+		core.EncodeReadings([]core.Reading{{Timestamp: 1, Value: 451}}))
+	readings := -1.0
+	for _, s := range agent.Metrics().Gather() {
+		if s.Name == "dcdb_agent_readings_total" {
+			readings = s.Value
+		}
+	}
+	if readings != 1 {
+		t.Fatalf("dcdb_agent_readings_total = %g, want 1", readings)
+	}
+	saveSnapshots([]*store.Node{n}, agent, prefix)
+
+	n2 := store.NewNode(0)
+	agent2 := collectagent.New(n2, nil, collectagent.Options{Quiet: true})
+	loadSnapshots([]*store.Node{n2}, agent2, prefix)
+	id, ok := agent2.Mapper().Lookup("/rack0/chassis0/server0/power")
+	if !ok {
+		t.Fatal("topic map did not survive the round trip")
+	}
+	rs, err := n2.Query(id, 0, 1<<62)
+	if err != nil || len(rs) != 1 {
+		t.Fatalf("restored node query: %d readings, %v", len(rs), err)
+	}
+	if rs[0].Value != 451 {
+		t.Fatalf("restored reading = %g, want 451", rs[0].Value)
+	}
+
+	// Missing snapshot files are not an error (first boot).
+	n3 := store.NewNode(0)
+	loadSnapshots([]*store.Node{n3}, collectagent.New(n3, nil, collectagent.Options{Quiet: true}),
+		filepath.Join(t.TempDir(), "absent"))
+}
+
+func TestTopicSaverGroupsConcurrentSaves(t *testing.T) {
+	var saves atomic.Int64
+	var inFlight atomic.Int64
+	gate := make(chan struct{})
+	s := newTopicSaver(func() error {
+		if inFlight.Add(1) != 1 {
+			t.Error("overlapping saves")
+		}
+		<-gate
+		inFlight.Add(-1)
+		saves.Add(1)
+		return nil
+	})
+
+	const callers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = s.saveIncluding()
+		}(i)
+	}
+	// Release saves until every caller returns; group commit means far
+	// fewer saves than callers are needed (at most callers, typically 2).
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case gate <- struct{}{}:
+		case <-done:
+			for i, err := range errs {
+				if err != nil {
+					t.Errorf("caller %d: %v", i, err)
+				}
+			}
+			if n := saves.Load(); n < 1 || n > callers {
+				t.Errorf("%d saves for %d callers", n, callers)
+			}
+			return
+		}
+	}
+}
+
+func TestTopicSaverPropagatesError(t *testing.T) {
+	boom := errors.New("disk full")
+	s := newTopicSaver(func() error { return boom })
+	if err := s.saveIncluding(); !errors.Is(err, boom) {
+		t.Fatalf("saveIncluding = %v, want %v", err, boom)
+	}
+	// A failed save leaves the generation unpersisted; a later success
+	// still covers it.
+	calls := 0
+	s2 := newTopicSaver(func() error { calls++; return nil })
+	if err := s2.saveIncluding(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.saveIncluding(); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Errorf("%d saves for 2 sequential callers, want 2", calls)
+	}
+}

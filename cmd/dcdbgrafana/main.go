@@ -5,6 +5,7 @@
 // data-source conventions:
 //
 //	GET  /                → 200 (health check)
+//	GET  /metrics         → Prometheus exposition (runtime + RPC client)
 //	POST /search          → {"target": "/lrz/cm3"} → child components
 //	POST /query           → {"targets":[{"target": "/topic"}],
 //	                          "range":{"from":RFC3339,"to":RFC3339},
@@ -33,6 +34,7 @@ import (
 
 	"dcdb/internal/core"
 	"dcdb/internal/libdcdb"
+	"dcdb/internal/metrics"
 	"dcdb/internal/rpc"
 	"dcdb/internal/store"
 	"dcdb/internal/tooldb"
@@ -67,13 +69,13 @@ func main() {
 	consistency := flag.String("consistency", "one", "read consistency with -nodes: one or quorum")
 	flag.Parse()
 	var conn *libdcdb.Connection
+	var cluster *store.Cluster
 	var err error
 	if *nodesFlag != "" {
 		readCL, ok := store.ParseConsistency(*consistency)
 		if !ok {
 			log.Fatalf("dcdbgrafana: unknown consistency %q", *consistency)
 		}
-		var cluster *store.Cluster
 		conn, cluster, err = tooldb.OpenRemote(*db, tooldb.RemoteOptions{
 			Addrs:           rpc.SplitAddrList(*nodesFlag),
 			Replication:     *replication,
@@ -93,6 +95,18 @@ func main() {
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "dcdb grafana data source")
 	})
+	// Prometheus exposition: process runtime metrics, plus the cluster
+	// coordinator and per-node RPC client metrics when serving live.
+	mparts := []metrics.Part{{Reg: metrics.Runtime()}}
+	if cluster != nil {
+		mparts = append(mparts, metrics.Part{Reg: cluster.Metrics()})
+		for i, b := range cluster.Backends() {
+			if c, ok := b.(*rpc.Client); ok {
+				mparts = append(mparts, metrics.Part{Reg: c.Metrics(), Labels: fmt.Sprintf(`node="%d"`, i)})
+			}
+		}
+	}
+	mux.Handle("GET /metrics", metrics.Handler(mparts...))
 	mux.HandleFunc("POST /search", func(w http.ResponseWriter, r *http.Request) {
 		var req searchRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {

@@ -10,10 +10,15 @@
 // Usage:
 //
 //	dcdbnode -listen 127.0.0.1:4441 -data /var/lib/dcdb/node0 [-wal-sync 0]
+//	dcdbnode ... -metrics-addr 127.0.0.1:9090 [-pprof]
 //
 // The bound address is printed as "dcdbnode: serving <addr>" once the
 // node is recovered and listening, so scripts may pass -listen :0 and
-// scrape the line.
+// scrape the line. With -metrics-addr the node serves its Prometheus
+// exposition (store + RPC server + process metrics) at
+// http://<metrics-addr>/metrics and prints "dcdbnode: metrics on
+// <addr>"; -pprof additionally mounts net/http/pprof under
+// /debug/pprof/ on the same listener.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"dcdb/internal/metrics"
 	"dcdb/internal/rpc"
 	"dcdb/internal/store"
 )
@@ -34,6 +40,8 @@ func main() {
 	walSync := flag.Duration("wal-sync", 0, "WAL fsync batching interval; 0 syncs every write (safest for a storage tier that acknowledges to remote coordinators)")
 	flushSize := flag.Int("flush-size", 0, "memtable entries per flush (0 = default)")
 	cacheBytes := flag.String("cache-bytes", "0", "block cache budget (e.g. 256MB): bounds resident run data — memory stays O(cache), retention is limited by disk; 0 keeps all runs resident")
+	metricsAddr := flag.String("metrics-addr", "", "Prometheus /metrics listen address (empty = disabled)")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof on the -metrics-addr listener")
 	flag.Parse()
 
 	if *dataDir == "" {
@@ -58,6 +66,20 @@ func main() {
 		log.Fatalf("dcdbnode: listening on %s: %v", *listen, err)
 	}
 	log.Printf("dcdbnode: serving %s", srv.Addr())
+
+	if *metricsAddr != "" {
+		msrv, mln, err := metrics.Serve(*metricsAddr, *pprofFlag,
+			metrics.Part{Reg: node.Metrics()},
+			metrics.Part{Reg: srv.Metrics()},
+			metrics.Part{Reg: metrics.Runtime()})
+		if err != nil {
+			srv.Close()
+			node.Close()
+			log.Fatalf("dcdbnode: metrics on %s: %v", *metricsAddr, err)
+		}
+		defer msrv.Close()
+		log.Printf("dcdbnode: metrics on %s", mln.Addr())
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

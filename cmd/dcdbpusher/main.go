@@ -20,6 +20,11 @@
 // Usage:
 //
 //	dcdbpusher -config pusher.conf -rest :8090
+//	dcdbpusher ... -metrics-addr 127.0.0.1:9091 [-pprof]
+//
+// The REST API serves the Prometheus exposition at /metrics; a
+// standalone -metrics-addr listener serves the same (plus optional
+// /debug/pprof/ with -pprof) when the REST API is disabled or firewalled.
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"syscall"
 
 	"dcdb/internal/config"
+	"dcdb/internal/metrics"
 	"dcdb/internal/mqtt"
 	"dcdb/internal/plugins/all"
 	"dcdb/internal/pusher"
@@ -40,6 +46,8 @@ import (
 func main() {
 	cfgPath := flag.String("config", "dcdbpusher.conf", "configuration file")
 	restAddr := flag.String("rest", "", "RESTful API listen address (empty = disabled)")
+	metricsAddr := flag.String("metrics-addr", "", "Prometheus /metrics listen address (empty = disabled; the -rest API also serves /metrics)")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof on the -metrics-addr listener")
 	flag.Parse()
 
 	cfg, err := config.ParseFile(*cfgPath)
@@ -129,6 +137,17 @@ func main() {
 		}
 		defer api.Close()
 		log.Printf("dcdbpusher: REST API on %s", api.Addr())
+	}
+
+	if *metricsAddr != "" {
+		msrv, mln, err := metrics.Serve(*metricsAddr, *pprofFlag,
+			metrics.Part{Reg: host.Metrics()},
+			metrics.Part{Reg: metrics.Runtime()})
+		if err != nil {
+			log.Fatalf("dcdbpusher: metrics on %s: %v", *metricsAddr, err)
+		}
+		defer msrv.Close()
+		log.Printf("dcdbpusher: metrics on %s", mln.Addr())
 	}
 
 	stop := make(chan os.Signal, 1)

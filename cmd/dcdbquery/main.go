@@ -20,6 +20,12 @@
 //	dcdbquery -db ... -list [/subtree]
 //	dcdbquery -db ... -nodes 127.0.0.1:4441,127.0.0.1:4442 \
 //	          -replication 2 -consistency quorum /topic/one
+//	dcdbquery -db ... [-nodes ...] -op stats
+//
+// -op stats takes no topics: it prints each storage node's counters
+// and full metrics snapshot (latency histograms as count/sum/p50/p99),
+// fetched over the versioned Stats RPC on a live cluster or read
+// directly from the local store in file mode.
 package main
 
 import (
@@ -28,13 +34,51 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
 	"time"
 
 	"dcdb/internal/libdcdb"
+	"dcdb/internal/metrics"
 	"dcdb/internal/rpc"
 	"dcdb/internal/store"
 	"dcdb/internal/tooldb"
 )
+
+// printSamples pretty-prints one node's metrics snapshot, histograms
+// summarized to count/sum/p50/p99 (quantiles are bucket upper bounds).
+func printSamples(w io.Writer, samples []metrics.Sample) {
+	sort.Slice(samples, func(i, j int) bool { return samples[i].Name < samples[j].Name })
+	for _, s := range samples {
+		if s.Hist != nil {
+			scale := s.Hist.Scale
+			if scale == 0 {
+				scale = 1
+			}
+			fmt.Fprintf(w, "  %-58s count=%d sum=%g p50=%g p99=%g\n", s.Name,
+				s.Hist.Count(), float64(s.Hist.Sum)*scale,
+				s.Hist.Quantile(0.5)*scale, s.Hist.Quantile(0.99)*scale)
+			continue
+		}
+		fmt.Fprintf(w, "  %-58s %g\n", s.Name, s.Value)
+	}
+}
+
+// printStats renders per-node stats for -op stats.
+func printStats(w io.Writer, stats []store.NodeStats) {
+	for _, ns := range stats {
+		where := "local"
+		if ns.Addr != "" {
+			where = ns.Addr
+		}
+		fmt.Fprintf(w, "node %d (%s): inserts=%d queries=%d entries=%d\n",
+			ns.Index, where, ns.Inserts, ns.Queries, ns.Entries)
+		if ns.Err != nil {
+			fmt.Fprintf(w, "  metrics unavailable: %v\n", ns.Err)
+			continue
+		}
+		printSamples(w, ns.Samples)
+	}
+}
 
 func main() {
 	db := flag.String("db", "dcdb", "snapshot file prefix or agent data directory")
@@ -45,11 +89,13 @@ func main() {
 	consistency := flag.String("consistency", "one", "read consistency with -nodes: one or quorum")
 	fromStr := flag.String("from", "", "period start (RFC3339; empty = beginning)")
 	toStr := flag.String("to", "", "period end (RFC3339; empty = now)")
-	op := flag.String("op", "", "analysis operation: integral, derivative or summary")
+	op := flag.String("op", "", "analysis operation: integral, derivative, summary or stats")
 	list := flag.Bool("list", false, "list sensors below the given path instead of querying")
 	flag.Parse()
 
 	var conn *libdcdb.Connection
+	var node *store.Node
+	var cluster *store.Cluster
 	var err error
 	if *nodesFlag != "" {
 		var part store.Partitioner
@@ -65,7 +111,6 @@ func main() {
 		if !ok {
 			log.Fatalf("dcdbquery: unknown consistency %q", *consistency)
 		}
-		var cluster *store.Cluster
 		conn, cluster, err = tooldb.OpenRemote(*db, tooldb.RemoteOptions{
 			Addrs:           rpc.SplitAddrList(*nodesFlag),
 			Replication:     *replication,
@@ -76,10 +121,22 @@ func main() {
 			defer cluster.Close()
 		}
 	} else {
-		conn, _, err = tooldb.Open(*db)
+		conn, node, err = tooldb.Open(*db)
 	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *op == "stats" {
+		if cluster != nil {
+			printStats(os.Stdout, cluster.ClusterStats())
+			return
+		}
+		ins, q, entries := node.Stats()
+		samples, _ := node.MetricsSnapshot()
+		printStats(os.Stdout, []store.NodeStats{{
+			Inserts: ins, Queries: q, Entries: entries, Samples: samples,
+		}})
+		return
 	}
 	if *list {
 		path := ""

@@ -5,8 +5,12 @@
 // mid-ingest; writes keep flowing, hints queue for the dead node, the
 // node is restarted on its data directory, hints replay, and a final
 // QUORUM read must return every single published reading — zero lost
-// acknowledged writes. The process exits non-zero on any violation,
-// which is what makes it usable as a CI smoke test.
+// acknowledged writes. The run then smoke-tests the observability
+// layer: every process (the three storage nodes and the agent) must
+// serve its Prometheus exposition over HTTP, and the agent's
+// self-monitoring sensors (/dcdb/self/...) must read back through
+// libdcdb like any facility sensor. The process exits non-zero on any
+// violation, which is what makes it usable as a CI smoke test.
 //
 // Run from the repository root (it builds cmd/dcdbnode):
 //
@@ -16,7 +20,9 @@ package main
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -27,6 +33,7 @@ import (
 	"dcdb/internal/collectagent"
 	"dcdb/internal/core"
 	"dcdb/internal/libdcdb"
+	"dcdb/internal/metrics"
 	"dcdb/internal/mqtt"
 	"dcdb/internal/rpc"
 	"dcdb/internal/store"
@@ -166,30 +173,90 @@ func main() {
 		}
 		total += len(rs)
 	}
+	fmt.Printf("QUORUM reads returned all %d readings after kill + restart + handoff: zero lost acknowledged writes\n", total)
+
+	// Observability smoke (paper §6 dog-fooding). Every storage process
+	// serves its Prometheus exposition on its -metrics-addr listener …
+	for i, n := range nodes {
+		body := httpGet(fmt.Sprintf("http://%s/metrics", n.metrics))
+		for _, series := range []string{"dcdb_store_inserts_total", "dcdb_rpc_server_requests_total", "dcdb_process_goroutines"} {
+			if !strings.Contains(body, series) {
+				log.Fatalf("FAIL: node %d /metrics is missing %s", i, series)
+			}
+		}
+	}
+	// … the agent process serves the merged exposition (ingest +
+	// coordinator + per-node RPC clients) the same way …
+	agentParts := []metrics.Part{{Reg: agent.Metrics()}, {Reg: cluster.Metrics()}}
+	for i, b := range cluster.Backends() {
+		if c, ok := b.(*rpc.Client); ok {
+			agentParts = append(agentParts, metrics.Part{Reg: c.Metrics(), Labels: fmt.Sprintf(`node="%d"`, i)})
+		}
+	}
+	msrv, mln, err := metrics.Serve("127.0.0.1:0", false, agentParts...)
+	if err != nil {
+		log.Fatalf("FAIL: agent metrics listener: %v", err)
+	}
+	body := httpGet(fmt.Sprintf("http://%s/metrics", mln.Addr()))
+	msrv.Close()
+	for _, series := range []string{"dcdb_agent_readings_total", "dcdb_cluster_writes_total", `dcdb_rpc_client_connects_total{node="0"}`} {
+		if !strings.Contains(body, series) {
+			log.Fatalf("FAIL: agent /metrics is missing %s", series)
+		}
+	}
+	// … and the agent's own metrics, published as /dcdb/self/<host>/...
+	// sensors through the normal ingest path, read back through libdcdb
+	// (the same API dcdbquery uses) like any facility sensor.
+	selfSeries := agent.PublishSelfMetrics("cluster-smoke", agentParts...)
+	selfTopic := collectagent.SelfTopicPrefix + "/cluster-smoke/dcdb_agent_readings_total"
+	rs, err := conn.Query(selfTopic, 0, 1<<62)
+	if err != nil || len(rs) != 1 {
+		log.Fatalf("FAIL: self-sensor %s: %d readings, err=%v", selfTopic, len(rs), err)
+	}
+	fmt.Printf("observability smoke: 4 processes serve /metrics; %d self-sensors published, %s reads back %g\n",
+		selfSeries, selfTopic, rs[0].Value)
+
 	if err := cluster.Close(); err != nil {
 		log.Fatalf("closing cluster: %v", err)
 	}
-	fmt.Printf("QUORUM reads returned all %d readings after kill + restart + handoff: zero lost acknowledged writes\n", total)
 	fmt.Println("OK")
+}
+
+// httpGet fetches a URL and returns the body, fataling on any error.
+func httpGet(url string) string {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		log.Fatalf("FAIL: GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		log.Fatalf("FAIL: GET %s: status %d, err=%v", url, resp.StatusCode, err)
+	}
+	return string(b)
 }
 
 // nodeProc wraps one dcdbnode process.
 type nodeProc struct {
-	cmd  *exec.Cmd
-	addr string
-	port string
+	cmd     *exec.Cmd
+	addr    string
+	metrics string // Prometheus /metrics listener
 }
 
 // startNode launches dcdbnode on dir. The first launch for a directory
 // picks a free port; restarts reuse the recorded port so coordinator
-// clients reconnect to the same address.
+// clients reconnect to the same address. Each node also serves its
+// Prometheus exposition on an ephemeral -metrics-addr port, scraped
+// from the "dcdbnode: metrics on" line.
 func startNode(bin, dir string) *nodeProc {
 	listen := "127.0.0.1:0"
 	portFile := filepath.Join(dir, "..", filepath.Base(dir)+".port")
 	if b, err := os.ReadFile(portFile); err == nil {
 		listen = strings.TrimSpace(string(b))
 	}
-	cmd := exec.Command(bin, "-listen", listen, "-data", dir, "-wal-sync", "0")
+	cmd := exec.Command(bin, "-listen", listen, "-data", dir, "-wal-sync", "0",
+		"-metrics-addr", "127.0.0.1:0")
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		log.Fatal(err)
@@ -198,6 +265,7 @@ func startNode(bin, dir string) *nodeProc {
 		log.Fatal(err)
 	}
 	addrCh := make(chan string, 1)
+	metricsCh := make(chan string, 1)
 	go func() {
 		sc := bufio.NewScanner(stderr)
 		for sc.Scan() {
@@ -207,17 +275,27 @@ func startNode(bin, dir string) *nodeProc {
 				default:
 				}
 			}
+			if _, a, ok := strings.Cut(sc.Text(), "dcdbnode: metrics on "); ok {
+				select {
+				case metricsCh <- strings.TrimSpace(a):
+				default:
+				}
+			}
 		}
 	}()
-	select {
-	case addr := <-addrCh:
-		os.WriteFile(portFile, []byte(addr), 0o644)
-		return &nodeProc{cmd: cmd, addr: addr}
-	case <-time.After(30 * time.Second):
-		cmd.Process.Kill()
-		log.Fatal("dcdbnode never reported its address")
-		return nil
+	p := &nodeProc{cmd: cmd}
+	deadline := time.After(30 * time.Second)
+	for p.addr == "" || p.metrics == "" {
+		select {
+		case p.addr = <-addrCh:
+		case p.metrics = <-metricsCh:
+		case <-deadline:
+			cmd.Process.Kill()
+			log.Fatal("dcdbnode never reported its addresses")
+		}
 	}
+	os.WriteFile(portFile, []byte(p.addr), 0o644)
+	return p
 }
 
 // kill SIGKILLs the node — no shutdown path runs.

@@ -156,3 +156,28 @@ func TestStreamLiveSubscription(t *testing.T) {
 		t.Fatalf("agent stored %d readings", agent.Stats().Readings)
 	}
 }
+
+func TestRateOperatorName(t *testing.T) {
+	var ra Rate
+	if ra.Name() != "rate" {
+		t.Fatalf("Rate.Name() = %q", ra.Name())
+	}
+	// First reading primes the state without emitting.
+	if _, ok := ra.Process("/t", rd(1, 10)); ok {
+		t.Fatal("rate emitted on the first sample")
+	}
+}
+
+func TestNewStreamDefaultBuffer(t *testing.T) {
+	s := NewStream(0)
+	if cap(s.events) != 1024 {
+		t.Fatalf("default buffer = %d, want 1024", cap(s.events))
+	}
+}
+
+func TestSubscribeDialError(t *testing.T) {
+	s := NewStream(1)
+	if _, err := s.Subscribe("127.0.0.1:1", "/x/#"); err == nil {
+		t.Fatal("Subscribe to a closed port succeeded")
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"dcdb/internal/cache"
 	"dcdb/internal/core"
+	"dcdb/internal/metrics"
 	"dcdb/internal/mqtt"
 	"dcdb/internal/store"
 )
@@ -57,6 +58,7 @@ type Agent struct {
 	messages atomic.Int64
 	readings atomic.Int64
 	errors   atomic.Int64
+	met      *metrics.Registry
 
 	// pendingTopics are topics whose OnNewTopic persistence failed;
 	// they retry on the topic's next message so no reading is ever
@@ -79,8 +81,41 @@ func New(backend store.Backend, mapper *core.TopicMapper, opts Options) *Agent {
 		opts:    opts,
 	}
 	a.broker = mqtt.NewBroker(a.handle)
+	// The ingest counters already exist as atomics (the Stats API);
+	// the registry mirrors them at scrape time instead of double
+	// counting on the message path.
+	a.met = metrics.NewRegistry()
+	a.met.CounterFunc("dcdb_agent_messages_total",
+		"MQTT PUBLISH packets processed.", func() float64 {
+			return float64(a.messages.Load())
+		})
+	a.met.CounterFunc("dcdb_agent_readings_total",
+		"Sensor readings written to the storage backend.", func() float64 {
+			return float64(a.readings.Load())
+		})
+	a.met.CounterFunc("dcdb_agent_errors_total",
+		"Undecodable messages or failed storage writes.", func() float64 {
+			return float64(a.errors.Load())
+		})
+	a.met.CounterFunc("dcdb_agent_broker_published_total",
+		"PUBLISH packets accepted by the embedded MQTT broker.", func() float64 {
+			p, _ := a.broker.Stats()
+			return float64(p)
+		})
+	a.met.CounterFunc("dcdb_agent_broker_payload_bytes_total",
+		"PUBLISH payload bytes accepted by the embedded MQTT broker.", func() float64 {
+			_, b := a.broker.Stats()
+			return float64(b)
+		})
+	a.met.GaugeFunc("dcdb_agent_cache_topics",
+		"Topics resident in the agent's sensor cache.", func() float64 {
+			return float64(len(a.cache.Topics()))
+		})
 	return a
 }
+
+// Metrics returns the agent's ingest metric registry.
+func (a *Agent) Metrics() *metrics.Registry { return a.met }
 
 // Listen starts the agent's MQTT broker on addr.
 func (a *Agent) Listen(addr string) error { return a.broker.Listen(addr) }

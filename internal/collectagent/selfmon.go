@@ -1,0 +1,115 @@
+package collectagent
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"dcdb/internal/core"
+	"dcdb/internal/metrics"
+)
+
+// Self-monitoring as sensor data (dog-fooding, paper §6): the agent
+// periodically publishes its own metrics into the very store it
+// manages, under /dcdb/self/<host>/..., so the monitoring system's
+// footprint is queryable, plottable and retained with exactly the same
+// tools as every facility sensor. Counters and gauges publish one
+// reading per tick; a histogram publishes two series, <name>_count and
+// <name>_sum (the sum scaled to the histogram's unit, i.e. seconds for
+// latency), from which dashboards derive rates and mean latencies.
+
+// SelfTopicPrefix roots every self-monitoring topic.
+const SelfTopicPrefix = "/dcdb/self"
+
+// sanitizeLevel rewrites an arbitrary string (hostname, Prometheus
+// metric name with labels) into one safe topic level: every run of
+// characters outside [a-zA-Z0-9_-] collapses into one '_', trimmed at
+// the ends. Distinct label sets stay distinct because their values
+// survive ("...seconds{shard=\"3\"}" -> "...seconds_shard_3").
+func sanitizeLevel(s string) string {
+	var b strings.Builder
+	pending := false
+	for _, r := range s {
+		ok := r == '-' || r == '_' ||
+			(r >= '0' && r <= '9') || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !ok {
+			pending = b.Len() > 0
+			continue
+		}
+		if pending && r != '_' {
+			b.WriteByte('_')
+		}
+		pending = false
+		b.WriteRune(r)
+	}
+	return strings.TrimRight(strings.TrimLeft(b.String(), "_"), "_")
+}
+
+// PublishSelfMetrics gathers every part once and publishes the samples
+// as readings through the agent's normal ingest path (topic mapping,
+// storage write, cache, hierarchy — self-sensors are ordinary sensors).
+// Parts sharing metric names are merged (summed) first. Returns the
+// number of series published.
+func (a *Agent) PublishSelfMetrics(host string, parts ...metrics.Part) int {
+	sets := make([][]metrics.Sample, 0, len(parts))
+	for _, p := range parts {
+		if p.Reg != nil {
+			sets = append(sets, p.Reg.Gather())
+		}
+	}
+	samples := metrics.MergeSamples(sets...)
+	prefix := SelfTopicPrefix + "/" + sanitizeLevel(host) + "/"
+	ts := time.Now().UnixNano()
+	n := 0
+	publish := func(topic string, v float64) {
+		a.Handle(topic, core.EncodeReadings([]core.Reading{{Timestamp: ts, Value: v}}))
+		n++
+	}
+	for _, s := range samples {
+		name := sanitizeLevel(s.Name)
+		if name == "" {
+			continue
+		}
+		if s.Hist != nil {
+			scale := s.Hist.Scale
+			if scale == 0 {
+				scale = 1
+			}
+			publish(prefix+name+"_count", float64(s.Hist.Count()))
+			publish(prefix+name+"_sum", float64(s.Hist.Sum)*scale)
+			continue
+		}
+		publish(prefix+name, s.Value)
+	}
+	return n
+}
+
+// StartSelfMonitor publishes the parts' metrics every interval until
+// the returned stop function is called. Stop is idempotent and waits
+// for an in-flight publish to finish, so it is safe to call before
+// closing the agent's backend.
+func (a *Agent) StartSelfMonitor(host string, interval time.Duration, parts ...metrics.Part) (stop func()) {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				a.PublishSelfMetrics(host, parts...)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-finished
+	}
+}

@@ -1,0 +1,127 @@
+package collectagent
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dcdb/internal/libdcdb"
+	"dcdb/internal/metrics"
+	"dcdb/internal/store"
+)
+
+func TestSanitizeLevel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"host-0", "host-0"},
+		{"lrz.cm3.login01", "lrz_cm3_login01"},
+		{`dcdb_store_insert_latency_seconds{shard="3"}`, "dcdb_store_insert_latency_seconds_shard_3"},
+		{"///", ""},
+		{"a//b", "a_b"},
+		{"_x_", "x"},
+	}
+	for _, c := range cases {
+		if got := sanitizeLevel(c.in); got != c.want {
+			t.Errorf("sanitizeLevel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestSelfSensorRoundTrip closes the dog-fooding loop of paper §6: the
+// agent publishes its own metrics through its normal ingest path as
+// /dcdb/self/<host>/... sensors, and a libdcdb connection sharing the
+// agent's topic mapper reads them back like any facility sensor.
+func TestSelfSensorRoundTrip(t *testing.T) {
+	node := store.NewNode(0)
+	agent := New(node, nil, Options{Quiet: true})
+	defer agent.Close()
+
+	reg := metrics.NewRegistry()
+	reg.Counter("dcdb_test_requests_total", "requests").Add(41)
+	h := reg.LatencyHistogram("dcdb_test_latency_seconds", "latency", 1)
+	h.Observe(1500) // ns
+	h.Observe(2500)
+
+	published := agent.PublishSelfMetrics("host-0", metrics.Part{Reg: reg})
+	if published != 3 { // counter + histogram _count + histogram _sum
+		t.Fatalf("published %d series, want 3", published)
+	}
+
+	conn := libdcdb.Connect(node, agent.Mapper())
+	horizon := time.Now().UnixNano() + int64(time.Hour)
+	query := func(topic string) float64 {
+		t.Helper()
+		rs, err := conn.Query(topic, 0, horizon)
+		if err != nil {
+			t.Fatalf("query %s: %v", topic, err)
+		}
+		if len(rs) != 1 {
+			t.Fatalf("query %s: %d readings, want 1", topic, len(rs))
+		}
+		return rs[0].Value
+	}
+
+	prefix := SelfTopicPrefix + "/host-0/"
+	if v := query(prefix + "dcdb_test_requests_total"); v != 41 {
+		t.Errorf("counter read back as %g, want 41", v)
+	}
+	if v := query(prefix + "dcdb_test_latency_seconds_count"); v != 2 {
+		t.Errorf("histogram count read back as %g, want 2", v)
+	}
+	// The sum publishes in the histogram's unit: 4000 ns scaled by 1e-9.
+	if v := query(prefix + "dcdb_test_latency_seconds_sum"); math.Abs(v-4000e-9) > 1e-12 {
+		t.Errorf("histogram sum read back as %g, want 4e-06", v)
+	}
+
+	// Self-sensors join the hierarchy and cache like ordinary sensors.
+	if got := agent.Hierarchy().Sensors(SelfTopicPrefix + "/host-0"); len(got) != 3 {
+		t.Errorf("hierarchy lists %d self-sensors, want 3: %v", len(got), got)
+	}
+	if _, ok := agent.Cache().Latest(prefix + "dcdb_test_requests_total"); !ok {
+		t.Error("self-sensor missing from the agent cache")
+	}
+
+	// The agent's own ingest registry counted the three publishes; the
+	// scrape-time mirrors agree with the Stats atomics.
+	byName := map[string]float64{}
+	for _, s := range agent.Metrics().Gather() {
+		byName[s.Name] = s.Value
+	}
+	if got := byName["dcdb_agent_readings_total"]; got != 3 {
+		t.Errorf("dcdb_agent_readings_total = %g, want 3", got)
+	}
+	if got := byName["dcdb_agent_messages_total"]; got != 3 {
+		t.Errorf("dcdb_agent_messages_total = %g, want 3", got)
+	}
+	if got := byName["dcdb_agent_errors_total"]; got != 0 {
+		t.Errorf("dcdb_agent_errors_total = %g, want 0", got)
+	}
+	if got := byName["dcdb_agent_cache_topics"]; got != 3 {
+		t.Errorf("dcdb_agent_cache_topics = %g, want 3", got)
+	}
+}
+
+// TestStartSelfMonitor exercises the periodic publisher and its
+// idempotent stop.
+func TestStartSelfMonitor(t *testing.T) {
+	node := store.NewNode(0)
+	agent := New(node, nil, Options{Quiet: true})
+	defer agent.Close()
+
+	reg := metrics.NewRegistry()
+	reg.Counter("dcdb_test_ticks_total", "ticks").Inc()
+
+	stop := agent.StartSelfMonitor("h", 5*time.Millisecond, metrics.Part{Reg: reg})
+	deadline := time.Now().Add(2 * time.Second)
+	topic := SelfTopicPrefix + "/h/dcdb_test_ticks_total"
+	for {
+		if _, ok := agent.Cache().Latest(topic); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("self-monitor never published")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+}

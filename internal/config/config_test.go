@@ -191,3 +191,19 @@ func TestQuoteIfNeeded(t *testing.T) {
 		t.Error("empty not quoted")
 	}
 }
+
+func TestBoolSpellings(t *testing.T) {
+	n, err := ParseString("a off\nb no\nc yes\nd 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Bool("a", true) || n.Bool("b", true) || n.Bool("d", true) {
+		t.Error("off/no/0 should parse as false")
+	}
+	if !n.Bool("c", false) {
+		t.Error("yes should parse as true")
+	}
+	if !n.Bool("missing", true) {
+		t.Error("absent key should yield the default")
+	}
+}

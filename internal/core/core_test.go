@@ -407,3 +407,9 @@ func TestTopicMapperConcurrentMap(t *testing.T) {
 		}
 	}
 }
+
+func TestCanonicalTopicRejectsMalformed(t *testing.T) {
+	if _, err := CanonicalTopic(""); err == nil {
+		t.Error("empty topic accepted")
+	}
+}

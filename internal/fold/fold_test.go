@@ -439,3 +439,41 @@ func TestSpecValidate(t *testing.T) {
 		t.Fatalf("degenerate single-timestamp downsample spec rejected: %v", err)
 	}
 }
+
+func TestOpStringAndStateEdges(t *testing.T) {
+	for op, want := range map[Op]string{
+		OpSummary:    "summary",
+		OpIntegral:   "integral",
+		OpDownsample: "downsample",
+		Op(99):       "op(99)",
+	} {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+	if m := NewSummary().Mean(); !math.IsNaN(m) {
+		t.Errorf("empty summary Mean = %g, want NaN", m)
+	}
+	rs := []core.Reading{{Timestamp: 1, Value: 2}, {Timestamp: 2, Value: 4}}
+	g := NewIntegral()
+	g.Add(rs)
+	if g.Fingerprint() == 0 {
+		t.Error("integral fingerprint is zero after input")
+	}
+	d := NewDownsample(0, 10, 4)
+	d.Add(rs)
+	if d.Fingerprint() == 0 {
+		t.Error("downsample fingerprint is zero after input")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	g := NewIntegral()
+	g.Add([]core.Reading{{Timestamp: 1, Value: 2}, {Timestamp: 5, Value: 3}})
+	enc := Append(nil, g)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Fatalf("Decode of %d/%d bytes succeeded", cut, len(enc))
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package libdcdb
+
+import (
+	"io"
+	"testing"
+
+	"dcdb/internal/core"
+)
+
+// TestFoldConstructors covers the re-exported fold constructors and
+// the fingerprint identity that underpins quorum aggregate consensus:
+// folding the same readings yields the same fingerprint.
+func TestFoldConstructors(t *testing.T) {
+	rs := []core.Reading{{Timestamp: 1, Value: 2}, {Timestamp: 2, Value: 4}}
+
+	s1, s2 := NewSummaryFold(), NewSummaryFold()
+	g1, g2 := NewIntegralFold(), NewIntegralFold()
+	s1.Add(rs)
+	s2.Add(rs)
+	g1.Add(rs)
+	g2.Add(rs)
+	if s1.Fingerprint() != s2.Fingerprint() {
+		t.Error("summary fingerprints diverge on identical input")
+	}
+	if g1.Fingerprint() != g2.Fingerprint() {
+		t.Error("integral fingerprints diverge on identical input")
+	}
+	d := NewDownsampleFold(0, 10, 4)
+	d.Add(rs)
+	if d.Fingerprint() == 0 {
+		t.Error("downsample fingerprint is zero after input")
+	}
+}
+
+// TestSliceStream covers the materialized-result stream adapter used
+// for backends and sensor kinds without native streaming.
+func TestSliceStream(t *testing.T) {
+	rs := []core.Reading{{Timestamp: 1, Value: 1}}
+	st := &sliceStream{rs: rs}
+	chunk, err := st.Next()
+	if err != nil || len(chunk) != 1 {
+		t.Fatalf("first Next = %d readings, %v", len(chunk), err)
+	}
+	if _, err := st.Next(); err != io.EOF {
+		t.Fatalf("second Next err = %v, want io.EOF", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	empty := &sliceStream{}
+	if _, err := empty.Next(); err != io.EOF {
+		t.Fatalf("empty stream Next err = %v, want io.EOF", err)
+	}
+}

@@ -1,0 +1,32 @@
+package metrics
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Serve binds addr and serves the Prometheus exposition of parts at
+// /metrics. With enablePprof the standard net/http/pprof handlers are
+// mounted under /debug/pprof/ on the same listener — profiling rides
+// the metrics port, gated by the same flag, instead of claiming a
+// second one. The caller owns the returned server and listener
+// (srv.Close() tears both down); the bound address is ln.Addr().
+func Serve(addr string, enablePprof bool, parts ...Part) (*http.Server, net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(parts...))
+	if enablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return srv, ln, nil
+}

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeMetricsAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dcdb_test_hits_total", "Test hits.").Add(7)
+
+	srv, ln, err := Serve("127.0.0.1:0", true, Part{Reg: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "dcdb_test_hits_total 7") {
+		t.Errorf("/metrics missing counter series:\n%s", body)
+	}
+	if code, _ := get(t, base+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d with pprof enabled", code)
+	}
+}
+
+func TestServePprofDisabled(t *testing.T) {
+	srv, ln, err := Serve("127.0.0.1:0", false, Part{Reg: NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	if code, _ := get(t, base+"/metrics"); code != http.StatusOK {
+		t.Errorf("/metrics status %d", code)
+	}
+	if code, _ := get(t, base+"/debug/pprof/cmdline"); code != http.StatusNotFound {
+		t.Errorf("/debug/pprof/cmdline status %d, want 404 with pprof disabled", code)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, _, err := Serve("256.0.0.1:bad", false); err == nil {
+		t.Fatal("Serve on an unparseable address succeeded")
+	}
+}

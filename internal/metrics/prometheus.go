@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// Part names one registry's contribution to a merged exposition.
+// Labels (e.g. `node="0"`) are injected into every series of the
+// registry, which is how a collect agent embedding several store nodes
+// exports them without name collisions.
+type Part struct {
+	Reg    *Registry
+	Labels string // comma-separated label pairs, no braces; may be empty
+}
+
+// WritePrometheus writes the parts in Prometheus text exposition
+// format (version 0.0.4). Series of one metric family are grouped
+// under a single # HELP / # TYPE header, as the format requires.
+func WritePrometheus(w io.Writer, parts ...Part) error {
+	type labeled struct {
+		Sample
+		labels string
+	}
+	var all []labeled
+	for _, p := range parts {
+		if p.Reg == nil {
+			continue
+		}
+		for _, s := range p.Reg.Gather() {
+			all = append(all, labeled{s, p.Labels})
+		}
+	}
+	// Group by family so one HELP/TYPE header covers every series of
+	// the metric, across parts and inline labels.
+	sort.SliceStable(all, func(i, j int) bool {
+		fi, fj := familyOf(all[i].Name), familyOf(all[j].Name)
+		if fi != fj {
+			return fi < fj
+		}
+		return all[i].Name < all[j].Name
+	})
+	lastFamily := ""
+	for _, s := range all {
+		fam := familyOf(s.Name)
+		if fam != lastFamily {
+			if s.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam, s.Help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, s.Kind); err != nil {
+				return err
+			}
+			lastFamily = fam
+		}
+		if err := writeSeries(w, s.Sample, s.labels); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// familyOf strips the inline label set from a series name.
+func familyOf(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// withLabels merges extra label pairs into a series name.
+func withLabels(name, extra string) string {
+	if extra == "" {
+		return name
+	}
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:len(name)-1] + "," + extra + "}"
+	}
+	return name + "{" + extra + "}"
+}
+
+// suffixed appends a family suffix (e.g. "_sum") before the label set.
+func suffixed(name, suffix, extra string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return withLabels(name[:i]+suffix+name[i:], extra)
+	}
+	return withLabels(name+suffix, extra)
+}
+
+// histoLabeled appends an le bucket label to a (possibly labeled)
+// family name.
+func histoLabeled(name, extra, le string) string {
+	pair := `le="` + le + `"`
+	if extra != "" {
+		pair = extra + "," + pair
+	}
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + "_bucket" + name[i:len(name)-1] + "," + pair + "}"
+	}
+	return name + "_bucket{" + pair + "}"
+}
+
+func writeSeries(w io.Writer, s Sample, labels string) error {
+	switch s.Kind {
+	case KindHistogram:
+		if s.Hist == nil {
+			return nil
+		}
+		var cum int64
+		scale := s.Hist.Scale
+		if scale == 0 {
+			scale = 1
+		}
+		for i, c := range s.Hist.Counts {
+			cum += c
+			// Empty tail buckets before +Inf are elided only if every
+			// later bucket is empty too; emitting each bound would make
+			// the page huge, so skip buckets that add nothing beyond
+			// the running cumulative count, but always emit at least
+			// the first and +Inf.
+			if c == 0 && i != numBuckets {
+				continue
+			}
+			le := "+Inf"
+			if i < numBuckets {
+				le = formatValue(bucketUpper(i) * scale)
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", histoLabeled(s.Name, labels, le), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", suffixed(s.Name, "_sum", labels), formatValue(float64(s.Hist.Sum)*scale)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s %d\n", suffixed(s.Name, "_count", labels), cum)
+		return err
+	default:
+		_, err := fmt.Fprintf(w, "%s %s\n", withLabels(s.Name, labels), formatValue(s.Value))
+		return err
+	}
+}
+
+// formatValue renders a float the way Prometheus expects: integers
+// without a decimal point, everything else in compact scientific or
+// plain notation.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Handler returns an http.Handler serving the parts as a Prometheus
+// scrape endpoint.
+func Handler(parts ...Part) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, parts...)
+	})
+}

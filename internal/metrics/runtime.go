@@ -1,0 +1,46 @@
+package metrics
+
+import (
+	"os"
+	"runtime"
+	"sync"
+)
+
+var (
+	runtimeOnce sync.Once
+	runtimeReg  *Registry
+)
+
+// Runtime returns the process-wide registry of Go runtime gauges
+// (goroutines, heap, GC), built once and shared by every exporter in
+// the process. The gauges are funcs: runtime.ReadMemStats runs only at
+// scrape time, never on a hot path.
+func Runtime() *Registry {
+	runtimeOnce.Do(func() {
+		r := NewRegistry()
+		r.GaugeFunc("dcdb_process_goroutines", "Live goroutines.",
+			func() float64 { return float64(runtime.NumGoroutine()) })
+		r.GaugeFunc("dcdb_process_cpus", "Usable CPUs (GOMAXPROCS).",
+			func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+		r.GaugeFunc("dcdb_process_pid", "Process ID.",
+			func() float64 { return float64(os.Getpid()) })
+		r.GaugeFunc("dcdb_process_heap_alloc_bytes", "Bytes of live heap objects.",
+			func() float64 { return float64(readMem().HeapAlloc) })
+		r.GaugeFunc("dcdb_process_heap_sys_bytes", "Heap bytes obtained from the OS.",
+			func() float64 { return float64(readMem().HeapSys) })
+		r.CounterFunc("dcdb_process_gc_total", "Completed GC cycles.",
+			func() float64 { return float64(readMem().NumGC) })
+		r.CounterFunc("dcdb_process_gc_pause_seconds_total", "Cumulative GC stop-the-world pause.",
+			func() float64 { return float64(readMem().PauseTotalNs) / 1e9 })
+		r.CounterFunc("dcdb_process_alloc_bytes_total", "Cumulative bytes allocated.",
+			func() float64 { return float64(readMem().TotalAlloc) })
+		runtimeReg = r
+	})
+	return runtimeReg
+}
+
+func readMem() runtime.MemStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms
+}

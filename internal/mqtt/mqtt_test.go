@@ -328,3 +328,26 @@ func TestBrokerCloseUnblocksClients(t *testing.T) {
 	}
 	c.Close()
 }
+
+func TestClientErrAfterBrokerClose(t *testing.T) {
+	b := NewBroker(nil)
+	if err := b.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(b.Addr(), DialOptions{ClientID: "errcheck"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Err() != nil {
+		t.Fatalf("Err before close: %v", c.Err())
+	}
+	b.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Err() == nil && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if c.Err() == nil {
+		t.Fatal("Err still nil after the broker closed the connection")
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"dcdb/internal/cache"
 	"dcdb/internal/core"
+	"dcdb/internal/metrics"
 )
 
 // Publisher is the outbound transport of a Pusher. mqtt.Client satisfies
@@ -89,6 +90,8 @@ type Host struct {
 	published  atomic.Int64
 	readErrors atomic.Int64
 	sendErrors atomic.Int64
+
+	met *metrics.Registry
 }
 
 type runningPlugin struct {
@@ -115,11 +118,27 @@ func NewHost(pub Publisher, opts Options) *Host {
 		pending:   make(map[string][]core.Reading),
 		flushStop: make(chan struct{}),
 	}
+	// Scrape-time mirrors of the sampling counters (the Stats API owns
+	// the atomics; the registry never double-counts the hot path).
+	h.met = metrics.NewRegistry()
+	h.met.CounterFunc("dcdb_pusher_readings_total",
+		"Sensor readings sampled.", func() float64 { return float64(h.readings.Load()) })
+	h.met.CounterFunc("dcdb_pusher_published_total",
+		"MQTT PUBLISH packets sent.", func() float64 { return float64(h.published.Load()) })
+	h.met.CounterFunc("dcdb_pusher_read_errors_total",
+		"Failed group reads.", func() float64 { return float64(h.readErrors.Load()) })
+	h.met.CounterFunc("dcdb_pusher_send_errors_total",
+		"Failed publishes.", func() float64 { return float64(h.sendErrors.Load()) })
+	h.met.GaugeFunc("dcdb_pusher_plugins_running",
+		"Plugins currently sampling.", func() float64 { return float64(len(h.Running())) })
 	if opts.Mode == Burst && pub != nil {
 		go h.flushLoop()
 	}
 	return h
 }
+
+// Metrics returns the host's sampling metric registry.
+func (h *Host) Metrics() *metrics.Registry { return h.met }
 
 // Cache exposes the sensor cache for the REST API.
 func (h *Host) Cache() *cache.Cache { return h.cache }

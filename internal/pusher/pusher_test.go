@@ -119,6 +119,23 @@ func TestHostSamplesAndPublishes(t *testing.T) {
 	if st.Readings < 3 || st.Published < 3 || st.ReadErrors != 0 {
 		t.Errorf("stats = %+v", st)
 	}
+	// The registry mirrors the same atomics at scrape time.
+	byName := map[string]float64{}
+	for _, s := range h.Metrics().Gather() {
+		byName[s.Name] = s.Value
+	}
+	if byName["dcdb_pusher_readings_total"] < 3 {
+		t.Errorf("dcdb_pusher_readings_total = %g, want >= 3", byName["dcdb_pusher_readings_total"])
+	}
+	if byName["dcdb_pusher_published_total"] < 3 {
+		t.Errorf("dcdb_pusher_published_total = %g, want >= 3", byName["dcdb_pusher_published_total"])
+	}
+	if byName["dcdb_pusher_send_errors_total"] != 0 {
+		t.Errorf("dcdb_pusher_send_errors_total = %g, want 0", byName["dcdb_pusher_send_errors_total"])
+	}
+	if byName["dcdb_pusher_plugins_running"] != 1 {
+		t.Errorf("dcdb_pusher_plugins_running = %g, want 1", byName["dcdb_pusher_plugins_running"])
+	}
 }
 
 func TestHostBurstMode(t *testing.T) {

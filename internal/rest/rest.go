@@ -19,6 +19,7 @@ import (
 
 	"dcdb/internal/cache"
 	"dcdb/internal/collectagent"
+	"dcdb/internal/metrics"
 	"dcdb/internal/pusher"
 )
 
@@ -42,6 +43,10 @@ type PusherAPI struct {
 	// StartPlugin restarts a previously stopped plugin by name; nil
 	// yields 501.
 	StartPlugin func(name string) error
+	// MetricsParts extends the Prometheus exposition at /metrics beyond
+	// the host's own registry (process runtime metrics are always
+	// included).
+	MetricsParts []metrics.Part
 
 	srv *http.Server
 	ln  net.Listener
@@ -69,6 +74,10 @@ func (p *PusherAPI) Routes() http.Handler {
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, p.host.Stats())
 	})
+	mux.Handle("GET /metrics", metrics.Handler(append([]metrics.Part{
+		{Reg: p.host.Metrics()},
+		{Reg: metrics.Runtime()},
+	}, p.MetricsParts...)...))
 	mux.HandleFunc("GET /sensors", func(w http.ResponseWriter, r *http.Request) {
 		serveTopics(w, p.host.Cache())
 	})
@@ -138,8 +147,13 @@ func (p *PusherAPI) Close() error {
 // AgentAPI serves the Collect Agent's RESTful interface.
 type AgentAPI struct {
 	agent *collectagent.Agent
-	srv   *http.Server
-	ln    net.Listener
+	// MetricsParts extends /metrics beyond the agent's ingest registry
+	// (typically the storage cluster's and per-node registries, with
+	// node labels injected).
+	MetricsParts []metrics.Part
+
+	srv *http.Server
+	ln  net.Listener
 }
 
 // NewAgentAPI wraps an Agent.
@@ -165,6 +179,10 @@ func (a *AgentAPI) Routes() http.Handler {
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, a.agent.Stats())
 	})
+	mux.Handle("GET /metrics", metrics.Handler(append([]metrics.Part{
+		{Reg: a.agent.Metrics()},
+		{Reg: metrics.Runtime()},
+	}, a.MetricsParts...)...))
 	return mux
 }
 

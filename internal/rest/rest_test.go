@@ -216,3 +216,27 @@ func TestAPIListenAndClose(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestAPIZeroValueAddrAndClose(t *testing.T) {
+	// Before Listen, Addr is empty and Close is a no-op — the binaries
+	// call both unconditionally on shutdown paths.
+	h := pusher.NewHost(nil, pusher.Options{})
+	defer h.Close()
+	api := NewPusherAPI(h)
+	if api.Addr() != "" {
+		t.Error("unbound pusher API reports an addr")
+	}
+	if err := api.Close(); err != nil {
+		t.Errorf("unbound pusher API Close: %v", err)
+	}
+
+	a := collectagent.New(store.NewNode(0), nil, collectagent.Options{Quiet: true})
+	defer a.Close()
+	agentAPI := NewAgentAPI(a)
+	if agentAPI.Addr() != "" {
+		t.Error("unbound agent API reports an addr")
+	}
+	if err := agentAPI.Close(); err != nil {
+		t.Errorf("unbound agent API Close: %v", err)
+	}
+}

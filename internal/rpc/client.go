@@ -15,6 +15,7 @@ import (
 	"dcdb/internal/backoff"
 	"dcdb/internal/core"
 	"dcdb/internal/fold"
+	"dcdb/internal/metrics"
 	"dcdb/internal/store"
 )
 
@@ -102,12 +103,11 @@ type Client struct {
 	streamSlots []*clientConn // streaming reads, isolated from unary traffic
 	srr         atomic.Uint32
 
-	// Cumulative frame bytes (payload + frame header) moved over this
-	// client's connections, for observability: the aggregation-pushdown
-	// CI smoke asserts a cold-range summary answers in O(sensors)
-	// response bytes rather than O(readings).
-	netRead    atomic.Int64
-	netWritten atomic.Int64
+	// met holds every client counter, including the cumulative frame
+	// bytes (payload + header) moved over this client's connections:
+	// the aggregation-pushdown CI smoke asserts a cold-range summary
+	// answers in O(sensors) response bytes rather than O(readings).
+	met *clientMetrics
 
 	closed atomic.Bool
 }
@@ -121,6 +121,7 @@ func NewClient(addr string, o ClientOptions) *Client {
 		pol:         backoff.Policy{Initial: o.ReconnectBackoff, Max: o.MaxBackoff, Multiplier: 2, Jitter: 0.2},
 		slots:       make([]*clientConn, o.PoolSize),
 		streamSlots: make([]*clientConn, o.StreamPoolSize),
+		met:         newClientMetrics(),
 	}
 	for i := range c.slots {
 		c.slots[i] = &clientConn{cl: c, pending: make(map[uint64]chan respMsg)}
@@ -136,9 +137,10 @@ func (c *Client) Addr() string { return c.addr }
 
 // NetBytes reports the cumulative bytes received and sent across the
 // client's connections (frame headers included). Monotonic; safe for
-// concurrent use.
+// concurrent use. The same totals export through Metrics as
+// dcdb_rpc_client_net_{read,written}_bytes_total.
 func (c *Client) NetBytes() (read, written int64) {
-	return c.netRead.Load(), c.netWritten.Load()
+	return c.met.netRead.Load(), c.met.netWritten.Load()
 }
 
 // Close tears down every pooled connection; in-flight calls fail.
@@ -205,8 +207,10 @@ func (s *clientConn) ensure() (net.Conn, error) {
 	if err != nil {
 		s.fails++
 		s.retryAt = s.cl.o.Now().Add(s.cl.pol.Delay(s.fails))
+		s.cl.met.dialFailures.Inc()
 		return nil, fmt.Errorf("rpc: dialing %s: %w", s.cl.addr, err)
 	}
+	s.cl.met.connects.Inc()
 	s.nc = nc
 	s.bw = bufio.NewWriter(nc)
 	s.fails = 0
@@ -257,7 +261,7 @@ func (s *clientConn) readLoop(nc net.Conn) {
 	for {
 		payload, err := readFrame(br)
 		if err == nil {
-			s.cl.netRead.Add(int64(len(payload)) + 8)
+			s.cl.met.netRead.Add(int64(len(payload)) + 8)
 		}
 		if err != nil {
 			if errors.Is(err, errFrameTooLarge) {
@@ -334,6 +338,8 @@ func (s *clientConn) routeStreamFrame(st *clientStream, status byte, payload []b
 		st.deliver(streamMsg{end: true})
 		return nil
 	}
+	s.cl.met.streamChunks.Inc()
+	s.cl.met.streamBytes.Add(int64(len(payload)))
 	st.deliver(streamMsg{body: payload[respHeaderLen+4:]})
 	return nil
 }
@@ -380,7 +386,7 @@ func (s *clientConn) call(op byte, body []byte) ([]byte, error) {
 		// loop's teardown of the same generation, which did); fall
 		// through to the receive below either way.
 	} else {
-		s.cl.netWritten.Add(int64(len(payload)) + 8)
+		s.cl.met.netWritten.Add(int64(len(payload)) + 8)
 	}
 
 	timer := time.NewTimer(time.Until(deadline))
@@ -407,8 +413,13 @@ func (c *Client) call(op byte, body []byte) ([]byte, error) {
 	if c.closed.Load() {
 		return nil, fmt.Errorf("rpc: client closed")
 	}
+	start := time.Now()
+	c.met.inFlight.Add(1)
 	slot := c.slots[c.rr.Add(1)%uint32(len(c.slots))]
-	return slot.call(op, body)
+	resp, err := slot.call(op, body)
+	c.met.inFlight.Add(-1)
+	c.met.observeCall(op, start, err)
+	return resp, err
 }
 
 // --- store.NodeBackend implementation ---
@@ -568,6 +579,48 @@ func (c *Client) Stats() (inserts, queries int64, entries int) {
 	return inserts, queries, entries
 }
 
+// statsReqVersion is the Stats request body version this client sends
+// when asking for a metrics snapshot; servers answer any version >= 1
+// with everything they know.
+const statsReqVersion = 1
+
+// StatsFull fetches the legacy counters plus the node's full metrics
+// snapshot via the versioned Stats body. Against a pre-versioning
+// server (which rejects the unexpected body byte) it falls back to the
+// legacy call and returns nil samples.
+func (c *Client) StatsFull() (inserts, queries int64, entries int, samples []metrics.Sample, err error) {
+	resp, err := c.call(opStats, []byte{statsReqVersion})
+	if err != nil {
+		if errors.Is(err, ErrUnavailable) {
+			return 0, 0, 0, nil, err
+		}
+		// An old server answers the versioned body with a trailing-bytes
+		// decode error; retry the legacy shape before giving up.
+		ins, q, e := c.Stats()
+		return ins, q, e, nil, nil
+	}
+	cur := &cursor{b: resp}
+	inserts = cur.i64()
+	queries = cur.i64()
+	entries = int(cur.i64())
+	if cur.err != nil {
+		return 0, 0, 0, nil, cur.err
+	}
+	samples, err = metrics.DecodeSamples(resp[cur.off:])
+	if err != nil {
+		return 0, 0, 0, nil, fmt.Errorf("rpc: %s: decoding metrics snapshot: %w", c.addr, err)
+	}
+	return inserts, queries, entries, samples, nil
+}
+
+// MetricsSnapshot implements store.MetricsSource over the wire: the
+// remote node's gathered registry (merged with its server-side RPC
+// metrics), fetched through the versioned Stats op.
+func (c *Client) MetricsSnapshot() ([]metrics.Sample, error) {
+	_, _, _, samples, err := c.StatsFull()
+	return samples, err
+}
+
 // --- streaming reads ---
 
 // streamMsg is one delivered stream event: a chunk body (after the
@@ -684,7 +737,7 @@ func (s *clientConn) sendCancel(nc net.Conn, target uint64) {
 		nc.SetWriteDeadline(time.Now().Add(s.cl.o.CallTimeout))
 		if writeFrame(s.bw, payload) == nil {
 			s.bw.Flush() // best effort; failure surfaces on the next call
-			s.cl.netWritten.Add(int64(len(payload)) + 8)
+			s.cl.met.netWritten.Add(int64(len(payload)) + 8)
 		}
 	}
 	s.mu.Unlock()
@@ -734,7 +787,7 @@ func (s *clientConn) openStream(op byte, body []byte) (*clientStream, error) {
 		s.teardown(nc, fmt.Errorf("rpc: writing to %s: %w", s.cl.addr, err))
 		return nil, err
 	}
-	s.cl.netWritten.Add(int64(len(payload)) + 8)
+	s.cl.met.netWritten.Add(int64(len(payload)) + 8)
 	return st, nil
 }
 

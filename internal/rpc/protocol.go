@@ -90,6 +90,46 @@ const (
 	opAggregate = 15
 )
 
+// opName names an op for metric labels and diagnostics. Unknown ops
+// (a newer peer) collapse into one label rather than growing the
+// metric space unboundedly.
+func opName(op byte) string {
+	switch op {
+	case opPing:
+		return "ping"
+	case opInsert:
+		return "insert"
+	case opInsertBatch:
+		return "insert_batch"
+	case opQuery:
+		return "query"
+	case opQueryPrefix:
+		return "query_prefix"
+	case opDeleteBefore:
+		return "delete_before"
+	case opFlush:
+		return "flush"
+	case opSync:
+		return "sync"
+	case opCompact:
+		return "compact"
+	case opStats:
+		return "stats"
+	case opSensorIDs:
+		return "sensor_ids"
+	case opQueryStream:
+		return "query_stream"
+	case opQueryPrefixStream:
+		return "query_prefix_stream"
+	case opCancelStream:
+		return "cancel_stream"
+	case opAggregate:
+		return "aggregate"
+	default:
+		return "unknown"
+	}
+}
+
 const (
 	statusOK  = 0
 	statusErr = 1

@@ -14,6 +14,7 @@ import (
 
 	"dcdb/internal/core"
 	"dcdb/internal/fold"
+	"dcdb/internal/metrics"
 	"dcdb/internal/store"
 )
 
@@ -43,12 +44,15 @@ type Server struct {
 	closed atomic.Bool
 
 	requests atomic.Int64
+	met      *serverMetrics
 }
 
 // NewServer wraps backend. quiet suppresses per-connection logging
 // (tests).
 func NewServer(backend store.NodeBackend, quiet bool) *Server {
-	return &Server{backend: backend, quiet: quiet, now: time.Now, conns: make(map[net.Conn]struct{})}
+	s := &Server{backend: backend, quiet: quiet, now: time.Now, conns: make(map[net.Conn]struct{})}
+	s.met = newServerMetrics(s)
+	return s
 }
 
 // SetNow replaces the server's wall clock — a seam for injecting clock
@@ -282,11 +286,17 @@ func (s *Server) serveConn(c net.Conn) {
 		go func(payload []byte) {
 			defer handlerWG.Done()
 			defer func() { <-sem }()
-			if op := payload[8]; op == opQueryStream || op == opQueryPrefixStream {
+			op := payload[8]
+			start := time.Now()
+			s.met.inFlight.Add(1)
+			defer s.met.inFlight.Add(-1)
+			if op == opQueryStream || op == opQueryPrefixStream {
 				s.handleStream(sc, payload, arrived)
+				s.met.observeHandle(op, start)
 				return
 			}
 			resp := s.handle(payload, arrived)
+			s.met.observeHandle(op, start)
 			// The connection may be tearing down; out is closed only
 			// after handlerWG drains, so this send cannot panic.
 			out <- outFrame{payload: resp}
@@ -352,7 +362,10 @@ func (s *Server) handleStream(sc *serverConn, payload []byte, arrived time.Time)
 		chunk = append(chunk, statusChunk)
 		chunk = appendU32(chunk, seq)
 		seq++
-		sc.send(body(chunk), true)
+		full := body(chunk)
+		s.met.streamChunks.Inc()
+		s.met.streamBytes.Add(int64(len(full)))
+		sc.send(full, true)
 		return !canceled()
 	}
 
@@ -543,13 +556,34 @@ func (s *Server) handle(payload []byte, arrived time.Time) []byte {
 		}
 		s.backend.Compact()
 	case opStats:
-		if err := cur.done(); err != nil {
+		// Versioned request body: a legacy client sends an empty body
+		// and gets the legacy 3xi64 response; a v1+ client appends one
+		// version byte and gets a full metrics snapshot after them. The
+		// response prefix is identical either way, which is what keeps
+		// the op number stable across the upgrade.
+		wantMetrics := false
+		if cur.off < len(cur.b) {
+			v := cur.u8()
+			if err := cur.done(); err != nil {
+				return fail(err)
+			}
+			wantMetrics = v >= 1
+		} else if err := cur.done(); err != nil {
 			return fail(err)
 		}
 		ins, q, entries := s.backend.Stats()
 		resp = appendI64(resp, ins)
 		resp = appendI64(resp, q)
 		resp = appendI64(resp, int64(entries))
+		if wantMetrics {
+			samples := s.met.reg.Gather()
+			if src, ok := s.backend.(store.MetricsSource); ok {
+				if bs, err := src.MetricsSnapshot(); err == nil {
+					samples = metrics.MergeSamples(samples, bs)
+				}
+			}
+			resp = append(resp, metrics.EncodeSamples(samples)...)
+		}
 	case opAggregate:
 		sid := cur.sid()
 		spec := fold.Spec{Op: fold.Op(cur.u8())}

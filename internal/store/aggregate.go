@@ -120,10 +120,12 @@ func (c *Cluster) Aggregate(id core.SensorID, spec fold.Spec) (fold.State, error
 			c.readCL, ok, required, lastErr)
 	}
 	if agree {
+		c.met.aggConsensus.Inc()
 		return first, nil
 	}
 	// Divergence fallback: exact fold over the quorum merge (which
 	// repairs the replicas as a side effect).
+	c.met.aggFallback.Inc()
 	st, err := fold.New(spec)
 	if err != nil {
 		return nil, err

@@ -121,8 +121,9 @@ type blockCache struct {
 	clock []*cacheEntry
 	hand  int
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 func newBlockCache(capBytes int64) *blockCache {
@@ -190,6 +191,7 @@ func (c *blockCache) evictOneLocked() {
 		c.clock = c.clock[:last]
 		delete(c.m, e.key)
 		c.used -= e.bytes
+		c.evictions.Add(1)
 		return
 	}
 }

@@ -129,6 +129,7 @@ type Cluster struct {
 	readCL      Consistency
 
 	hints  *hintQueue
+	met    *clusterMetrics
 	stopBG chan struct{}
 	bgWG   sync.WaitGroup
 
@@ -179,6 +180,7 @@ func NewClusterOptions(backends []NodeBackend, o ClusterOptions) (*Cluster, erro
 		writeCL:     o.WriteConsistency,
 		readCL:      o.ReadConsistency,
 	}
+	c.met = newClusterMetrics(c)
 	for i, b := range backends {
 		_, c.local[i] = b.(*Node)
 		if !c.local[i] {
@@ -300,9 +302,11 @@ func (c *Cluster) InsertBatch(id core.SensorID, rs []core.Reading, ttl time.Dura
 		}
 	}
 	if acked < required {
+		c.met.writesFailed.Inc()
 		return fmt.Errorf("store: write consistency %s not met (%d/%d replicas): %w",
 			c.writeCL, acked, required, lastErr)
 	}
+	c.met.writesOK.Inc()
 	if c.hints != nil && acked < len(replicas) {
 		expire := TTLToExpire(ttl)
 		for i, idx := range replicas {
@@ -326,10 +330,12 @@ func (c *Cluster) Query(id core.SensorID, from, to int64) ([]core.Reading, error
 		for _, idx := range replicas {
 			rs, err := c.backends[idx].Query(id, from, to)
 			if err == nil {
+				c.met.readsOK.Inc()
 				return rs, nil
 			}
 			lastErr = err
 		}
+		c.met.readsFailed.Inc()
 		return nil, fmt.Errorf("store: all replicas failed: %w", lastErr)
 	}
 	results := make([][]core.Reading, len(replicas))
@@ -354,9 +360,11 @@ func (c *Cluster) Query(id core.SensorID, from, to int64) ([]core.Reading, error
 		}
 	}
 	if ok < required {
+		c.met.readsFailed.Inc()
 		return nil, fmt.Errorf("store: read consistency %s not met (%d/%d replicas): %w",
 			c.readCL, ok, required, lastErr)
 	}
+	c.met.readsOK.Inc()
 	merged := results[0]
 	first := true
 	for i, err := range errs {
@@ -439,6 +447,7 @@ func (c *Cluster) readRepair(id core.SensorID, replicas []int, results [][]core.
 			continue
 		}
 		b := c.backends[idx]
+		c.met.readRepairs.Inc()
 		c.repairWG.Add(1)
 		go func() {
 			defer c.repairWG.Done()
@@ -536,9 +545,11 @@ func (c *Cluster) DeleteBefore(id core.SensorID, cutoff int64) error {
 		}
 	}
 	if acked < required {
+		c.met.writesFailed.Inc()
 		return fmt.Errorf("store: write consistency %s not met (%d/%d replicas): %w",
 			c.writeCL, acked, required, lastErr)
 	}
+	c.met.writesOK.Inc()
 	if c.hints != nil && acked < len(replicas) {
 		for i, idx := range replicas {
 			if errs[i] != nil {

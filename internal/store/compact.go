@@ -118,7 +118,11 @@ func (s *spiller) loop() {
 		s.active = true
 		s.mu.Unlock()
 
+		spillStart := time.Now()
 		err := s.n.spillOne(j)
+		if err == nil && !instrumentationOff.Load() {
+			s.n.met.spillDur.ObserveSince(spillStart)
+		}
 
 		s.mu.Lock()
 		s.active = false
@@ -430,6 +434,12 @@ func (n *Node) compactWindow(i int, full bool) {
 		sh.mu.RUnlock()
 		return
 	}
+	compactStart := time.Now()
+	defer func() {
+		if !instrumentationOff.Load() {
+			n.met.compactDur.ObserveSince(compactStart)
+		}
+	}()
 	window := append([]runFileMeta(nil), sh.disk.files[lo:hi]...)
 	minSeq, maxSeq := window[0].minSeq, window[len(window)-1].maxSeq
 	inWindow := func(seq uint64) bool { return seq >= minSeq && seq <= maxSeq }

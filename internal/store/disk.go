@@ -432,6 +432,7 @@ func (n *Node) OpenOptions(dir string, o DiskOptions) error {
 	n.dir = dir
 	if o.CacheBytes > 0 {
 		n.cache = newBlockCache(o.CacheBytes)
+		n.met.registerCacheMetrics(n.cache)
 	}
 	for i := range n.shards {
 		sh := &n.shards[i]
@@ -694,6 +695,7 @@ func (n *Node) recoverShard(i int) error {
 	if err != nil {
 		return err
 	}
+	w.met = &n.met.wal
 	sh.disk.wal = w
 	return nil
 }

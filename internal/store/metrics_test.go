@@ -1,0 +1,255 @@
+package store
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dcdb/internal/core"
+	"dcdb/internal/metrics"
+)
+
+// findSample returns the gathered sample whose name starts with prefix.
+func findSample(t *testing.T, samples []metrics.Sample, prefix string) metrics.Sample {
+	t.Helper()
+	for _, s := range samples {
+		if strings.HasPrefix(s.Name, prefix) {
+			return s
+		}
+	}
+	t.Fatalf("no sample with prefix %q in %d samples", prefix, len(samples))
+	return metrics.Sample{}
+}
+
+// histCount sums histogram observation counts across every series
+// whose name starts with prefix (per-shard latency histograms split
+// one logical metric over numShards series).
+func histCount(t *testing.T, samples []metrics.Sample, prefix string) int64 {
+	t.Helper()
+	var total int64
+	found := false
+	for _, s := range samples {
+		if strings.HasPrefix(s.Name, prefix) && s.Hist != nil {
+			total += s.Hist.Count()
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no histogram with prefix %q", prefix)
+	}
+	return total
+}
+
+func sampleValue(t *testing.T, samples []metrics.Sample, name string) float64 {
+	t.Helper()
+	for _, s := range samples {
+		if s.Name == name {
+			return s.Value
+		}
+	}
+	t.Fatalf("no sample named %q", name)
+	return 0
+}
+
+// TestNodeMetricsExposition drives a durable node through inserts,
+// queries, a flush-triggered spill and a block-cache-backed read, then
+// checks that the registry's scrape-time mirrors agree with the
+// engine's own counters.
+func TestNodeMetricsExposition(t *testing.T) {
+	n := NewNode(64)
+	if err := n.OpenOptions(t.TempDir(), DiskOptions{CacheBytes: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	id := sid(3, 9)
+	const inserts = 200
+	for i := int64(0); i < inserts; i++ {
+		if err := n.Insert(id, rd(i, float64(i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rs, err := n.Query(id, 0, inserts); err != nil || len(rs) != inserts {
+		t.Fatalf("query: %d readings, %v", len(rs), err)
+	}
+
+	samples, err := n.MetricsSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sampleValue(t, samples, "dcdb_store_inserts_total"); got != inserts {
+		t.Errorf("inserts_total = %g, want %d", got, inserts)
+	}
+	if got := sampleValue(t, samples, "dcdb_store_queries_total"); got != 1 {
+		t.Errorf("queries_total = %g, want 1", got)
+	}
+	if got := sampleValue(t, samples, "dcdb_store_wal_appends_total"); got < inserts {
+		t.Errorf("wal_appends_total = %g, want >= %d", got, inserts)
+	}
+	// The scrape-time entry gauges must agree with the engine's count.
+	mem, flushed := n.entryCounts()
+	if got := sampleValue(t, samples, "dcdb_store_memtable_entries"); got != float64(mem) {
+		t.Errorf("memtable_entries = %g, want %d", got, mem)
+	}
+	if got := sampleValue(t, samples, "dcdb_store_flushed_entries"); got != float64(flushed) {
+		t.Errorf("flushed_entries = %g, want %d", got, flushed)
+	}
+	if mem+flushed != inserts {
+		t.Errorf("entryCounts: %d mem + %d flushed != %d inserted", mem, flushed, inserts)
+	}
+	if got := sampleValue(t, samples, "dcdb_store_memtable_bytes"); got != float64(mem*entrySize) {
+		t.Errorf("memtable_bytes = %g, want %d", got, mem*entrySize)
+	}
+	// The block cache registered its scrape-time counters.
+	findSample(t, samples, "dcdb_store_cache_hits_total")
+	findSample(t, samples, "dcdb_store_cache_used_bytes")
+	// Insert latency sampled (200 inserts to one shard cross several
+	// 64-record boundaries); query latency sampled from the first call.
+	if histCount(t, samples, "dcdb_store_insert_latency_seconds") == 0 {
+		t.Error("insert latency histogram never sampled")
+	}
+	if histCount(t, samples, "dcdb_store_query_latency_seconds") == 0 {
+		t.Error("query latency histogram never sampled")
+	}
+	if n.Metrics() == nil {
+		t.Fatal("Metrics() registry is nil")
+	}
+}
+
+// TestSetInstrumentationStopsSampling flips the kill switch and checks
+// that latency sampling stops (counters keep counting — they are the
+// engine's own).
+func TestSetInstrumentationStopsSampling(t *testing.T) {
+	defer SetInstrumentation(true)
+	n := NewNode(0)
+	id := sid(5, 5)
+
+	SetInstrumentation(false)
+	for i := int64(0); i < 300; i++ {
+		if err := n.Insert(id, rd(i, 1), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := n.Query(id, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	samples, _ := n.MetricsSnapshot()
+	if got := histCount(t, samples, "dcdb_store_insert_latency_seconds"); got != 0 {
+		t.Errorf("insert latency sampled %d times with instrumentation off", got)
+	}
+	if got := histCount(t, samples, "dcdb_store_query_latency_seconds"); got != 0 {
+		t.Errorf("query latency sampled %d times with instrumentation off", got)
+	}
+	if got := sampleValue(t, samples, "dcdb_store_inserts_total"); got != 300 {
+		t.Errorf("inserts_total = %g with instrumentation off, want 300", got)
+	}
+
+	SetInstrumentation(true)
+	for i := int64(300); i < 600; i++ {
+		if err := n.Insert(id, rd(i, 1), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	samples, _ = n.MetricsSnapshot()
+	if histCount(t, samples, "dcdb_store_insert_latency_seconds") == 0 {
+		t.Error("insert latency sampling never resumed")
+	}
+}
+
+// TestClusterMetricsOutcomes checks the coordinator counters across
+// consistency successes and failures, and the ClusterStats fan-out.
+func TestClusterMetricsOutcomes(t *testing.T) {
+	c, nodes := threeNodeCluster(t, 2, ClusterOptions{
+		WriteConsistency: ConsistencyQuorum,
+		ReadConsistency:  ConsistencyQuorum,
+	})
+	id := sid(11, 4)
+	if err := c.Insert(id, rd(1, 1), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(id, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	reps := replicaSet(c, id, 3, 2)
+	nodes[reps[1]].SetDown(true)
+	if err := c.Insert(id, rd(2, 2), 0); err == nil {
+		t.Fatal("QUORUM write with a down replica succeeded")
+	}
+	if _, err := c.Query(id, 0, 10); err == nil {
+		t.Fatal("QUORUM read with a down replica succeeded")
+	}
+	nodes[reps[1]].SetDown(false)
+
+	samples := c.Metrics().Gather()
+	if got := sampleValue(t, samples, `dcdb_cluster_writes_total{outcome="ok"}`); got != 1 {
+		t.Errorf(`writes_total{outcome="ok"} = %g, want 1`, got)
+	}
+	if got := sampleValue(t, samples, `dcdb_cluster_writes_total{outcome="failed"}`); got != 1 {
+		t.Errorf(`writes_total{outcome="failed"} = %g, want 1`, got)
+	}
+	if got := sampleValue(t, samples, `dcdb_cluster_reads_total{outcome="ok"}`); got != 1 {
+		t.Errorf(`reads_total{outcome="ok"} = %g, want 1`, got)
+	}
+	if got := sampleValue(t, samples, `dcdb_cluster_reads_total{outcome="failed"}`); got != 1 {
+		t.Errorf(`reads_total{outcome="failed"} = %g, want 1`, got)
+	}
+	sampleValue(t, samples, "dcdb_cluster_hints_queued_total")
+	sampleValue(t, samples, "dcdb_cluster_hints_pending_nodes")
+
+	stats := c.ClusterStats()
+	if len(stats) != 3 {
+		t.Fatalf("ClusterStats returned %d entries, want 3", len(stats))
+	}
+	var totalInserts int64
+	for _, ns := range stats {
+		if ns.Err != nil {
+			t.Errorf("node %d: %v", ns.Index, ns.Err)
+		}
+		if ns.Addr != "" {
+			t.Errorf("node %d: in-process backend reports addr %q", ns.Index, ns.Addr)
+		}
+		if len(ns.Samples) == 0 {
+			t.Errorf("node %d: empty metrics snapshot", ns.Index)
+		}
+		totalInserts += ns.Inserts
+	}
+	// One QUORUM-acknowledged insert on 2 replicas; the failed write
+	// may have landed on the live replica before the quorum miss.
+	if totalInserts < 2 {
+		t.Errorf("ClusterStats inserts total %d, want >= 2", totalInserts)
+	}
+}
+
+// TestWALMetricsGroupCommit checks the WAL counters on a durable node
+// with batched fsyncs.
+func TestWALMetricsGroupCommit(t *testing.T) {
+	n := NewNode(0)
+	if err := n.OpenOptions(t.TempDir(), DiskOptions{SyncInterval: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	id := sid(8, 8)
+	batch := make([]core.Reading, 32)
+	for i := range batch {
+		batch[i] = rd(int64(i), 1)
+	}
+	if err := n.InsertBatch(id, batch, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The group-commit fsync runs on the sync interval; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		samples, _ := n.MetricsSnapshot()
+		appends := sampleValue(t, samples, "dcdb_store_wal_appends_total")
+		fsyncs := sampleValue(t, samples, "dcdb_store_wal_fsyncs_total")
+		hist := findSample(t, samples, "dcdb_store_wal_group_commit_records")
+		if appends >= 1 && fsyncs >= 1 && hist.Hist != nil && hist.Hist.Count() > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("WAL metrics never settled: appends=%g fsyncs=%g", appends, fsyncs)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -193,6 +193,10 @@ type Node struct {
 
 	prefixQueries atomic.Int64
 
+	// met is the node's self-monitoring registry and hot-path latency
+	// samplers (metrics.go); always non-nil after NewNode.
+	met *nodeMetrics
+
 	// Durability plumbing; zero on memory-only nodes.
 	dir    string
 	opts   DiskOptions
@@ -227,6 +231,7 @@ func NewNode(flushSize int) *Node {
 		perShard = 1
 	}
 	n := &Node{flushSize: perShard}
+	n.met = newNodeMetrics(n)
 	for i := range n.shards {
 		n.shards[i].mem = make(map[core.SensorID]*memSeries)
 		n.shards[i].runs = make(map[core.SensorID][]run)
@@ -327,6 +332,7 @@ func (n *Node) rotateBrokenWALLocked(i int) error {
 		sh.disk.wal = nil // fail closed; writes reject until reopen
 		return err
 	}
+	nw.met = &n.met.wal
 	sh.disk.wal = nw
 	return nil
 }
@@ -349,6 +355,7 @@ func (n *Node) Insert(id core.SensorID, r core.Reading, ttl time.Duration) error
 		expire = time.Now().Add(ttl).UnixNano()
 	}
 	i := shardIndex(id)
+	start := n.met.insertStart(i)
 	sh := &n.shards[i]
 	sh.mu.Lock()
 	pend, err := n.logDurable(i, func(buf []byte) []byte {
@@ -365,6 +372,7 @@ func (n *Node) Insert(id core.SensorID, r core.Reading, ttl time.Duration) error
 	s.entries = append(s.entries, entry{ts: r.Timestamp, val: r.Value, expire: expire})
 	sh.memSize++
 	sh.inserts++
+	n.met.armTick(i, sh.inserts-1, sh.inserts)
 	var ferr error
 	if sh.memSize >= n.flushSize {
 		ferr = n.flushShardLocked(i)
@@ -375,6 +383,7 @@ func (n *Node) Insert(id core.SensorID, r core.Reading, ttl time.Duration) error
 			return serr
 		}
 	}
+	n.met.insertDone(i, start)
 	return ferr
 }
 
@@ -392,6 +401,7 @@ func (n *Node) InsertBatch(id core.SensorID, rs []core.Reading, ttl time.Duratio
 		expire = time.Now().Add(ttl).UnixNano()
 	}
 	i := shardIndex(id)
+	start := n.met.insertStart(i)
 	sh := &n.shards[i]
 	sh.mu.Lock()
 	// Batches are chunked so no record exceeds the replay-side bound
@@ -430,6 +440,7 @@ func (n *Node) InsertBatch(id core.SensorID, rs []core.Reading, ttl time.Duratio
 	}
 	sh.memSize += len(rs)
 	sh.inserts += int64(len(rs))
+	n.met.armTick(i, sh.inserts-int64(len(rs)), sh.inserts)
 	var ferr error
 	if sh.memSize >= n.flushSize {
 		ferr = n.flushShardLocked(i)
@@ -440,6 +451,7 @@ func (n *Node) InsertBatch(id core.SensorID, rs []core.Reading, ttl time.Duratio
 			return serr
 		}
 	}
+	n.met.insertDone(i, start)
 	return ferr
 }
 
@@ -520,6 +532,7 @@ func (n *Node) flushShardLocked(i int) error {
 		sh.disk.wal = nil
 		return err
 	}
+	nw.met = &n.met.wal
 	sh.disk.wal = nw
 	tombs := sh.disk.tombs
 	sh.disk.tombs = nil
@@ -538,8 +551,11 @@ func (n *Node) Query(id core.SensorID, from, to int64) ([]core.Reading, error) {
 	// The per-shard counter ticks once per Query call; QueryPrefix has
 	// its own counter and its per-sensor queryAll calls stay silent,
 	// matching the pre-streaming accounting.
-	n.shardOf(id).queries.Add(1)
-	return n.queryAll(id, from, to, time.Now().UnixNano())
+	i := shardIndex(id)
+	start := n.met.queryStart(n.shards[i].queries.Add(1))
+	rs, err := n.queryAll(id, from, to, time.Now().UnixNano())
+	n.met.queryDone(i, start)
+	return rs, err
 }
 
 // snapshotIndex returns the shard's sorted SID list, rebuilding it if

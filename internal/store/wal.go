@@ -88,6 +88,10 @@ type wal struct {
 	broken   bool   // a write failed; the segment is no longer trusted
 	appended uint64 // records appended so far (under mu)
 	synced   uint64 // records known durable (under mu)
+
+	// met points at the owning node's WAL counters (nil in isolated
+	// tests); segments rotate, the counters persist across them.
+	met *walMetrics
 }
 
 func createWAL(dir string, seq uint64) (*wal, error) {
@@ -130,6 +134,9 @@ func (w *wal) append(payload []byte) (uint64, error) {
 		return 0, err
 	}
 	w.appended++
+	if w.met != nil {
+		w.met.appends.Inc()
+	}
 	return w.appended, nil
 }
 
@@ -204,6 +211,12 @@ func (w *wal) syncTo(pos uint64) error {
 	}
 	w.lock()
 	if target > w.synced {
+		if w.met != nil {
+			// One fsync covered target-synced records: the group-commit
+			// batch size concurrent writers achieved.
+			w.met.fsyncs.Inc()
+			w.met.batch.Observe(int64(target - w.synced))
+		}
 		w.synced = target
 	}
 	w.unlock()

@@ -1,0 +1,132 @@
+// Instrumentation-overhead budget: the observability layer must not
+// tax the hot paths it observes. The paper's contract is sub-1% total
+// monitoring footprint (§6); here we hold the self-instrumentation of
+// the store to a CI-asserted budget by timing the same insert and
+// query workloads with metrics enabled (the default) and disabled
+// (store.SetInstrumentation(false)) in interleaved repetitions. The
+// estimator is the median of per-repetition paired deltas (on minus
+// off, measured back to back with alternating order): machine drift —
+// thermal, noisy neighbours, GC phase — moves both halves of a pair
+// together and cancels in the delta, where comparing two independent
+// medians would see the full drift. A small absolute slack keeps
+// sub-100ns/op workloads from tripping on timer granularity.
+package main_test
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"dcdb/internal/core"
+	"dcdb/internal/store"
+)
+
+// timeOps runs work and returns ns per operation.
+func timeOps(ops int, work func()) float64 {
+	start := time.Now()
+	work()
+	return float64(time.Since(start).Nanoseconds()) / float64(ops)
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// assertBudget fails when the median paired delta (instrumented minus
+// uninstrumented, same repetition) exceeds 5% of the uninstrumented
+// median plus an 8ns/op absolute floor.
+func assertBudget(t *testing.T, name string, on, off []float64) {
+	t.Helper()
+	deltas := make([]float64, len(on))
+	for i := range on {
+		deltas[i] = on[i] - off[i]
+	}
+	delta, base := median(deltas), median(off)
+	budget := base*0.05 + 8
+	t.Logf("%s: uninstrumented %.1f ns/op, instrumentation delta %+.1f ns/op (%+.2f%%), budget %.1f ns/op",
+		name, base, delta, 100*delta/base, budget)
+	if delta > budget {
+		t.Errorf("%s: instrumentation costs %.1f ns/op against a %.1f ns/op budget — the hot path regressed",
+			name, delta, budget)
+	}
+}
+
+func TestInstrumentationOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("interleaved timing reps are not short-mode material")
+	}
+	if testing.CoverMode() != "" {
+		t.Skip("coverage counters distort the on/off timing comparison")
+	}
+	defer store.SetInstrumentation(true)
+
+	const (
+		reps      = 15
+		insertOps = 100_000
+		queryOps  = 2_000
+	)
+
+	// Insert: a fresh node per measurement so both modes pay identical
+	// memtable growth and flush schedules.
+	insertRep := func() float64 {
+		n := store.NewNode(0)
+		id := core.SensorID{Hi: 42, Lo: 7}
+		return timeOps(insertOps, func() {
+			for i := 0; i < insertOps; i++ {
+				if err := n.Insert(id, core.Reading{Timestamp: int64(i), Value: 1}, 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+
+	// Query: both modes read the same prepared node — range reads do
+	// not mutate it, and sharing one instance removes allocation-layout
+	// bias between two otherwise-identical nodes.
+	queryNode := func() *store.Node {
+		n := store.NewNode(1 << 12)
+		id := core.SensorID{Hi: 7, Lo: 1}
+		for i := int64(0); i < 20_000; i++ {
+			n.Insert(id, core.Reading{Timestamp: i, Value: float64(i)}, 0)
+		}
+		return n
+	}()
+	queryRep := func(n *store.Node) float64 {
+		id := core.SensorID{Hi: 7, Lo: 1}
+		return timeOps(queryOps, func() {
+			for i := 0; i < queryOps; i++ {
+				rs, err := n.Query(id, 5000, 6000)
+				if err != nil || len(rs) != 1001 {
+					t.Fatalf("query: %d readings, %v", len(rs), err)
+				}
+			}
+		})
+	}
+
+	var insertOn, insertOff, queryOn, queryOff []float64
+	for rep := 0; rep < reps; rep++ {
+		// Alternate which mode goes first so cache warm-up and drift
+		// hit both sides equally.
+		modes := []bool{true, false}
+		if rep%2 == 1 {
+			modes = []bool{false, true}
+		}
+		for _, instrumented := range modes {
+			store.SetInstrumentation(instrumented)
+			ins := insertRep()
+			q := queryRep(queryNode)
+			if instrumented {
+				insertOn = append(insertOn, ins)
+				queryOn = append(queryOn, q)
+			} else {
+				insertOff = append(insertOff, ins)
+				queryOff = append(queryOff, q)
+			}
+		}
+	}
+
+	assertBudget(t, "StoreInsert", insertOn, insertOff)
+	assertBudget(t, "StoreQuery", queryOn, queryOff)
+}
