@@ -74,8 +74,9 @@ func main() {
 	writeCLFlag := flag.String("write-consistency", "one", "replicas that must ack a write: one or quorum")
 	readCLFlag := flag.String("read-consistency", "one", "replicas a read must reach: one or quorum")
 	dataDir := flag.String("data", "", "durable data directory (embedded: run files + WAL per node; remote: topic map + hinted-handoff queue; empty = not durable)")
+	antiEntropy := flag.Duration("anti-entropy", 0, "background digest-repair cadence: each round compares replica digests per sensor and re-inserts diverged readings with their write versions (0 = disabled; needs -replication >= 2)")
 	walSync := flag.Duration("wal-sync", 50*time.Millisecond, "WAL fsync batching interval; 0 syncs every write (embedded cluster only)")
-	cacheBytes := flag.String("cache-bytes", "0", "per-node block cache budget (e.g. 256MB) for the embedded durable cluster: bounds resident run data; 0 keeps all runs resident")
+	cacheBytes := flag.String("cache-bytes", "0", "process-wide block cache budget (e.g. 256MB) for the embedded durable cluster, split evenly across -nodes: bounds resident run data; 0 keeps all runs resident")
 	snapshot := flag.String("snapshot", "", "legacy snapshot file prefix (empty = no snapshots)")
 	snapEvery := flag.Duration("snapshot-interval", 5*time.Minute, "periodic snapshot / topic-map save interval")
 	metricsAddr := flag.String("metrics-addr", "", "Prometheus /metrics listen address (empty = disabled; the -rest API also serves /metrics)")
@@ -105,10 +106,11 @@ func main() {
 		log.Fatalf("unknown read consistency %q", *readCLFlag)
 	}
 	co := store.ClusterOptions{
-		Partitioner:      part,
-		Replication:      *replication,
-		WriteConsistency: writeCL,
-		ReadConsistency:  readCL,
+		Partitioner:         part,
+		Replication:         *replication,
+		WriteConsistency:    writeCL,
+		ReadConsistency:     readCL,
+		AntiEntropyInterval: *antiEntropy,
 	}
 
 	// An integer -nodes runs the embedded cluster; an address list

@@ -412,6 +412,30 @@ func TestOpenBackendOptionsDisablesHints(t *testing.T) {
 	}
 }
 
+func TestOpenBackendOptionsSplitsCacheBudgetAcrossNodes(t *testing.T) {
+	// -cache-bytes is a process-wide bound: opening N embedded nodes
+	// must split the budget, not hand each node the full amount.
+	const budget = 4 << 20
+	c, err := OpenBackendOptions(t.TempDir(), 4,
+		store.DiskOptions{CompactInterval: -1, CacheBytes: budget},
+		store.ClusterOptions{HintDir: "-"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var total int64
+	for i, n := range c.Nodes() {
+		got := n.CacheBudget()
+		if got != budget/4 {
+			t.Fatalf("node %d cache budget %d, want %d (process budget %d / 4 nodes)", i, got, budget/4, budget)
+		}
+		total += got
+	}
+	if total > budget {
+		t.Fatalf("summed node budgets %d exceed the configured process bound %d", total, budget)
+	}
+}
+
 func TestOpenRemoteBackendRoundtrip(t *testing.T) {
 	n := store.NewNode(0)
 	srv := rpc.NewServer(n, true)

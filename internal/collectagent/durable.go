@@ -85,9 +85,23 @@ func OpenBackend(dir string, nodes, replication int, part store.Partitioner, o s
 // OpenBackendOptions is OpenBackend with full cluster configuration
 // (consistency levels, hinted handoff). A co.HintDir of "" enables
 // handoff under <dir>/hints; pass "-" to disable it outright.
+//
+// o.CacheBytes is a PROCESS-WIDE block-cache budget: it is split
+// evenly across the embedded nodes, so opening more nodes never
+// multiplies the bound the caller configured. (Each node keeps its own
+// cache — the split, not a shared cache, is what keeps node lifecycles
+// independent.)
 func OpenBackendOptions(dir string, nodes int, o store.DiskOptions, co store.ClusterOptions) (*store.Cluster, error) {
 	if nodes < 1 {
 		nodes = 1
+	}
+	if o.CacheBytes > 0 && nodes > 1 {
+		o.CacheBytes /= int64(nodes)
+		if o.CacheBytes < 1 {
+			// Rounding to 0 would mean "unbounded" — the opposite of a
+			// tiny budget. A 1-byte cache keeps nothing resident.
+			o.CacheBytes = 1
+		}
 	}
 	if err := HealInterruptedSave(dir); err != nil {
 		return nil, fmt.Errorf("collectagent: healing interrupted save: %w", err)

@@ -1,0 +1,132 @@
+package restplug
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dcdb/internal/config"
+	"dcdb/internal/sim/restsrv"
+)
+
+// In-package coverage for the REST plugin: the configuration error
+// paths and HTTP failure modes the cross-package end-to-end suite
+// (internal/plugins/plugins_test.go) does not reach.
+
+func parse(t *testing.T, text string) *config.Node {
+	t.Helper()
+	n, err := config.ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestConfigureTopicsAndDefaults(t *testing.T) {
+	p := New()
+	cfg := parse(t, `
+mqttPrefix /facility
+interval 2000
+endpoint rack {
+    url http://127.0.0.1:1/sensors
+    group circuit {
+        sensor power { key power_kw unit kW }
+        sensor heat  { unit kW delta true }
+    }
+    group named {
+        mqttPrefix /override
+        sensor x { }
+    }
+}
+`)
+	if err := p.Configure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Groups()) != 2 {
+		t.Fatalf("groups = %d", len(p.Groups()))
+	}
+	g := p.Groups()[0]
+	if g.Interval != 2*time.Second {
+		t.Errorf("interval = %v", g.Interval)
+	}
+	if g.Sensors[0].Topic != "/facility/rack/circuit/power" {
+		t.Errorf("topic = %q", g.Sensors[0].Topic)
+	}
+	if g.Sensors[0].Unit != "kW" || g.Sensors[1].Delta != true {
+		t.Errorf("sensor attrs: %+v %+v", g.Sensors[0], g.Sensors[1])
+	}
+	// A group-level mqttPrefix overrides the derived topic prefix.
+	if got := p.Groups()[1].Sensors[0].Topic; got != "/override/x" {
+		t.Errorf("override topic = %q", got)
+	}
+	// Reconfiguring resets prior groups instead of accumulating.
+	if err := p.Configure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Groups()) != 2 {
+		t.Fatalf("groups after reconfigure = %d", len(p.Groups()))
+	}
+}
+
+func TestConfigureErrors(t *testing.T) {
+	cases := []struct{ name, cfg, wantSub string }{
+		{"no endpoints", `interval 5`, "no endpoints"},
+		{"nameless endpoint", `endpoint { url http://x/ group g { sensor s { } } }`, "without a name"},
+		{"missing url", `endpoint e { group g { sensor s { } } }`, "url"},
+		{"nameless sensor", `endpoint e { url http://x/ group g { sensor { key k } } }`, "sensor without a name"},
+		{"sensorless group", `endpoint e { url http://x/ group g { } }`, "no sensors"},
+		{"groupless endpoint", `endpoint e { url http://x/ }`, "no groups"},
+	}
+	for _, tc := range cases {
+		err := New().Configure(parse(t, tc.cfg))
+		if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+func TestFetchFailureModes(t *testing.T) {
+	dev := restsrv.NewDevice()
+	dev.AddSensor("power_kw", func(time.Time) float64 { return 12.5 })
+	if err := dev.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+
+	p := New()
+	if err := p.Configure(parse(t, `
+endpoint rack {
+    url http://`+dev.Addr()+`/sensors
+    group g { sensor power { key power_kw } }
+}
+`)); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := p.Groups()[0].Reader.ReadGroup(time.Now())
+	if err != nil || len(vals) != 1 || vals[0] != 12.5 {
+		t.Fatalf("read = %v, %v", vals, err)
+	}
+
+	// A non-200 status is an error, not a zero reading.
+	if _, err := p.fetch("http://" + dev.Addr() + "/nonexistent"); err == nil {
+		t.Error("404 fetch succeeded")
+	}
+	// An unreachable endpoint surfaces the transport error.
+	if _, err := p.fetch("http://127.0.0.1:1/sensors"); err == nil {
+		t.Error("unreachable fetch succeeded")
+	}
+	// A key the device stops serving fails the whole group read.
+	p2 := New()
+	if err := p2.Configure(parse(t, `
+endpoint rack {
+    url http://`+dev.Addr()+`/sensors
+    group g { sensor nope { key missing_key } }
+}
+`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.Groups()[0].Reader.ReadGroup(time.Now()); err == nil ||
+		!strings.Contains(err.Error(), "missing_key") {
+		t.Errorf("missing key read: %v", err)
+	}
+}

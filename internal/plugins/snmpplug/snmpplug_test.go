@@ -1,0 +1,114 @@
+package snmpplug
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dcdb/internal/config"
+	"dcdb/internal/sim/snmp"
+)
+
+// In-package coverage for the SNMP plugin: entity lifecycle and the
+// configuration error paths the cross-package end-to-end suite
+// (internal/plugins/plugins_test.go) does not reach.
+
+func parse(t *testing.T, text string) *config.Node {
+	t.Helper()
+	n, err := config.ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestAgentEntityLifecycle(t *testing.T) {
+	agent := snmp.NewAgent()
+	agent.Register("1.3.6.1.4.1.9999.1.1", func(time.Time) float64 { return 31.5 })
+	agent.Register("1.3.6.1.4.1.9999.1.2", func(time.Time) float64 { return 240 })
+	if err := agent.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+
+	p := New()
+	if err := p.Configure(parse(t, `
+mqttPrefix /facility
+interval 3000
+agent chiller {
+    addr `+agent.Addr()+`
+    group loop {
+        sensor inlet_temp { oid 1.3.6.1.4.1.9999.1.1 unit C }
+        sensor flow       { oid 1.3.6.1.4.1.9999.1.2 unit l/min }
+    }
+}
+`)); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Entities()) != 1 || p.Entities()[0].Name() != "chiller" {
+		t.Fatalf("entities = %v", p.Entities())
+	}
+	g := p.Groups()[0]
+	if g.Entity != "chiller" || g.Interval != 3*time.Second {
+		t.Fatalf("group = %+v", g)
+	}
+	if g.Sensors[0].Topic != "/facility/chiller/loop/inlet_temp" {
+		t.Errorf("topic = %q", g.Sensors[0].Topic)
+	}
+
+	// Reading before Connect fails loudly instead of returning zeros.
+	if _, err := g.Reader.ReadGroup(time.Now()); err == nil ||
+		!strings.Contains(err.Error(), "not connected") {
+		t.Errorf("unconnected read: %v", err)
+	}
+	ent := p.Entities()[0]
+	if err := ent.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := g.Reader.ReadGroup(time.Now())
+	if err != nil || len(vals) != 2 || vals[0] != 31.5 || vals[1] != 240 {
+		t.Fatalf("read = %v, %v", vals, err)
+	}
+	// An unregistered OID is a read error from the agent.
+	p2 := New()
+	if err := p2.Configure(parse(t, `
+agent chiller {
+    addr `+agent.Addr()+`
+    group g { sensor bogus { oid 1.3.6.1.4.1.9999.9.9 } }
+}
+`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Entities()[0].Connect(); err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Entities()[0].Close()
+	if _, err := p2.Groups()[0].Reader.ReadGroup(time.Now()); err == nil {
+		t.Error("unregistered OID read succeeded")
+	}
+	// Close is idempotent: once connected, then again when already closed.
+	if err := ent.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ent.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestConfigureErrors(t *testing.T) {
+	cases := []struct{ name, cfg, wantSub string }{
+		{"no agents", `interval 5`, "no agents"},
+		{"nameless agent", `agent { addr 1.2.3.4:1 group g { sensor s { oid 1.2 } } }`, "without a name"},
+		{"missing addr", `agent a { group g { sensor s { oid 1.2 } } }`, "addr"},
+		{"nameless sensor", `agent a { addr 1.2.3.4:1 group g { sensor { oid 1.2 } } }`, "sensor without a name"},
+		{"missing oid", `agent a { addr 1.2.3.4:1 group g { sensor s { } } }`, "oid"},
+		{"sensorless group", `agent a { addr 1.2.3.4:1 group g { } }`, "no sensors"},
+		{"groupless agent", `agent a { addr 1.2.3.4:1 }`, "no groups"},
+	}
+	for _, tc := range cases {
+		err := New().Configure(parse(t, tc.cfg))
+		if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantSub)
+		}
+	}
+}

@@ -451,6 +451,59 @@ func (c *Client) InsertBatch(id core.SensorID, rs []core.Reading, ttl time.Durat
 	return err
 }
 
+// InsertVersioned implements store.NodeBackend: a write that carries
+// its coordinator-assigned version and absolute expiry across the
+// wire unchanged, so anti-entropy repair and hint replay land with the
+// ordering the original coordination decided.
+func (c *Client) InsertVersioned(id core.SensorID, vrs []store.VersionedReading) error {
+	body := make([]byte, 0, 16+4+32*len(vrs))
+	body = appendSID(body, id)
+	body = appendVersionedReadings(body, vrs)
+	_, err := c.call(opInsertVersioned, body)
+	return err
+}
+
+// QueryVersioned implements store.NodeBackend: the deduplicated range
+// with each surviving reading's write version — the anti-entropy fetch
+// path (streams carry values only).
+func (c *Client) QueryVersioned(id core.SensorID, from, to int64) ([]store.VersionedReading, error) {
+	body := make([]byte, 0, 16+16)
+	body = appendSID(body, id)
+	body = appendI64(body, from)
+	body = appendI64(body, to)
+	resp, err := c.call(opQueryVersioned, body)
+	if err != nil {
+		return nil, err
+	}
+	cur := &cursor{b: resp}
+	vrs := cur.versionedReadings()
+	if err := cur.done(); err != nil {
+		return nil, err
+	}
+	return vrs, nil
+}
+
+// Digest implements store.NodeBackend: one fingerprint + count for the
+// sensor range, computed node-side over the streaming read path, so
+// replica comparison costs O(1) response bytes.
+func (c *Client) Digest(id core.SensorID, from, to int64) (fp uint64, count int64, err error) {
+	body := make([]byte, 0, 16+16)
+	body = appendSID(body, id)
+	body = appendI64(body, from)
+	body = appendI64(body, to)
+	resp, err := c.call(opDigest, body)
+	if err != nil {
+		return 0, 0, err
+	}
+	cur := &cursor{b: resp}
+	fp = cur.u64()
+	count = cur.i64()
+	if err := cur.done(); err != nil {
+		return 0, 0, err
+	}
+	return fp, count, nil
+}
+
 // Query implements store.Backend.
 func (c *Client) Query(id core.SensorID, from, to int64) ([]core.Reading, error) {
 	body := make([]byte, 0, 16+16)

@@ -42,6 +42,7 @@ import (
 	"strings"
 
 	"dcdb/internal/core"
+	"dcdb/internal/store"
 )
 
 // SplitAddrList parses a comma-separated host:port list the way every
@@ -88,6 +89,17 @@ const (
 	// month-long range answers with O(1) response bytes instead of
 	// millions of readings.
 	opAggregate = 15
+	// opInsertVersioned / opQueryVersioned carry coordinator-assigned
+	// write versions (store.VersionedReading, 32 bytes each on the
+	// wire): the anti-entropy repair path re-delivers a write with the
+	// version it was originally coordinated under, so a repair can never
+	// outrank a later rewrite.
+	opInsertVersioned = 16
+	opQueryVersioned  = 17
+	// opDigest answers with one fold fingerprint + reading count for a
+	// sensor range — the O(1)-response comparison anti-entropy uses to
+	// decide whether replicas have diverged before moving any data.
+	opDigest = 18
 )
 
 // opName names an op for metric labels and diagnostics. Unknown ops
@@ -125,6 +137,12 @@ func opName(op byte) string {
 		return "cancel_stream"
 	case opAggregate:
 		return "aggregate"
+	case opInsertVersioned:
+		return "insert_versioned"
+	case opQueryVersioned:
+		return "query_versioned"
+	case opDigest:
+		return "digest"
 	default:
 		return "unknown"
 	}
@@ -239,6 +257,19 @@ func appendReadings(b []byte, rs []core.Reading) []byte {
 	return b
 }
 
+// appendVersionedReadings encodes a count-prefixed run of 32-byte
+// versioned readings: ts | value bits | version | absolute expire.
+func appendVersionedReadings(b []byte, vrs []store.VersionedReading) []byte {
+	b = appendU32(b, uint32(len(vrs)))
+	for _, r := range vrs {
+		b = appendI64(b, r.Timestamp)
+		b = appendU64(b, math.Float64bits(r.Value))
+		b = appendU64(b, r.Version)
+		b = appendI64(b, r.Expire)
+	}
+	return b
+}
+
 // cursor is a bounds-checked sequential decoder over one payload.
 type cursor struct {
 	b   []byte
@@ -298,6 +329,29 @@ func (c *cursor) readings() []core.Reading {
 		rs[i] = core.Reading{Timestamp: c.i64(), Value: math.Float64frombits(c.u64())}
 	}
 	return rs
+}
+
+func (c *cursor) versionedReadings() []store.VersionedReading {
+	n := c.u32()
+	if c.err != nil {
+		return nil
+	}
+	// 32 bytes per versioned reading; reject counts the payload cannot
+	// hold before allocating.
+	if uint64(n)*32 > uint64(len(c.b)-c.off) {
+		c.fail()
+		return nil
+	}
+	vrs := make([]store.VersionedReading, n)
+	for i := range vrs {
+		vrs[i] = store.VersionedReading{
+			Timestamp: c.i64(),
+			Value:     math.Float64frombits(c.u64()),
+			Version:   c.u64(),
+			Expire:    c.i64(),
+		}
+	}
+	return vrs
 }
 
 func (c *cursor) fail() {

@@ -598,6 +598,38 @@ func (s *Server) handle(payload []byte, arrived time.Time) []byte {
 			return fail(err)
 		}
 		resp = fold.Append(resp, st)
+	case opInsertVersioned:
+		sid := cur.sid()
+		vrs := cur.versionedReadings()
+		if err := cur.done(); err != nil {
+			return fail(err)
+		}
+		if err := s.backend.InsertVersioned(sid, vrs); err != nil {
+			return fail(err)
+		}
+	case opQueryVersioned:
+		sid := cur.sid()
+		from, to := cur.i64(), cur.i64()
+		if err := cur.done(); err != nil {
+			return fail(err)
+		}
+		vrs, err := s.backend.QueryVersioned(sid, from, to)
+		if err != nil {
+			return fail(err)
+		}
+		resp = appendVersionedReadings(resp, vrs)
+	case opDigest:
+		sid := cur.sid()
+		from, to := cur.i64(), cur.i64()
+		if err := cur.done(); err != nil {
+			return fail(err)
+		}
+		fp, count, err := s.backend.Digest(sid, from, to)
+		if err != nil {
+			return fail(err)
+		}
+		resp = appendU64(resp, fp)
+		resp = appendI64(resp, count)
 	case opSensorIDs:
 		if err := cur.done(); err != nil {
 			return fail(err)

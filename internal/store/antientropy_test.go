@@ -1,0 +1,441 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	"dcdb/internal/core"
+	"dcdb/internal/fold"
+)
+
+// aeCluster builds an n-node cluster replicating every row to all n
+// members, with hinted handoff disabled so a write a down replica
+// misses stays missed until anti-entropy repairs it.
+func aeCluster(t *testing.T, n int, readCL Consistency) (*Cluster, []*Node) {
+	t.Helper()
+	nodes := make([]*Node, n)
+	backends := make([]NodeBackend, n)
+	for i := range nodes {
+		nodes[i] = NewNode(0)
+		backends[i] = nodes[i]
+	}
+	c, err := NewClusterOptions(backends, ClusterOptions{
+		Replication:      n,
+		WriteConsistency: ConsistencyOne,
+		ReadConsistency:  readCL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, nodes
+}
+
+// TestVersionedDedupNewestVersionWins: duplicate timestamps resolve by
+// write version at query time, regardless of insertion order — the
+// store-level rule that closes the hint-replay resurrection window.
+// Version-0 entries (legacy data) keep the old last-insert-wins rule.
+func TestVersionedDedupNewestVersionWins(t *testing.T) {
+	n := NewNode(0)
+	id := sid(80, 1)
+	// The newer version arrives FIRST; the stale version second.
+	if err := n.InsertVersioned(id, []VersionedReading{{Timestamp: 5, Value: 3, Version: 20}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.InsertVersioned(id, []VersionedReading{{Timestamp: 5, Value: 2, Version: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := n.Query(id, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Value != 3 {
+		t.Fatalf("later-inserted stale version won: %v (want value 3 from version 20)", rs)
+	}
+	// Dedup across the memtable/run boundary too.
+	if err := n.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.InsertVersioned(id, []VersionedReading{{Timestamp: 5, Value: 1, Version: 15}}); err != nil {
+		t.Fatal(err)
+	}
+	rs, err = n.Query(id, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Value != 3 {
+		t.Fatalf("stale version in a newer run won: %v (want value 3)", rs)
+	}
+	// Legacy rule preserved: all version-0 writes, last insert wins.
+	legacy := sid(80, 2)
+	for i, v := range []float64{1, 2, 3} {
+		if err := n.Insert(legacy, core.Reading{Timestamp: int64(10 + i%1), Value: v}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs, err = n.Query(legacy, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Value != 3 {
+		t.Fatalf("legacy version-0 dedup changed: %v (want last write, value 3)", rs)
+	}
+}
+
+// TestHintReplayResurrectionWindowClosed is the bug this change
+// exists for. Timeline: a value is written, the replica goes down, a
+// rewrite is hinted for it, the replica returns, a NEWER rewrite lands
+// on every replica — and only then does the hint replay deliver the
+// now-stale middle write. Under the old insertion-order rule the
+// replayed value landed newest and resurrected; under write versions
+// it resolves below the final rewrite and the replica keeps serving
+// the newest value.
+func TestHintReplayResurrectionWindowClosed(t *testing.T) {
+	nodes := []*Node{NewNode(0), NewNode(0)}
+	c, err := NewClusterOptions([]NodeBackend{nodes[0], nodes[1]}, ClusterOptions{
+		Replication:        2,
+		WriteConsistency:   ConsistencyOne,
+		HintDir:            t.TempDir(),
+		HintReplayInterval: -1, // replay driven explicitly
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	id := sid(81, 1)
+	if err := c.Insert(id, core.Reading{Timestamp: 1, Value: 10}, 0); err != nil {
+		t.Fatal(err)
+	}
+	nodes[1].SetDown(true)
+	if err := c.Insert(id, core.Reading{Timestamp: 1, Value: 20}, 0); err != nil {
+		t.Fatal(err) // hinted for nodes[1]
+	}
+	nodes[1].SetDown(false)
+	// The replica is back; a newer rewrite reaches both replicas BEFORE
+	// the queued hint replays.
+	if err := c.Insert(id, core.Reading{Timestamp: 1, Value: 30}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReplayHints(); err != nil {
+		t.Fatal(err)
+	}
+	if _, replayed, _ := c.HintStats(); replayed == 0 {
+		t.Fatal("hint was not replayed; the scenario did not exercise the window")
+	}
+	for i, n := range nodes {
+		rs, err := n.Query(id, 0, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs) != 1 || rs[0].Value != 30 {
+			t.Fatalf("node %d serves %v: the replayed stale hint resurrected over the newest rewrite", i, rs)
+		}
+	}
+}
+
+// TestReadRepairCarriesWriteVersions: a QUORUM read of diverged
+// replicas must both answer with the newest version — even when the
+// stale replica is the primary — and repair the lagging replica with
+// the winning write's original version so it actually converges.
+func TestReadRepairCarriesWriteVersions(t *testing.T) {
+	c, nodes := aeCluster(t, 2, ConsistencyQuorum)
+	id := sid(82, 1)
+	if err := c.Insert(id, core.Reading{Timestamp: 1, Value: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The rewrite misses whichever replica the partitioner calls
+	// primary, so the stale copy is the one consulted first.
+	primary := c.replicasFor(id)[0]
+	nodes[primary].SetDown(true)
+	if err := c.Insert(id, core.Reading{Timestamp: 1, Value: 2}, 0); err != nil {
+		t.Fatal(err)
+	}
+	nodes[primary].SetDown(false)
+	rs, err := c.Query(id, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Value != 2 {
+		t.Fatalf("quorum read served %v: the stale primary outranked the newer version", rs)
+	}
+	c.repairWG.Wait() // read repair is backgrounded
+	got, err := nodes[primary].Query(id, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Value != 2 {
+		t.Fatalf("primary still serves %v after read repair (repair write lost the version race)", got)
+	}
+}
+
+// requireReplicasIdentical asserts every node serves the exact same
+// byte sequence for id, and that their digests agree.
+func requireReplicasIdentical(t *testing.T, nodes []*Node, id core.SensorID) []core.Reading {
+	t.Helper()
+	ref, err := nodes[0].Query(id, -1<<62, 1<<62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFP, refN, err := nodes[0].Digest(id, -1<<62, 1<<62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(nodes); i++ {
+		rs, err := nodes[i].Query(id, -1<<62, 1<<62)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs) != len(ref) {
+			t.Fatalf("node %d serves %d readings, node 0 serves %d", i, len(rs), len(ref))
+		}
+		for j := range ref {
+			if rs[j] != ref[j] {
+				t.Fatalf("node %d position %d: %+v, node 0 has %+v", i, j, rs[j], ref[j])
+			}
+		}
+		fp, n, err := nodes[i].Digest(id, -1<<62, 1<<62)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp != refFP || n != refN {
+			t.Fatalf("node %d digest (%x,%d) != node 0 (%x,%d) despite identical reads", i, fp, n, refFP, refN)
+		}
+	}
+	return ref
+}
+
+// TestAntiEntropyConvergesDivergedReplicasWithoutReads: a replica that
+// missed writes (down, no hints) — including a conflicting rewrite of
+// an existing timestamp — converges to the bit-identical newest state
+// through RepairRound alone, with no client read traffic, and the
+// repair counters account for it.
+func TestAntiEntropyConvergesDivergedReplicasWithoutReads(t *testing.T) {
+	c, nodes := aeCluster(t, 3, ConsistencyQuorum)
+	id := sid(83, 1)
+	base := make([]core.Reading, 50)
+	for i := range base {
+		base[i] = core.Reading{Timestamp: int64(i + 1), Value: float64(i)}
+	}
+	if err := c.InsertBatch(id, base, 0); err != nil {
+		t.Fatal(err)
+	}
+	nodes[2].SetDown(true)
+	// A conflicting rewrite and some fresh timestamps, all missed by
+	// the down replica.
+	if err := c.InsertBatch(id, []core.Reading{
+		{Timestamp: 10, Value: 999},
+		{Timestamp: 60, Value: 60},
+		{Timestamp: 61, Value: 61},
+	}, 0); err != nil {
+		t.Fatal(err)
+	}
+	nodes[2].SetDown(false)
+	if fp0, _, _ := nodes[0].Digest(id, -1<<62, 1<<62); true {
+		if fp2, _, _ := nodes[2].Digest(id, -1<<62, 1<<62); fp0 == fp2 {
+			t.Fatal("replica did not diverge; scenario is vacuous")
+		}
+	}
+	if err := c.RepairRound(); err != nil {
+		t.Fatal(err)
+	}
+	rs := requireReplicasIdentical(t, nodes, id)
+	if len(rs) != 52 {
+		t.Fatalf("converged series has %d readings, want 52", len(rs))
+	}
+	if rs[9].Value != 999 {
+		t.Fatalf("timestamp 10 converged to %v, want the rewrite 999", rs[9].Value)
+	}
+	if got := c.met.aeRounds.Load(); got != 1 {
+		t.Fatalf("aeRounds %d, want 1", got)
+	}
+	if got := c.met.aeChecked.Load(); got < 1 {
+		t.Fatalf("aeChecked %d, want >= 1", got)
+	}
+	if got := c.met.aeMismatched.Load(); got < 1 {
+		t.Fatalf("aeMismatched %d, want >= 1", got)
+	}
+	if got := c.met.aeRepaired.Load(); got < 3 {
+		t.Fatalf("aeRepaired %d, want >= 3 (one rewrite + two fresh readings)", got)
+	}
+	// A second round over converged replicas finds nothing to move.
+	repaired := c.met.aeRepaired.Load()
+	mismatched := c.met.aeMismatched.Load()
+	if err := c.RepairRound(); err != nil {
+		t.Fatal(err)
+	}
+	if c.met.aeRepaired.Load() != repaired || c.met.aeMismatched.Load() != mismatched {
+		t.Fatal("anti-entropy kept repairing already-converged replicas")
+	}
+}
+
+// TestAntiEntropyRestoresAggregateConsensus: while replicas diverge,
+// every quorum aggregate falls back to the exact merged-stream fold
+// (aggFallback grows); one anti-entropy round restores fingerprint
+// consensus and the fallback counter stops incrementing.
+func TestAntiEntropyRestoresAggregateConsensus(t *testing.T) {
+	c, nodes := aeCluster(t, 2, ConsistencyQuorum)
+	id := sid(84, 1)
+	base := make([]core.Reading, 100)
+	for i := range base {
+		base[i] = core.Reading{Timestamp: int64(i + 1), Value: 1}
+	}
+	if err := c.InsertBatch(id, base, 0); err != nil {
+		t.Fatal(err)
+	}
+	nodes[1].SetDown(true)
+	if err := c.Insert(id, core.Reading{Timestamp: 50, Value: 1000}, 0); err != nil {
+		t.Fatal(err)
+	}
+	nodes[1].SetDown(false)
+
+	spec := fold.Spec{Op: fold.OpSummary, From: 0, To: 1 << 62}
+	if _, err := c.Aggregate(id, spec); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.met.aggFallback.Load(); got != 1 {
+		t.Fatalf("aggregate over diverged replicas took the consensus path (aggFallback %d, want 1)", got)
+	}
+	if err := c.RepairRound(); err != nil {
+		t.Fatal(err)
+	}
+	fallbacks := c.met.aggFallback.Load()
+	consensus := c.met.aggConsensus.Load()
+	st, err := c.Aggregate(id, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.met.aggFallback.Load() != fallbacks {
+		t.Fatal("aggFallback incremented after anti-entropy repair; replicas still diverge")
+	}
+	if c.met.aggConsensus.Load() != consensus+1 {
+		t.Fatal("post-repair aggregate did not take the consensus path")
+	}
+	sum, ok := st.(*fold.Summary)
+	if !ok {
+		t.Fatalf("aggregate state is %T, want *fold.Summary", st)
+	}
+	if want := float64(99 + 1000); sum.Sum != want {
+		t.Fatalf("post-repair aggregate Sum %v, want %v (rewrite must be visible)", sum.Sum, want)
+	}
+}
+
+// TestAntiEntropyBackgroundLoopConverges: with AntiEntropyInterval
+// set, diverged replicas converge with no calls at all — the scheduler
+// drives RepairRound.
+func TestAntiEntropyBackgroundLoopConverges(t *testing.T) {
+	nodes := []*Node{NewNode(0), NewNode(0)}
+	c, err := NewClusterOptions([]NodeBackend{nodes[0], nodes[1]}, ClusterOptions{
+		Replication:         2,
+		WriteConsistency:    ConsistencyOne,
+		AntiEntropyInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	id := sid(85, 1)
+	if err := c.Insert(id, core.Reading{Timestamp: 1, Value: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	nodes[1].SetDown(true)
+	if err := c.Insert(id, core.Reading{Timestamp: 2, Value: 2}, 0); err != nil {
+		t.Fatal(err)
+	}
+	nodes[1].SetDown(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rs, err := nodes[1].Query(id, 0, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica still serves %v after 5s of background anti-entropy", rs)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestAntiEntropySingleCopyIsNoop: replication 1 has nothing to
+// compare; a round completes without touching any counter but rounds.
+func TestAntiEntropySingleCopyIsNoop(t *testing.T) {
+	n := NewNode(0)
+	c, err := NewClusterOptions([]NodeBackend{n}, ClusterOptions{Replication: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Insert(sid(86, 1), core.Reading{Timestamp: 1, Value: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RepairRound(); err != nil {
+		t.Fatal(err)
+	}
+	if c.met.aeRounds.Load() != 1 || c.met.aeChecked.Load() != 0 {
+		t.Fatalf("single-copy round: rounds=%d checked=%d, want 1/0",
+			c.met.aeRounds.Load(), c.met.aeChecked.Load())
+	}
+}
+
+// TestMergeVersionedReadings covers the union/winner rules the repair
+// paths share.
+func TestMergeVersionedReadings(t *testing.T) {
+	a := []VersionedReading{
+		{Timestamp: 1, Value: 1, Version: 5},
+		{Timestamp: 3, Value: 3, Version: 5},
+		{Timestamp: 5, Value: 5, Version: 9},
+	}
+	b := []VersionedReading{
+		{Timestamp: 2, Value: 2, Version: 6},
+		{Timestamp: 3, Value: 30, Version: 7}, // newer version wins
+		{Timestamp: 5, Value: 50, Version: 8}, // older version loses
+	}
+	got := mergeVersionedReadings(a, b)
+	want := []VersionedReading{
+		{Timestamp: 1, Value: 1, Version: 5},
+		{Timestamp: 2, Value: 2, Version: 6},
+		{Timestamp: 3, Value: 30, Version: 7},
+		{Timestamp: 5, Value: 5, Version: 9},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("merged %d readings, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Equal versions break ties on value bits, so both merge orders
+	// agree — the property that makes repeated repair rounds converge.
+	x := []VersionedReading{{Timestamp: 1, Value: 2, Version: 3}}
+	y := []VersionedReading{{Timestamp: 1, Value: 7, Version: 3}}
+	if mergeVersionedReadings(x, y)[0] != mergeVersionedReadings(y, x)[0] {
+		t.Fatal("equal-version merge is order-dependent; repair would oscillate")
+	}
+	if v := mergeVersionedReadings(x, y)[0].Value; v != 7 {
+		t.Fatalf("equal-version tiebreak picked %v, want 7 (higher value bits)", v)
+	}
+}
+
+// TestVersionedDelta: only readings the replica is missing or holds a
+// different value for are re-sent.
+func TestVersionedDelta(t *testing.T) {
+	merged := []VersionedReading{
+		{Timestamp: 1, Value: 1, Version: 5},
+		{Timestamp: 2, Value: 2, Version: 6},
+		{Timestamp: 3, Value: 30, Version: 7},
+	}
+	have := []VersionedReading{
+		{Timestamp: 1, Value: 1, Version: 5}, // identical: skip
+		{Timestamp: 3, Value: 3, Version: 5}, // stale value: resend
+	}
+	delta := versionedDelta(merged, have)
+	if len(delta) != 2 || delta[0].Timestamp != 2 || delta[1].Timestamp != 3 || delta[1].Value != 30 {
+		t.Fatalf("delta %+v, want missing ts 2 and rewritten ts 3", delta)
+	}
+	if d := versionedDelta(merged, merged); len(d) != 0 {
+		t.Fatalf("identical replica got a %d-reading delta", len(d))
+	}
+}

@@ -52,6 +52,35 @@ type NodeBackend interface {
 	// The state is bit-identical to folding the node's QueryStream
 	// client-side.
 	Aggregate(id core.SensorID, spec fold.Spec) (fold.State, error)
+
+	// InsertVersioned stores readings carrying coordinator-assigned
+	// write versions (and absolute expiries). Query-time dedup resolves
+	// duplicate timestamps newest-version-wins, so a replayed hint —
+	// which re-delivers its original version — can never overwrite a
+	// later versioned rewrite.
+	InsertVersioned(id core.SensorID, vrs []VersionedReading) error
+	// QueryVersioned returns the sensor's deduplicated readings in
+	// [from, to] with the version and expiry each winning write carried
+	// — the anti-entropy transfer format.
+	QueryVersioned(id core.SensorID, from, to int64) ([]VersionedReading, error)
+	// Digest fingerprints the sensor's deduplicated readings in
+	// [from, to]: the order-sensitive fold fingerprint over (ts, value)
+	// plus the reading count. Two replicas whose digests match hold
+	// value-identical data for the range regardless of how the versions
+	// that produced it differ.
+	Digest(id core.SensorID, from, to int64) (fp uint64, count int64, err error)
+}
+
+// VersionedReading is one reading together with the write version and
+// absolute expiry it was coordinated with (Expire 0 = never, Version 0
+// = legacy unversioned write). It is the unit of versioned replication:
+// hint replay and anti-entropy repair move VersionedReadings so the
+// original conflict-resolution order survives re-delivery.
+type VersionedReading struct {
+	Timestamp int64
+	Value     float64
+	Version   uint64
+	Expire    int64
 }
 
 // Consistency is the number-of-replicas contract of a cluster

@@ -13,15 +13,20 @@ import (
 // I/O and decode cost proportional to the queried window, not the
 // retention:
 //
-//	byte 0  : flags (bit 0: block carries a non-zero expire section)
+//	byte 0  : flags (bit 0: block carries a non-zero expire section,
+//	          bit 1: block carries a non-zero write-version section)
 //	ts      : zigzag-varint first timestamp, zigzag-varint first delta,
 //	          then zigzag-varint delta-of-deltas (monitoring sensors
 //	          sample on a fixed period, so almost every dod is 0 = 1 byte)
 //	expires : (only with flag bit 0) zigzag-varint first expire, then
 //	          zigzag-varint deltas — omitted entirely for the common
 //	          "keep forever" block
+//	versions: (only with flag bit 1) uvarint first version, then
+//	          zigzag-varint deltas — omitted entirely for unversioned
+//	          blocks, so files written before the version bump (and the
+//	          all-legacy-write common case) decode as version 0
 //	values  : Gorilla-style XOR bit stream, starting byte-aligned after
-//	          the expire section and padded with zero bits to a byte
+//	          the version section and padded with zero bits to a byte
 //	          boundary at the end
 //
 // The entry count is not part of the block: it lives in the run file's
@@ -35,7 +40,10 @@ import (
 // large enough that varint/XOR compression amortizes.
 const blockEntries = 512
 
-const blockFlagExpire = 1
+const (
+	blockFlagExpire  = 1
+	blockFlagVersion = 2
+)
 
 // zigzag encodes a signed delta so small magnitudes of either sign
 // become small unsigned varints.
@@ -124,6 +132,11 @@ func encodeBlock(dst []byte, es []entry) []byte {
 	for _, e := range es {
 		if e.expire != 0 {
 			flags |= blockFlagExpire
+		}
+		if e.ver != 0 {
+			flags |= blockFlagVersion
+		}
+		if flags == blockFlagExpire|blockFlagVersion {
 			break
 		}
 	}
@@ -159,6 +172,20 @@ func encodeBlock(dst []byte, es []entry) []byte {
 				put(zigzag(e.expire - prev))
 			}
 			prev = e.expire
+		}
+	}
+
+	if flags&blockFlagVersion != 0 {
+		// Versions within one block are near-monotonic (a run holds a
+		// short time window of coordinated writes), so deltas stay small.
+		prev := uint64(0)
+		for i, e := range es {
+			if i == 0 {
+				put(e.ver)
+			} else {
+				put(zigzag(int64(e.ver - prev)))
+			}
+			prev = e.ver
 		}
 	}
 
@@ -240,7 +267,7 @@ func decodeBlock(dst []byte, count int, out *[]entry) error {
 		return fmt.Errorf("store: block entry count %d exceeds %d payload bytes", count, len(dst))
 	}
 	flags := dst[0]
-	if flags&^byte(blockFlagExpire) != 0 {
+	if flags&^byte(blockFlagExpire|blockFlagVersion) != 0 {
 		return fmt.Errorf("store: block has unknown flags %#x", flags)
 	}
 	data := dst[1:]
@@ -296,6 +323,23 @@ func decodeBlock(dst []byte, count int, out *[]entry) error {
 				prev += unzigzag(u)
 			}
 			es[i].expire = prev
+		}
+	}
+
+	if flags&blockFlagVersion != 0 {
+		prev := uint64(0)
+		for i := range es {
+			u, ok := get()
+			if !ok {
+				*out = (*out)[:base]
+				return fmt.Errorf("store: block version stream truncated")
+			}
+			if i == 0 {
+				prev = u
+			} else {
+				prev += uint64(unzigzag(u))
+			}
+			es[i].ver = prev
 		}
 	}
 

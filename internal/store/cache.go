@@ -229,9 +229,18 @@ func (n *Node) CacheStats() (hits, misses, usedBytes int64) {
 	return n.cache.hits.Load(), n.cache.misses.Load(), usedBytes
 }
 
-// entrySize is the in-memory footprint of one entry, used for cache
-// accounting.
-const entrySize = 24
+// CacheBudget reports the node's block-cache capacity in bytes (0 when
+// the node runs without a cache).
+func (n *Node) CacheBudget() int64 {
+	if n.cache == nil {
+		return 0
+	}
+	return n.cache.cap
+}
+
+// entrySize is the in-memory footprint of one entry (ts, val, expire,
+// ver), used for cache accounting.
+const entrySize = 32
 
 // ParseByteSize parses a human-friendly byte count for the cache flags:
 // a plain integer is bytes; K/M/G (or KB/MB/GB, case-insensitive)

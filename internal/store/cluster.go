@@ -113,6 +113,12 @@ type ClusterOptions struct {
 	// probing down replicas. 0 selects the default (1s); < 0 disables
 	// the background loop (ReplayHints still works when called).
 	HintReplayInterval time.Duration
+	// AntiEntropyInterval is the cadence of the background digest-
+	// repair scheduler: every tick the coordinator compares per-sensor
+	// replica digests and re-inserts the winning versions into replicas
+	// that diverged — convergence without any read traffic. 0 disables
+	// the loop (RepairRound still works when called directly).
+	AntiEntropyInterval time.Duration
 }
 
 // Cluster composes storage backends into one logical Storage Backend
@@ -132,6 +138,13 @@ type Cluster struct {
 	met    *clusterMetrics
 	stopBG chan struct{}
 	bgWG   sync.WaitGroup
+
+	// ver is the coordinator's write-version clock: an HLC-style
+	// counter seeded from the wall clock and bumped per logical write,
+	// so versions are monotonic within a coordinator and (clock skew
+	// aside) ordered across coordinator restarts without persisting
+	// anything. Version 0 is reserved for legacy unversioned writes.
+	ver atomic.Uint64
 
 	// repairWG tracks in-flight background read repairs so Close does
 	// not yank backends out from under them.
@@ -197,12 +210,41 @@ func NewClusterOptions(backends []NodeBackend, o ClusterOptions) (*Cluster, erro
 			o.HintReplayInterval = time.Second
 		}
 		if o.HintReplayInterval > 0 {
-			c.stopBG = make(chan struct{})
+			c.ensureStopBG()
 			c.bgWG.Add(1)
 			go c.hintLoop(o.HintReplayInterval)
 		}
 	}
+	if o.AntiEntropyInterval > 0 {
+		c.ensureStopBG()
+		c.bgWG.Add(1)
+		go c.antiEntropyLoop(o.AntiEntropyInterval)
+	}
 	return c, nil
+}
+
+// ensureStopBG lazily creates the shared background-loop stop channel.
+func (c *Cluster) ensureStopBG() {
+	if c.stopBG == nil {
+		c.stopBG = make(chan struct{})
+	}
+}
+
+// nextVersion issues the next write version: strictly increasing, and
+// never behind the wall clock, so a restarted coordinator resumes above
+// everything it (or a reasonably synchronised peer) issued before.
+func (c *Cluster) nextVersion() uint64 {
+	now := uint64(time.Now().UnixNano())
+	for {
+		prev := c.ver.Load()
+		next := prev + 1
+		if now > next {
+			next = now
+		}
+		if c.ver.CompareAndSwap(prev, next) {
+			return next
+		}
+	}
 }
 
 // Nodes exposes the in-process member nodes (for stats, snapshots and
@@ -278,18 +320,27 @@ func (c *Cluster) Insert(id core.SensorID, r core.Reading, ttl time.Duration) er
 	return c.InsertBatch(id, []core.Reading{r}, ttl)
 }
 
-// InsertBatch implements Backend. Every replica is written; the write
+// InsertBatch implements Backend. The coordinator stamps the batch
+// with one write version, then writes it to every replica; the write
 // is acknowledged once WriteConsistency replicas accepted it. Replicas
-// that missed an acknowledged write get a durable hint (when handoff is
-// enabled) replayed after they return.
+// that missed an acknowledged write get a durable hint (when handoff
+// is enabled) carrying the same version, replayed after they return —
+// so a replayed hint resolves exactly where the original write would
+// have, never above a later rewrite.
 func (c *Cluster) InsertBatch(id core.SensorID, rs []core.Reading, ttl time.Duration) error {
 	if len(rs) == 0 {
 		return nil
 	}
+	expire := TTLToExpire(ttl)
+	ver := c.nextVersion()
+	vrs := make([]VersionedReading, len(rs))
+	for i, r := range rs {
+		vrs[i] = VersionedReading{Timestamp: r.Timestamp, Value: r.Value, Version: ver, Expire: expire}
+	}
 	replicas := c.replicasFor(id)
 	sequential := len(rs) < parallelBatchMin && c.localOnly(replicas)
 	errs := c.fanOut(replicas, sequential, func(idx int) error {
-		return c.backends[idx].InsertBatch(id, rs, ttl)
+		return c.backends[idx].InsertVersioned(id, vrs)
 	})
 	required := c.writeCL.required(len(replicas))
 	acked := 0
@@ -308,10 +359,9 @@ func (c *Cluster) InsertBatch(id core.SensorID, rs []core.Reading, ttl time.Dura
 	}
 	c.met.writesOK.Inc()
 	if c.hints != nil && acked < len(replicas) {
-		expire := TTLToExpire(ttl)
 		for i, idx := range replicas {
 			if errs[i] != nil {
-				c.hintInsert(idx, id, rs, expire)
+				c.hintInsert(idx, id, vrs)
 			}
 		}
 	}
@@ -320,9 +370,12 @@ func (c *Cluster) InsertBatch(id core.SensorID, rs []core.Reading, ttl time.Dura
 
 // Query implements Backend. At consistency ONE the primary is
 // consulted first, then the remaining replicas on failure. At QUORUM
-// all replicas are read concurrently, at least a quorum must respond,
-// the responses are merged newest-wins, and replicas that missed
-// writes are repaired in the background with the merged result.
+// all replicas are read concurrently with their write versions, at
+// least a quorum must respond, the responses are merged
+// newest-version-wins, and replicas that missed writes are repaired in
+// the background with the merged result under its original versions —
+// so a repair write can never outrank a rewrite the replica already
+// holds.
 func (c *Cluster) Query(id core.SensorID, from, to int64) ([]core.Reading, error) {
 	replicas := c.replicasFor(id)
 	if c.readCL.required(len(replicas)) == 1 && len(replicas) >= 1 {
@@ -338,14 +391,14 @@ func (c *Cluster) Query(id core.SensorID, from, to int64) ([]core.Reading, error
 		c.met.readsFailed.Inc()
 		return nil, fmt.Errorf("store: all replicas failed: %w", lastErr)
 	}
-	results := make([][]core.Reading, len(replicas))
+	results := make([][]VersionedReading, len(replicas))
 	errs := make([]error, len(replicas))
 	var wg sync.WaitGroup
 	for i, idx := range replicas {
 		wg.Add(1)
 		go func(i, idx int) {
 			defer wg.Done()
-			results[i], errs[i] = c.backends[idx].Query(id, from, to)
+			results[i], errs[i] = c.backends[idx].QueryVersioned(id, from, to)
 		}(i, idx)
 	}
 	wg.Wait()
@@ -365,7 +418,7 @@ func (c *Cluster) Query(id core.SensorID, from, to int64) ([]core.Reading, error
 			c.readCL, ok, required, lastErr)
 	}
 	c.met.readsOK.Inc()
-	merged := results[0]
+	var merged []VersionedReading
 	first := true
 	for i, err := range errs {
 		if err != nil {
@@ -376,10 +429,14 @@ func (c *Cluster) Query(id core.SensorID, from, to int64) ([]core.Reading, error
 			first = false
 			continue
 		}
-		merged = mergeReplicaReadings(merged, results[i])
+		merged = mergeVersionedReadings(merged, results[i])
 	}
 	c.readRepair(id, replicas, results, errs, merged)
-	return merged, nil
+	out := make([]core.Reading, len(merged))
+	for i, m := range merged {
+		out[i] = core.Reading{Timestamp: m.Timestamp, Value: m.Value}
+	}
+	return out, nil
 }
 
 // mergeReplicaReadings merges two time-sorted replica responses
@@ -415,34 +472,19 @@ func mergeReplicaReadings(a, b []core.Reading) []core.Reading {
 	return out
 }
 
-// repairDelta returns the merged readings a replica's response is
-// missing or holds a different value for.
-func repairDelta(merged, have []core.Reading) []core.Reading {
-	var delta []core.Reading
-	j := 0
-	for _, m := range merged {
-		for j < len(have) && have[j].Timestamp < m.Timestamp {
-			j++
-		}
-		if j < len(have) && have[j].Timestamp == m.Timestamp && have[j].Value == m.Value {
-			continue
-		}
-		delta = append(delta, m)
-	}
-	return delta
-}
-
 // readRepair writes the merged result's missing readings back to every
 // replica that answered with less, in the background: convergence is
-// opportunistic, the caller's read latency is not taxed. A re-inserted
-// duplicate timestamp wins at the replica's query-time dedup (newest
-// run wins), so diverged values converge to the merged result.
-func (c *Cluster) readRepair(id core.SensorID, replicas []int, results [][]core.Reading, errs []error, merged []core.Reading) {
+// opportunistic, the caller's read latency is not taxed. Repairs carry
+// the winning readings' original write versions, so a re-inserted
+// duplicate resolves at the replica's query-time dedup exactly where
+// the original write would have — above anything older, below any
+// rewrite the replica holds that the merge did not.
+func (c *Cluster) readRepair(id core.SensorID, replicas []int, results [][]VersionedReading, errs []error, merged []VersionedReading) {
 	for i, idx := range replicas {
 		if errs[i] != nil {
 			continue
 		}
-		delta := repairDelta(merged, results[i])
+		delta := versionedDelta(merged, results[i])
 		if len(delta) == 0 {
 			continue
 		}
@@ -451,7 +493,7 @@ func (c *Cluster) readRepair(id core.SensorID, replicas []int, results [][]core.
 		c.repairWG.Add(1)
 		go func() {
 			defer c.repairWG.Done()
-			_ = b.InsertBatch(id, delta, 0) // best effort; the next read retries
+			_ = b.InsertVersioned(id, delta) // best effort; the next read retries
 		}()
 	}
 }

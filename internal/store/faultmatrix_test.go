@@ -6,7 +6,6 @@ import (
 	"sync"
 	"syscall"
 	"testing"
-	"time"
 
 	"dcdb/internal/core"
 	"dcdb/internal/faults"
@@ -272,8 +271,9 @@ func TestWALWriteENOSPCFailsShardClosed(t *testing.T) {
 	}
 }
 
-// insertFailBackend fails one scripted InsertBatch call, for
-// interrupting a hint replay mid-file.
+// insertFailBackend fails one scripted InsertVersioned call, for
+// interrupting a hint replay mid-file. Coordinated writes and hint
+// replay both deliver through InsertVersioned.
 type insertFailBackend struct {
 	*Node
 	mu     sync.Mutex
@@ -281,7 +281,7 @@ type insertFailBackend struct {
 	failAt int
 }
 
-func (b *insertFailBackend) InsertBatch(id core.SensorID, rs []core.Reading, ttl time.Duration) error {
+func (b *insertFailBackend) InsertVersioned(id core.SensorID, vrs []VersionedReading) error {
 	b.mu.Lock()
 	b.calls++
 	fail := b.calls == b.failAt
@@ -289,7 +289,7 @@ func (b *insertFailBackend) InsertBatch(id core.SensorID, rs []core.Reading, ttl
 	if fail {
 		return errors.New("injected: delivery dropped")
 	}
-	return b.Node.InsertBatch(id, rs, ttl)
+	return b.Node.InsertVersioned(id, vrs)
 }
 
 // TestHintReplayInterruptedMidFileRedelivers: a replay that dies

@@ -26,20 +26,26 @@ import (
 // behind the same address) converges without a full re-replication.
 //
 // Hint files reuse the WAL framing exactly: CRC32-framed records whose
-// payloads are the WAL's type-1 insert (with the expiry already
-// resolved to an absolute timestamp at coordination time) and type-2
+// payloads are the WAL's type-3 versioned insert (expiry already
+// resolved to an absolute timestamp at coordination time, every
+// reading carrying its coordinator-assigned write version) and type-2
 // delete. Replay is at-least-once — a replay interrupted mid-file
 // re-applies the whole file on the next attempt; duplicates collapse
 // at the replica's query-time dedup.
 //
-// Ordering caveat: the store carries no per-write version, so a
-// replayed hint is indistinguishable from a fresh write. If a sensor's
-// value at an *existing* timestamp is rewritten between the hint being
-// queued and replayed, the replay can reinstate the older value on
-// that replica (and read repair spread it). Monitoring ingest is
-// append-only in practice — each timestamp is written once — so the
-// window is theoretical here; closing it for rewrite workloads needs
-// engine-wide write versions / anti-entropy (see ROADMAP).
+// Version-resolution contract: every coordinated write is stamped with
+// one monotonic version (Cluster.nextVersion), the hint records it,
+// and replay re-delivers it unchanged via InsertVersioned. Query-time
+// dedup resolves duplicate timestamps highest-version-wins, so a
+// replayed hint lands exactly where the original write would have: if
+// the sensor's value at that timestamp was rewritten (a strictly later
+// version) between the hint being queued and replayed, the rewrite
+// keeps winning and the replay is a harmless no-op at read time. The
+// pre-version resurrection window — replay reinstating an older value
+// that read repair then spread — is closed; background anti-entropy
+// (antientropy.go) additionally converges replicas that diverged with
+// no read traffic at all. Records from before the version bump (type
+// 1) still replay, as version 0.
 
 // hintFileMax rotates the per-node append file so one outage does not
 // grow a single unbounded segment; replay deletes whole files as they
@@ -196,6 +202,30 @@ func (q *hintQueue) replay(node int, b NodeBackend) error {
 			if len(op.entries) == 0 {
 				continue
 			}
+			if op.versioned {
+				// Re-deliver the original write versions and absolute
+				// expiries, dropping readings that expired while queued.
+				now := time.Now().UnixNano()
+				vrs := make([]VersionedReading, 0, len(op.entries))
+				for _, e := range op.entries {
+					if e.expire != 0 && e.expire <= now {
+						continue
+					}
+					vrs = append(vrs, VersionedReading{
+						Timestamp: e.ts, Value: e.val, Version: e.ver, Expire: e.expire,
+					})
+				}
+				if len(vrs) == 0 {
+					continue // every hinted reading already expired
+				}
+				if err := b.InsertVersioned(op.id, vrs); err != nil {
+					return err
+				}
+				q.replayed.Add(1)
+				continue
+			}
+			// Legacy unversioned hint (pre-bump file): replay as a plain
+			// version-0 write.
 			ttl, ok := expireToTTL(op.entries[0].expire)
 			if !ok {
 				continue // the hinted readings already expired
@@ -247,12 +277,14 @@ func (q *hintQueue) close() error {
 
 // --- Cluster-side plumbing ---
 
-// hintInsert queues an insert hint, chunked like the WAL so replay
-// never sees an oversized record.
-func (c *Cluster) hintInsert(node int, id core.SensorID, rs []core.Reading, expire int64) {
-	for off := 0; off < len(rs); off += walBatchChunk {
-		chunk := rs[off:min(off+walBatchChunk, len(rs))]
-		if err := c.hints.enqueue(node, encodeWALInsert(nil, id, chunk, expire)); err != nil {
+// hintInsert queues a versioned insert hint, chunked like the WAL so
+// replay never sees an oversized record. The readings keep the write
+// version the failed fan-out carried, so replay cannot outrank a later
+// rewrite.
+func (c *Cluster) hintInsert(node int, id core.SensorID, vrs []VersionedReading) {
+	for off := 0; off < len(vrs); off += walBatchChunk {
+		chunk := vrs[off:min(off+walBatchChunk, len(vrs))]
+		if err := c.hints.enqueue(node, encodeWALInsertV(nil, id, chunk)); err != nil {
 			log.Printf("store: hint for node %d lost: %v", node, err)
 			return
 		}

@@ -485,15 +485,18 @@ type KeyedReadingStream interface {
 const StreamChunkReadings = 4096
 
 // nodeStream adapts an entryMerge to the chunked ReadingStream API,
-// applying expiry filtering and newest-wins timestamp dedup. The
-// held-back pending reading guarantees a duplicate timestamp can never
-// straddle a chunk boundary half-resolved.
+// applying expiry filtering and highest-version-wins timestamp dedup
+// (equal versions: newest source wins, which is the legacy behaviour
+// when every entry is unversioned). The held-back pending reading
+// guarantees a duplicate timestamp can never straddle a chunk boundary
+// half-resolved.
 type nodeStream struct {
 	m       *entryMerge
 	release func()
 	now     int64
 	buf     []core.Reading
 	pending core.Reading
+	pendVer uint64
 	havePnd bool
 	done    bool
 }
@@ -531,13 +534,19 @@ func (s *nodeStream) Next() ([]core.Reading, error) {
 			continue
 		}
 		if s.havePnd && s.pending.Timestamp == e.ts {
-			s.pending.Value = e.val // newer run wins
+			// Highest version wins; sources emit oldest-first, so >=
+			// keeps newest-source-wins among equal versions.
+			if e.ver >= s.pendVer {
+				s.pending.Value = e.val
+				s.pendVer = e.ver
+			}
 			continue
 		}
 		if s.havePnd {
 			s.buf = append(s.buf, s.pending)
 		}
 		s.pending = core.Reading{Timestamp: e.ts, Value: e.val}
+		s.pendVer = e.ver
 		s.havePnd = true
 	}
 	return s.buf, nil
@@ -584,19 +593,85 @@ func (n *Node) queryAll(id core.SensorID, from, to, now int64) ([]core.Reading, 
 	}
 	out := make([]core.Reading, 0, sizeHint)
 	var pending core.Reading
+	var pendVer uint64
 	have := false
 	emit := func(e entry) {
 		if e.expire != 0 && e.expire <= now {
 			return
 		}
 		if have && pending.Timestamp == e.ts {
-			pending.Value = e.val // newer source wins
+			// Highest version wins; equal versions keep newest-source-
+			// wins (sources arrive oldest first).
+			if e.ver >= pendVer {
+				pending.Value = e.val
+				pendVer = e.ver
+			}
 			return
 		}
 		if have {
 			out = append(out, pending)
 		}
 		pending = core.Reading{Timestamp: e.ts, Value: e.val}
+		pendVer = e.ver
+		have = true
+	}
+	for {
+		es, ok := m.nextSlice()
+		if !ok {
+			break
+		}
+		for _, e := range es {
+			emit(e)
+		}
+	}
+	for {
+		e, ok := m.next()
+		if !ok {
+			break
+		}
+		emit(e)
+	}
+	if err := m.iterErr(); err != nil {
+		return nil, err
+	}
+	if have {
+		out = append(out, pending)
+	}
+	return out, nil
+}
+
+// QueryVersioned implements NodeBackend: like Query, but each winning
+// reading keeps the version and expiry of the write that produced it —
+// the transfer format anti-entropy repair re-inserts, so re-delivery
+// preserves the original conflict-resolution order.
+func (n *Node) QueryVersioned(id core.SensorID, from, to int64) ([]VersionedReading, error) {
+	if n.down.Load() {
+		return nil, ErrNodeDown
+	}
+	n.shardOf(id).queries.Add(1)
+	now := time.Now().UnixNano()
+	m, release, sizeHint := n.sensorMerge(id, from, to)
+	defer release()
+	if sizeHint == 0 {
+		return nil, nil
+	}
+	out := make([]VersionedReading, 0, sizeHint)
+	var pending VersionedReading
+	have := false
+	emit := func(e entry) {
+		if e.expire != 0 && e.expire <= now {
+			return
+		}
+		if have && pending.Timestamp == e.ts {
+			if e.ver >= pending.Version {
+				pending.Value, pending.Version, pending.Expire = e.val, e.ver, e.expire
+			}
+			return
+		}
+		if have {
+			out = append(out, pending)
+		}
+		pending = VersionedReading{Timestamp: e.ts, Value: e.val, Version: e.ver, Expire: e.expire}
 		have = true
 	}
 	for {

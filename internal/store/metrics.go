@@ -236,6 +236,11 @@ type clusterMetrics struct {
 	readRepairs  *metrics.Counter
 	aggConsensus *metrics.Counter
 	aggFallback  *metrics.Counter
+
+	aeRounds     *metrics.Counter
+	aeChecked    *metrics.Counter
+	aeMismatched *metrics.Counter
+	aeRepaired   *metrics.Counter
 }
 
 func newClusterMetrics(c *Cluster) *clusterMetrics {
@@ -256,6 +261,14 @@ func newClusterMetrics(c *Cluster) *clusterMetrics {
 			"Quorum aggregate pushdowns where replica states agreed (O(1)-byte answer)."),
 		aggFallback: reg.Counter("dcdb_cluster_aggregate_fallback_total",
 			"Quorum aggregate pushdowns that fell back to an exact merged-stream fold."),
+		aeRounds: reg.Counter("dcdb_cluster_antientropy_rounds_total",
+			"Anti-entropy repair rounds completed."),
+		aeChecked: reg.Counter("dcdb_cluster_antientropy_ranges_checked_total",
+			"Sensor ranges whose replica digests were compared."),
+		aeMismatched: reg.Counter("dcdb_cluster_antientropy_ranges_mismatched_total",
+			"Sensor ranges where replica digests disagreed."),
+		aeRepaired: reg.Counter("dcdb_cluster_antientropy_readings_repaired_total",
+			"Readings re-inserted into lagging replicas by anti-entropy repair."),
 	}
 	reg.CounterFunc("dcdb_cluster_hints_queued_total",
 		"Hinted-handoff mutations queued for down replicas.", func() float64 {

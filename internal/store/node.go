@@ -52,12 +52,16 @@ type Backend interface {
 	Close() error
 }
 
-// entry is one stored cell: timestamp, value, and absolute expiry
-// (0 = never).
+// entry is one stored cell: timestamp, value, absolute expiry
+// (0 = never), and the coordinator-assigned write version (0 = legacy
+// unversioned write). Query-time dedup resolves duplicate timestamps
+// by highest version; equal versions fall back to newest-source-wins,
+// which keeps the legacy all-zero behaviour byte-identical.
 type entry struct {
 	ts     int64
 	val    float64
 	expire int64
+	ver    uint64
 }
 
 // memSeries is the in-memory write buffer of one sensor.
@@ -441,6 +445,67 @@ func (n *Node) InsertBatch(id core.SensorID, rs []core.Reading, ttl time.Duratio
 	sh.memSize += len(rs)
 	sh.inserts += int64(len(rs))
 	n.met.armTick(i, sh.inserts-int64(len(rs)), sh.inserts)
+	var ferr error
+	if sh.memSize >= n.flushSize {
+		ferr = n.flushShardLocked(i)
+	}
+	sh.mu.Unlock()
+	for _, pend := range pends {
+		if serr := pend.w.syncTo(pend.pos); serr != nil {
+			return serr
+		}
+	}
+	n.met.insertDone(i, start)
+	return ferr
+}
+
+// InsertVersioned stores versioned readings of one sensor. It is the
+// coordinator-facing write path: Cluster assigns one monotonic version
+// per logical write and fans it out here, and hint replay re-delivers
+// the original version, so a replayed hint can never beat a later
+// rewrite at query-time dedup. Expiry is absolute per reading (0 =
+// never). Each chunk is WAL-logged as a type-3 record carrying the
+// versions; plain Insert/InsertBatch writes keep their unversioned
+// type-1 records and store version 0.
+func (n *Node) InsertVersioned(id core.SensorID, vrs []VersionedReading) error {
+	if len(vrs) == 0 {
+		return nil
+	}
+	if n.down.Load() {
+		return ErrNodeDown
+	}
+	i := shardIndex(id)
+	start := n.met.insertStart(i)
+	sh := &n.shards[i]
+	sh.mu.Lock()
+	var pends []walPend
+	for off := 0; off < len(vrs); off += walBatchChunk {
+		chunk := vrs[off:min(off+walBatchChunk, len(vrs))]
+		pend, err := n.logDurable(i, func(buf []byte) []byte {
+			return encodeWALInsertV(buf, id, chunk)
+		})
+		if err != nil {
+			sh.mu.Unlock()
+			return err
+		}
+		if pend.w != nil {
+			if len(pends) > 0 && pends[len(pends)-1].w == pend.w {
+				pends[len(pends)-1].pos = pend.pos
+			} else {
+				pends = append(pends, pend)
+			}
+		}
+	}
+	s := sh.seriesFor(id)
+	for _, r := range vrs {
+		if s.sorted && len(s.entries) > 0 && r.Timestamp < s.entries[len(s.entries)-1].ts {
+			s.sorted = false
+		}
+		s.entries = append(s.entries, entry{ts: r.Timestamp, val: r.Value, expire: r.Expire, ver: r.Version})
+	}
+	sh.memSize += len(vrs)
+	sh.inserts += int64(len(vrs))
+	n.met.armTick(i, sh.inserts-int64(len(vrs)), sh.inserts)
 	var ferr error
 	if sh.memSize >= n.flushSize {
 		ferr = n.flushShardLocked(i)

@@ -19,13 +19,15 @@ import (
 //
 //	magic "DCDBSNAP" | version u32 | seriesCount u64
 //	repeated: sidHi u64 | sidLo u64 | entryCount u64
-//	          repeated: ts i64 | value f64 | expire i64
+//	          repeated: ts i64 | value f64 | expire i64 | ver u64
 //
-// All integers are big-endian.
+// All integers are big-endian. Format version 2 added the per-entry
+// write version; version-1 snapshots (24-byte records) still load,
+// with every entry restored as version 0.
 
 var snapMagic = []byte("DCDBSNAP")
 
-const snapVersion = 1
+const snapVersion = 2
 
 // Save writes the node's entire contents to w. Shards are collected
 // one at a time so ingest never pauses globally; the snapshot is
@@ -76,11 +78,12 @@ func (n *Node) Save(w io.Writer) error {
 		if _, err := bw.Write(hdr[:]); err != nil {
 			return err
 		}
-		var rec [24]byte
+		var rec [32]byte
 		for _, e := range es {
 			binary.BigEndian.PutUint64(rec[0:], uint64(e.ts))
 			binary.BigEndian.PutUint64(rec[8:], math.Float64bits(e.val))
 			binary.BigEndian.PutUint64(rec[16:], uint64(e.expire))
+			binary.BigEndian.PutUint64(rec[24:], e.ver)
 			if _, err := bw.Write(rec[:]); err != nil {
 				return err
 			}
@@ -108,8 +111,12 @@ func (n *Node) Load(r io.Reader) error {
 	if err := binary.Read(br, binary.BigEndian, &version); err != nil {
 		return err
 	}
-	if version != snapVersion {
+	if version != 1 && version != snapVersion {
 		return fmt.Errorf("store: unsupported snapshot version %d", version)
+	}
+	recSize := 32
+	if version == 1 {
+		recSize = 24 // pre-version records; entries load as version 0
 	}
 	var count uint64
 	if err := binary.Read(br, binary.BigEndian, &count); err != nil {
@@ -120,7 +127,7 @@ func (n *Node) Load(r io.Reader) error {
 	var runs [numShards]map[core.SensorID][]run
 	var sizes [numShards]int
 	var hdr [24]byte
-	var rec [24]byte
+	var rec [32]byte
 	for i := uint64(0); i < count; i++ {
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			return fmt.Errorf("store: truncated snapshot: %w", err)
@@ -136,14 +143,18 @@ func (n *Node) Load(r io.Reader) error {
 		}
 		es := make([]entry, 0, capHint)
 		for j := uint64(0); j < en; j++ {
-			if _, err := io.ReadFull(br, rec[:]); err != nil {
+			if _, err := io.ReadFull(br, rec[:recSize]); err != nil {
 				return fmt.Errorf("store: truncated snapshot: %w", err)
 			}
-			es = append(es, entry{
+			e := entry{
 				ts:     int64(binary.BigEndian.Uint64(rec[0:])),
 				val:    math.Float64frombits(binary.BigEndian.Uint64(rec[8:])),
 				expire: int64(binary.BigEndian.Uint64(rec[16:])),
-			})
+			}
+			if recSize == 32 {
+				e.ver = binary.BigEndian.Uint64(rec[24:])
+			}
+			es = append(es, e)
 		}
 		// Snapshots written by older versions (or a fuzzy concurrent
 		// Save) may interleave timestamps; the read path requires

@@ -1,0 +1,228 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// Persistence-format coverage for write versions: the WAL's type-3
+// record, the v2 block codec's version stream, and the v2 snapshot
+// record — each with its backward-compat path (legacy data loads as
+// version 0 and keeps losing to any versioned rewrite).
+
+func TestWALVersionedRecordRoundtrip(t *testing.T) {
+	id := sid(90, 1)
+	vrs := []VersionedReading{
+		{Timestamp: 1, Value: 1.5, Version: 100, Expire: 0},
+		{Timestamp: 2, Value: -2.5, Version: 101, Expire: 1 << 40},
+	}
+	payload := encodeWALInsertV(nil, id, vrs)
+	op, ok := decodeWALPayload(payload)
+	if !ok {
+		t.Fatal("versioned record did not decode")
+	}
+	if !op.versioned || op.id != id || len(op.entries) != 2 {
+		t.Fatalf("decoded op %+v", op)
+	}
+	for i, e := range op.entries {
+		if e.ts != vrs[i].Timestamp || e.val != vrs[i].Value ||
+			e.ver != vrs[i].Version || e.expire != vrs[i].Expire {
+			t.Fatalf("entry %d: %+v, want %+v", i, e, vrs[i])
+		}
+	}
+	// Truncated type-3 payloads must be rejected, not mis-framed.
+	if _, ok := decodeWALPayload(payload[:len(payload)-1]); ok {
+		t.Fatal("truncated versioned record decoded")
+	}
+}
+
+func TestWALReplayPreservesVersions(t *testing.T) {
+	dir := t.TempDir()
+	id := sid(90, 2)
+	n := openedNode(t, dir, 0, DiskOptions{SyncInterval: 0, CompactInterval: -1})
+	// The newer version first: only version-aware replay keeps it on
+	// top after a restart.
+	if err := n.InsertVersioned(id, []VersionedReading{{Timestamp: 7, Value: 2, Version: 9}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.InsertVersioned(id, []VersionedReading{{Timestamp: 7, Value: 1, Version: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n = openedNode(t, dir, 0, DiskOptions{SyncInterval: 0, CompactInterval: -1})
+	defer n.Close()
+	rs, err := n.Query(id, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Value != 2 {
+		t.Fatalf("replayed node serves %v; the WAL dropped the write versions", rs)
+	}
+	vrs, err := n.QueryVersioned(id, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vrs) != 1 || vrs[0].Version != 9 {
+		t.Fatalf("replayed versions %+v, want the surviving version 9", vrs)
+	}
+}
+
+func TestBlockCodecVersionStream(t *testing.T) {
+	es := []entry{
+		{ts: 1, val: 1, ver: 1 << 40},
+		{ts: 2, val: 2, ver: 1<<40 + 3},
+		{ts: 3, val: 3, ver: 1 << 39, expire: 99}, // version delta goes negative
+	}
+	enc := encodeBlock(nil, es)
+	var got []entry
+	if err := decodeBlock(enc, len(es), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(es) {
+		t.Fatalf("decoded %d entries, want %d", len(got), len(es))
+	}
+	for i := range es {
+		if got[i] != es[i] {
+			t.Fatalf("entry %d: %+v, want %+v", i, got[i], es[i])
+		}
+	}
+	// All-version-0 blocks must not pay for (or advertise) the version
+	// section: their encoding is bit-compatible with pre-version files.
+	legacy := []entry{{ts: 1, val: 1}, {ts: 2, val: 2}}
+	lenc := encodeBlock(nil, legacy)
+	if lenc[0]&blockFlagVersion != 0 {
+		t.Fatal("version flag set on an all-version-0 block")
+	}
+	var lgot []entry
+	if err := decodeBlock(lenc, len(legacy), &lgot); err != nil {
+		t.Fatal(err)
+	}
+	for i := range legacy {
+		if lgot[i] != legacy[i] {
+			t.Fatalf("legacy entry %d: %+v, want %+v", i, lgot[i], legacy[i])
+		}
+	}
+}
+
+func TestSnapshotRoundtripPreservesVersions(t *testing.T) {
+	n := NewNode(0)
+	id := sid(90, 3)
+	if err := n.InsertVersioned(id, []VersionedReading{
+		{Timestamp: 1, Value: 10, Version: 7},
+		{Timestamp: 2, Value: 20, Version: 8},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n2 := NewNode(0)
+	if err := n2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	vrs, err := n2.QueryVersioned(id, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vrs) != 2 || vrs[0].Version != 7 || vrs[1].Version != 8 {
+		t.Fatalf("restored versions %+v", vrs)
+	}
+	// A stale-versioned rewrite into the restored node must still lose.
+	if err := n2.InsertVersioned(id, []VersionedReading{{Timestamp: 2, Value: 99, Version: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := n2.Query(id, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[1].Value != 20 {
+		t.Fatalf("restored version lost to an older rewrite: %v", rs)
+	}
+}
+
+func TestSnapshotV1LoadsAsVersionZero(t *testing.T) {
+	// Hand-build a version-1 snapshot (24-byte records, no version
+	// field): one sensor, two readings.
+	id := sid(90, 4)
+	var buf bytes.Buffer
+	buf.WriteString("DCDBSNAP")
+	binary.Write(&buf, binary.BigEndian, uint32(1)) // format version 1
+	binary.Write(&buf, binary.BigEndian, uint64(1)) // one series
+	binary.Write(&buf, binary.BigEndian, id.Hi)
+	binary.Write(&buf, binary.BigEndian, id.Lo)
+	binary.Write(&buf, binary.BigEndian, uint64(2)) // two entries
+	for i, v := range []float64{1.25, 2.5} {
+		binary.Write(&buf, binary.BigEndian, uint64(i+1))
+		binary.Write(&buf, binary.BigEndian, math.Float64bits(v))
+		binary.Write(&buf, binary.BigEndian, uint64(0)) // expire
+	}
+	n := NewNode(0)
+	if err := n.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	vrs, err := n.QueryVersioned(id, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vrs) != 2 || vrs[0].Version != 0 || vrs[1].Version != 0 {
+		t.Fatalf("v1 snapshot loaded as %+v, want two version-0 readings", vrs)
+	}
+	if vrs[0].Value != 1.25 || vrs[1].Value != 2.5 {
+		t.Fatalf("v1 snapshot values %+v", vrs)
+	}
+	// Legacy data loses to any versioned write at the same timestamp.
+	if err := n.InsertVersioned(id, []VersionedReading{{Timestamp: 1, Value: 9, Version: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := n.Query(id, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Value != 9 {
+		t.Fatalf("version-0 legacy entry outranked a versioned write: %v", rs)
+	}
+}
+
+// TestQueryVersionedMatchesQuery: the versioned read path must agree
+// with the plain read path on which write survives dedup — they share
+// the resolution rule, not just the data.
+func TestQueryVersionedMatchesQuery(t *testing.T) {
+	n := NewNode(0)
+	id := sid(90, 5)
+	if err := n.InsertVersioned(id, []VersionedReading{
+		{Timestamp: 1, Value: 1, Version: 3},
+		{Timestamp: 2, Value: 2, Version: 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.InsertVersioned(id, []VersionedReading{{Timestamp: 1, Value: 5, Version: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := n.Query(id, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vrs, err := n.QueryVersioned(id, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != len(vrs) {
+		t.Fatalf("Query %d readings, QueryVersioned %d", len(rs), len(vrs))
+	}
+	for i := range rs {
+		if rs[i].Timestamp != vrs[i].Timestamp || rs[i].Value != vrs[i].Value {
+			t.Fatalf("position %d: Query %+v, QueryVersioned %+v", i, rs[i], vrs[i])
+		}
+	}
+	if vrs[0].Version != 3 {
+		t.Fatalf("surviving version %d, want 3", vrs[0].Version)
+	}
+}

@@ -37,10 +37,17 @@ import (
 //	type 1 (insert): u8 1 | sidHi u64 | sidLo u64 | count u32
 //	                 | count × (ts i64 | val f64 | expire i64)
 //	type 2 (delete): u8 2 | sidHi u64 | sidLo u64 | cutoff i64
+//	type 3 (versioned insert):
+//	                 u8 3 | sidHi u64 | sidLo u64 | count u32
+//	                 | count × (ts i64 | val f64 | expire i64 | ver u64)
+//
+// Type-1 records replay as version 0, so segments written before the
+// version bump recover unchanged.
 
 const (
-	walRecInsert = 1
-	walRecDelete = 2
+	walRecInsert  = 1
+	walRecDelete  = 2
+	walRecInsertV = 3
 
 	// walMaxRecord bounds a record's payload so a corrupt length field
 	// cannot drive a huge allocation during replay.
@@ -48,7 +55,7 @@ const (
 
 	// walBatchChunk caps the readings per insert record, keeping every
 	// record the write path can produce far below walMaxRecord
-	// (100k × 24 B + header ≈ 2.4 MB).
+	// (100k × 32 B + header ≈ 3.2 MB).
 	walBatchChunk = 100_000
 )
 
@@ -284,6 +291,30 @@ func encodeWALInsert1(buf []byte, id core.SensorID, r core.Reading, expire int64
 	return buf
 }
 
+// encodeWALInsertV builds a type-3 record payload, reusing buf. Unlike
+// type 1, the expiry is absolute per reading and every reading carries
+// its coordinator-assigned write version.
+func encodeWALInsertV(buf []byte, id core.SensorID, vrs []VersionedReading) []byte {
+	need := 1 + 16 + 4 + 32*len(vrs)
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+	buf[0] = walRecInsertV
+	binary.BigEndian.PutUint64(buf[1:], id.Hi)
+	binary.BigEndian.PutUint64(buf[9:], id.Lo)
+	binary.BigEndian.PutUint32(buf[17:], uint32(len(vrs)))
+	off := 21
+	for _, r := range vrs {
+		binary.BigEndian.PutUint64(buf[off:], uint64(r.Timestamp))
+		binary.BigEndian.PutUint64(buf[off+8:], math.Float64bits(r.Value))
+		binary.BigEndian.PutUint64(buf[off+16:], uint64(r.Expire))
+		binary.BigEndian.PutUint64(buf[off+24:], r.Version)
+		off += 32
+	}
+	return buf
+}
+
 // encodeWALDelete builds a type-2 record payload, reusing buf.
 func encodeWALDelete(buf []byte, id core.SensorID, cutoff int64) []byte {
 	const need = 1 + 16 + 8
@@ -300,10 +331,11 @@ func encodeWALDelete(buf []byte, id core.SensorID, cutoff int64) []byte {
 
 // walOp is one replayed mutation.
 type walOp struct {
-	del     bool
-	id      core.SensorID
-	cutoff  int64   // delete only
-	entries []entry // insert only
+	del       bool
+	versioned bool // type-3 insert: entries carry write versions
+	id        core.SensorID
+	cutoff    int64   // delete only
+	entries   []entry // insert only
 }
 
 // decodeWALRecords replays a segment's byte content. It stops silently
@@ -356,6 +388,27 @@ func decodeWALPayload(p []byte) (walOp, bool) {
 			off += 24
 		}
 		return walOp{id: id, entries: es}, true
+	case walRecInsertV:
+		if len(p) < 21 {
+			return walOp{}, false
+		}
+		id := core.SensorID{Hi: binary.BigEndian.Uint64(p[1:]), Lo: binary.BigEndian.Uint64(p[9:])}
+		count := int(binary.BigEndian.Uint32(p[17:]))
+		if count < 0 || len(p)-21 != 32*count {
+			return walOp{}, false
+		}
+		es := make([]entry, count)
+		off := 21
+		for i := range es {
+			es[i] = entry{
+				ts:     int64(binary.BigEndian.Uint64(p[off:])),
+				val:    math.Float64frombits(binary.BigEndian.Uint64(p[off+8:])),
+				expire: int64(binary.BigEndian.Uint64(p[off+16:])),
+				ver:    binary.BigEndian.Uint64(p[off+24:]),
+			}
+			off += 32
+		}
+		return walOp{id: id, entries: es, versioned: true}, true
 	case walRecDelete:
 		if len(p) != 25 {
 			return walOp{}, false
