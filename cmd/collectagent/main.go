@@ -15,7 +15,14 @@
 //
 //	collectagent -listen :1883 -rest :8080 -nodes 2 -replication 1 \
 //	             -data /var/lib/dcdb/agent
+//	collectagent -listen :1883 -join 127.0.0.1:4441 -replication 2
 //	collectagent ... -metrics-addr 127.0.0.1:9090 [-pprof] [-self-monitor 10s]
+//
+// With -join the agent discovers the storage ring from any one gossip
+// seed instead of a full -nodes list, then follows membership changes
+// live: nodes joining, leaving or dying reshape the consistent-hash
+// ring and the agent rebalances its coordination (and streams moved
+// ranges) without a restart.
 //
 // With -metrics-addr (or -rest; both expose /metrics) the process
 // serves its Prometheus exposition: agent ingest counters, cluster
@@ -41,6 +48,7 @@ import (
 
 	"dcdb/internal/collectagent"
 	"dcdb/internal/core"
+	"dcdb/internal/membership"
 	"dcdb/internal/metrics"
 	"dcdb/internal/rest"
 	"dcdb/internal/rpc"
@@ -68,6 +76,8 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:1883", "MQTT listen address")
 	restAddr := flag.String("rest", "", "RESTful API listen address (empty = disabled)")
 	nodes := flag.String("nodes", "1", "storage backend: a node count for the embedded cluster, or a comma-separated host:port list of dcdbnode processes")
+	join := flag.String("join", "", "comma-separated seed dcdbnode addresses: discover the storage ring via gossip instead of listing every node with -nodes, follow joins/leaves live and rebalance through them (forces the ring partitioner)")
+	ringPoll := flag.Duration("ring-poll", time.Second, "membership poll cadence in -join mode")
 	replication := flag.Int("replication", 1, "copies of each row")
 	partitioner := flag.String("partitioner", "hierarchical", "hierarchical or hash")
 	depth := flag.Int("depth", 4, "hierarchy depth of the partition key")
@@ -114,12 +124,36 @@ func main() {
 	}
 
 	// An integer -nodes runs the embedded cluster; an address list
-	// connects to that many dcdbnode processes over RPC.
+	// connects to that many dcdbnode processes over RPC; -join
+	// discovers the node set from gossip seeds instead.
 	nodeCount, remoteAddrs, nodeDesc := parseNodes(*nodes)
+	seeds := rpc.SplitAddrList(*join)
+	if len(seeds) > 0 && remoteAddrs != nil {
+		log.Fatal("collectagent: -join and a -nodes address list are mutually exclusive — the seed discovers the node set")
+	}
 
 	var cluster *store.Cluster
+	var watcher *membership.Watcher
 	var err error
 	switch {
+	case len(seeds) > 0:
+		if *dataDir != "" {
+			if mkerr := os.MkdirAll(*dataDir, 0o755); mkerr != nil {
+				log.Fatal(mkerr)
+			}
+			co.HintDir = collectagent.HintsDir(*dataDir)
+		}
+		// Live membership needs placement every coordinator derives
+		// identically from the member set alone: the consistent-hash
+		// ring, regardless of -partitioner.
+		co.Partitioner = store.RingPartitioner{}
+		cluster, err = collectagent.OpenDiscoveredBackend(seeds, co, rpc.ClientOptions{})
+		if err == nil {
+			nodeDesc = fmt.Sprintf("%d RPC storage node(s) discovered via %s", len(cluster.Backends()), strings.Join(seeds, ","))
+			if watcher, err = collectagent.WatchMembership(cluster, seeds, *ringPoll); err != nil {
+				cluster.Close()
+			}
+		}
 	case remoteAddrs != nil:
 		if *dataDir != "" {
 			// The data directory holds no node data in remote mode —
@@ -258,6 +292,9 @@ func main() {
 			persistTick()
 		case <-stop:
 			stopSelf() // no self-publishes once the backend starts closing
+			if watcher != nil {
+				watcher.Stop() // no membership swaps once the backend starts closing
+			}
 			persistTick()
 			if err := cluster.Close(); err != nil {
 				log.Printf("collectagent: closing backend: %v", err)

@@ -10,7 +10,18 @@
 // Usage:
 //
 //	dcdbnode -listen 127.0.0.1:4441 -data /var/lib/dcdb/node0 [-wal-sync 0]
+//	dcdbnode ... -join 127.0.0.1:4441[,more-seeds] [-advertise host:port]
 //	dcdbnode ... -metrics-addr 127.0.0.1:9090 [-pprof]
+//
+// With -join the node participates in gossip membership: it announces
+// itself to the seed nodes (any existing cluster member works — the
+// first node of a cluster passes its own address, or none), detects
+// peer failures, and coordinators that discover the ring through any
+// member rebalance data onto it live. The node's ring identity is its
+// advertised address: -advertise overrides it when the listen address
+// is not what peers should dial (e.g. -listen :0 behind NAT). On
+// SIGTERM/SIGINT the node leaves gracefully, so peers drop it from the
+// ring without waiting out the failure detector.
 //
 // The bound address is printed as "dcdbnode: serving <addr>" once the
 // node is recovered and listening, so scripts may pass -listen :0 and
@@ -26,9 +37,12 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"dcdb/internal/membership"
 	"dcdb/internal/metrics"
 	"dcdb/internal/rpc"
 	"dcdb/internal/store"
@@ -42,6 +56,9 @@ func main() {
 	cacheBytes := flag.String("cache-bytes", "0", "block cache budget (e.g. 256MB): bounds resident run data — memory stays O(cache), retention is limited by disk; 0 keeps all runs resident")
 	metricsAddr := flag.String("metrics-addr", "", "Prometheus /metrics listen address (empty = disabled)")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof on the -metrics-addr listener")
+	join := flag.String("join", "", "comma-separated seed addresses: enable gossip membership and announce this node to the cluster (pass the node's own address, or nothing after the comma split, to bootstrap a new ring)")
+	advertise := flag.String("advertise", "", "address peers dial for this node; default = the bound listen address (set it when -listen is :0 or not routable)")
+	gossipInterval := flag.Duration("gossip-interval", 0, "gossip round cadence (0 = default)")
 	flag.Parse()
 
 	if *dataDir == "" {
@@ -61,11 +78,63 @@ func main() {
 	log.Printf("dcdbnode: recovered %s (%d resident entries) in %s", *dataDir, entries, time.Since(start).Round(time.Millisecond))
 
 	srv := rpc.NewServer(node, false)
+	// The gossip handler must be registered before Listen, but the
+	// agent's ring identity defaults to the bound address — known only
+	// after Listen when -listen is :0. An atomic pointer bridges the
+	// gap: frames arriving before the agent exists are rejected, which
+	// peers simply retry on the next round.
+	var agent atomic.Pointer[membership.Agent]
+	gossiping := *join != ""
+	if gossiping {
+		srv.SetGossip(func(peerState []byte) ([]byte, error) {
+			a := agent.Load()
+			if a == nil {
+				return nil, rpc.ErrGossipUnavailable
+			}
+			return a.Handle(peerState)
+		})
+	}
 	if err := srv.Listen(*listen); err != nil {
 		node.Close()
 		log.Fatalf("dcdbnode: listening on %s: %v", *listen, err)
 	}
 	log.Printf("dcdbnode: serving %s", srv.Addr())
+
+	if gossiping {
+		self := *advertise
+		if self == "" {
+			self = srv.Addr()
+		}
+		// "-join self" (or a list that reduces to this node's own
+		// address) bootstraps a new ring.
+		var seeds []string
+		for _, s := range strings.Split(*join, ",") {
+			if s = strings.TrimSpace(s); s != "" && s != "self" && s != self {
+				seeds = append(seeds, s)
+			}
+		}
+		a, err := membership.New(membership.Config{
+			ID:       self,
+			Addr:     self,
+			Interval: *gossipInterval,
+			Seeds:    seeds,
+		})
+		if err != nil {
+			srv.Close()
+			node.Close()
+			log.Fatalf("dcdbnode: membership: %v", err)
+		}
+		agent.Store(a)
+		if len(seeds) > 0 {
+			if err := a.Join(seeds...); err != nil {
+				// A seed being down is not fatal: the gossip loop keeps
+				// retrying the seeds until the cluster appears.
+				log.Printf("dcdbnode: join attempt failed (will keep retrying): %v", err)
+			}
+		}
+		a.Start()
+		log.Printf("dcdbnode: gossiping as %s (seeds %v)", self, seeds)
+	}
 
 	if *metricsAddr != "" {
 		msrv, mln, err := metrics.Serve(*metricsAddr, *pprofFlag,
@@ -84,6 +153,11 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
+	if a := agent.Load(); a != nil {
+		// Disseminate a Left tombstone so peers shrink the ring now
+		// instead of waiting out the failure detector.
+		a.Leave()
+	}
 	srv.Close()
 	if err := node.Close(); err != nil {
 		log.Printf("dcdbnode: closing node: %v", err)

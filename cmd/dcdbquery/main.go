@@ -20,7 +20,12 @@
 //	dcdbquery -db ... -list [/subtree]
 //	dcdbquery -db ... -nodes 127.0.0.1:4441,127.0.0.1:4442 \
 //	          -replication 2 -consistency quorum /topic/one
+//	dcdbquery -db ... -join 127.0.0.1:4441 -replication 2 /topic/one
 //	dcdbquery -db ... [-nodes ...] -op stats
+//
+// -join replaces the full -nodes list with gossip seed discovery: any
+// one live cluster member answers with the whole ring, and placement
+// follows the consistent-hash ring the gossip-aware coordinators use.
 //
 // -op stats takes no topics: it prints each storage node's counters
 // and full metrics snapshot (latency histograms as count/sum/p50/p99),
@@ -83,6 +88,7 @@ func printStats(w io.Writer, stats []store.NodeStats) {
 func main() {
 	db := flag.String("db", "dcdb", "snapshot file prefix or agent data directory")
 	nodesFlag := flag.String("nodes", "", "comma-separated dcdbnode addresses: query the live cluster instead of files")
+	joinFlag := flag.String("join", "", "comma-separated gossip seed addresses: discover the live cluster's ring from any one member instead of listing every node (forces the ring partitioner)")
 	replication := flag.Int("replication", 1, "cluster replication factor (with -nodes; must match the agent)")
 	partitioner := flag.String("partitioner", "hierarchical", "hierarchical or hash (with -nodes; must match the agent)")
 	depth := flag.Int("depth", 4, "hierarchy depth of the partition key (with -nodes)")
@@ -97,7 +103,10 @@ func main() {
 	var node *store.Node
 	var cluster *store.Cluster
 	var err error
-	if *nodesFlag != "" {
+	if *nodesFlag != "" && *joinFlag != "" {
+		log.Fatal("dcdbquery: -nodes and -join are mutually exclusive — the seed discovers the node set")
+	}
+	if *nodesFlag != "" || *joinFlag != "" {
 		var part store.Partitioner
 		switch *partitioner {
 		case "hierarchical":
@@ -113,6 +122,7 @@ func main() {
 		}
 		conn, cluster, err = tooldb.OpenRemote(*db, tooldb.RemoteOptions{
 			Addrs:           rpc.SplitAddrList(*nodesFlag),
+			Seeds:           rpc.SplitAddrList(*joinFlag),
 			Replication:     *replication,
 			Partitioner:     part,
 			ReadConsistency: readCL,

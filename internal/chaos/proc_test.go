@@ -23,17 +23,19 @@ type nodeProc struct {
 	addr string
 }
 
-// startNode launches dcdbnode on dir. The first launch for a directory
-// picks a free port; restarts reuse the recorded port so existing
-// clients reconnect to the same address.
-func startNode(t *testing.T, bin, dir string) *nodeProc {
+// startNode launches dcdbnode on dir with optional extra flags (gossip
+// membership, timers). The first launch for a directory picks a free
+// port; restarts reuse the recorded port so existing clients reconnect
+// to the same address.
+func startNode(t *testing.T, bin, dir string, extra ...string) *nodeProc {
 	t.Helper()
 	listen := "127.0.0.1:0"
 	portFile := dir + ".port"
 	if b, err := os.ReadFile(portFile); err == nil {
 		listen = strings.TrimSpace(string(b))
 	}
-	cmd := exec.Command(bin, "-listen", listen, "-data", dir, "-wal-sync", "0")
+	args := append([]string{"-listen", listen, "-data", dir, "-wal-sync", "0"}, extra...)
+	cmd := exec.Command(bin, args...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)

@@ -15,12 +15,15 @@ package collectagent
 import (
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"dcdb/internal/core"
 	"dcdb/internal/fsutil"
+	"dcdb/internal/membership"
 	"dcdb/internal/rpc"
 	"dcdb/internal/store"
 )
@@ -159,6 +162,59 @@ func OpenRemoteBackend(addrs []string, co store.ClusterOptions, ro rpc.ClientOpt
 		return nil, err
 	}
 	return c, nil
+}
+
+// OpenDiscoveredBackend builds a live-membership cluster of RPC
+// storage nodes discovered from seed addresses: any one reachable
+// dcdbnode answers a gossip probe with the full member table, so the
+// agent needs a seed, not the complete node list. Placement is the
+// consistent-hash ring keyed by member identity — every coordinator
+// that discovers the same table derives the same placement. Pair with
+// WatchMembership to follow joins, leaves and failures live.
+func OpenDiscoveredBackend(seeds []string, co store.ClusterOptions, ro rpc.ClientOptions) (*store.Cluster, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("collectagent: no seed addresses to discover from")
+	}
+	members, err := membership.DiscoverRing(seeds...)
+	if err != nil {
+		return nil, err
+	}
+	ms := make([]store.MemberInfo, len(members))
+	for i, m := range members {
+		ms[i] = store.MemberInfo{ID: m.ID, Addr: m.Addr}
+	}
+	if co.Partitioner == nil {
+		co.Partitioner = store.RingPartitioner{}
+	}
+	co.BackendFactory = func(id, addr string) store.NodeBackend {
+		return rpc.NewClient(addr, ro)
+	}
+	return store.NewClusterMembers(ms, co)
+}
+
+// WatchMembership starts a poller that follows the gossip member table
+// via the seeds and applies ring changes to the cluster (SetMembers
+// triggers the streaming rebalance + cutover). Stop the returned
+// watcher before closing the cluster.
+func WatchMembership(c *store.Cluster, seeds []string, interval time.Duration) (*membership.Watcher, error) {
+	w, err := membership.NewWatcher(membership.WatcherConfig{
+		Seeds:    seeds,
+		Interval: interval,
+		OnChange: func(members []membership.Member) {
+			ms := make([]store.MemberInfo, len(members))
+			for i, m := range members {
+				ms[i] = store.MemberInfo{ID: m.ID, Addr: m.Addr}
+			}
+			if err := c.SetMembers(ms); err != nil {
+				log.Printf("collectagent: applying membership change: %v", err)
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	w.Start()
+	return w, nil
 }
 
 // TopicsPath returns the topic-map file under a data directory.

@@ -1,0 +1,188 @@
+package membership
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+)
+
+// Discovery: how coordinators that are not themselves ring members —
+// collect agents, query tools — learn the cluster from any one seed
+// node. A discovery probe is a push-pull exchange carrying an empty
+// table: the seed merges nothing and answers with everything it knows,
+// so a single reachable node (any node — gossip makes every table
+// converge) replaces a hand-maintained -nodes list.
+
+// Discover fetches the member table from the first seed that answers,
+// without joining the ring. The caller owns the transport.
+func Discover(t Transport, seeds ...string) ([]Member, error) {
+	probe := encodeState(nil)
+	var lastErr error
+	for _, s := range seeds {
+		if s == "" {
+			continue
+		}
+		resp, err := t.Exchange(s, probe)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		ms, err := decodeState(resp)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return ms, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no usable seed address")
+	}
+	return nil, fmt.Errorf("membership: discovery failed: %w", lastErr)
+}
+
+// DiscoverRing is Discover over a one-shot RPC transport, filtered to
+// the placement-eligible members (not Dead, not Left).
+func DiscoverRing(seeds ...string) ([]Member, error) {
+	t := NewRPCTransport(RPCTransportOptions{})
+	defer t.Close()
+	ms, err := Discover(t, seeds...)
+	if err != nil {
+		return nil, err
+	}
+	ring := ms[:0]
+	for _, m := range ms {
+		if m.Status < StatusLeft {
+			ring = append(ring, m)
+		}
+	}
+	if len(ring) == 0 {
+		return nil, fmt.Errorf("membership: seed knows no live members")
+	}
+	return ring, nil
+}
+
+// WatcherConfig tunes a membership watcher.
+type WatcherConfig struct {
+	// Seeds are the addresses polled for the member table; the first
+	// one that answers serves each poll.
+	Seeds []string
+	// Interval is the poll cadence. Default 1s.
+	Interval time.Duration
+	// Transport carries the polls. Default: the RPC transport, closed
+	// by Stop.
+	Transport Transport
+	// OnChange fires with the new placement-eligible member set
+	// whenever it differs from the last observation. Required.
+	OnChange func([]Member)
+	// Logf logs poll failures. Default log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Watcher polls seed nodes for the gossip member table and surfaces
+// ring changes to a coordinator that is not itself a gossip
+// participant — the glue between the membership layer and a
+// store.Cluster's SetMembers.
+type Watcher struct {
+	cfg     WatcherConfig
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	lastKey string
+	started bool
+	stopped bool
+}
+
+// NewWatcher builds a watcher; Start begins polling.
+func NewWatcher(cfg WatcherConfig) (*Watcher, error) {
+	if len(cfg.Seeds) == 0 {
+		return nil, fmt.Errorf("membership: watcher needs seed addresses")
+	}
+	if cfg.OnChange == nil {
+		return nil, fmt.Errorf("membership: watcher needs an OnChange callback")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.Transport == nil {
+		cfg.Transport = NewRPCTransport(RPCTransportOptions{})
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	return &Watcher{cfg: cfg, stop: make(chan struct{})}, nil
+}
+
+// Start launches the poll loop, with one immediate poll. Idempotent.
+func (w *Watcher) Start() {
+	w.mu.Lock()
+	if w.started || w.stopped {
+		w.mu.Unlock()
+		return
+	}
+	w.started = true
+	w.mu.Unlock()
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		w.Poll()
+		t := time.NewTicker(w.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-t.C:
+				w.Poll()
+			}
+		}
+	}()
+}
+
+// Poll makes one discovery pass, firing OnChange if the ring-member
+// set differs from the last observation. Safe to call directly (tests,
+// or a coordinator that wants an immediate refresh).
+func (w *Watcher) Poll() {
+	ms, err := Discover(w.cfg.Transport, w.cfg.Seeds...)
+	if err != nil {
+		w.cfg.Logf("membership: watcher poll: %v", err)
+		return
+	}
+	ring := make([]Member, 0, len(ms))
+	ids := make([]string, 0, len(ms))
+	for _, m := range ms {
+		if m.Status < StatusLeft {
+			ring = append(ring, m)
+			ids = append(ids, m.ID)
+		}
+	}
+	if len(ring) == 0 {
+		w.cfg.Logf("membership: watcher poll: seed knows no live members; keeping current set")
+		return
+	}
+	key := ringKey(ids)
+	w.mu.Lock()
+	changed := key != w.lastKey
+	w.lastKey = key
+	w.mu.Unlock()
+	if changed {
+		w.cfg.OnChange(ring)
+	}
+}
+
+// Stop halts polling and closes the transport.
+func (w *Watcher) Stop() {
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		return
+	}
+	w.stopped = true
+	started := w.started
+	w.mu.Unlock()
+	close(w.stop)
+	if started {
+		w.wg.Wait()
+	}
+	_ = w.cfg.Transport.Close()
+}

@@ -1,0 +1,178 @@
+package membership
+
+import (
+	"testing"
+	"time"
+
+	"dcdb/internal/rpc"
+	"dcdb/internal/store"
+)
+
+// gossipNode is one storage node process in miniature: a store.Node
+// served over RPC with a membership agent wired into the server's
+// gossip handler — the exact shape cmd/dcdbnode assembles.
+type gossipNode struct {
+	node  *store.Node
+	srv   *rpc.Server
+	agent *Agent
+}
+
+func startGossipNode(t *testing.T, seeds ...string) *gossipNode {
+	t.Helper()
+	n := store.NewNode(0)
+	srv := rpc.NewServer(n, true)
+	g := &gossipNode{node: n, srv: srv}
+	srv.SetGossip(func(peerState []byte) ([]byte, error) {
+		if g.agent == nil {
+			return nil, rpc.ErrGossipUnavailable
+		}
+		return g.agent.Handle(peerState)
+	})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(Config{
+		ID:       srv.Addr(),
+		Interval: 10 * time.Millisecond,
+		Seeds:    seeds,
+		Transport: NewRPCTransport(RPCTransportOptions{
+			DialTimeout: 500 * time.Millisecond,
+			CallTimeout: time.Second,
+		}),
+		Logf: func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.agent = a
+	if len(seeds) > 0 {
+		_ = a.Join(seeds...)
+	}
+	a.Start()
+	t.Cleanup(func() {
+		a.Stop()
+		srv.Close()
+		n.Close()
+	})
+	return g
+}
+
+// TestGossipOverRPC assembles three nodes exchanging over the real
+// wire protocol (opGossip frames on the data port) and checks that
+// they converge, that DiscoverRing sees the full ring through any one
+// seed without joining, and that a watcher over the RPC transport
+// tracks a graceful leave.
+func TestGossipOverRPC(t *testing.T) {
+	a := startGossipNode(t)
+	b := startGossipNode(t, a.srv.Addr())
+	c := startGossipNode(t, a.srv.Addr())
+
+	agents := []*Agent{a.agent, b.agent, c.agent}
+	waitFor(t, "three RPC nodes to converge", func() bool {
+		return sameRing(agents, 3)
+	})
+
+	// Discovery through each seed returns the same three live members.
+	for _, g := range []*gossipNode{a, b, c} {
+		ms, err := DiscoverRing(g.srv.Addr())
+		if err != nil {
+			t.Fatalf("DiscoverRing via %s: %v", g.srv.Addr(), err)
+		}
+		if len(ms) != 3 {
+			t.Fatalf("DiscoverRing via %s returned %d members, want 3", g.srv.Addr(), len(ms))
+		}
+	}
+	// The probing observer never joined the ring.
+	if len(ringIDs(a.agent)) != 3 {
+		t.Fatalf("discovery probe changed the ring: %v", ringIDs(a.agent))
+	}
+
+	// A watcher over the default RPC transport follows the ring.
+	changes := make(chan int, 16)
+	w, err := NewWatcher(WatcherConfig{
+		Seeds:    []string{a.srv.Addr(), b.srv.Addr()},
+		Interval: 20 * time.Millisecond,
+		OnChange: func(ms []Member) { changes <- len(ms) },
+		Logf:     func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start()
+	defer w.Stop()
+	select {
+	case n := <-changes:
+		if n != 3 {
+			t.Fatalf("watcher's first observation had %d members, want 3", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watcher never observed the ring")
+	}
+
+	// Graceful leave: the tombstone spreads over RPC and the watcher
+	// reports the shrunken ring.
+	c.agent.Leave()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case n := <-changes:
+			if n == 2 {
+				return
+			}
+		case <-deadline:
+			t.Fatal("watcher never observed the leave")
+		}
+	}
+}
+
+// TestStatusString pins the human-readable status names used in logs.
+func TestStatusString(t *testing.T) {
+	for want, st := range map[string]Status{
+		"alive":   StatusAlive,
+		"suspect": StatusSuspect,
+		"left":    StatusLeft,
+		"dead":    StatusDead,
+	} {
+		if got := st.String(); got != want {
+			t.Fatalf("Status(%d).String() = %q, want %q", st, got, want)
+		}
+	}
+	if got := Status(9).String(); got != "status(9)" {
+		t.Fatalf("unknown status string: %q", got)
+	}
+}
+
+// TestDiscoverRingNoLiveMembers: a seed whose table holds only
+// tombstones must yield an explicit error, not an empty cluster.
+func TestDiscoverRingNoLiveMembers(t *testing.T) {
+	if _, err := DiscoverRing("127.0.0.1:1"); err == nil {
+		t.Fatal("DiscoverRing against nothing succeeded")
+	}
+}
+
+// TestNewWatcherValidation pins the watcher's required configuration.
+func TestNewWatcherValidation(t *testing.T) {
+	if _, err := NewWatcher(WatcherConfig{OnChange: func([]Member) {}}); err == nil {
+		t.Fatal("watcher without seeds accepted")
+	}
+	if _, err := NewWatcher(WatcherConfig{Seeds: []string{"x"}}); err == nil {
+		t.Fatal("watcher without OnChange accepted")
+	}
+}
+
+// TestDiscoverSeedFailover: discovery walks the seed list until one
+// answers — a dead first seed must not fail the probe.
+func TestDiscoverSeedFailover(t *testing.T) {
+	a := startGossipNode(t)
+	b := startGossipNode(t, a.srv.Addr())
+	waitFor(t, "two RPC nodes to converge", func() bool {
+		return sameRing([]*Agent{a.agent, b.agent}, 2)
+	})
+	ms, err := DiscoverRing("127.0.0.1:1", a.srv.Addr())
+	if err != nil {
+		t.Fatalf("discovery with a dead first seed: %v", err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("discovered %d members, want 2", len(ms))
+	}
+}

@@ -504,6 +504,13 @@ func (c *Client) Digest(id core.SensorID, from, to int64) (fp uint64, count int6
 	return fp, count, nil
 }
 
+// Gossip performs one membership push-pull exchange: state is this
+// process's encoded member list, the reply the peer's. The payload is
+// opaque to the rpc layer (see internal/membership for the encoding).
+func (c *Client) Gossip(state []byte) ([]byte, error) {
+	return c.call(opGossip, state)
+}
+
 // Query implements store.Backend.
 func (c *Client) Query(id core.SensorID, from, to int64) ([]core.Reading, error) {
 	body := make([]byte, 0, 16+16)

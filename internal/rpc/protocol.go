@@ -100,6 +100,12 @@ const (
 	// sensor range — the O(1)-response comparison anti-entropy uses to
 	// decide whether replicas have diverged before moving any data.
 	opDigest = 18
+	// opGossip carries one membership push-pull exchange: the request
+	// body is the sender's encoded member state, the response the
+	// receiver's (both sides merge — see internal/membership). The rpc
+	// layer treats both as opaque bytes; a node without a registered
+	// gossip handler answers with an application error.
+	opGossip = 19
 )
 
 // opName names an op for metric labels and diagnostics. Unknown ops
@@ -143,6 +149,8 @@ func opName(op byte) string {
 		return "query_versioned"
 	case opDigest:
 		return "digest"
+	case opGossip:
+		return "gossip"
 	default:
 		return "unknown"
 	}

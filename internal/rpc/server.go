@@ -36,6 +36,7 @@ type Server struct {
 	backend store.NodeBackend
 	quiet   bool
 	now     func() time.Time
+	gossip  func([]byte) ([]byte, error)
 
 	ln     net.Listener
 	mu     sync.Mutex
@@ -60,6 +61,19 @@ func NewServer(backend store.NodeBackend, quiet bool) *Server {
 // anchored to this clock at arrival, so a skewed server stays correct;
 // the hook exists to prove exactly that. Call before Listen.
 func (s *Server) SetNow(now func() time.Time) { s.now = now }
+
+// ErrGossipUnavailable is what a gossip handler returns while the
+// membership agent is still starting up (the listener is bound before
+// the agent learns its advertised identity). Peers treat it like any
+// failed exchange and retry next round.
+var ErrGossipUnavailable = errors.New("rpc: membership agent not ready")
+
+// SetGossip registers the membership exchange handler served under
+// opGossip: it receives the peer's encoded state and returns this
+// node's. The rpc layer stays ignorant of the encoding — membership
+// rides the same framed, CRC-checked, pipelined connections as data.
+// Call before Listen; a node without a handler rejects gossip frames.
+func (s *Server) SetGossip(h func(peerState []byte) ([]byte, error)) { s.gossip = h }
 
 // Listen binds addr and starts accepting connections.
 func (s *Server) Listen(addr string) error {
@@ -630,6 +644,16 @@ func (s *Server) handle(payload []byte, arrived time.Time) []byte {
 		}
 		resp = appendU64(resp, fp)
 		resp = appendI64(resp, count)
+	case opGossip:
+		body := cur.b[cur.off:]
+		if s.gossip == nil {
+			return fail(fmt.Errorf("rpc: node does not serve membership gossip"))
+		}
+		out, err := s.gossip(body)
+		if err != nil {
+			return fail(err)
+		}
+		resp = append(resp, out...)
 	case opSensorIDs:
 		if err := cur.done(); err != nil {
 			return fail(err)

@@ -97,12 +97,13 @@ func (c *Cluster) Aggregate(id core.SensorID, spec fold.Spec) (fold.State, error
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	replicas := c.replicasFor(id)
+	t := c.top()
+	replicas := c.readReplicas(t, id)
 	required := c.readCL.required(len(replicas))
 	if required == 1 {
 		var lastErr error
 		for _, idx := range replicas {
-			st, err := c.backends[idx].Aggregate(id, spec)
+			st, err := t.members[idx].backend.Aggregate(id, spec)
 			if err == nil {
 				return st, nil
 			}
@@ -117,7 +118,7 @@ func (c *Cluster) Aggregate(id core.SensorID, spec fold.Spec) (fold.State, error
 		wg.Add(1)
 		go func(i, idx int) {
 			defer wg.Done()
-			states[i], errs[i] = c.backends[idx].Aggregate(id, spec)
+			states[i], errs[i] = t.members[idx].backend.Aggregate(id, spec)
 		}(i, idx)
 	}
 	wg.Wait()

@@ -67,7 +67,8 @@ func (c *Cluster) RepairRound() error {
 // repairSensor digest-compares one sensor's replicas and converges
 // them if they disagree.
 func (c *Cluster) repairSensor(id core.SensorID) error {
-	replicas := c.replicasFor(id)
+	t := c.top()
+	replicas := c.readReplicas(t, id)
 	fps := make([]uint64, len(replicas))
 	counts := make([]int64, len(replicas))
 	errs := make([]error, len(replicas))
@@ -76,7 +77,7 @@ func (c *Cluster) repairSensor(id core.SensorID) error {
 		wg.Add(1)
 		go func(i, idx int) {
 			defer wg.Done()
-			fps[i], counts[i], errs[i] = c.backends[idx].Digest(id, aeFrom, aeTo)
+			fps[i], counts[i], errs[i] = t.members[idx].backend.Digest(id, aeFrom, aeTo)
 		}(i, idx)
 	}
 	wg.Wait()
@@ -109,7 +110,7 @@ func (c *Cluster) repairSensor(id core.SensorID) error {
 		wg.Add(1)
 		go func(i, idx int) {
 			defer wg.Done()
-			results[i], errs[i] = c.backends[idx].QueryVersioned(id, aeFrom, aeTo)
+			results[i], errs[i] = t.members[idx].backend.QueryVersioned(id, aeFrom, aeTo)
 		}(i, idx)
 	}
 	wg.Wait()
@@ -135,7 +136,7 @@ func (c *Cluster) repairSensor(id core.SensorID) error {
 		if len(delta) == 0 {
 			continue
 		}
-		if err := c.backends[idx].InsertVersioned(id, delta); err != nil {
+		if err := t.members[idx].backend.InsertVersioned(id, delta); err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}

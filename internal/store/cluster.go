@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dcdb/internal/core"
+	"dcdb/internal/ring"
 )
 
 // parallelBatchMin is the batch size below which a replicated write to
@@ -64,6 +65,37 @@ func (HashPartitioner) NodeFor(id core.SensorID, n int) int {
 // Name implements Partitioner.
 func (HashPartitioner) Name() string { return "hash" }
 
+// RingPartitioner selects consistent-hash placement: sensors hash onto
+// a ring of member identities with VNodes virtual nodes per member
+// (internal/ring), so membership changes move only the ranges the
+// joining/leaving member owns and every coordinator holding the same
+// member set derives identical placement without coordination. The
+// interface's NodeFor is the degenerate static mapping (hash modulo n)
+// — ring clusters resolve placement through the topology snapshot, not
+// through this method.
+type RingPartitioner struct {
+	// VNodes is the virtual-node count per member; <= 0 selects
+	// ring.DefaultVNodes.
+	VNodes int
+}
+
+// NodeFor implements Partitioner (static fallback only).
+func (p RingPartitioner) NodeFor(id core.SensorID, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(fnvSID(id) % uint64(n))
+}
+
+// Name implements Partitioner.
+func (p RingPartitioner) Name() string {
+	v := p.VNodes
+	if v <= 0 {
+		v = ring.DefaultVNodes
+	}
+	return fmt.Sprintf("ring(vnodes=%d)", v)
+}
+
 func fnvSID(id core.SensorID) uint64 {
 	const (
 		offset = 14695981039346656037
@@ -91,7 +123,8 @@ func fnvSID(id core.SensorID) uint64 {
 // ClusterOptions configure a Cluster beyond its member set.
 type ClusterOptions struct {
 	// Partitioner routes a sensor to its primary. nil defaults to the
-	// hierarchical scheme at depth 4.
+	// hierarchical scheme at depth 4. RingPartitioner selects live
+	// consistent-hash placement (required for SetMembers).
 	Partitioner Partitioner
 	// Replication is the total number of copies of each row (1 = no
 	// redundancy); it is capped at the backend count.
@@ -119,25 +152,48 @@ type ClusterOptions struct {
 	// that diverged — convergence without any read traffic. 0 disables
 	// the loop (RepairRound still works when called directly).
 	AntiEntropyInterval time.Duration
+	// BackendFactory builds the backend for a member SetMembers adds
+	// (typically an rpc.NewClient on the member's address). Required
+	// for live membership; static clusters never call it.
+	BackendFactory func(id, addr string) NodeBackend
+	// RebalanceThrottle is the pause between sensors during a
+	// background rebalance — the knob that keeps the copy stream below
+	// ingest traffic. 0 selects a small default; < 0 disables
+	// throttling.
+	RebalanceThrottle time.Duration
 }
 
 // Cluster composes storage backends into one logical Storage Backend
 // with replication, tunable consistency and hinted handoff, mirroring a
 // multi-server Cassandra cluster (paper §4.3). Backends may be
-// in-process (*Node) or remote (rpc.Client), mixed freely.
+// in-process (*Node) or remote (rpc.Client), mixed freely. The member
+// set lives in an atomically swapped topology snapshot (topology.go),
+// so ring clusters can grow and shrink live via SetMembers while
+// static clusters behave exactly as before.
 type Cluster struct {
-	backends    []NodeBackend
-	local       []bool // backends[i] is an in-process *Node
-	allLocal    bool
+	topo        atomic.Pointer[topology]
+	topoMu      sync.Mutex // serialises SetMembers / cutover
 	part        Partitioner
 	replication int
 	writeCL     Consistency
 	readCL      Consistency
+	factory     func(id, addr string) NodeBackend
+	rebThrottle time.Duration
 
 	hints  *hintQueue
 	met    *clusterMetrics
 	stopBG chan struct{}
 	bgWG   sync.WaitGroup
+
+	// Rebalance state: gen invalidates a superseded transfer, rebWG
+	// joins the background goroutine at Close.
+	rebGen atomic.Uint64
+	rebWG  sync.WaitGroup
+
+	// retired holds backends of departed members until Close: in-flight
+	// operations may still resolve snapshots that point at them.
+	retiredMu sync.Mutex
+	retired   []NodeBackend
 
 	// ver is the coordinator's write-version clock: an HLC-style
 	// counter seeded from the wall clock and bumped per logical write,
@@ -164,19 +220,76 @@ func NewCluster(nodes []*Node, part Partitioner, replication int) (*Cluster, err
 }
 
 // NewClusterOptions builds a cluster of arbitrary backends (local
-// nodes, RPC clients, or a mix).
+// nodes, RPC clients, or a mix) with static placement: members are
+// named node0..nodeN-1 in construction order and the set never
+// changes. Pass a RingPartitioner to place the same fixed members on a
+// consistent-hash ring instead (useful for tests; live membership
+// wants NewClusterMembers).
 func NewClusterOptions(backends []NodeBackend, o ClusterOptions) (*Cluster, error) {
 	if len(backends) == 0 {
 		return nil, fmt.Errorf("store: cluster needs at least one node")
 	}
+	members := make([]member, len(backends))
+	for i, b := range backends {
+		id := fmt.Sprintf("node%d", i)
+		addr := ""
+		if a, ok := b.(interface{ Addr() string }); ok {
+			addr = a.Addr()
+		}
+		_, local := b.(*Node)
+		members[i] = member{id: id, addr: addr, backend: b, local: local}
+	}
+	return newCluster(members, o, false)
+}
+
+// NewClusterMembers builds a live-membership cluster: members are
+// keyed by identity on a consistent-hash ring, backends are built with
+// o.BackendFactory, and SetMembers may change the set at runtime. The
+// partitioner defaults to (and must be) a RingPartitioner.
+func NewClusterMembers(ms []MemberInfo, o ClusterOptions) (*Cluster, error) {
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("store: cluster needs at least one member")
+	}
+	if o.BackendFactory == nil {
+		return nil, fmt.Errorf("store: NewClusterMembers needs a BackendFactory")
+	}
+	if o.Partitioner == nil {
+		o.Partitioner = RingPartitioner{}
+	}
+	if _, ok := o.Partitioner.(RingPartitioner); !ok {
+		return nil, fmt.Errorf("store: live membership requires the ring partitioner, got %s", o.Partitioner.Name())
+	}
+	members := make([]member, 0, len(ms))
+	seen := make(map[string]struct{}, len(ms))
+	for _, m := range ms {
+		if m.ID == "" {
+			return nil, fmt.Errorf("store: member with empty ID")
+		}
+		if _, dup := seen[m.ID]; dup {
+			continue
+		}
+		seen[m.ID] = struct{}{}
+		b := o.BackendFactory(m.ID, m.Addr)
+		if b == nil {
+			return nil, fmt.Errorf("store: BackendFactory returned nil for member %s", m.ID)
+		}
+		_, local := b.(*Node)
+		members = append(members, member{id: m.ID, addr: m.Addr, backend: b, local: local})
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].id < members[j].id })
+	return newCluster(members, o, true)
+}
+
+// newCluster finishes construction for both placement modes.
+func newCluster(members []member, o ClusterOptions, ringMode bool) (*Cluster, error) {
 	if o.Partitioner == nil {
 		o.Partitioner = HierarchicalPartitioner{Depth: 4}
 	}
 	if o.Replication < 1 {
 		o.Replication = 1
 	}
-	if o.Replication > len(backends) {
-		o.Replication = len(backends)
+	if !ringMode && o.Replication > len(members) {
+		o.Replication = len(members)
 	}
 	if o.WriteConsistency == 0 {
 		o.WriteConsistency = ConsistencyOne
@@ -184,24 +297,29 @@ func NewClusterOptions(backends []NodeBackend, o ClusterOptions) (*Cluster, erro
 	if o.ReadConsistency == 0 {
 		o.ReadConsistency = ConsistencyOne
 	}
+	if o.RebalanceThrottle == 0 {
+		o.RebalanceThrottle = 2 * time.Millisecond
+	}
 	c := &Cluster{
-		backends:    backends,
-		local:       make([]bool, len(backends)),
-		allLocal:    true,
 		part:        o.Partitioner,
 		replication: o.Replication,
 		writeCL:     o.WriteConsistency,
 		readCL:      o.ReadConsistency,
+		factory:     o.BackendFactory,
+		rebThrottle: o.RebalanceThrottle,
 	}
-	c.met = newClusterMetrics(c)
-	for i, b := range backends {
-		_, c.local[i] = b.(*Node)
-		if !c.local[i] {
-			c.allLocal = false
+	var target *ring.Ring
+	if rp, ok := o.Partitioner.(RingPartitioner); ok {
+		ids := make([]string, len(members))
+		for i := range members {
+			ids[i] = members[i].id
 		}
+		target = ring.New(ids, rp.VNodes)
 	}
+	c.topo.Store(newTopology(members, target, nil))
+	c.met = newClusterMetrics(c)
 	if o.HintDir != "" {
-		hq, err := openHintQueue(o.HintDir, len(backends))
+		hq, err := openHintQueue(o.HintDir)
 		if err != nil {
 			return nil, fmt.Errorf("store: opening hint queue: %w", err)
 		}
@@ -251,32 +369,29 @@ func (c *Cluster) nextVersion() uint64 {
 // failure injection); remote backends are skipped.
 func (c *Cluster) Nodes() []*Node {
 	var out []*Node
-	for _, b := range c.backends {
-		if n, ok := b.(*Node); ok {
+	for _, m := range c.top().members {
+		if n, ok := m.backend.(*Node); ok {
 			out = append(out, n)
 		}
 	}
 	return out
 }
 
-// Backends exposes every member backend in ring order.
-func (c *Cluster) Backends() []NodeBackend { return c.backends }
+// Backends exposes every member backend in snapshot order.
+func (c *Cluster) Backends() []NodeBackend {
+	t := c.top()
+	out := make([]NodeBackend, len(t.members))
+	for i := range t.members {
+		out[i] = t.members[i].backend
+	}
+	return out
+}
 
 // Partitioner returns the active partitioning scheme.
 func (c *Cluster) Partitioner() Partitioner { return c.part }
 
 // Replication returns the configured copies per row.
 func (c *Cluster) Replication() int { return c.replication }
-
-// replicasFor yields the node indices holding a sensor, primary first.
-func (c *Cluster) replicasFor(id core.SensorID) []int {
-	primary := c.part.NodeFor(id, len(c.backends))
-	out := make([]int, 0, c.replication)
-	for i := 0; i < c.replication; i++ {
-		out = append(out, (primary+i)%len(c.backends))
-	}
-	return out
-}
 
 // fanOut runs op for every listed replica, concurrently unless the
 // caller asked for the cheap sequential path, and returns one error
@@ -302,12 +417,12 @@ func (c *Cluster) fanOut(replicas []int, sequential bool, op func(idx int) error
 }
 
 // localOnly reports whether every listed replica is in-process.
-func (c *Cluster) localOnly(replicas []int) bool {
-	if c.allLocal {
+func localOnly(t *topology, replicas []int) bool {
+	if t.allLocal {
 		return true
 	}
 	for _, idx := range replicas {
-		if !c.local[idx] {
+		if !t.members[idx].local {
 			return false
 		}
 	}
@@ -322,7 +437,9 @@ func (c *Cluster) Insert(id core.SensorID, r core.Reading, ttl time.Duration) er
 
 // InsertBatch implements Backend. The coordinator stamps the batch
 // with one write version, then writes it to every replica; the write
-// is acknowledged once WriteConsistency replicas accepted it. Replicas
+// is acknowledged once WriteConsistency replicas of the READ set
+// accepted it (during a rebalance the fan-out also covers the target
+// ring's owners, whose acks never count — see writeReplicas). Replicas
 // that missed an acknowledged write get a durable hint (when handoff
 // is enabled) carrying the same version, replayed after they return —
 // so a replayed hint resolves exactly where the original write would
@@ -337,17 +454,21 @@ func (c *Cluster) InsertBatch(id core.SensorID, rs []core.Reading, ttl time.Dura
 	for i, r := range rs {
 		vrs[i] = VersionedReading{Timestamp: r.Timestamp, Value: r.Value, Version: ver, Expire: expire}
 	}
-	replicas := c.replicasFor(id)
-	sequential := len(rs) < parallelBatchMin && c.localOnly(replicas)
+	t := c.top()
+	replicas, readN := c.writeReplicas(t, id)
+	sequential := len(rs) < parallelBatchMin && localOnly(t, replicas)
 	errs := c.fanOut(replicas, sequential, func(idx int) error {
-		return c.backends[idx].InsertVersioned(id, vrs)
+		return t.members[idx].backend.InsertVersioned(id, vrs)
 	})
-	required := c.writeCL.required(len(replicas))
-	acked := 0
+	required := c.writeCL.required(readN)
+	acked, ackedAll := 0, 0
 	var lastErr error
-	for _, err := range errs {
+	for i, err := range errs {
 		if err == nil {
-			acked++
+			ackedAll++
+			if i < readN {
+				acked++
+			}
 		} else {
 			lastErr = err
 		}
@@ -358,10 +479,10 @@ func (c *Cluster) InsertBatch(id core.SensorID, rs []core.Reading, ttl time.Dura
 			c.writeCL, acked, required, lastErr)
 	}
 	c.met.writesOK.Inc()
-	if c.hints != nil && acked < len(replicas) {
+	if c.hints != nil && ackedAll < len(replicas) {
 		for i, idx := range replicas {
 			if errs[i] != nil {
-				c.hintInsert(idx, id, vrs)
+				c.hintInsert(t.members[idx].id, id, vrs)
 			}
 		}
 	}
@@ -377,11 +498,12 @@ func (c *Cluster) InsertBatch(id core.SensorID, rs []core.Reading, ttl time.Dura
 // so a repair write can never outrank a rewrite the replica already
 // holds.
 func (c *Cluster) Query(id core.SensorID, from, to int64) ([]core.Reading, error) {
-	replicas := c.replicasFor(id)
+	t := c.top()
+	replicas := c.readReplicas(t, id)
 	if c.readCL.required(len(replicas)) == 1 && len(replicas) >= 1 {
 		var lastErr error
 		for _, idx := range replicas {
-			rs, err := c.backends[idx].Query(id, from, to)
+			rs, err := t.members[idx].backend.Query(id, from, to)
 			if err == nil {
 				c.met.readsOK.Inc()
 				return rs, nil
@@ -398,7 +520,7 @@ func (c *Cluster) Query(id core.SensorID, from, to int64) ([]core.Reading, error
 		wg.Add(1)
 		go func(i, idx int) {
 			defer wg.Done()
-			results[i], errs[i] = c.backends[idx].QueryVersioned(id, from, to)
+			results[i], errs[i] = t.members[idx].backend.QueryVersioned(id, from, to)
 		}(i, idx)
 	}
 	wg.Wait()
@@ -431,7 +553,7 @@ func (c *Cluster) Query(id core.SensorID, from, to int64) ([]core.Reading, error
 		}
 		merged = mergeVersionedReadings(merged, results[i])
 	}
-	c.readRepair(id, replicas, results, errs, merged)
+	c.readRepair(t, id, replicas, results, errs, merged)
 	out := make([]core.Reading, len(merged))
 	for i, m := range merged {
 		out[i] = core.Reading{Timestamp: m.Timestamp, Value: m.Value}
@@ -479,7 +601,7 @@ func mergeReplicaReadings(a, b []core.Reading) []core.Reading {
 // duplicate resolves at the replica's query-time dedup exactly where
 // the original write would have — above anything older, below any
 // rewrite the replica holds that the merge did not.
-func (c *Cluster) readRepair(id core.SensorID, replicas []int, results [][]VersionedReading, errs []error, merged []VersionedReading) {
+func (c *Cluster) readRepair(t *topology, id core.SensorID, replicas []int, results [][]VersionedReading, errs []error, merged []VersionedReading) {
 	for i, idx := range replicas {
 		if errs[i] != nil {
 			continue
@@ -488,7 +610,7 @@ func (c *Cluster) readRepair(id core.SensorID, replicas []int, results [][]Versi
 		if len(delta) == 0 {
 			continue
 		}
-		b := c.backends[idx]
+		b := t.members[idx].backend
 		c.met.readRepairs.Inc()
 		c.repairWG.Add(1)
 		go func() {
@@ -499,32 +621,34 @@ func (c *Cluster) readRepair(id core.SensorID, replicas []int, results [][]Versi
 }
 
 // QueryPrefix implements Backend. With the hierarchical partitioner the
-// whole subtree lives on one replica set; with the hash partitioner the
-// query fans out to all nodes and results are merged. All nodes are
-// queried concurrently; a sensor present on several replicas has its
-// copies merged newest-wins. At read consistency QUORUM the query
-// fails if any replica window (any possible replica set) has fewer
-// than a quorum of its members responding — a conservative, exact
-// bound over every sensor the prefix could own.
+// whole subtree lives on one replica set; with the hash or ring
+// partitioner the query fans out to all nodes and results are merged.
+// All nodes are queried concurrently; a sensor present on several
+// replicas has its copies merged newest-wins. At read consistency
+// QUORUM the query fails if any replica window (any possible replica
+// set) has fewer than a quorum of its members responding — a
+// conservative, exact bound over every sensor the prefix could own.
 func (c *Cluster) QueryPrefix(prefix core.SensorID, depth int, from, to int64) (map[core.SensorID][]core.Reading, error) {
-	maps := make([]map[core.SensorID][]core.Reading, len(c.backends))
-	errs := make([]error, len(c.backends))
-	if len(c.backends) == 1 {
-		maps[0], errs[0] = c.backends[0].QueryPrefix(prefix, depth, from, to)
+	t := c.top()
+	n := len(t.members)
+	maps := make([]map[core.SensorID][]core.Reading, n)
+	errs := make([]error, n)
+	if n == 1 {
+		maps[0], errs[0] = t.members[0].backend.QueryPrefix(prefix, depth, from, to)
 	} else {
 		var wg sync.WaitGroup
-		for i, b := range c.backends {
+		for i := range t.members {
 			wg.Add(1)
 			go func(i int, b NodeBackend) {
 				defer wg.Done()
 				maps[i], errs[i] = b.QueryPrefix(prefix, depth, from, to)
-			}(i, b)
+			}(i, t.members[i].backend)
 		}
 		wg.Wait()
 	}
 	var firstErr error
 	failed := 0
-	for i := range c.backends {
+	for i := range errs {
 		if errs[i] != nil {
 			failed++
 			if firstErr == nil {
@@ -532,28 +656,16 @@ func (c *Cluster) QueryPrefix(prefix core.SensorID, depth int, from, to int64) (
 			}
 		}
 	}
-	if failed == len(c.backends) {
+	if failed == n {
 		return nil, fmt.Errorf("store: all nodes failed: %w", firstErr)
 	}
-	required := c.readCL.required(c.replication)
-	if required > 1 && failed > 0 {
-		// Replica sets are contiguous windows of the ring; check every
-		// window a primary could start.
-		for p := 0; p < len(c.backends); p++ {
-			ok := 0
-			for r := 0; r < c.replication; r++ {
-				if errs[(p+r)%len(c.backends)] == nil {
-					ok++
-				}
-			}
-			if ok < required {
-				return nil, fmt.Errorf("store: read consistency %s not met for replica set at node %d (%d/%d): %w",
-					c.readCL, p, ok, required, firstErr)
-			}
+	if failed > 0 {
+		if err := c.checkPrefixQuorum(t, errs, firstErr); err != nil {
+			return nil, err
 		}
 	}
 	out := make(map[core.SensorID][]core.Reading)
-	for i := range c.backends {
+	for i := range errs {
 		if errs[i] != nil {
 			continue
 		}
@@ -570,18 +682,24 @@ func (c *Cluster) QueryPrefix(prefix core.SensorID, depth int, from, to int64) (
 
 // DeleteBefore implements Backend; replicas are cleaned concurrently at
 // the write consistency level, with hints queued for replicas that
-// missed the delete.
+// missed the delete. During a rebalance the delete also reaches the
+// target ring's owners, so a moved range cannot resurrect data deleted
+// mid-transition.
 func (c *Cluster) DeleteBefore(id core.SensorID, cutoff int64) error {
-	replicas := c.replicasFor(id)
-	errs := c.fanOut(replicas, c.localOnly(replicas), func(idx int) error {
-		return c.backends[idx].DeleteBefore(id, cutoff)
+	t := c.top()
+	replicas, readN := c.writeReplicas(t, id)
+	errs := c.fanOut(replicas, localOnly(t, replicas), func(idx int) error {
+		return t.members[idx].backend.DeleteBefore(id, cutoff)
 	})
-	required := c.writeCL.required(len(replicas))
-	acked := 0
+	required := c.writeCL.required(readN)
+	acked, ackedAll := 0, 0
 	var lastErr error
-	for _, err := range errs {
+	for i, err := range errs {
 		if err == nil {
-			acked++
+			ackedAll++
+			if i < readN {
+				acked++
+			}
 		} else {
 			lastErr = err
 		}
@@ -592,10 +710,10 @@ func (c *Cluster) DeleteBefore(id core.SensorID, cutoff int64) error {
 			c.writeCL, acked, required, lastErr)
 	}
 	c.met.writesOK.Inc()
-	if c.hints != nil && acked < len(replicas) {
+	if c.hints != nil && ackedAll < len(replicas) {
 		for i, idx := range replicas {
 			if errs[i] != nil {
-				c.hintDelete(idx, id, cutoff)
+				c.hintDelete(t.members[idx].id, id, cutoff)
 			}
 		}
 	}
@@ -604,8 +722,8 @@ func (c *Cluster) DeleteBefore(id core.SensorID, cutoff int64) error {
 
 // Compact compacts every backend.
 func (c *Cluster) Compact() {
-	for _, b := range c.backends {
-		b.Compact()
+	for _, m := range c.top().members {
+		m.backend.Compact()
 	}
 }
 
@@ -623,18 +741,19 @@ func (c *Cluster) Sync() error {
 }
 
 func (c *Cluster) eachBackend(op func(NodeBackend) error) []error {
-	errs := make([]error, len(c.backends))
-	if len(c.backends) == 1 {
-		errs[0] = op(c.backends[0])
+	t := c.top()
+	errs := make([]error, len(t.members))
+	if len(t.members) == 1 {
+		errs[0] = op(t.members[0].backend)
 		return errs
 	}
 	var wg sync.WaitGroup
-	for i, b := range c.backends {
+	for i := range t.members {
 		wg.Add(1)
 		go func(i int, b NodeBackend) {
 			defer wg.Done()
 			errs[i] = op(b)
-		}(i, b)
+		}(i, t.members[i].backend)
 	}
 	wg.Wait()
 	return errs
@@ -649,9 +768,10 @@ func firstError(errs []error) error {
 	return nil
 }
 
-// Close implements Backend. The hint replayer and in-flight read
-// repairs are stopped first, then every backend is closed; the first
-// failure is reported after every backend has been closed.
+// Close implements Backend. The hint replayer, the rebalancer and
+// in-flight read repairs are stopped first, then every backend —
+// current and retired — is closed; the first failure is reported after
+// every backend has been closed.
 func (c *Cluster) Close() error {
 	if c.closed.Swap(true) {
 		return nil
@@ -660,9 +780,20 @@ func (c *Cluster) Close() error {
 		close(c.stopBG)
 		c.bgWG.Wait()
 	}
+	c.rebGen.Add(1) // invalidate any in-flight rebalance
+	c.rebWG.Wait()
 	c.repairWG.Wait()
 	var firstErr error
-	for _, b := range c.backends {
+	for _, m := range c.top().members {
+		if err := m.backend.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	c.retiredMu.Lock()
+	retired := c.retired
+	c.retired = nil
+	c.retiredMu.Unlock()
+	for _, b := range retired {
 		if err := b.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -680,14 +811,15 @@ func (c *Cluster) Close() error {
 // would serialize per-node latency (or a dead node's dial timeout) at
 // every tool startup.
 func (c *Cluster) SensorIDs() []core.SensorID {
-	lists := make([][]core.SensorID, len(c.backends))
+	t := c.top()
+	lists := make([][]core.SensorID, len(t.members))
 	var wg sync.WaitGroup
-	for i, b := range c.backends {
+	for i := range t.members {
 		wg.Add(1)
 		go func(i int, b NodeBackend) {
 			defer wg.Done()
 			lists[i] = b.SensorIDs()
-		}(i, b)
+		}(i, t.members[i].backend)
 	}
 	wg.Wait()
 	seen := make(map[core.SensorID]struct{})
@@ -708,8 +840,8 @@ func (c *Cluster) SensorIDs() []core.SensorID {
 // makes this larger than the number of logical writes).
 func (c *Cluster) TotalInserts() int64 {
 	var total int64
-	for _, b := range c.backends {
-		ins, _, _ := b.Stats()
+	for _, m := range c.top().members {
+		ins, _, _ := m.backend.Stats()
 		total += ins
 	}
 	return total

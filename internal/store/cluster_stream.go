@@ -70,10 +70,11 @@ func (rc *replicaCursor) head() (core.Reading, bool) {
 // lastTS+1 loses nothing and repeats nothing.
 type quorumStream struct {
 	c        *Cluster
+	top      *topology // snapshot the stream was opened against
 	id       core.SensorID
 	from, to int64
 	cursors  []*replicaCursor
-	backends []int // backend index per cursor
+	backends []int // member index per cursor, within top
 	required int
 	buf      []core.Reading
 	done     bool
@@ -92,14 +93,15 @@ type quorumStream struct {
 // if a quorum is genuinely unreachable past the last merged timestamp.
 // The stream must be closed.
 func (c *Cluster) QueryStream(id core.SensorID, from, to int64) (ReadingStream, error) {
-	replicas := c.replicasFor(id)
+	t := c.top()
+	replicas := c.readReplicas(t, id)
 	if c.readCL.required(len(replicas)) == 1 {
 		var lastErr error
 		for i, idx := range replicas {
-			st, err := c.backends[idx].QueryStream(id, from, to)
+			st, err := t.members[idx].backend.QueryStream(id, from, to)
 			if err == nil {
 				return &failoverStream{
-					c: c, id: id, from: from, to: to,
+					c: c, top: t, id: id, from: from, to: to,
 					st: st, rest: replicas[i+1:],
 				}, nil
 			}
@@ -114,12 +116,12 @@ func (c *Cluster) QueryStream(id core.SensorID, from, to int64) (ReadingStream, 
 		wg.Add(1)
 		go func(i, idx int) {
 			defer wg.Done()
-			streams[i], errs[i] = c.backends[idx].QueryStream(id, from, to)
+			streams[i], errs[i] = t.members[idx].backend.QueryStream(id, from, to)
 		}(i, idx)
 	}
 	wg.Wait()
 	required := c.readCL.required(len(replicas))
-	qs := &quorumStream{c: c, id: id, from: from, to: to, required: required}
+	qs := &quorumStream{c: c, top: t, id: id, from: from, to: to, required: required}
 	ok := 0
 	var lastErr error
 	for i := range streams {
@@ -149,7 +151,7 @@ func (s *quorumStream) reopen(i int) bool {
 	if s.emitted {
 		from = s.lastTS + 1
 	}
-	st, err := s.c.backends[s.backends[i]].QueryStream(s.id, from, s.to)
+	st, err := s.top.members[s.backends[i]].backend.QueryStream(s.id, from, s.to)
 	if err != nil {
 		return false
 	}
@@ -306,7 +308,7 @@ func (s *quorumStream) flushRepair(rc *replicaCursor) {
 			break
 		}
 	}
-	b := s.c.backends[idx]
+	b := s.top.members[idx].backend
 	id := s.id
 	s.c.repairWG.Add(1)
 	go func() {
@@ -348,6 +350,7 @@ func (s *quorumStream) Close() error {
 // which ONE never promised to return.
 type failoverStream struct {
 	c        *Cluster
+	top      *topology // snapshot the stream was opened against
 	id       core.SensorID
 	from, to int64
 	st       ReadingStream
@@ -382,7 +385,7 @@ func (f *failoverStream) Next() ([]core.Reading, error) {
 		for len(f.rest) > 0 {
 			idx := f.rest[0]
 			f.rest = f.rest[1:]
-			st, oerr := f.c.backends[idx].QueryStream(f.id, from, f.to)
+			st, oerr := f.top.members[idx].backend.QueryStream(f.id, from, f.to)
 			if oerr == nil {
 				f.st = st
 				replaced = true
@@ -477,24 +480,25 @@ type prefixMergeStream struct {
 // every possible replica window retains a quorum of live streams, the
 // same conservative bound as the materializing QueryPrefix.
 func (c *Cluster) QueryPrefixStream(prefix core.SensorID, depth int, from, to int64) (KeyedReadingStream, error) {
-	streams := make([]KeyedReadingStream, len(c.backends))
-	errs := make([]error, len(c.backends))
-	if len(c.backends) == 1 {
-		streams[0], errs[0] = c.backends[0].QueryPrefixStream(prefix, depth, from, to)
+	t := c.top()
+	streams := make([]KeyedReadingStream, len(t.members))
+	errs := make([]error, len(t.members))
+	if len(t.members) == 1 {
+		streams[0], errs[0] = t.members[0].backend.QueryPrefixStream(prefix, depth, from, to)
 	} else {
 		var wg sync.WaitGroup
-		for i, b := range c.backends {
+		for i := range t.members {
 			wg.Add(1)
 			go func(i int, b NodeBackend) {
 				defer wg.Done()
 				streams[i], errs[i] = b.QueryPrefixStream(prefix, depth, from, to)
-			}(i, b)
+			}(i, t.members[i].backend)
 		}
 		wg.Wait()
 	}
 	var firstErr error
 	failed := 0
-	for i := range c.backends {
+	for i := range t.members {
 		if errs[i] != nil {
 			failed++
 			if firstErr == nil {
@@ -509,23 +513,13 @@ func (c *Cluster) QueryPrefixStream(prefix core.SensorID, depth int, from, to in
 			}
 		}
 	}
-	if failed == len(c.backends) {
+	if failed == len(t.members) {
 		return nil, fmt.Errorf("store: all nodes failed: %w", firstErr)
 	}
-	required := c.readCL.required(c.replication)
-	if required > 1 && failed > 0 {
-		for p := 0; p < len(c.backends); p++ {
-			ok := 0
-			for r := 0; r < c.replication; r++ {
-				if errs[(p+r)%len(c.backends)] == nil {
-					ok++
-				}
-			}
-			if ok < required {
-				closeAll()
-				return nil, fmt.Errorf("store: read consistency %s not met for replica set at node %d (%d/%d): %w",
-					c.readCL, p, ok, required, firstErr)
-			}
+	if failed > 0 {
+		if err := c.checkPrefixQuorum(t, errs, firstErr); err != nil {
+			closeAll()
+			return nil, err
 		}
 	}
 	ms := &prefixMergeStream{c: c}

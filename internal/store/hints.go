@@ -21,9 +21,20 @@ import (
 
 // Hinted handoff: when a replica misses a write that the rest of its
 // set acknowledged, the coordinator durably queues the mutation under
-// <hintDir>/node<i>/hint-<seq>.log and replays it once the replica
+// <hintDir>/<memberID>/hint-<seq>.log and replays it once the replica
 // answers pings again — so a node that was down (or is being replaced
 // behind the same address) converges without a full re-replication.
+//
+// The queue is keyed by member IDENTITY, not ring position: a
+// membership change that renumbers or reorders the ring can never
+// deliver a hint to the wrong node. Legacy static clusters name their
+// members node0..nodeN-1, which keeps the on-disk layout of
+// pre-membership coordinators readable unchanged. When the member a
+// hint is queued for has LEFT the ring (dead or departed), the replay
+// loop forwards the hint instead: the mutation is re-coordinated
+// through the sensor's current owners with its original write version,
+// so the data the departed node missed reaches whoever owns the range
+// now.
 //
 // Hint files reuse the WAL framing exactly: CRC32-framed records whose
 // payloads are the WAL's type-3 versioned insert (expiry already
@@ -47,20 +58,31 @@ import (
 // no read traffic at all. Records from before the version bump (type
 // 1) still replay, as version 0.
 
-// hintFileMax rotates the per-node append file so one outage does not
-// grow a single unbounded segment; replay deletes whole files as they
-// are delivered.
+// hintFileMax rotates the per-member append file so one outage does
+// not grow a single unbounded segment; replay deletes whole files as
+// they are delivered.
 const hintFileMax = 4 << 20
 
-// hintQueue is a Cluster's durable per-replica hint store.
+// hintApplier is the delivery target of a replay: a recovered
+// replica's backend (NodeBackend satisfies this), or the cluster's own
+// coordinated write path when the hints' member left the ring and the
+// mutations must reach the range's current owners instead.
+type hintApplier interface {
+	InsertVersioned(id core.SensorID, vrs []VersionedReading) error
+	InsertBatch(id core.SensorID, rs []core.Reading, ttl time.Duration) error
+	DeleteBefore(id core.SensorID, cutoff int64) error
+}
+
+// hintQueue is a Cluster's durable per-member hint store.
 type hintQueue struct {
 	dir      string
-	nodes    []*nodeHints
+	mu       sync.Mutex // guards members (the map, not each entry)
+	members  map[string]*nodeHints
 	queued   atomic.Int64 // mutations queued (lifetime)
 	replayed atomic.Int64 // mutations delivered (lifetime)
 }
 
-// nodeHints is the hint state of one replica index. mu serialises
+// nodeHints is the hint state of one member identity. mu serialises
 // enqueue against replay; has is a lock-free "anything pending?" check
 // so the replay loop's idle tick stays free.
 type nodeHints struct {
@@ -72,15 +94,59 @@ type nodeHints struct {
 	has  atomic.Bool
 }
 
-// openHintQueue scans (creating on first use) the hint directory for n
-// replicas, recovering hints a previous coordinator run left behind.
-func openHintQueue(dir string, n int) (*hintQueue, error) {
-	q := &hintQueue{dir: dir, nodes: make([]*nodeHints, n)}
-	for i := range q.nodes {
-		nh := &nodeHints{dir: filepath.Join(dir, fmt.Sprintf("node%d", i))}
-		if err := os.MkdirAll(nh.dir, 0o755); err != nil {
-			return nil, err
+// escapeHintID maps a member ID to a safe directory name, reversibly:
+// bytes outside [A-Za-z0-9._-] (and '%' itself) become %XX. Legacy IDs
+// ("node0") pass through unchanged, preserving pre-membership layouts.
+func escapeHintID(id string) string {
+	var b strings.Builder
+	for i := 0; i < len(id); i++ {
+		ch := id[i]
+		if ch != '%' && (ch == '.' || ch == '_' || ch == '-' ||
+			(ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || (ch >= '0' && ch <= '9')) {
+			b.WriteByte(ch)
+			continue
 		}
+		fmt.Fprintf(&b, "%%%02X", ch)
+	}
+	return b.String()
+}
+
+// unescapeHintID reverses escapeHintID; malformed escapes are kept
+// literally (the name then simply names itself).
+func unescapeHintID(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		if name[i] == '%' && i+2 < len(name) {
+			if v, err := strconv.ParseUint(name[i+1:i+3], 16, 8); err == nil {
+				b.WriteByte(byte(v))
+				i += 2
+				continue
+			}
+		}
+		b.WriteByte(name[i])
+	}
+	return b.String()
+}
+
+// openHintQueue scans (creating on first use) the hint directory,
+// recovering per-member hints a previous coordinator run left behind —
+// including hints for members no longer in the cluster, which the
+// replay loop will forward to the current owners.
+func openHintQueue(dir string) (*hintQueue, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	q := &hintQueue{dir: dir, members: make(map[string]*nodeHints)}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, de := range des {
+		if !de.IsDir() {
+			continue
+		}
+		id := unescapeHintID(de.Name())
+		nh := &nodeHints{dir: filepath.Join(dir, de.Name())}
 		segs, err := findHintFiles(nh.dir)
 		if err != nil {
 			return nil, err
@@ -89,9 +155,39 @@ func openHintQueue(dir string, n int) (*hintQueue, error) {
 			nh.seq = segs[len(segs)-1].seq + 1
 			nh.has.Store(true)
 		}
-		q.nodes[i] = nh
+		q.members[id] = nh
 	}
 	return q, nil
+}
+
+// forID returns (creating when asked) the hint state of one member.
+func (q *hintQueue) forID(id string, create bool) (*nodeHints, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if nh, ok := q.members[id]; ok {
+		return nh, nil
+	}
+	if !create {
+		return nil, nil
+	}
+	nh := &nodeHints{dir: filepath.Join(q.dir, escapeHintID(id))}
+	if err := os.MkdirAll(nh.dir, 0o755); err != nil {
+		return nil, err
+	}
+	q.members[id] = nh
+	return nh, nil
+}
+
+// ids snapshots the member identities with hint state.
+func (q *hintQueue) ids() []string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]string, 0, len(q.members))
+	for id := range q.members {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // hintSegSeq parses a hint file name, or false for other files.
@@ -106,7 +202,7 @@ func hintSegSeq(name string) (uint64, bool) {
 	return seq, true
 }
 
-// findHintFiles lists a node's hint files in sequence order.
+// findHintFiles lists a member's hint files in sequence order.
 func findHintFiles(dir string) ([]walSegRef, error) {
 	des, err := os.ReadDir(dir)
 	if err != nil {
@@ -122,11 +218,14 @@ func findHintFiles(dir string) ([]walSegRef, error) {
 	return segs, nil
 }
 
-// enqueue durably appends one framed mutation for replica node. The
-// hint is fsynced before enqueue returns: a coordinator crash cannot
+// enqueue durably appends one framed mutation for a member. The hint
+// is fsynced before enqueue returns: a coordinator crash cannot
 // silently drop a handoff it decided to make.
-func (q *hintQueue) enqueue(node int, payload []byte) error {
-	nh := q.nodes[node]
+func (q *hintQueue) enqueue(id string, payload []byte) error {
+	nh, err := q.forID(id, true)
+	if err != nil {
+		return err
+	}
 	nh.mu.Lock()
 	defer nh.mu.Unlock()
 	if nh.f == nil || nh.size >= hintFileMax {
@@ -167,11 +266,15 @@ func (q *hintQueue) enqueue(node int, payload []byte) error {
 	return nil
 }
 
-// replay delivers every queued hint of replica node to b, deleting
-// hint files as they complete. On failure the current file is kept and
-// the next attempt re-applies it from the start (at-least-once).
-func (q *hintQueue) replay(node int, b NodeBackend) error {
-	nh := q.nodes[node]
+// replay delivers every queued hint of one member to the applier,
+// deleting hint files as they complete. On failure the current file is
+// kept and the next attempt re-applies it from the start
+// (at-least-once).
+func (q *hintQueue) replay(id string, to hintApplier) error {
+	nh, err := q.forID(id, false)
+	if err != nil || nh == nil {
+		return err
+	}
 	nh.mu.Lock()
 	defer nh.mu.Unlock()
 	if nh.f != nil {
@@ -193,7 +296,7 @@ func (q *hintQueue) replay(node int, b NodeBackend) error {
 		ops, _ := decodeWALRecords(data)
 		for _, op := range ops {
 			if op.del {
-				if err := b.DeleteBefore(op.id, op.cutoff); err != nil {
+				if err := to.DeleteBefore(op.id, op.cutoff); err != nil {
 					return err
 				}
 				q.replayed.Add(1)
@@ -218,7 +321,7 @@ func (q *hintQueue) replay(node int, b NodeBackend) error {
 				if len(vrs) == 0 {
 					continue // every hinted reading already expired
 				}
-				if err := b.InsertVersioned(op.id, vrs); err != nil {
+				if err := to.InsertVersioned(op.id, vrs); err != nil {
 					return err
 				}
 				q.replayed.Add(1)
@@ -234,7 +337,7 @@ func (q *hintQueue) replay(node int, b NodeBackend) error {
 			for i, e := range op.entries {
 				rs[i] = core.Reading{Timestamp: e.ts, Value: e.val}
 			}
-			if err := b.InsertBatch(op.id, rs, ttl); err != nil {
+			if err := to.InsertBatch(op.id, rs, ttl); err != nil {
 				return err
 			}
 			q.replayed.Add(1)
@@ -247,10 +350,12 @@ func (q *hintQueue) replay(node int, b NodeBackend) error {
 	return nil
 }
 
-// pending reports how many replicas still have queued hints.
+// pending reports how many members still have queued hints.
 func (q *hintQueue) pending() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	n := 0
-	for _, nh := range q.nodes {
+	for _, nh := range q.members {
 		if nh.has.Load() {
 			n++
 		}
@@ -258,11 +363,21 @@ func (q *hintQueue) pending() int {
 	return n
 }
 
+// has reports whether one member has queued hints.
+func (q *hintQueue) has(id string) bool {
+	q.mu.Lock()
+	nh := q.members[id]
+	q.mu.Unlock()
+	return nh != nil && nh.has.Load()
+}
+
 // close releases the open append files; queued hints stay on disk for
 // the next coordinator run.
 func (q *hintQueue) close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	var firstErr error
-	for _, nh := range q.nodes {
+	for _, nh := range q.members {
 		nh.mu.Lock()
 		if nh.f != nil {
 			if err := nh.f.Close(); err != nil && firstErr == nil {
@@ -281,33 +396,71 @@ func (q *hintQueue) close() error {
 // replay never sees an oversized record. The readings keep the write
 // version the failed fan-out carried, so replay cannot outrank a later
 // rewrite.
-func (c *Cluster) hintInsert(node int, id core.SensorID, vrs []VersionedReading) {
+func (c *Cluster) hintInsert(id string, sid core.SensorID, vrs []VersionedReading) {
 	for off := 0; off < len(vrs); off += walBatchChunk {
 		chunk := vrs[off:min(off+walBatchChunk, len(vrs))]
-		if err := c.hints.enqueue(node, encodeWALInsertV(nil, id, chunk)); err != nil {
-			log.Printf("store: hint for node %d lost: %v", node, err)
+		if err := c.hints.enqueue(id, encodeWALInsertV(nil, sid, chunk)); err != nil {
+			log.Printf("store: hint for member %s lost: %v", id, err)
 			return
 		}
 	}
 }
 
 // hintDelete queues a delete hint.
-func (c *Cluster) hintDelete(node int, id core.SensorID, cutoff int64) {
-	if err := c.hints.enqueue(node, encodeWALDelete(nil, id, cutoff)); err != nil {
-		log.Printf("store: hint for node %d lost: %v", node, err)
+func (c *Cluster) hintDelete(id string, sid core.SensorID, cutoff int64) {
+	if err := c.hints.enqueue(id, encodeWALDelete(nil, sid, cutoff)); err != nil {
+		log.Printf("store: hint for member %s lost: %v", id, err)
 	}
 }
 
-// hintLoop probes down replicas and replays their hints when they
-// answer again. Each replica backs off independently (shared jittered
-// policy): a node that stays down is probed at a decaying cadence
-// instead of every tick, and a failed replay does not delay another
-// replica's delivery.
+// forwarder re-coordinates a departed member's hints through the
+// cluster's CURRENT owners: versioned inserts keep their original
+// versions (coordinateVersioned), so a forwarded hint still resolves
+// exactly where the original write would have.
+type forwarder struct{ c *Cluster }
+
+func (f forwarder) InsertVersioned(id core.SensorID, vrs []VersionedReading) error {
+	return f.c.coordinateVersioned(id, vrs)
+}
+
+func (f forwarder) InsertBatch(id core.SensorID, rs []core.Reading, ttl time.Duration) error {
+	return f.c.InsertBatch(id, rs, ttl)
+}
+
+func (f forwarder) DeleteBefore(id core.SensorID, cutoff int64) error {
+	return f.c.DeleteBefore(id, cutoff)
+}
+
+// deliverHints makes one delivery attempt for one member's queue:
+// replay to the member when it is in the topology and answers pings,
+// forward through the current owners when it has left the ring.
+// Returns (attempted, error).
+func (c *Cluster) deliverHints(t *topology, id string) (bool, error) {
+	if idx, ok := t.byID[id]; ok {
+		b := t.members[idx].backend
+		if err := b.Ping(); err != nil {
+			return true, err // still down; keep the hints
+		}
+		return true, c.hints.replay(id, b)
+	}
+	if t.prevRing != nil {
+		// Mid-transition the departed member's ranges are still moving;
+		// wait for the cutover so forwards resolve against final owners.
+		return false, nil
+	}
+	return true, c.hints.replay(id, forwarder{c})
+}
+
+// hintLoop probes members with queued hints and delivers when they
+// answer (or forwards when they left). Each member backs off
+// independently (shared jittered policy): a node that stays down is
+// probed at a decaying cadence instead of every tick, and a failed
+// replay does not delay another member's delivery.
 func (c *Cluster) hintLoop(interval time.Duration) {
 	defer c.bgWG.Done()
 	pol := backoff.Policy{Initial: interval, Max: 16 * interval, Multiplier: 2, Jitter: 0.25}
-	fails := make([]int, len(c.backends))
-	retryAt := make([]time.Time, len(c.backends))
+	fails := make(map[string]int)
+	retryAt := make(map[string]time.Time)
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {
@@ -316,43 +469,59 @@ func (c *Cluster) hintLoop(interval time.Duration) {
 			return
 		case <-t.C:
 			now := time.Now()
-			for i, b := range c.backends {
-				if !c.hints.nodes[i].has.Load() || now.Before(retryAt[i]) {
+			top := c.top()
+			for _, id := range c.hints.ids() {
+				if !c.hints.has(id) || now.Before(retryAt[id]) {
 					continue
 				}
-				if err := b.Ping(); err != nil {
-					fails[i]++
-					retryAt[i] = now.Add(pol.Delay(fails[i]))
+				attempted, err := c.deliverHints(top, id)
+				if !attempted {
 					continue
 				}
-				if err := c.hints.replay(i, b); err != nil {
-					log.Printf("store: hint replay node %d: %v", i, err)
-					fails[i]++
-					retryAt[i] = now.Add(pol.Delay(fails[i]))
+				if err != nil {
+					if _, present := top.byID[id]; !present {
+						log.Printf("store: forwarding hints of departed member %s: %v", id, err)
+					}
+					fails[id]++
+					retryAt[id] = now.Add(pol.Delay(fails[id]))
 					continue
 				}
-				fails[i], retryAt[i] = 0, time.Time{}
+				delete(fails, id)
+				delete(retryAt, id)
 			}
 		}
 	}
 }
 
-// ReplayHints makes one synchronous delivery attempt for every replica
-// with queued hints that currently answers pings. The background loop
-// calls it on a timer; tests and operators may call it directly.
+// ReplayHints makes one synchronous delivery attempt for every member
+// with queued hints: replicas that answer pings get their replay,
+// departed members get their queue forwarded to the current owners.
+// The background loop calls it on a timer; tests and operators may
+// call it directly.
 func (c *Cluster) ReplayHints() error {
 	if c.hints == nil {
 		return nil
 	}
+	t := c.top()
 	var firstErr error
-	for i, b := range c.backends {
-		if !c.hints.nodes[i].has.Load() {
+	for _, id := range c.hints.ids() {
+		if !c.hints.has(id) {
 			continue
 		}
-		if err := b.Ping(); err != nil {
-			continue // still down; keep the hints
+		if idx, ok := t.byID[id]; ok {
+			b := t.members[idx].backend
+			if err := b.Ping(); err != nil {
+				continue // still down; keep the hints
+			}
+			if err := c.hints.replay(id, b); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			continue
 		}
-		if err := c.hints.replay(i, b); err != nil && firstErr == nil {
+		if t.prevRing != nil {
+			continue // wait for cutover; owners are still moving
+		}
+		if err := c.hints.replay(id, forwarder{c}); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -360,7 +529,7 @@ func (c *Cluster) ReplayHints() error {
 }
 
 // HintStats reports hinted-handoff counters: mutations queued and
-// delivered over the cluster's lifetime, and how many replicas still
+// delivered over the cluster's lifetime, and how many members still
 // have hints waiting. Zero values when handoff is disabled.
 func (c *Cluster) HintStats() (queued, replayed int64, pendingNodes int) {
 	if c.hints == nil {

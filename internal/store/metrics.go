@@ -72,11 +72,11 @@ type walMetrics struct {
 
 // nodeMetrics is the per-Node metric set.
 type nodeMetrics struct {
-	reg       *metrics.Registry
-	insertLat [numShards]*metrics.Histogram
-	queryLat  [numShards]*metrics.Histogram
-	wal       walMetrics
-	spillDur  *metrics.Histogram
+	reg        *metrics.Registry
+	insertLat  [numShards]*metrics.Histogram
+	queryLat   [numShards]*metrics.Histogram
+	wal        walMetrics
+	spillDur   *metrics.Histogram
 	compactDur *metrics.Histogram
 
 	ticks [numShards]latTick
@@ -241,6 +241,11 @@ type clusterMetrics struct {
 	aeChecked    *metrics.Counter
 	aeMismatched *metrics.Counter
 	aeRepaired   *metrics.Counter
+
+	rebTransitions *metrics.Counter
+	rebSensors     *metrics.Counter
+	rebReadings    *metrics.Counter
+	rebCutovers    *metrics.Counter
 }
 
 func newClusterMetrics(c *Cluster) *clusterMetrics {
@@ -269,7 +274,22 @@ func newClusterMetrics(c *Cluster) *clusterMetrics {
 			"Sensor ranges where replica digests disagreed."),
 		aeRepaired: reg.Counter("dcdb_cluster_antientropy_readings_repaired_total",
 			"Readings re-inserted into lagging replicas by anti-entropy repair."),
+		rebTransitions: reg.Counter("dcdb_cluster_rebalance_transitions_total",
+			"Ring transitions started by membership changes."),
+		rebSensors: reg.Counter("dcdb_cluster_rebalance_sensors_moved_total",
+			"Sensors whose readings were streamed to new owners during rebalance."),
+		rebReadings: reg.Counter("dcdb_cluster_rebalance_readings_moved_total",
+			"Readings streamed to new owners during rebalance."),
+		rebCutovers: reg.Counter("dcdb_cluster_rebalance_cutovers_total",
+			"Rebalances completed: the read ring advanced to the target ring."),
 	}
+	reg.GaugeFunc("dcdb_cluster_rebalance_active",
+		"1 while a ring transition is streaming data, 0 at steady state.", func() float64 {
+			if c.top().prevRing != nil {
+				return 1
+			}
+			return 0
+		})
 	reg.CounterFunc("dcdb_cluster_hints_queued_total",
 		"Hinted-handoff mutations queued for down replicas.", func() float64 {
 			q, _, _ := c.HintStats()
@@ -293,7 +313,8 @@ func (c *Cluster) Metrics() *metrics.Registry { return c.met.reg }
 
 // NodeStats is one backend's entry in a ClusterStats fan-out.
 type NodeStats struct {
-	Index   int    // position in ring order
+	Index   int    // position in snapshot order
+	ID      string // stable member identity the ring keys on
 	Addr    string // remote address, "" for an in-process node
 	Inserts int64
 	Queries int64
@@ -310,32 +331,26 @@ type NodeStats struct {
 // local *Node and rpc.Client both do — contribute full snapshots;
 // anything else reports the legacy counters only.
 func (c *Cluster) ClusterStats() []NodeStats {
-	out := make([]NodeStats, len(c.backends))
+	t := c.top()
+	out := make([]NodeStats, len(t.members))
 	var wg sync.WaitGroup
-	for i, b := range c.backends {
+	for i := range t.members {
 		wg.Add(1)
-		go func(i int, b NodeBackend) {
+		go func(i int, m member) {
 			defer wg.Done()
-			ns := NodeStats{Index: i}
-			if a, ok := b.(interface{ Addr() string }); ok {
-				ns.Addr = a.Addr()
+			ns := NodeStats{Index: i, ID: m.id, Addr: m.addr}
+			if ns.Addr == "" {
+				if a, ok := m.backend.(interface{ Addr() string }); ok {
+					ns.Addr = a.Addr()
+				}
 			}
-			ns.Inserts, ns.Queries, ns.Entries = b.Stats()
-			if src, ok := b.(MetricsSource); ok {
+			ns.Inserts, ns.Queries, ns.Entries = m.backend.Stats()
+			if src, ok := m.backend.(MetricsSource); ok {
 				ns.Samples, ns.Err = src.MetricsSnapshot()
 			}
 			out[i] = ns
-		}(i, b)
+		}(i, t.members[i])
 	}
 	wg.Wait()
 	return out
-}
-
-// outcome bumps ok on a nil error and failed otherwise.
-func (m *clusterMetrics) outcome(ok, failed *metrics.Counter, err error) {
-	if err == nil {
-		ok.Inc()
-	} else {
-		failed.Inc()
-	}
 }

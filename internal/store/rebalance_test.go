@@ -1,0 +1,424 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dcdb/internal/core"
+)
+
+// Live-membership coordinator tests: ring placement, join/leave
+// rebalance with the digest-verified cutover, writes racing the
+// transition, and hint forwarding for departed members.
+
+// ringCluster builds a live-membership cluster over in-process nodes
+// named by the given IDs. The factory keeps creating nodes on demand,
+// so SetMembers can grow the cluster; the node map is returned for
+// direct inspection.
+func ringCluster(t *testing.T, ids []string, o ClusterOptions) (*Cluster, map[string]*Node) {
+	t.Helper()
+	var mu sync.Mutex
+	nodes := make(map[string]*Node)
+	o.BackendFactory = func(id, addr string) NodeBackend {
+		mu.Lock()
+		defer mu.Unlock()
+		n, ok := nodes[id]
+		if !ok {
+			n = NewNode(0)
+			nodes[id] = n
+		}
+		return n
+	}
+	if o.RebalanceThrottle == 0 {
+		o.RebalanceThrottle = -1 // tests want fast transfers
+	}
+	ms := make([]MemberInfo, len(ids))
+	for i, id := range ids {
+		ms[i] = MemberInfo{ID: id, Addr: id}
+	}
+	c, err := NewClusterMembers(ms, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, nodes
+}
+
+// waitRebalance blocks until the transition finishes, failing the test
+// if it does not converge.
+func waitRebalance(t *testing.T, c *Cluster) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, transition := c.Members(); !transition {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("rebalance did not converge")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// seedSensors inserts nSensors x nReadings and returns the sensor set.
+func seedSensors(t *testing.T, c *Cluster, nSensors, nReadings int) []core.SensorID {
+	t.Helper()
+	ids := make([]core.SensorID, nSensors)
+	for s := 0; s < nSensors; s++ {
+		ids[s] = sid(uint64(s+1), uint64(s*7+3))
+		rs := make([]core.Reading, nReadings)
+		for i := range rs {
+			rs[i] = core.Reading{Timestamp: int64(i + 1), Value: float64(s*1000 + i)}
+		}
+		if err := c.InsertBatch(ids[s], rs, 0); err != nil {
+			t.Fatalf("seeding sensor %d: %v", s, err)
+		}
+	}
+	return ids
+}
+
+// checkSensors asserts every seeded sensor reads back complete.
+func checkSensors(t *testing.T, c *Cluster, ids []core.SensorID, nReadings int) {
+	t.Helper()
+	for s, id := range ids {
+		rs, err := c.Query(id, 0, 1<<60)
+		if err != nil {
+			t.Fatalf("sensor %d: %v", s, err)
+		}
+		if len(rs) != nReadings {
+			t.Fatalf("sensor %d: %d readings, want %d", s, len(rs), nReadings)
+		}
+		for i, r := range rs {
+			if r.Timestamp != int64(i+1) || r.Value != float64(s*1000+i) {
+				t.Fatalf("sensor %d reading %d: got (%d, %v)", s, i, r.Timestamp, r.Value)
+			}
+		}
+	}
+}
+
+func TestRingClusterReadsOwnWrites(t *testing.T) {
+	c, _ := ringCluster(t, []string{"alpha", "bravo", "charlie"}, ClusterOptions{
+		Replication:      3,
+		WriteConsistency: ConsistencyQuorum,
+		ReadConsistency:  ConsistencyQuorum,
+	})
+	defer c.Close()
+	ids := seedSensors(t, c, 40, 20)
+	checkSensors(t, c, ids, 20)
+	if ms, transition := c.Members(); transition || len(ms) != 3 {
+		t.Fatalf("Members() = %d members, transition=%v", len(ms), transition)
+	}
+}
+
+func TestJoinRebalanceMovesData(t *testing.T) {
+	c, nodes := ringCluster(t, []string{"alpha", "bravo", "charlie"}, ClusterOptions{
+		Replication:      2,
+		WriteConsistency: ConsistencyQuorum,
+		ReadConsistency:  ConsistencyQuorum,
+	})
+	defer c.Close()
+	ids := seedSensors(t, c, 60, 25)
+
+	err := c.SetMembers([]MemberInfo{
+		{ID: "alpha", Addr: "alpha"}, {ID: "bravo", Addr: "bravo"},
+		{ID: "charlie", Addr: "charlie"}, {ID: "delta", Addr: "delta"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRebalance(t, c)
+
+	checkSensors(t, c, ids, 25)
+	// The joiner must actually own data now: with 4 members at 64
+	// vnodes it holds ~1/2 of all (sensor, replica) placements at rf=2.
+	delta := nodes["delta"]
+	if delta == nil {
+		t.Fatal("factory never built the joining member")
+	}
+	if ins, _, _ := delta.Stats(); ins == 0 {
+		t.Fatal("no data moved to the joining member")
+	}
+	// Post-cutover reads resolve against the new ring only: queries for
+	// sensors the joiner now serves must not need the old owners.
+	moved := 0
+	top := c.top()
+	for _, id := range ids {
+		for _, idx := range c.readReplicas(top, id) {
+			if top.members[idx].id == "delta" {
+				moved++
+				break
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("new ring assigns the joiner no sensors")
+	}
+}
+
+func TestLeaveRebalanceKeepsDataReadable(t *testing.T) {
+	c, _ := ringCluster(t, []string{"alpha", "bravo", "charlie"}, ClusterOptions{
+		Replication:      2,
+		WriteConsistency: ConsistencyQuorum,
+		ReadConsistency:  ConsistencyQuorum,
+	})
+	defer c.Close()
+	ids := seedSensors(t, c, 60, 25)
+
+	err := c.SetMembers([]MemberInfo{
+		{ID: "alpha", Addr: "alpha"}, {ID: "bravo", Addr: "bravo"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRebalance(t, c)
+
+	ms, _ := c.Members()
+	if len(ms) != 2 {
+		t.Fatalf("after leave: %d members, want 2", len(ms))
+	}
+	checkSensors(t, c, ids, 25)
+}
+
+func TestWritesDuringRebalanceStayReadable(t *testing.T) {
+	c, _ := ringCluster(t, []string{"alpha", "bravo", "charlie"}, ClusterOptions{
+		Replication:      2,
+		WriteConsistency: ConsistencyQuorum,
+		ReadConsistency:  ConsistencyQuorum,
+		// A real throttle keeps the transition open long enough for the
+		// concurrent writer to land writes mid-transfer.
+		RebalanceThrottle: 500 * time.Microsecond,
+	})
+	defer c.Close()
+	ids := seedSensors(t, c, 50, 30)
+
+	err := c.SetMembers([]MemberInfo{
+		{ID: "alpha", Addr: "alpha"}, {ID: "bravo", Addr: "bravo"},
+		{ID: "charlie", Addr: "charlie"}, {ID: "delta", Addr: "delta"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Race acked writes against the transfer: every InsertBatch that
+	// returns nil must be readable at QUORUM after convergence.
+	extra := make(map[int]int) // sensor -> acked extra readings
+	for i := 0; i < 200; i++ {
+		s := i % len(ids)
+		ts := int64(1000 + i)
+		if err := c.Insert(ids[s], core.Reading{Timestamp: ts, Value: float64(ts)}, 0); err == nil {
+			extra[s]++
+		}
+	}
+	waitRebalance(t, c)
+
+	for s, id := range ids {
+		rs, err := c.Query(id, 0, 1<<60)
+		if err != nil {
+			t.Fatalf("sensor %d: %v", s, err)
+		}
+		if want := 30 + extra[s]; len(rs) != want {
+			t.Fatalf("sensor %d: %d readings after rebalance, want %d", s, len(rs), want)
+		}
+	}
+}
+
+func TestSetMembersRetargetConverges(t *testing.T) {
+	c, _ := ringCluster(t, []string{"alpha", "bravo", "charlie"}, ClusterOptions{
+		Replication:       2,
+		WriteConsistency:  ConsistencyQuorum,
+		ReadConsistency:   ConsistencyQuorum,
+		RebalanceThrottle: 200 * time.Microsecond,
+	})
+	defer c.Close()
+	ids := seedSensors(t, c, 40, 20)
+
+	// Two membership changes back to back: the second supersedes the
+	// first mid-transfer, and reads keep anchoring to the original ring
+	// until the final cutover.
+	if err := c.SetMembers([]MemberInfo{
+		{ID: "alpha", Addr: "alpha"}, {ID: "bravo", Addr: "bravo"},
+		{ID: "charlie", Addr: "charlie"}, {ID: "delta", Addr: "delta"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetMembers([]MemberInfo{
+		{ID: "alpha", Addr: "alpha"}, {ID: "bravo", Addr: "bravo"},
+		{ID: "delta", Addr: "delta"}, {ID: "echo", Addr: "echo"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitRebalance(t, c)
+
+	ms, _ := c.Members()
+	if len(ms) != 4 {
+		t.Fatalf("after retarget: %d members, want 4", len(ms))
+	}
+	for _, m := range ms {
+		if m.ID == "charlie" {
+			t.Fatal("departed member still in topology after cutover")
+		}
+	}
+	checkSensors(t, c, ids, 20)
+}
+
+func TestSetMembersRejectsStaticCluster(t *testing.T) {
+	c, _ := threeNodeCluster(t, 2, ClusterOptions{})
+	defer c.Close()
+	err := c.SetMembers([]MemberInfo{{ID: "a", Addr: "a"}})
+	if err == nil {
+		t.Fatal("SetMembers on a static cluster succeeded")
+	}
+}
+
+func TestHintForwardingForDepartedMember(t *testing.T) {
+	dir := t.TempDir()
+	c, nodes := ringCluster(t, []string{"alpha", "bravo", "charlie"}, ClusterOptions{
+		Replication:        3,
+		WriteConsistency:   ConsistencyQuorum,
+		ReadConsistency:    ConsistencyQuorum,
+		HintDir:            dir,
+		HintReplayInterval: -1, // replay manually
+	})
+	defer c.Close()
+
+	id := sid(99, 7)
+	if err := c.Insert(id, core.Reading{Timestamp: 1, Value: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Down one replica; a QUORUM write still acks and queues a hint.
+	nodes["charlie"].SetDown(true)
+	if err := c.Insert(id, core.Reading{Timestamp: 2, Value: 2}, 0); err != nil {
+		t.Fatalf("QUORUM write with one down replica: %v", err)
+	}
+	if _, _, pending := c.HintStats(); pending == 0 {
+		t.Fatal("no hint queued for the down replica")
+	}
+
+	// The down member leaves the ring instead of recovering. After the
+	// cutover its hints are forwarded through the remaining owners.
+	if err := c.SetMembers([]MemberInfo{
+		{ID: "alpha", Addr: "alpha"}, {ID: "bravo", Addr: "bravo"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitRebalance(t, c)
+	if err := c.ReplayHints(); err != nil {
+		t.Fatalf("forwarding hints of the departed member: %v", err)
+	}
+	if _, _, pending := c.HintStats(); pending != 0 {
+		t.Fatalf("%d members still have pending hints after forwarding", pending)
+	}
+	rs, err := c.Query(id, 0, 1<<60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || rs[1].Value != 2 {
+		t.Fatalf("after forwarding: %v", rs)
+	}
+}
+
+func TestHintIDEscapingRoundTrips(t *testing.T) {
+	cases := []string{"node0", "127.0.0.1:4441", "[::1]:80", "a b%c/d", "plain-id_1.x"}
+	for _, id := range cases {
+		esc := escapeHintID(id)
+		for i := 0; i < len(esc); i++ {
+			ch := esc[i]
+			ok := ch == '.' || ch == '_' || ch == '-' || ch == '%' ||
+				(ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || (ch >= '0' && ch <= '9')
+			if !ok {
+				t.Fatalf("escapeHintID(%q) = %q: unsafe byte %q", id, esc, ch)
+			}
+		}
+		if got := unescapeHintID(esc); got != id {
+			t.Fatalf("round trip %q -> %q -> %q", id, esc, got)
+		}
+	}
+	if escapeHintID("node0") != "node0" {
+		t.Fatal("legacy IDs must escape to themselves")
+	}
+}
+
+func TestRebalanceMetricsAdvance(t *testing.T) {
+	c, _ := ringCluster(t, []string{"alpha", "bravo"}, ClusterOptions{
+		Replication:      2,
+		WriteConsistency: ConsistencyQuorum,
+		ReadConsistency:  ConsistencyQuorum,
+	})
+	defer c.Close()
+	seedSensors(t, c, 10, 5)
+	if err := c.SetMembers([]MemberInfo{
+		{ID: "alpha", Addr: "alpha"}, {ID: "bravo", Addr: "bravo"}, {ID: "charlie", Addr: "charlie"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitRebalance(t, c)
+	var transitions, cutovers float64
+	for _, s := range c.Metrics().Gather() {
+		switch s.Name {
+		case "dcdb_cluster_rebalance_transitions_total":
+			transitions = s.Value
+		case "dcdb_cluster_rebalance_cutovers_total":
+			cutovers = s.Value
+		}
+	}
+	if transitions < 1 || cutovers < 1 {
+		t.Fatalf("rebalance metrics: transitions=%v cutovers=%v", transitions, cutovers)
+	}
+}
+
+func TestRingClusterConcurrentReadsDuringCutover(t *testing.T) {
+	c, _ := ringCluster(t, []string{"alpha", "bravo", "charlie"}, ClusterOptions{
+		Replication:       2,
+		WriteConsistency:  ConsistencyQuorum,
+		ReadConsistency:   ConsistencyQuorum,
+		RebalanceThrottle: 100 * time.Microsecond,
+	})
+	defer c.Close()
+	ids := seedSensors(t, c, 30, 10)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var readErr error
+	var mu sync.Mutex
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := ids[(w*7+i)%len(ids)]
+				rs, err := c.Query(id, 0, 1<<60)
+				if err == nil && len(rs) != 10 {
+					err = fmt.Errorf("%d readings, want 10", len(rs))
+				}
+				if err != nil {
+					mu.Lock()
+					if readErr == nil {
+						readErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(w)
+	}
+
+	if err := c.SetMembers([]MemberInfo{
+		{ID: "alpha", Addr: "alpha"}, {ID: "bravo", Addr: "bravo"},
+		{ID: "charlie", Addr: "charlie"}, {ID: "delta", Addr: "delta"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitRebalance(t, c)
+	close(stop)
+	wg.Wait()
+	if readErr != nil {
+		t.Fatalf("concurrent read during rebalance: %v", readErr)
+	}
+}

@@ -1,0 +1,313 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"dcdb/internal/core"
+	"dcdb/internal/ring"
+)
+
+// Topology: the cluster's member set is an immutable snapshot swapped
+// atomically, so every operation resolves its replicas against one
+// consistent view — a membership change mid-query can never mix two
+// rings inside one fan-out. Two placement modes exist behind the same
+// snapshot:
+//
+//   - static: the legacy fixed node list. Placement is the
+//     partitioner's modulo scheme over construction order; the member
+//     set never changes.
+//   - ring: members are keyed by stable identity (their advertised
+//     address) on a consistent-hash ring with virtual nodes
+//     (internal/ring). Any coordinator that learns the same member set
+//     — from gossip, from a seed node, from a config file — derives
+//     bit-identical placement, and SetMembers can grow or shrink the
+//     ring live.
+//
+// During a ring change the snapshot carries BOTH rings: prevRing (the
+// ring reads trust — every acknowledged write is there) and ring (the
+// target). Writes fan to the union of both rings' owners with the
+// ack requirement anchored to the read ring, reads resolve against
+// prevRing only, and the background rebalance (cluster_rebalance.go)
+// streams moved ranges to their new owners before the cutover drops
+// prevRing. That ordering is the zero-loss invariant: at every instant
+// a QUORUM read intersects every acknowledged QUORUM write.
+
+// member is one topology entry: a backend plus the stable identity the
+// ring, the hint queue and the membership layer all key on.
+type member struct {
+	id      string
+	addr    string
+	backend NodeBackend
+	local   bool // backend is an in-process *Node
+}
+
+// MemberInfo names one cluster member for SetMembers /
+// NewClusterMembers: a stable ID (conventionally the node's advertised
+// address) and the address a backend can be built from.
+type MemberInfo struct {
+	ID   string
+	Addr string
+}
+
+// topology is one immutable member-set snapshot.
+type topology struct {
+	members  []member
+	byID     map[string]int
+	allLocal bool
+	// ring is the target placement; nil selects the static modulo
+	// scheme over members order.
+	ring *ring.Ring
+	// prevRing, when non-nil, marks an in-progress rebalance: reads
+	// resolve here, writes fan to the union of both rings.
+	prevRing *ring.Ring
+}
+
+// readRing returns the ring reads (and ack requirements) anchor to.
+func (t *topology) readRing() *ring.Ring {
+	if t.prevRing != nil {
+		return t.prevRing
+	}
+	return t.ring
+}
+
+// newTopology indexes a member list.
+func newTopology(members []member, target, prev *ring.Ring) *topology {
+	t := &topology{
+		members:  members,
+		byID:     make(map[string]int, len(members)),
+		allLocal: true,
+		ring:     target,
+		prevRing: prev,
+	}
+	for i := range members {
+		t.byID[members[i].id] = i
+		if !members[i].local {
+			t.allLocal = false
+		}
+	}
+	return t
+}
+
+// top loads the current topology snapshot. Operations load it once at
+// entry and resolve everything against that one view.
+func (c *Cluster) top() *topology { return c.topo.Load() }
+
+// readReplicas yields the member indices serving reads for a sensor,
+// primary first — static modulo order, or the read ring's clockwise
+// walk.
+func (c *Cluster) readReplicas(t *topology, id core.SensorID) []int {
+	r := t.readRing()
+	if r == nil {
+		n := len(t.members)
+		primary := c.part.NodeFor(id, n)
+		rf := c.replication
+		if rf > n {
+			rf = n
+		}
+		out := make([]int, 0, rf)
+		for i := 0; i < rf; i++ {
+			out = append(out, (primary+i)%n)
+		}
+		return out
+	}
+	ids := r.ReplicasFor(fnvSID(id), c.replication)
+	out := make([]int, 0, len(ids))
+	for _, mid := range ids {
+		if idx, ok := t.byID[mid]; ok {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// writeReplicas yields the indices a write fans to, and readN — how
+// many of them (a prefix) form the read set the ack requirement is
+// computed over. Outside a transition the two sets coincide. During
+// one, the new ring's owners are appended after the read set: they
+// receive every write (so post-cutover reads find data written during
+// the move) but their acks never count toward the consistency level —
+// an acked write must be readable NOW, on the read ring.
+func (c *Cluster) writeReplicas(t *topology, id core.SensorID) (idxs []int, readN int) {
+	read := c.readReplicas(t, id)
+	if t.prevRing == nil || t.ring == nil {
+		return read, len(read)
+	}
+	idxs = read
+	seen := make(map[int]struct{}, len(read)+c.replication)
+	for _, i := range read {
+		seen[i] = struct{}{}
+	}
+	for _, mid := range t.ring.ReplicasFor(fnvSID(id), c.replication) {
+		if idx, ok := t.byID[mid]; ok {
+			if _, dup := seen[idx]; !dup {
+				seen[idx] = struct{}{}
+				idxs = append(idxs, idx)
+			}
+		}
+	}
+	return idxs, len(read)
+}
+
+// replicasFor yields the node indices holding a sensor, primary first,
+// resolved against the current snapshot. (Kept as the package-internal
+// convenience for tests and single-shot callers; multi-step operations
+// load one snapshot and use readReplicas.)
+func (c *Cluster) replicasFor(id core.SensorID) []int {
+	return c.readReplicas(c.top(), id)
+}
+
+// checkPrefixQuorum applies the conservative prefix-read bound to a
+// fan-out's per-member error slots: every replica window the placement
+// could assign must retain a quorum of live members. Static placement
+// enumerates contiguous windows; ring placement enumerates the read
+// ring's distinct successor sets.
+func (c *Cluster) checkPrefixQuorum(t *topology, errs []error, firstErr error) error {
+	required := c.readCL.required(c.replication)
+	if required <= 1 {
+		return nil
+	}
+	if r := t.readRing(); r != nil {
+		for _, win := range r.Windows(c.replication) {
+			ok := 0
+			for _, mid := range win {
+				if idx, found := t.byID[mid]; found && errs[idx] == nil {
+					ok++
+				}
+			}
+			if ok < required {
+				return fmt.Errorf("store: read consistency %s not met for replica set %v (%d/%d): %w",
+					c.readCL, win, ok, required, firstErr)
+			}
+		}
+		return nil
+	}
+	n := len(t.members)
+	for p := 0; p < n; p++ {
+		ok := 0
+		for r := 0; r < c.replication && r < n; r++ {
+			if errs[(p+r)%n] == nil {
+				ok++
+			}
+		}
+		if ok < required {
+			return fmt.Errorf("store: read consistency %s not met for replica set at node %d (%d/%d): %w",
+				c.readCL, p, ok, required, firstErr)
+		}
+	}
+	return nil
+}
+
+// Members returns the current member identities in snapshot order,
+// with transition reporting whether a rebalance is in flight.
+func (c *Cluster) Members() (ms []MemberInfo, transition bool) {
+	t := c.top()
+	ms = make([]MemberInfo, len(t.members))
+	for i, m := range t.members {
+		ms[i] = MemberInfo{ID: m.id, Addr: m.addr}
+	}
+	return ms, t.prevRing != nil
+}
+
+// SetMembers installs a new member set on a ring cluster. Backends for
+// IDs already in the topology are reused; new members are built with
+// the cluster's BackendFactory. If placement changes, the swap is a
+// transition — reads stay on the old ring, writes fan to the union,
+// and a background rebalance streams moved ranges before cutting over
+// (see cluster_rebalance.go). Members leaving keep serving reads until
+// the cutover; their backends are retired afterwards. A SetMembers
+// arriving mid-transition re-targets the rebalance: reads keep
+// anchoring to the ring they have trusted all along.
+func (c *Cluster) SetMembers(ms []MemberInfo) error {
+	if len(ms) == 0 {
+		return fmt.Errorf("store: SetMembers needs at least one member")
+	}
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
+	if c.closed.Load() {
+		return fmt.Errorf("store: cluster closed")
+	}
+	cur := c.top()
+	if cur.ring == nil {
+		return fmt.Errorf("store: cluster uses static placement; membership changes need the ring partitioner")
+	}
+	ids := make([]string, 0, len(ms))
+	byID := make(map[string]MemberInfo, len(ms))
+	for _, m := range ms {
+		if m.ID == "" {
+			return fmt.Errorf("store: member with empty ID")
+		}
+		if _, dup := byID[m.ID]; dup {
+			continue
+		}
+		byID[m.ID] = m
+		ids = append(ids, m.ID)
+	}
+	sort.Strings(ids)
+	target := ring.New(ids, cur.ring.VNodes())
+	if target.Equal(cur.ring) {
+		return nil // placement unchanged; any in-flight rebalance stands
+	}
+
+	// The read ring never moves during a transition: a re-target keeps
+	// anchoring reads (and the rebalance source) to the ring every
+	// acknowledged write reached.
+	readRing := cur.readRing()
+
+	// Union member list: everyone on the target ring, plus old members
+	// the read ring still needs until cutover.
+	var members []member
+	taken := make(map[string]struct{}, len(ids))
+	addByID := func(id string) error {
+		if _, dup := taken[id]; dup {
+			return nil
+		}
+		taken[id] = struct{}{}
+		if idx, ok := cur.byID[id]; ok {
+			members = append(members, cur.members[idx])
+			return nil
+		}
+		info, ok := byID[id]
+		if !ok {
+			return fmt.Errorf("store: read ring member %s missing from both topologies", id)
+		}
+		if c.factory == nil {
+			return fmt.Errorf("store: no BackendFactory to build a backend for new member %s", id)
+		}
+		b := c.factory(info.ID, info.Addr)
+		if b == nil {
+			return fmt.Errorf("store: BackendFactory returned nil for member %s", id)
+		}
+		_, local := b.(*Node)
+		members = append(members, member{id: info.ID, addr: info.Addr, backend: b, local: local})
+		return nil
+	}
+	for _, id := range ids {
+		if err := addByID(id); err != nil {
+			return err
+		}
+	}
+	for _, id := range readRing.Members() {
+		if err := addByID(id); err != nil {
+			return err
+		}
+	}
+
+	next := newTopology(members, target, readRing)
+	c.topo.Store(next)
+	c.met.rebTransitions.Inc()
+	gen := c.rebGen.Add(1)
+	c.rebWG.Add(1)
+	go c.rebalance(gen)
+	return nil
+}
+
+// retire queues backends for closing at Cluster.Close. In-flight
+// operations may still hold snapshots pointing at a retired backend,
+// so retirement defers the actual Close — the cost is one idle client
+// per departed member for the coordinator's lifetime.
+func (c *Cluster) retire(bs []NodeBackend) {
+	c.retiredMu.Lock()
+	c.retired = append(c.retired, bs...)
+	c.retiredMu.Unlock()
+}

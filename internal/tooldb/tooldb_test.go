@@ -4,10 +4,12 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"dcdb/internal/collectagent"
 	"dcdb/internal/core"
 	"dcdb/internal/libdcdb"
+	"dcdb/internal/membership"
 	"dcdb/internal/rpc"
 	"dcdb/internal/store"
 )
@@ -244,5 +246,106 @@ func TestOpenRemoteQueriesLiveCluster(t *testing.T) {
 func TestOpenRemoteRejectsEmptyAddrs(t *testing.T) {
 	if _, _, err := OpenRemote(t.TempDir(), RemoteOptions{}); err == nil {
 		t.Fatal("OpenRemote with no addresses succeeded")
+	}
+}
+
+// TestOpenRemoteDiscoversFromSeeds covers Seeds mode: the tool is given
+// one gossip seed instead of the node list, discovers the ring, and
+// queries with the same ring placement the agent's coordinator derives.
+func TestOpenRemoteDiscoversFromSeeds(t *testing.T) {
+	type gossiper struct {
+		srv   *rpc.Server
+		agent *membership.Agent
+	}
+	start := func(seeds ...string) *gossiper {
+		n := store.NewNode(0)
+		srv := rpc.NewServer(n, true)
+		g := &gossiper{srv: srv}
+		srv.SetGossip(func(peerState []byte) ([]byte, error) {
+			if g.agent == nil {
+				return nil, rpc.ErrGossipUnavailable
+			}
+			return g.agent.Handle(peerState)
+		})
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		a, err := membership.New(membership.Config{
+			ID:       srv.Addr(),
+			Interval: 10 * time.Millisecond,
+			Seeds:    seeds,
+			Logf:     func(string, ...any) {},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.agent = a
+		if len(seeds) > 0 {
+			_ = a.Join(seeds...)
+		}
+		a.Start()
+		t.Cleanup(func() {
+			a.Stop()
+			srv.Close()
+			n.Close()
+		})
+		return g
+	}
+	g0 := start()
+	start(g0.srv.Addr())
+	seeds := []string{g0.srv.Addr()}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ms, err := membership.DiscoverRing(seeds...)
+		if err == nil && len(ms) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gossip ring never reached 2 members (err %v)", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Populate through a discovery-built writer so placement matches
+	// what the tool's reader cluster derives from the same ring.
+	writer, err := collectagent.OpenDiscoveredBackend(seeds,
+		store.ClusterOptions{Replication: 2}, rpc.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapper := core.NewTopicMapper()
+	topics := []string{"/dc/r1/power", "/dc/r2/temp"}
+	for i, tp := range topics {
+		id, merr := mapper.Map(tp)
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		for ts := int64(1); ts <= 3; ts++ {
+			if err := writer.Insert(id, core.Reading{Timestamp: ts, Value: float64(i)}, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := writer.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	if err := collectagent.SaveTopics(dir, mapper); err != nil {
+		t.Fatal(err)
+	}
+	conn, cluster, err := OpenRemote(dir, RemoteOptions{Seeds: seeds, Replication: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if got := conn.ListSensors(""); len(got) != len(topics) {
+		t.Fatalf("discovered connection lists %v, want %d sensors", got, len(topics))
+	}
+	for _, tp := range topics {
+		rs, err := conn.Query(tp, 0, 1<<62)
+		if err != nil || len(rs) != 3 {
+			t.Fatalf("discovered query %q: %d readings, %v", tp, len(rs), err)
+		}
 	}
 }
